@@ -1,0 +1,254 @@
+// Benchmark harness: one benchmark per table and figure in "A First Look
+// at Related Website Sets" (IMC 2024), plus the ablation benchmarks for
+// the design choices called out in DESIGN.md §5. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each table/figure benchmark regenerates the corresponding artifact end
+// to end (simulation, crawl, analysis, rendering); the reported time is
+// the cost of reproducing that piece of the paper from scratch.
+package rwskit
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"rwskit/internal/analysis"
+	"rwskit/internal/core"
+	"rwskit/internal/crawler"
+	"rwskit/internal/editdist"
+	"rwskit/internal/htmlsim"
+	"rwskit/internal/psl"
+	"rwskit/internal/sitegen"
+	"rwskit/internal/stats"
+
+	"net/http/httptest"
+)
+
+// benchExperiment runs one experiment per iteration with a fresh session,
+// so nothing is amortised across iterations.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := analysis.NewSession(analysis.Config{Seed: int64(i + 1)})
+		var run func(context.Context, *analysis.Session) (*analysis.Artifact, error)
+		for _, e := range analysis.All() {
+			if e.ID == id {
+				run = e.Run
+			}
+		}
+		if run == nil {
+			b.Fatalf("unknown experiment %s", id)
+		}
+		a, err := run(context.Background(), s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Rendered == "" {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+// --- one benchmark per paper table ---
+
+func BenchmarkTable1SurveySummary(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2Factors(b *testing.B)       { benchExperiment(b, "table2") }
+func BenchmarkTable3BotComments(b *testing.B)   { benchExperiment(b, "table3") }
+
+// --- one benchmark per paper figure ---
+
+func BenchmarkFigure1ConfusionMatrix(b *testing.B)      { benchExperiment(b, "figure1") }
+func BenchmarkFigure2TimingCDF(b *testing.B)            { benchExperiment(b, "figure2") }
+func BenchmarkFigure3EditDistance(b *testing.B)         { benchExperiment(b, "figure3") }
+func BenchmarkFigure4HTMLSimilarity(b *testing.B)       { benchExperiment(b, "figure4") }
+func BenchmarkFigure5CumulativePRs(b *testing.B)        { benchExperiment(b, "figure5") }
+func BenchmarkFigure6DaysToProcess(b *testing.B)        { benchExperiment(b, "figure6") }
+func BenchmarkFigure7Composition(b *testing.B)          { benchExperiment(b, "figure7") }
+func BenchmarkFigure8PrimaryCategories(b *testing.B)    { benchExperiment(b, "figure8") }
+func BenchmarkFigure9AssociatedCategories(b *testing.B) { benchExperiment(b, "figure9") }
+
+// BenchmarkRunAllExperiments regenerates the entire evaluation in one
+// session (shared intermediates cached), the cost of `rws-analyze`.
+func BenchmarkRunAllExperiments(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := analysis.NewSession(analysis.Config{Seed: int64(i + 1)})
+		if _, err := analysis.RunAll(context.Background(), s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks (DESIGN.md §5) ---
+
+// PSL lookup structure: label trie vs spec-literal linear scan.
+func BenchmarkAblationPSLTrie(b *testing.B) {
+	l := psl.Default()
+	domains := []string{"www.example.com", "a.b.example.co.uk", "x.foo.ck", "deep.site.github.io"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.PublicSuffix(domains[i%len(domains)])
+	}
+}
+
+func BenchmarkAblationPSLLinear(b *testing.B) {
+	l := psl.Default()
+	domains := []string{"www.example.com", "a.b.example.co.uk", "x.foo.ck", "deep.site.github.io"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.PublicSuffixLinear(domains[i%len(domains)])
+	}
+}
+
+// Levenshtein implementation: two-row rolling vs full matrix vs bounded.
+func BenchmarkAblationLevenshteinTwoRow(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		editdist.Levenshtein("nourishingpursuits", "cafemedia")
+	}
+}
+
+func BenchmarkAblationLevenshteinMatrix(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		editdist.LevenshteinMatrix("nourishingpursuits", "cafemedia")
+	}
+}
+
+func BenchmarkAblationLevenshteinBounded(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		editdist.Bounded("nourishingpursuits", "cafemedia", 6)
+	}
+}
+
+// Structural similarity metric: Ratcliff/Obershelp vs LCS ratio.
+func BenchmarkAblationStructuralRatcliff(b *testing.B) {
+	x := seqFor(b, 0)
+	y := seqFor(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		htmlsim.SequenceRatio(x, y)
+	}
+}
+
+func BenchmarkAblationStructuralLCS(b *testing.B) {
+	x := seqFor(b, 0)
+	y := seqFor(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		htmlsim.SequenceRatioLCS(x, y)
+	}
+}
+
+func seqFor(b *testing.B, n int) []string {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n + 1)))
+	sites, _ := sitegen.GenerateTopSites(rng, 2, nil)
+	html, err := sitegen.RenderPage(sites[n], "/")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return htmlsim.TagSequence(html)
+}
+
+// Crawler concurrency sweep.
+func benchCrawlWorkers(b *testing.B, workers int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	web := sitegen.NewWeb()
+	sites, _ := sitegen.GenerateTopSites(rng, 32, nil)
+	reqs := make([]crawler.Request, len(sites))
+	for i, s := range sites {
+		web.AddSite(s)
+		reqs[i] = crawler.Request{Host: s.Domain, Path: "/"}
+	}
+	srv := httptest.NewServer(web)
+	defer srv.Close()
+	c, err := crawler.NewForServer(srv.URL, srv.Client(), workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pages := c.CrawlAll(context.Background(), reqs)
+		for _, p := range pages {
+			if !p.OK() {
+				b.Fatalf("fetch failed: %+v", p)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationCrawlerWorkers1(b *testing.B)  { benchCrawlWorkers(b, 1) }
+func BenchmarkAblationCrawlerWorkers4(b *testing.B)  { benchCrawlWorkers(b, 4) }
+func BenchmarkAblationCrawlerWorkers16(b *testing.B) { benchCrawlWorkers(b, 16) }
+
+// Set-membership index: map index vs per-query scan.
+func BenchmarkAblationSetIndexMap(b *testing.B) {
+	list := benchList(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		list.SameSet("bild.de", "computerbild.de")
+	}
+}
+
+func BenchmarkAblationSetIndexScan(b *testing.B) {
+	list := benchList(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		list.SameSetScan("bild.de", "computerbild.de")
+	}
+}
+
+func benchList(b *testing.B) *core.List {
+	b.Helper()
+	list, err := Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return list
+}
+
+// KS p-value: asymptotic series vs permutation test.
+func BenchmarkAblationKSAsymptotic(b *testing.B) {
+	x, y := ksSamples()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.KolmogorovSmirnov(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationKSPermutation(b *testing.B) {
+	x, y := ksSamples()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.KolmogorovSmirnovPermutation(x, y, 200, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ksSamples() (x, y []float64) {
+	rng := rand.New(rand.NewSource(7))
+	x = make([]float64, 114)
+	y = make([]float64, 106)
+	for i := range x {
+		x[i] = rng.NormFloat64()*8 + 28
+	}
+	for i := range y {
+		y[i] = rng.NormFloat64()*9 + 39
+	}
+	return x, y
+}

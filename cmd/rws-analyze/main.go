@@ -1,0 +1,81 @@
+// Command rws-analyze regenerates every table and figure of "A First Look
+// at Related Website Sets" (IMC 2024) from the reproduction pipelines, and
+// optionally emits the EXPERIMENTS.md paper-vs-measured report.
+//
+// Usage:
+//
+//	rws-analyze [-seed N] [-only id] [-markdown]
+//
+// With -only, a single experiment runs (table1..table3, figure1..figure9).
+// With -markdown, output is the EXPERIMENTS.md body instead of plain text.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"rwskit"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rws-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rws-analyze", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "seed for every stochastic pipeline")
+	only := fs.String("only", "", "run a single experiment (e.g. figure3)")
+	markdown := fs.Bool("markdown", false, "emit markdown (EXPERIMENTS.md body)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	var arts []*rwskit.Artifact
+	if *only != "" {
+		a, err := rwskit.RunExperiment(ctx, *seed, *only)
+		if err != nil {
+			return err
+		}
+		arts = append(arts, a)
+	} else {
+		all, err := rwskit.RunExperiments(ctx, *seed)
+		if err != nil {
+			return err
+		}
+		arts = all
+	}
+
+	for _, a := range arts {
+		if *markdown {
+			fmt.Fprintf(out, "## %s\n\n```\n%s```\n\n", a.Title, ensureNL(a.Rendered))
+			keys := make([]string, 0, len(a.Metrics))
+			for k := range a.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(out, "Measured values (seed %d):\n\n", *seed)
+			for _, k := range keys {
+				fmt.Fprintf(out, "- `%s` = %.4g\n", k, a.Metrics[k])
+			}
+			fmt.Fprintln(out)
+		} else {
+			fmt.Fprintf(out, "=== %s ===\n%s\n", a.Title, ensureNL(a.Rendered))
+		}
+	}
+	return nil
+}
+
+func ensureNL(s string) string {
+	if len(s) == 0 || s[len(s)-1] != '\n' {
+		return s + "\n"
+	}
+	return s
+}

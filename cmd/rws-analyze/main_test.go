@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "figure3", "-seed", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "Associated sites (108)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "figure7", "-markdown"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "## Figure 7") || !strings.Contains(out, "`final_sets` = 41") {
+		t.Errorf("markdown output:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "figure99"}, &sb); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-seed", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 1", "Table 2", "Table 3",
+		"Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s in output", want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCrawlSingleSet(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-set", "bild.de"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "set bild.de") {
+		t.Errorf("output:\n%s", out)
+	}
+	for _, member := range []string{"autobild.de", "computerbild.de", "bild.at"} {
+		if !strings.Contains(out, member) {
+			t.Errorf("missing member %s:\n%s", member, out)
+		}
+	}
+	if !strings.Contains(out, "joint=") || !strings.Contains(out, "sld-dist=") {
+		t.Errorf("missing metrics:\n%s", out)
+	}
+}
+
+func TestCrawlAllSets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crawl")
+	}
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "set "); n < 41 {
+		t.Errorf("sets crawled = %d, want 41", n)
+	}
+}

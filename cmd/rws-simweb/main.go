@@ -1,0 +1,68 @@
+// Command rws-simweb serves the synthetic web used throughout the
+// reproduction: every member of the embedded RWS snapshot (with correct
+// /.well-known/related-website-set.json files and service-site headers)
+// plus the 200 categorised top sites. Requests are routed by Host header,
+// so point clients at the listen address with the target domain as Host:
+//
+//	rws-simweb -addr :8080 &
+//	curl -H 'Host: bild.de' http://localhost:8080/
+//	curl -H 'Host: autobild.de' http://localhost:8080/.well-known/related-website-set.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+
+	"rwskit/internal/dataset"
+	"rwskit/internal/wellknown"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rws-simweb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rws-simweb", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	seed := fs.Int64("seed", 1, "synthetic web seed")
+	withTops := fs.Bool("topsites", true, "also serve the 200 synthetic top sites")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	topSites, _ := dataset.TopSites(rng)
+	if !*withTops {
+		topSites = nil
+	}
+	web, err := dataset.BuildWeb(rng, topSites)
+	if err != nil {
+		return err
+	}
+	list, err := dataset.List()
+	if err != nil {
+		return err
+	}
+	for _, s := range list.Sets() {
+		if err := wellknown.Mount(web, s); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "rws-simweb: serving %d domains on %s (route by Host header)\n",
+		len(web.Domains()), ln.Addr())
+	fmt.Fprintf(out, "example: curl -H 'Host: bild.de' http://%s/\n", ln.Addr())
+	return http.Serve(ln, web)
+}

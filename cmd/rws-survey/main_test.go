@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSurveyOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-seed", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1", "Figure 1", "Figure 2", "Table 2",
+		"RWS (same set)", "Key takeaways",
+		"paper: 36.8%", "paper: 93.7%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Command rwsctl inspects and validates Related Website Sets lists.
+//
+// Usage:
+//
+//	rwsctl stats [-list file]             composition statistics (§4 of the paper)
+//	rwsctl related [-list file] A B       are two sites in the same set?
+//	rwsctl find [-list file] SITE         which set does a site belong to?
+//	rwsctl validate SET.json              run the submission bot's structural checks
+//	rwsctl diff OLD.json NEW.json         member-level diff of two list snapshots
+//
+// Without -list, the embedded reconstruction of the 26 March 2024 snapshot
+// is used.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rwskit"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rwsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: rwsctl <stats|related|find|validate|diff> [args]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "stats":
+		return cmdStats(rest, out)
+	case "related":
+		return cmdRelated(rest, out)
+	case "find":
+		return cmdFind(rest, out)
+	case "validate":
+		return cmdValidate(rest, out)
+	case "diff":
+		return cmdDiff(rest, out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func loadList(path string) (*rwskit.List, error) {
+	if path == "" {
+		return rwskit.Snapshot()
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return rwskit.ParseList(data)
+}
+
+func cmdStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	listPath := fs.String("list", "", "list JSON file (default: embedded snapshot)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	list, err := loadList(*listPath)
+	if err != nil {
+		return err
+	}
+	s := list.Stats()
+	fmt.Fprintf(out, "sets:                 %d\n", s.Sets)
+	fmt.Fprintf(out, "associated sites:     %d (%.1f%% of sets have one or more)\n",
+		s.AssociatedSites, 100*s.FracSetsWithAssociated())
+	fmt.Fprintf(out, "service sites:        %d (%.1f%% of sets)\n",
+		s.ServiceSites, 100*s.FracSetsWithService())
+	fmt.Fprintf(out, "ccTLD sites:          %d (%.1f%% of sets)\n",
+		s.CCTLDSites, 100*s.FracSetsWithCCTLD())
+	fmt.Fprintf(out, "mean associated/set:  %.2f\n", s.MeanAssociatedPerSet)
+	return nil
+}
+
+func cmdRelated(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("related", flag.ContinueOnError)
+	listPath := fs.String("list", "", "list JSON file (default: embedded snapshot)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: rwsctl related [-list file] A B")
+	}
+	list, err := loadList(*listPath)
+	if err != nil {
+		return err
+	}
+	a, b := fs.Arg(0), fs.Arg(1)
+	if list.SameSet(a, b) {
+		set, _, _ := list.FindSet(a)
+		fmt.Fprintf(out, "RELATED: %s and %s are members of the set with primary %s\n", a, b, set.Primary)
+		fmt.Fprintf(out, "Under Chrome's RWS policy, either site may gain unpartitioned\nstorage access while embedded in the other.\n")
+	} else {
+		fmt.Fprintf(out, "not related: %s and %s are not members of the same set\n", a, b)
+	}
+	return nil
+}
+
+func cmdFind(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("find", flag.ContinueOnError)
+	listPath := fs.String("list", "", "list JSON file (default: embedded snapshot)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: rwsctl find [-list file] SITE")
+	}
+	list, err := loadList(*listPath)
+	if err != nil {
+		return err
+	}
+	set, role, ok := list.FindSet(fs.Arg(0))
+	if !ok {
+		fmt.Fprintf(out, "%s is not on the list\n", fs.Arg(0))
+		return nil
+	}
+	fmt.Fprintf(out, "site:    %s\n", fs.Arg(0))
+	fmt.Fprintf(out, "role:    %s\n", role)
+	fmt.Fprintf(out, "primary: %s\n", set.Primary)
+	fmt.Fprintf(out, "members (%d):\n", set.Size())
+	for _, m := range set.Members() {
+		fmt.Fprintf(out, "  %-11s %s\n", m.Role.String(), m.Site)
+	}
+	return nil
+}
+
+func cmdValidate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: rwsctl validate SET.json")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	set, err := rwskit.ParseSet(data)
+	if err != nil {
+		return err
+	}
+	rep := rwskit.ValidateSetOffline(context.Background(), set)
+	if rep.Passed() {
+		fmt.Fprintf(out, "OK: set with primary %s passes all structural checks\n", set.Primary)
+		fmt.Fprintln(out, "(network checks — .well-known files, X-Robots-Tag — need the sites live)")
+		return nil
+	}
+	fmt.Fprintf(out, "FAILED: %d issue(s)\n", len(rep.Issues))
+	for _, issue := range rep.Issues {
+		fmt.Fprintf(out, "  - %s\n", issue)
+	}
+	return fmt.Errorf("validation failed")
+}
+
+func cmdDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: rwsctl diff OLD.json NEW.json")
+	}
+	oldList, err := loadList(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newList, err := loadList(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := rwskit.DiffLists(oldList, newList)
+	if d.Empty() {
+		fmt.Fprintln(out, "no changes")
+		return nil
+	}
+	for _, p := range d.AddedSets {
+		fmt.Fprintf(out, "+ set %s\n", p)
+	}
+	for _, p := range d.RemovedSets {
+		fmt.Fprintf(out, "- set %s\n", p)
+	}
+	for _, m := range d.AddedMembers {
+		fmt.Fprintf(out, "+ member %s\n", m)
+	}
+	for _, m := range d.RemovedMembers {
+		fmt.Fprintf(out, "- member %s\n", m)
+	}
+	return nil
+}

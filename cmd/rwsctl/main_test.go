@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStats(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"stats"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "sets:                 41") {
+		t.Errorf("stats output:\n%s", out)
+	}
+	if !strings.Contains(out, "associated sites:     108") {
+		t.Errorf("stats output:\n%s", out)
+	}
+}
+
+func TestRelated(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"related", "bild.de", "autobild.de"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "RELATED") {
+		t.Errorf("output: %s", sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"related", "bild.de", "ya.ru"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "not related") {
+		t.Errorf("output: %s", sb.String())
+	}
+}
+
+func TestFind(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"find", "webvisor.com"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "primary: ya.ru") || !strings.Contains(out, "role:    associated") {
+		t.Errorf("output:\n%s", out)
+	}
+	sb.Reset()
+	if err := run([]string{"find", "unknown.example"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "not on the list") {
+		t.Errorf("output: %s", sb.String())
+	}
+}
+
+func TestValidateGoodAndBad(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"primary":"https://example.com",
+	  "associatedSites":["https://other.com"],
+	  "rationaleBySite":{"https://other.com":"branding"}}`), 0o644)
+	var sb strings.Builder
+	if err := run([]string{"validate", good}, &sb); err != nil {
+		t.Fatalf("good set failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "OK") {
+		t.Errorf("output: %s", sb.String())
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"primary":"https://www.example.com","associatedSites":["https://a.example.com"]}`), 0o644)
+	sb.Reset()
+	if err := run([]string{"validate", bad}, &sb); err == nil {
+		t.Fatal("bad set should fail")
+	}
+	if !strings.Contains(sb.String(), "eTLD+1") {
+		t.Errorf("output: %s", sb.String())
+	}
+}
+
+func TestDiff(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	os.WriteFile(oldP, []byte(`{"sets":[{"primary":"https://a.com","associatedSites":["https://b.com"]}]}`), 0o644)
+	os.WriteFile(newP, []byte(`{"sets":[{"primary":"https://a.com","associatedSites":["https://b.com","https://c.com"]},{"primary":"https://d.com"}]}`), 0o644)
+	var sb strings.Builder
+	if err := run([]string{"diff", oldP, newP}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "+ set d.com") || !strings.Contains(out, "+ member a.com:c.com") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		nil,
+		{"bogus"},
+		{"related", "only-one"},
+		{"find"},
+		{"validate"},
+		{"diff", "one"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Governance: submit a (deliberately broken, then fixed) Related Website
+// Set through the validation pipeline the GitHub bot runs — §4 of the
+// paper — against a live synthetic web served over real HTTP.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+
+	"rwskit"
+	"rwskit/internal/core"
+	"rwskit/internal/sitegen"
+	"rwskit/internal/validate"
+	"rwskit/internal/wellknown"
+)
+
+func main() {
+	// A small synthetic web owned by one organisation.
+	rng := rand.New(rand.NewSource(42))
+	org, err := sitegen.GenerateOrg(rng, sitegen.OrgConfig{
+		Name:               "Northlight Media",
+		Domains:            []string{"northlight.com", "northlightnews.com", "northlight-static.com"},
+		BrandingVisibility: []float64{1.0, 0.7, 0.0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	web := sitegen.NewWeb()
+	web.AddOrg(org)
+	srv := httptest.NewServer(web)
+	defer srv.Close()
+
+	v := rwskit.NewValidator(wellknown.HTTPFetcher(srv.Client(), srv.URL), nil)
+	v.HeaderFetch = validate.HTTPHeaderFetcher(srv.Client(), srv.URL)
+	ctx := context.Background()
+
+	proposal := &core.Set{
+		Primary:    "northlight.com",
+		Associated: []string{"northlightnews.com"},
+		Service:    []string{"northlight-static.com"},
+		RationaleBySite: map[string]string{
+			"northlightnews.com":    "co-branded news property",
+			"northlight-static.com": "static asset host",
+		},
+	}
+
+	// Attempt 1: the submitter forgot everything the guidelines require.
+	fmt.Println("attempt 1: no .well-known files, no X-Robots-Tag on the service site")
+	report := v.ValidateSet(ctx, proposal)
+	for _, issue := range report.Issues {
+		fmt.Printf("  bot: %s\n", issue)
+	}
+
+	// Fix 1: serve the membership documents on every member.
+	if err := wellknown.Mount(web, proposal); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nattempt 2: .well-known mounted, service header still missing")
+	report = v.ValidateSet(ctx, proposal)
+	for _, issue := range report.Issues {
+		fmt.Printf("  bot: %s\n", issue)
+	}
+
+	// Fix 2: service sites must not be indexable.
+	if site, ok := web.Site("northlight-static.com"); ok {
+		site.Headers = http.Header{"X-Robots-Tag": []string{"noindex"}}
+	}
+	fmt.Println("\nattempt 3: fully compliant")
+	report = v.ValidateSet(ctx, proposal)
+	fmt.Printf("  passed: %v — the maintainers would now review manually (median 5 days)\n",
+		report.Passed())
+}

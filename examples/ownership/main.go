@@ -1,0 +1,49 @@
+// Ownership: quantify the paper's §5 "crucial difference" between Related
+// Website Sets and the Disconnect entities list — RWS associated sites do
+// not need common ownership, only an affiliation "clearly presented to
+// users". How much of the RWS relatedness relation would an
+// ownership-based curator actually accept?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rwskit"
+	"rwskit/internal/disconnect"
+)
+
+func main() {
+	list, err := rwskit.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An ownership-only curator keeps primaries, service sites, and ccTLD
+	// variants (ownership-bound under the RWS rules) but accepts an
+	// associated site only if it shares an owner. Model the worst case
+	// first: none do.
+	strict, err := disconnect.FromRWSOwnership(list, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := rwskit.CompareOwnership(strict, list)
+	fmt.Printf("RWS member sites:                  %d\n", c.RWSSites)
+	fmt.Printf("covered by common ownership:       %d (%.1f%%)\n",
+		c.CoveredByEntity, 100*c.CoverageFrac())
+	fmt.Printf("associated sites with no backing:  %d\n\n", len(c.UncoveredAssociated))
+
+	fmt.Println("examples of the relaxation (RWS shares data; ownership lists would not):")
+	shown := 0
+	for _, d := range c.UncoveredAssociated {
+		set, _, _ := list.FindSet(d)
+		fmt.Printf("  %-26s ↔ %s\n", d, set.Primary)
+		shown++
+		if shown == 6 {
+			break
+		}
+	}
+	fmt.Println()
+	fmt.Println("every one of these pairs is data-sharing the user can only anticipate by")
+	fmt.Println("recognising the affiliation — which the paper shows fails 36.8% of the time.")
+}

@@ -1,0 +1,74 @@
+// Similarity: spin up two synthetic sites of the same organisation with
+// different branding visibility, crawl them over HTTP, and compute the
+// paper's Figure 4 metrics (style / structural / joint HTML similarity)
+// plus the Figure 3 SLD edit distance.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+
+	"rwskit/internal/crawler"
+	"rwskit/internal/editdist"
+	"rwskit/internal/forcepoint"
+	"rwskit/internal/htmlsim"
+	"rwskit/internal/sitegen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	org, err := sitegen.GenerateOrg(rng, sitegen.OrgConfig{
+		Name:       "Aurora Media Group",
+		Domains:    []string{"auroranews.com", "aurorasport.com", "weekendgazette.net"},
+		Categories: []forcepoint.Category{forcepoint.NewsAndMedia, forcepoint.Sports, forcepoint.NewsAndMedia},
+		// auroranews is the flagship; aurorasport is clearly co-branded;
+		// weekendgazette shows nothing.
+		BrandingVisibility: []float64{1.0, 0.9, 0.05},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	web := sitegen.NewWeb()
+	web.AddOrg(org)
+	srv := httptest.NewServer(web)
+	defer srv.Close()
+
+	c, err := crawler.NewForServer(srv.URL, srv.Client(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	pages := map[string]string{}
+	for _, site := range org.Sites {
+		p := c.Fetch(ctx, crawler.Request{Host: site.Domain, Path: "/"})
+		if !p.OK() {
+			log.Fatalf("fetch %s: %v (status %d)", site.Domain, p.Err, p.StatusCode)
+		}
+		pages[site.Domain] = p.Body
+	}
+
+	primary := org.Sites[0].Domain
+	fmt.Printf("primary: %s\n\n", primary)
+	for _, site := range org.Sites[1:] {
+		s := htmlsim.Compare(pages[primary], pages[site.Domain])
+		dist := editdist.Levenshtein(sld(primary), sld(site.Domain))
+		fmt.Printf("%s (branding visibility %.2f)\n", site.Domain, site.BrandingVisibility)
+		fmt.Printf("  SLD edit distance vs primary: %d\n", dist)
+		fmt.Printf("  style=%.3f structural=%.3f joint=%.3f\n\n", s.Style, s.Structural, s.Joint)
+	}
+	fmt.Println("the co-branded sibling shares brand CSS classes (higher style similarity);")
+	fmt.Println("the unbranded one is indistinguishable from a stranger — the regime in which")
+	fmt.Println("the paper's participants could not detect relatedness.")
+}
+
+func sld(domain string) string {
+	for i := 0; i < len(domain); i++ {
+		if domain[i] == '.' {
+			return domain[:i]
+		}
+	}
+	return domain
+}

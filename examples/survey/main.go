@@ -1,0 +1,76 @@
+// Survey: run the §3 user study with a custom respondent model and
+// compare against the paper's default calibration — how much would a more
+// attentive population change the headline result?
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rwskit/internal/dataset"
+	"rwskit/internal/forcepoint"
+	"rwskit/internal/psl"
+	"rwskit/internal/survey"
+)
+
+func main() {
+	list, err := dataset.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	tops, topDB := dataset.TopSites(rng)
+	db := forcepoint.NewDB()
+	snapDB := dataset.CategoryDB()
+	for _, d := range snapDB.Domains() {
+		db.Set(d, snapDB.Lookup(d))
+	}
+	var topEntries []survey.TopSite
+	for _, s := range tops {
+		db.Set(s.Domain, topDB.Lookup(s.Domain))
+		topEntries = append(topEntries, survey.TopSite{Domain: s.Domain, Category: topDB.Lookup(s.Domain)})
+	}
+	pairs, err := survey.GeneratePairs(survey.PairConfig{
+		List: list, Eligible: survey.EligibleSites(),
+		TopSites: topEntries, Categories: db, RNG: rng,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := survey.NewEvaluator(list, psl.Default(), db)
+
+	models := []struct {
+		name   string
+		params survey.ModelParams
+	}{
+		{"paper calibration", survey.DefaultParams()},
+		{"attentive (brand weight ×1.5)", scale(survey.DefaultParams(), 1.5)},
+		{"inattentive (brand weight ×0.5)", scale(survey.DefaultParams(), 0.5)},
+	}
+	fmt.Println("30 participants × 20 pairs; privacy-harming error = same-set pair judged unrelated")
+	fmt.Println()
+	for _, m := range models {
+		res, err := survey.Run(survey.StudyConfig{
+			Seed: 7, Pairs: pairs, Evaluator: ev, Params: m.params,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		with, total := res.ParticipantsWithHarmingError()
+		fmt.Printf("%-32s harming errors: %5.1f%%   correct rejections: %5.1f%%   participants w/ error: %d/%d\n",
+			m.name,
+			100*res.PrivacyHarmingErrorRate(),
+			100*res.CorrectRejectionRate(),
+			with, total)
+	}
+	fmt.Println()
+	fmt.Println("paper: 36.8% harming errors, 93.7% correct rejections, 22/30 participants.")
+	fmt.Println("Even the attentive population misses a large share of same-set pairs: the")
+	fmt.Println("signals simply are not on the pages (median joint HTML similarity 0.04).")
+}
+
+func scale(p survey.ModelParams, k float64) survey.ModelParams {
+	p.WBrand *= k
+	return p
+}

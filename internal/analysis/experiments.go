@@ -1,0 +1,495 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"rwskit/internal/core"
+	"rwskit/internal/dataset"
+	"rwskit/internal/domain"
+	"rwskit/internal/editdist"
+	"rwskit/internal/forcepoint"
+	"rwskit/internal/psl"
+	"rwskit/internal/stats"
+	"rwskit/internal/survey"
+	"rwskit/internal/textplot"
+	"rwskit/internal/validate"
+)
+
+// Artifact is one regenerated table or figure.
+type Artifact struct {
+	// ID is the experiment identifier ("table1", "figure3", ...).
+	ID string
+	// Title is the paper's caption, abbreviated.
+	Title string
+	// Rendered is the text rendering of the artifact.
+	Rendered string
+	// Metrics are the key measured values, keyed by a stable name, for
+	// EXPERIMENTS.md's paper-vs-measured table.
+	Metrics map[string]float64
+}
+
+// Experiment is a runnable table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(ctx context.Context, s *Session) (*Artifact, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Website relatedness survey results summary", Table1},
+		{"table2", "Factors used to determine relatedness", Table2},
+		{"table3", "RWS GitHub bot validation messages", Table3},
+		{"figure1", "Website relatedness survey results matrix", Figure1},
+		{"figure2", "Survey timing distributions, RWS (same set)", Figure2},
+		{"figure3", "Levenshtein edit distance between member and primary SLDs", Figure3},
+		{"figure4", "HTML similarity of set primaries and members", Figure4},
+		{"figure5", "Cumulative new-set PRs by final state", Figure5},
+		{"figure6", "Days taken to process new-set PRs", Figure6},
+		{"figure7", "Set composition over time", Figure7},
+		{"figure8", "Categories of set primaries over time", Figure8},
+		{"figure9", "Categories of associated sites over time", Figure9},
+	}
+}
+
+// RunAll executes every experiment against one session.
+func RunAll(ctx context.Context, s *Session) ([]*Artifact, error) {
+	var out []*Artifact
+	for _, e := range All() {
+		a, err := e.Run(ctx, s)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", e.ID, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Table1 regenerates Table 1: per-group response counts and mean times.
+func Table1(ctx context.Context, s *Session) (*Artifact, error) {
+	res, err := s.Survey()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, 0, 4)
+	for _, row := range res.Table1() {
+		rows = append(rows, []string{
+			row.Group.String(),
+			fmt.Sprintf("%d (%.1fs)", row.Related, row.MeanRelatedSec),
+			fmt.Sprintf("%d (%.1fs)", row.Unrelated, row.MeanUnrelatedSec),
+		})
+	}
+	a := &Artifact{
+		ID:    "table1",
+		Title: "Table 1: Website relatedness survey results summary",
+		Rendered: textplot.Table(
+			"Table 1: survey results (count, mean time)",
+			[]string{"Category", "Related", "Unrelated"}, rows),
+		Metrics: map[string]float64{
+			"responses":              float64(len(res.Responses)),
+			"privacy_harming_rate":   res.PrivacyHarmingErrorRate(),
+			"correct_rejection_rate": res.CorrectRejectionRate(),
+		},
+	}
+	with, total := res.ParticipantsWithHarmingError()
+	a.Metrics["participants_with_error_frac"] = float64(with) / float64(total)
+	return a, nil
+}
+
+// Table2 regenerates Table 2: questionnaire factor counts.
+func Table2(ctx context.Context, s *Session) (*Artifact, error) {
+	res, err := s.Survey()
+	if err != nil {
+		return nil, err
+	}
+	counts := res.FactorCounts()
+	n := len(res.Factors)
+	rows := make([][]string, 0, 6)
+	for _, f := range survey.Factors() {
+		c := counts[f]
+		rows = append(rows, []string{
+			string(f),
+			fmt.Sprintf("%d (%.1f%%)", c[0], pct(c[0], n)),
+			fmt.Sprintf("%d (%.1f%%)", c[1], pct(c[1], n)),
+		})
+	}
+	brand := counts[survey.FactorBranding]
+	domainF := counts[survey.FactorDomainName]
+	return &Artifact{
+		ID:    "table2",
+		Title: "Table 2: factors used to determine relatedness",
+		Rendered: textplot.Table(
+			fmt.Sprintf("Table 2: factors used (n=%d questionnaire respondents)", n),
+			[]string{"Factor used", "Related", "Unrelated"}, rows),
+		Metrics: map[string]float64{
+			"respondents":           float64(n),
+			"branding_related_frac": pct(brand[0], n) / 100,
+			"domain_related_frac":   pct(domainF[0], n) / 100,
+		},
+	}, nil
+}
+
+// Table3 regenerates Table 3: bot validation message counts.
+func Table3(ctx context.Context, s *Session) (*Artifact, error) {
+	log, err := s.GitHub()
+	if err != nil {
+		return nil, err
+	}
+	c := log.BotCommentCounts()
+	rows := make([][]string, 0, 8)
+	for _, key := range c.SortedByCount() {
+		rows = append(rows, []string{key, fmt.Sprintf("%d", c.Get(key))})
+	}
+	return &Artifact{
+		ID:    "table3",
+		Title: "Table 3: RWS GitHub bot validation messages",
+		Rendered: textplot.Table("Table 3: bot validation messages",
+			[]string{"GitHub bot comment", "Count"}, rows),
+		Metrics: map[string]float64{
+			"total_messages":  float64(c.Total()),
+			"wellknown_fetch": float64(c.Get(string(validate.CodeWellKnownFetch))),
+			"wellknown_fetch_share": float64(c.Get(string(validate.CodeWellKnownFetch))) /
+				float64(c.Total()),
+			"associated_not_etld1": float64(c.Get(string(validate.CodeAssociatedNotReg))),
+		},
+	}, nil
+}
+
+// Figure1 regenerates the confusion matrix.
+func Figure1(ctx context.Context, s *Session) (*Artifact, error) {
+	res, err := s.Survey()
+	if err != nil {
+		return nil, err
+	}
+	m := res.Confusion()
+	return &Artifact{
+		ID:    "figure1",
+		Title: "Figure 1: survey results matrix (expected vs actual)",
+		Rendered: textplot.ConfusionMatrix(
+			"Figure 1: relatedness confusion matrix (row %: within expected response)",
+			[2]string{"Related", "Unrelated"}, [2]string{"Related", "Unrelated"}, m),
+		Metrics: map[string]float64{
+			"related_related":     float64(m[0][0]),
+			"related_unrelated":   float64(m[0][1]),
+			"unrelated_related":   float64(m[1][0]),
+			"unrelated_unrelated": float64(m[1][1]),
+		},
+	}, nil
+}
+
+// Figure2 regenerates the same-set timing CDFs and the KS test behind the
+// paper's timing claim.
+func Figure2(ctx context.Context, s *Session) (*Artifact, error) {
+	res, err := s.Survey()
+	if err != nil {
+		return nil, err
+	}
+	rel, unrel := res.Timings(survey.RWSSameSet)
+	ks, err := stats.KolmogorovSmirnov(rel, unrel)
+	if err != nil {
+		return nil, err
+	}
+	plot := textplot.CDF("Figure 2: time taken (s), RWS (same set), split by response",
+		64, 16,
+		textplot.Series{Name: "responded related", Xs: rel},
+		textplot.Series{Name: "responded unrelated", Xs: unrel},
+	)
+	rendered := plot + fmt.Sprintf("Two-sample KS: %v → significant at 0.05: %v\n", ks, ks.Significant(0.05))
+	sig := 0.0
+	if ks.Significant(0.05) {
+		sig = 1
+	}
+	return &Artifact{
+		ID:       "figure2",
+		Title:    "Figure 2: survey timing distributions (RWS same set)",
+		Rendered: rendered,
+		Metrics: map[string]float64{
+			"mean_related_s":   stats.Mean(rel),
+			"mean_unrelated_s": stats.Mean(unrel),
+			"ks_p":             ks.PValue,
+			"ks_significant":   sig,
+		},
+	}, nil
+}
+
+// Figure3 regenerates the SLD edit-distance CDFs for service and
+// associated members.
+func Figure3(ctx context.Context, s *Session) (*Artifact, error) {
+	list, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	pslList := psl.Default()
+	distances := func(role core.Role) ([]float64, error) {
+		var out []float64
+		for _, pair := range list.SubsetPairs(role) {
+			sldP, err := domain.SLD(pslList, pair[0])
+			if err != nil {
+				return nil, err
+			}
+			sldM, err := domain.SLD(pslList, pair[1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, float64(editdist.Levenshtein(sldP, sldM)))
+		}
+		return out, nil
+	}
+	svc, err := distances(core.RoleService)
+	if err != nil {
+		return nil, err
+	}
+	assoc, err := distances(core.RoleAssociated)
+	if err != nil {
+		return nil, err
+	}
+	identical := 0
+	for _, d := range assoc {
+		if d == 0 {
+			identical++
+		}
+	}
+	plot := textplot.CDF("Figure 3: Levenshtein edit distance between member SLD and primary SLD",
+		64, 16,
+		textplot.Series{Name: fmt.Sprintf("Service sites (%d)", len(svc)), Xs: svc},
+		textplot.Series{Name: fmt.Sprintf("Associated sites (%d)", len(assoc)), Xs: assoc},
+	)
+	return &Artifact{
+		ID:       "figure3",
+		Title:    "Figure 3: SLD edit distance CDFs",
+		Rendered: plot,
+		Metrics: map[string]float64{
+			"median_associated_distance": stats.Median(assoc),
+			"identical_sld_frac":         float64(identical) / float64(len(assoc)),
+			"service_sites":              float64(len(svc)),
+			"associated_sites":           float64(len(assoc)),
+		},
+	}, nil
+}
+
+// Figure4 regenerates the HTML similarity CDFs from a live crawl of the
+// synthetic web.
+func Figure4(ctx context.Context, s *Session) (*Artifact, error) {
+	sims, err := s.Similarities(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var style, structural, joint []float64
+	for _, ms := range sims {
+		style = append(style, ms.Scores.Style)
+		structural = append(structural, ms.Scores.Structural)
+		joint = append(joint, ms.Scores.Joint)
+	}
+	plot := textplot.CDF("Figure 4: HTML similarity of set primaries vs service/associated members",
+		64, 16,
+		textplot.Series{Name: "Style similarity", Xs: style},
+		textplot.Series{Name: "Structural similarity", Xs: structural},
+		textplot.Series{Name: "Joint similarity", Xs: joint},
+	)
+	return &Artifact{
+		ID:       "figure4",
+		Title:    "Figure 4: HTML similarity CDFs",
+		Rendered: plot,
+		Metrics: map[string]float64{
+			"median_joint":      stats.Median(joint),
+			"median_style":      stats.Median(style),
+			"median_structural": stats.Median(structural),
+			"pairs":             float64(len(sims)),
+		},
+	}, nil
+}
+
+// Figure5 regenerates the cumulative PR counts by final state.
+func Figure5(ctx context.Context, s *Session) (*Artifact, error) {
+	log, err := s.GitHub()
+	if err != nil {
+		return nil, err
+	}
+	months := log.ByMonth()
+	points := make([]textplot.TimePoint, 0, len(months))
+	for _, m := range months {
+		points = append(points, textplot.TimePoint{
+			Label:  m.Month,
+			Values: []float64{float64(m.Approved), float64(m.Closed)},
+		})
+	}
+	approved, closed := log.CountByState()
+	return &Artifact{
+		ID:    "figure5",
+		Title: "Figure 5: cumulative new-set PRs by final state",
+		Rendered: textplot.CumulativeSteps("Figure 5: cumulative PRs proposing a new set",
+			[]string{"approved", "closed (without merge)"}, points),
+		Metrics: map[string]float64{
+			"total_prs":          float64(approved + closed),
+			"approved":           float64(approved),
+			"closed":             float64(closed),
+			"closed_frac":        float64(closed) / float64(approved+closed),
+			"prs_per_primary":    log.MeanPRsPerPrimary(),
+			"distinct_primaries": float64(log.DistinctPrimaries()),
+		},
+	}, nil
+}
+
+// Figure6 regenerates the days-to-process CDFs.
+func Figure6(ctx context.Context, s *Session) (*Artifact, error) {
+	log, err := s.GitHub()
+	if err != nil {
+		return nil, err
+	}
+	approved, closed := log.DaysToProcess()
+	plot := textplot.CDF("Figure 6: days to process PRs proposing a new set",
+		64, 16,
+		textplot.Series{Name: fmt.Sprintf("Approved (%d)", len(approved)), Xs: approved},
+		textplot.Series{Name: fmt.Sprintf("Closed without merge (%d)", len(closed)), Xs: closed},
+	)
+	return &Artifact{
+		ID:       "figure6",
+		Title:    "Figure 6: days to process PRs",
+		Rendered: plot,
+		Metrics: map[string]float64{
+			"median_approved_days":        stats.Median(approved),
+			"frac_closed_same_day":        log.FracClosedSameDay(),
+			"approved_with_failed_checks": float64(log.ApprovedWithFailedChecks()),
+		},
+	}, nil
+}
+
+// Figure7 regenerates the composition-over-time series.
+func Figure7(ctx context.Context, s *Session) (*Artifact, error) {
+	tl, err := s.Timeline()
+	if err != nil {
+		return nil, err
+	}
+	comp := tl.Composition()
+	points := make([]textplot.TimePoint, 0, len(comp))
+	for _, p := range comp {
+		points = append(points, textplot.TimePoint{
+			Label:  p.Month,
+			Values: []float64{float64(p.Service), float64(p.Associated), float64(p.CCTLD)},
+		})
+	}
+	final := comp[len(comp)-1]
+	st := tl.Final().List.Stats()
+	return &Artifact{
+		ID:    "figure7",
+		Title: "Figure 7: set composition over time",
+		Rendered: textplot.TimeSeries("Figure 7: member count per subset",
+			[]string{"service", "associated", "cctld"}, points),
+		Metrics: map[string]float64{
+			"final_sets":              float64(final.Sets),
+			"final_associated":        float64(final.Associated),
+			"final_service":           float64(final.Service),
+			"frac_with_associated":    st.FracSetsWithAssociated(),
+			"frac_with_service":       st.FracSetsWithService(),
+			"frac_with_cctld":         st.FracSetsWithCCTLD(),
+			"mean_associated_per_set": st.MeanAssociatedPerSet,
+		},
+	}, nil
+}
+
+// Figure8 regenerates the primary-category series.
+func Figure8(ctx context.Context, s *Session) (*Artifact, error) {
+	return categoryFigure(s, "figure8", "Figure 8: categories of set primaries",
+		func(tlp []forcepoint.Category) {}, true)
+}
+
+// Figure9 regenerates the associated-site-category series.
+func Figure9(ctx context.Context, s *Session) (*Artifact, error) {
+	return categoryFigure(s, "figure9", "Figure 9: categories of associated sites",
+		func(tlp []forcepoint.Category) {}, false)
+}
+
+func categoryFigure(s *Session, id, title string, _ func([]forcepoint.Category), primaries bool) (*Artifact, error) {
+	tl, err := s.Timeline()
+	if err != nil {
+		return nil, err
+	}
+	db := dataset.CategoryDB()
+	var pts []struct {
+		Month  string
+		Counts map[forcepoint.Category]int
+	}
+	if primaries {
+		for _, p := range tl.PrimaryCategories(db) {
+			pts = append(pts, struct {
+				Month  string
+				Counts map[forcepoint.Category]int
+			}{p.Month, p.Counts})
+		}
+	} else {
+		for _, p := range tl.AssociatedCategories(db) {
+			pts = append(pts, struct {
+				Month  string
+				Counts map[forcepoint.Category]int
+			}{p.Month, p.Counts})
+		}
+	}
+	// Collect the categories that ever appear, in taxonomy order.
+	present := map[forcepoint.Category]bool{}
+	for _, p := range pts {
+		for c := range p.Counts {
+			present[c] = true
+		}
+	}
+	var names []string
+	var cats []forcepoint.Category
+	for _, c := range forcepoint.AllCategories() {
+		if present[c] {
+			cats = append(cats, c)
+			names = append(names, string(c))
+		}
+	}
+	points := make([]textplot.TimePoint, 0, len(pts))
+	for _, p := range pts {
+		vals := make([]float64, len(cats))
+		for i, c := range cats {
+			vals[i] = float64(p.Counts[c])
+		}
+		points = append(points, textplot.TimePoint{Label: p.Month, Values: vals})
+	}
+	final := pts[len(pts)-1]
+	metrics := map[string]float64{}
+	for c, n := range final.Counts {
+		metrics["final_"+strings.ReplaceAll(string(c), " ", "_")] = float64(n)
+	}
+	// Largest individual (non-merged) category at the end.
+	type kv struct {
+		c forcepoint.Category
+		n int
+	}
+	var ranked []kv
+	for c, n := range final.Counts {
+		if c == forcepoint.Other || c == forcepoint.Unknown {
+			continue
+		}
+		ranked = append(ranked, kv{c, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].c < ranked[j].c
+	})
+	news := 0.0
+	if len(ranked) > 0 && ranked[0].c == forcepoint.NewsAndMedia {
+		news = 1
+	}
+	metrics["news_is_largest"] = news
+	return &Artifact{
+		ID:       id,
+		Title:    title,
+		Rendered: textplot.TimeSeries(title+" (per monthly snapshot)", names, points),
+		Metrics:  metrics,
+	}, nil
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

@@ -1,0 +1,214 @@
+// Package analysis orchestrates the reproduction experiments: one
+// experiment per table and figure in "A First Look at Related Website
+// Sets" (IMC 2024), each producing a rendered text artifact plus the key
+// measured values recorded in EXPERIMENTS.md.
+//
+// A Session owns the expensive shared intermediates (the survey run, the
+// governance simulation, the crawl of the synthetic web) and caches them,
+// so regenerating all twelve artifacts costs one run of each pipeline.
+package analysis
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+
+	"rwskit/internal/core"
+	"rwskit/internal/crawler"
+	"rwskit/internal/dataset"
+	"rwskit/internal/forcepoint"
+	"rwskit/internal/github"
+	"rwskit/internal/history"
+	"rwskit/internal/htmlsim"
+	"rwskit/internal/psl"
+	"rwskit/internal/survey"
+)
+
+// Config configures a reproduction session.
+type Config struct {
+	// Seed drives every stochastic component. The committed EXPERIMENTS.md
+	// uses seed 1.
+	Seed int64
+}
+
+// Session lazily builds and caches the shared experiment inputs.
+type Session struct {
+	cfg Config
+
+	mu        sync.Mutex
+	list      *core.List
+	surveyRes *survey.Results
+	ghLog     *github.Log
+	timeline  *history.Timeline
+	simPairs  []MemberSimilarity
+	err       error
+}
+
+// MemberSimilarity is one crawled primary↔member comparison for Figure 4.
+type MemberSimilarity struct {
+	Primary string
+	Member  string
+	Role    core.Role
+	Scores  htmlsim.Scores
+}
+
+// NewSession returns a Session for the given config.
+func NewSession(cfg Config) *Session { return &Session{cfg: cfg} }
+
+// List returns the embedded snapshot list.
+func (s *Session) List() (*core.List, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.list == nil {
+		l, err := dataset.List()
+		if err != nil {
+			return nil, err
+		}
+		s.list = l
+	}
+	return s.list, nil
+}
+
+// Survey runs (once) the §3 user-study simulation.
+func (s *Session) Survey() (*survey.Results, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.surveyRes != nil {
+		return s.surveyRes, nil
+	}
+	list, err := dataset.List()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	tops, topDB := dataset.TopSites(rng)
+	combined := forcepoint.NewDB()
+	snapDB := dataset.CategoryDB()
+	for _, d := range snapDB.Domains() {
+		combined.Set(d, snapDB.Lookup(d))
+	}
+	var topEntries []survey.TopSite
+	for _, site := range tops {
+		c := topDB.Lookup(site.Domain)
+		combined.Set(site.Domain, c)
+		topEntries = append(topEntries, survey.TopSite{Domain: site.Domain, Category: c})
+	}
+	pairs, err := survey.GeneratePairs(survey.PairConfig{
+		List:       list,
+		Eligible:   survey.EligibleSites(),
+		TopSites:   topEntries,
+		Categories: combined,
+		RNG:        rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ev := survey.NewEvaluator(list, psl.Default(), combined)
+	res, err := survey.Run(survey.StudyConfig{
+		Seed:      s.cfg.Seed,
+		Pairs:     pairs,
+		Evaluator: ev,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.surveyRes = res
+	return res, nil
+}
+
+// GitHub runs (once) the §4 governance simulation.
+func (s *Session) GitHub() (*github.Log, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ghLog != nil {
+		return s.ghLog, nil
+	}
+	log, err := github.Simulate(github.SimConfig{Seed: s.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	s.ghLog = log
+	return log, nil
+}
+
+// Timeline builds (once) the monthly snapshot timeline.
+func (s *Session) Timeline() (*history.Timeline, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.timeline != nil {
+		return s.timeline, nil
+	}
+	tl, err := history.Build()
+	if err != nil {
+		return nil, err
+	}
+	s.timeline = tl
+	return tl, nil
+}
+
+// Similarities crawls (once) the synthetic web over real HTTP and computes
+// the Figure 4 primary↔member HTML similarity scores for every service and
+// associated member.
+func (s *Session) Similarities(ctx context.Context) ([]MemberSimilarity, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.simPairs != nil {
+		return s.simPairs, nil
+	}
+	list, err := dataset.List()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	web, err := dataset.BuildWeb(rng, nil)
+	if err != nil {
+		return nil, err
+	}
+	srv := httptest.NewServer(web)
+	defer srv.Close()
+	c, err := crawler.NewForServer(srv.URL, srv.Client(), 8)
+	if err != nil {
+		return nil, err
+	}
+
+	// One home-page fetch per member site, then compare each service and
+	// associated member against its set primary.
+	var reqs []crawler.Request
+	for _, d := range web.Domains() {
+		reqs = append(reqs, crawler.Request{Host: d, Path: "/"})
+	}
+	pages := c.CrawlAll(ctx, reqs)
+	byHost := make(map[string]string, len(pages))
+	for _, p := range pages {
+		if p == nil || !p.OK() {
+			return nil, fmt.Errorf("analysis: crawl of %s failed: %v (status %d)", p.Host, p.Err, p.StatusCode)
+		}
+		byHost[p.Host] = p.Body
+	}
+	var out []MemberSimilarity
+	for _, set := range list.Sets() {
+		primaryHTML, ok := byHost[set.Primary]
+		if !ok {
+			return nil, fmt.Errorf("analysis: missing crawl of primary %s", set.Primary)
+		}
+		for _, m := range set.Members() {
+			if m.Role != core.RoleAssociated && m.Role != core.RoleService {
+				continue
+			}
+			memberHTML, ok := byHost[m.Site]
+			if !ok {
+				return nil, fmt.Errorf("analysis: missing crawl of member %s", m.Site)
+			}
+			out = append(out, MemberSimilarity{
+				Primary: set.Primary,
+				Member:  m.Site,
+				Role:    m.Role,
+				Scores:  htmlsim.Compare(primaryHTML, memberHTML),
+			})
+		}
+	}
+	s.simPairs = out
+	return out, nil
+}

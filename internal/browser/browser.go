@@ -1,0 +1,449 @@
+// Package browser simulates the Web storage semantics that Related Website
+// Sets modifies: third-party storage partitioning keyed by (embedded site,
+// top-level site), the Storage Access API (requestStorageAccess), and the
+// per-vendor policies §2 of "A First Look at Related Website Sets" (IMC
+// 2024) describes:
+//
+//   - Brave/strict: always partition, never grant unpartitioned access.
+//   - Firefox/Safari: partition by default; requestStorageAccess may be
+//     granted via a user prompt.
+//   - Chrome + RWS: partition by default; requestStorageAccess is granted
+//     automatically (no prompt) when the embedded site and the top-level
+//     site are members of the same Related Website Set, subject to the
+//     service-site restrictions; otherwise a prompt.
+//   - Legacy (pre-partitioning Chrome): no partitioning at all — the
+//     third-party-cookie world the paper's tracking discussion assumes.
+//
+// The simulator exposes the tracker idiom directly: an embedded frame
+// reads-or-creates a user ID in whatever storage it can reach. Linkability
+// of top-level visits then falls out of which contexts shared a jar — the
+// privacy consequence the paper argues users cannot anticipate.
+package browser
+
+import (
+	"fmt"
+	"sort"
+
+	"rwskit/internal/core"
+)
+
+// Jar is a cookie jar (one storage area).
+type Jar struct {
+	cookies map[string]string
+}
+
+func newJar() *Jar { return &Jar{cookies: make(map[string]string)} }
+
+// Set stores a cookie.
+func (j *Jar) Set(name, value string) { j.cookies[name] = value }
+
+// Get reads a cookie; ok reports presence.
+func (j *Jar) Get(name string) (value string, ok bool) {
+	v, ok := j.cookies[name]
+	return v, ok
+}
+
+// Len returns the number of cookies in the jar.
+func (j *Jar) Len() int { return len(j.cookies) }
+
+// StorageKey identifies a partitioned storage area: the embedded site
+// keyed by the top-level site it is loaded under.
+type StorageKey struct {
+	Site     string // the site whose storage this is
+	TopLevel string // the partitioning key
+}
+
+// Decision is the outcome of a storage-access request.
+type Decision int
+
+// Storage-access decisions.
+const (
+	// Denied: the request is refused outright.
+	Denied Decision = iota
+	// GrantedAuto: access granted without user interaction (the RWS path).
+	GrantedAuto
+	// GrantedByPrompt: access granted because the user accepted a prompt.
+	GrantedByPrompt
+	// DeniedByPrompt: the user declined the prompt.
+	DeniedByPrompt
+)
+
+// Granted reports whether the decision allows unpartitioned access.
+func (d Decision) Granted() bool { return d == GrantedAuto || d == GrantedByPrompt }
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case Denied:
+		return "denied"
+	case GrantedAuto:
+		return "granted-auto"
+	case GrantedByPrompt:
+		return "granted-by-prompt"
+	case DeniedByPrompt:
+		return "denied-by-prompt"
+	default:
+		return fmt.Sprintf("decision(%d)", int(d))
+	}
+}
+
+// PromptFunc models the user's response to a storage-access prompt.
+type PromptFunc func(embedded, topLevel string) bool
+
+// Policy decides storage semantics for a vendor configuration.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// PartitionByDefault reports whether third-party storage is
+	// partitioned before any grants.
+	PartitionByDefault() bool
+	// Decide rules on a requestStorageAccess call from embedded under
+	// topLevel.
+	Decide(b *Browser, embedded, topLevel string) Decision
+}
+
+// StrictPolicy always partitions and never grants (Brave-like).
+type StrictPolicy struct{}
+
+// Name implements Policy.
+func (StrictPolicy) Name() string { return "strict-partitioning" }
+
+// PartitionByDefault implements Policy.
+func (StrictPolicy) PartitionByDefault() bool { return true }
+
+// Decide implements Policy: always denied.
+func (StrictPolicy) Decide(*Browser, string, string) Decision { return Denied }
+
+// PromptPolicy partitions by default and defers grants to a user prompt
+// (Firefox/Safari-like).
+type PromptPolicy struct {
+	Prompt PromptFunc
+}
+
+// Name implements Policy.
+func (PromptPolicy) Name() string { return "prompt-on-request" }
+
+// PartitionByDefault implements Policy.
+func (PromptPolicy) PartitionByDefault() bool { return true }
+
+// Decide implements Policy.
+func (p PromptPolicy) Decide(_ *Browser, embedded, topLevel string) Decision {
+	if p.Prompt != nil && p.Prompt(embedded, topLevel) {
+		return GrantedByPrompt
+	}
+	return DeniedByPrompt
+}
+
+// RWSPolicy partitions by default and auto-grants within a Related Website
+// Set (Chrome-like). Outside a set, it behaves like PromptPolicy.
+type RWSPolicy struct {
+	// List is the Related Website Sets list in force.
+	List *core.List
+	// Prompt handles non-set requests; nil means deny.
+	Prompt PromptFunc
+}
+
+// Name implements Policy.
+func (RWSPolicy) Name() string { return "chrome-rws" }
+
+// PartitionByDefault implements Policy.
+func (RWSPolicy) PartitionByDefault() bool { return true }
+
+// Decide implements Policy. Within a set the grant is automatic, subject
+// to the service-site rules from the RWS spec (§2 of the paper): a service
+// site can never be the top-level site of a grant, and a service site
+// requesting access is only auto-granted after the user has interacted
+// with some non-service member of the set.
+func (p RWSPolicy) Decide(b *Browser, embedded, topLevel string) Decision {
+	if p.List != nil && p.List.SameSet(embedded, topLevel) {
+		set, topRole, _ := p.List.FindSet(topLevel)
+		_, embRole, _ := p.List.FindSet(embedded)
+		if topRole == core.RoleService {
+			return Denied
+		}
+		if embRole == core.RoleService && !b.interactedWithSet(set) {
+			return Denied
+		}
+		return GrantedAuto
+	}
+	if p.Prompt != nil && p.Prompt(embedded, topLevel) {
+		return GrantedByPrompt
+	}
+	return DeniedByPrompt
+}
+
+// LegacyPolicy performs no partitioning: every context reaches the site's
+// unpartitioned storage (the pre-partitioning third-party-cookie world).
+type LegacyPolicy struct{}
+
+// Name implements Policy.
+func (LegacyPolicy) Name() string { return "legacy-unpartitioned" }
+
+// PartitionByDefault implements Policy.
+func (LegacyPolicy) PartitionByDefault() bool { return false }
+
+// Decide implements Policy: access is inherently unpartitioned.
+func (LegacyPolicy) Decide(*Browser, string, string) Decision { return GrantedAuto }
+
+// Browser is one simulated browsing profile.
+type Browser struct {
+	policy Policy
+
+	// firstParty maps site -> unpartitioned storage.
+	firstParty map[string]*Jar
+	// partitioned maps (site, topLevel) -> partitioned storage.
+	partitioned map[StorageKey]*Jar
+	// grants records active storage-access grants.
+	grants map[StorageKey]bool
+	// interacted records sites the user visited as top level.
+	interacted map[string]bool
+	// decisions logs every requestStorageAccess outcome, in order.
+	decisions []DecisionRecord
+
+	nextID int
+}
+
+// DecisionRecord logs one requestStorageAccess call.
+type DecisionRecord struct {
+	Embedded string
+	TopLevel string
+	Decision Decision
+}
+
+// New returns a fresh browsing profile under the given policy.
+func New(policy Policy) *Browser {
+	return &Browser{
+		policy:      policy,
+		firstParty:  make(map[string]*Jar),
+		partitioned: make(map[StorageKey]*Jar),
+		grants:      make(map[StorageKey]bool),
+		interacted:  make(map[string]bool),
+	}
+}
+
+// PolicyName returns the active policy's name.
+func (b *Browser) PolicyName() string { return b.policy.Name() }
+
+// Decisions returns the log of storage-access decisions.
+func (b *Browser) Decisions() []DecisionRecord {
+	return append([]DecisionRecord(nil), b.decisions...)
+}
+
+// ClearSiteData removes all storage for a site (first-party and every
+// partition), modelling the user clearing cookies for that site.
+func (b *Browser) ClearSiteData(site string) {
+	delete(b.firstParty, site)
+	for k := range b.partitioned {
+		if k.Site == site {
+			delete(b.partitioned, k)
+		}
+	}
+	for k := range b.grants {
+		if k.Site == site {
+			delete(b.grants, k)
+		}
+	}
+}
+
+func (b *Browser) firstPartyJar(site string) *Jar {
+	j, ok := b.firstParty[site]
+	if !ok {
+		j = newJar()
+		b.firstParty[site] = j
+	}
+	return j
+}
+
+func (b *Browser) partitionJar(key StorageKey) *Jar {
+	j, ok := b.partitioned[key]
+	if !ok {
+		j = newJar()
+		b.partitioned[key] = j
+	}
+	return j
+}
+
+func (b *Browser) interactedWithSet(s *core.Set) bool {
+	if s == nil {
+		return false
+	}
+	for _, m := range s.Members() {
+		if m.Role == core.RoleService {
+			continue
+		}
+		if b.interacted[m.Site] {
+			return true
+		}
+	}
+	return false
+}
+
+// Page is a top-level browsing context.
+type Page struct {
+	b   *Browser
+	top string
+}
+
+// VisitTop navigates to site as the top-level page, recording the user
+// interaction.
+func (b *Browser) VisitTop(site string) *Page {
+	b.interacted[site] = true
+	return &Page{b: b, top: site}
+}
+
+// Site returns the page's top-level site.
+func (p *Page) Site() string { return p.top }
+
+// Jar returns the page's first-party storage, which is always the site's
+// unpartitioned jar.
+func (p *Page) Jar() *Jar { return p.b.firstPartyJar(p.top) }
+
+// Embed loads site as a third-party frame inside the page.
+func (p *Page) Embed(site string) *Frame {
+	return &Frame{b: p.b, top: p.top, site: site}
+}
+
+// Frame is an embedded (third-party) browsing context.
+type Frame struct {
+	b    *Browser
+	top  string
+	site string
+}
+
+// Site returns the frame's own site.
+func (f *Frame) Site() string { return f.site }
+
+// TopLevel returns the top-level site the frame is embedded under.
+func (f *Frame) TopLevel() string { return f.top }
+
+// HasStorageAccess reports whether the frame currently reaches the site's
+// unpartitioned storage (same-site embedding, a standing grant, or a
+// non-partitioning policy).
+func (f *Frame) HasStorageAccess() bool {
+	if f.site == f.top {
+		return true
+	}
+	if !f.b.policy.PartitionByDefault() {
+		return true
+	}
+	return f.b.grants[StorageKey{Site: f.site, TopLevel: f.top}]
+}
+
+// RequestStorageAccess models document.requestStorageAccess(): it applies
+// the policy, records the decision, and installs a grant when successful.
+func (f *Frame) RequestStorageAccess() Decision {
+	if f.HasStorageAccess() {
+		return GrantedAuto
+	}
+	d := f.b.policy.Decide(f.b, f.site, f.top)
+	f.b.decisions = append(f.b.decisions, DecisionRecord{Embedded: f.site, TopLevel: f.top, Decision: d})
+	if d.Granted() {
+		f.b.grants[StorageKey{Site: f.site, TopLevel: f.top}] = true
+	}
+	return d
+}
+
+// Jar returns the storage the frame can reach right now: the unpartitioned
+// jar when it has access, otherwise the partition keyed by the top-level
+// site.
+func (f *Frame) Jar() *Jar {
+	if f.HasStorageAccess() {
+		return f.b.firstPartyJar(f.site)
+	}
+	return f.b.partitionJar(StorageKey{Site: f.site, TopLevel: f.top})
+}
+
+// UserIDCookie is the cookie name the tracker idiom uses.
+const UserIDCookie = "uid"
+
+// EnsureUserID implements the tracker idiom inside the frame: read the
+// user ID from reachable storage, or mint and store a new one.
+func (f *Frame) EnsureUserID() string {
+	jar := f.Jar()
+	if id, ok := jar.Get(UserIDCookie); ok {
+		return id
+	}
+	f.b.nextID++
+	id := fmt.Sprintf("uid-%06d", f.b.nextID)
+	jar.Set(UserIDCookie, id)
+	return id
+}
+
+// EnsureUserID is the first-party tracker idiom on a top-level page.
+func (p *Page) EnsureUserID() string {
+	jar := p.Jar()
+	if id, ok := jar.Get(UserIDCookie); ok {
+		return id
+	}
+	p.b.nextID++
+	id := fmt.Sprintf("uid-%06d", p.b.nextID)
+	jar.Set(UserIDCookie, id)
+	return id
+}
+
+// Observation is one tracker sighting: the ID a tracker site observed
+// while embedded under a top-level site.
+type Observation struct {
+	Tracker  string
+	TopLevel string
+	UserID   string
+}
+
+// SimulateTracking visits each top-level site in order; on each page the
+// tracker is embedded, optionally calls requestStorageAccess, and runs the
+// tracker idiom. The returned observations record what the tracker learned.
+func SimulateTracking(b *Browser, tops []string, tracker string, callRSA bool) []Observation {
+	obs := make([]Observation, 0, len(tops))
+	for _, top := range tops {
+		page := b.VisitTop(top)
+		frame := page.Embed(tracker)
+		if callRSA {
+			frame.RequestStorageAccess()
+		}
+		obs = append(obs, Observation{
+			Tracker:  tracker,
+			TopLevel: top,
+			UserID:   frame.EnsureUserID(),
+		})
+	}
+	return obs
+}
+
+// LinkedGroups clusters the top-level sites in obs by the user ID the
+// tracker saw: sites in the same group are linkable to one identity. The
+// result is deterministic (groups and members sorted).
+func LinkedGroups(obs []Observation) [][]string {
+	byID := make(map[string]map[string]bool)
+	for _, o := range obs {
+		if byID[o.UserID] == nil {
+			byID[o.UserID] = make(map[string]bool)
+		}
+		byID[o.UserID][o.TopLevel] = true
+	}
+	groups := make([][]string, 0, len(byID))
+	for _, tops := range byID {
+		g := make([]string, 0, len(tops))
+		for t := range tops {
+			g = append(g, t)
+		}
+		sort.Strings(g)
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if len(groups[i]) != len(groups[j]) {
+			return len(groups[i]) > len(groups[j])
+		}
+		return groups[i][0] < groups[j][0]
+	})
+	return groups
+}
+
+// MaxLinkedSites returns the size of the largest linkable group — the
+// headline privacy metric for a policy comparison.
+func MaxLinkedSites(obs []Observation) int {
+	groups := LinkedGroups(obs)
+	if len(groups) == 0 {
+		return 0
+	}
+	return len(groups[0])
+}

@@ -1,0 +1,299 @@
+package browser
+
+import (
+	"math/rand"
+	"testing"
+
+	"rwskit/internal/core"
+)
+
+const listJSON = `{"sets":[
+  {"primary":"https://bild.de",
+   "associatedSites":["https://autobild.de","https://computerbild.de"],
+   "serviceSites":["https://bild-static.de"],
+   "rationaleBySite":{"https://autobild.de":"x","https://computerbild.de":"x","https://bild-static.de":"x"}},
+  {"primary":"https://ya.ru",
+   "associatedSites":["https://webvisor.com"],
+   "rationaleBySite":{"https://webvisor.com":"x"}}
+]}`
+
+func testList(t *testing.T) *core.List {
+	t.Helper()
+	l, err := core.ParseJSON([]byte(listJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestPartitioningIsolatesThirdParties(t *testing.T) {
+	b := New(StrictPolicy{})
+	// tracker.example embedded under two different tops gets two jars.
+	f1 := b.VisitTop("site-a.com").Embed("tracker.example")
+	id1 := f1.EnsureUserID()
+	f2 := b.VisitTop("site-b.com").Embed("tracker.example")
+	id2 := f2.EnsureUserID()
+	if id1 == id2 {
+		t.Fatal("partitioned tracker saw the same ID across tops")
+	}
+	// Re-embedding under the same top sees the same partitioned ID.
+	f3 := b.VisitTop("site-a.com").Embed("tracker.example")
+	if got := f3.EnsureUserID(); got != id1 {
+		t.Errorf("same-partition revisit: %q, want %q", got, id1)
+	}
+}
+
+func TestFirstPartyVsEmbeddedSeparation(t *testing.T) {
+	b := New(StrictPolicy{})
+	page := b.VisitTop("tracker.example")
+	direct := page.EnsureUserID()
+	emb := b.VisitTop("news.com").Embed("tracker.example").EnsureUserID()
+	if direct == emb {
+		t.Error("embedded context reached first-party storage despite partitioning")
+	}
+}
+
+func TestLegacyPolicyLinksEverything(t *testing.T) {
+	b := New(LegacyPolicy{})
+	obs := SimulateTracking(b, []string{"a.com", "b.com", "c.com"}, "tracker.example", false)
+	if MaxLinkedSites(obs) != 3 {
+		t.Errorf("legacy tracker should link all 3 sites: %v", LinkedGroups(obs))
+	}
+}
+
+func TestStrictPolicyLinksNothing(t *testing.T) {
+	b := New(StrictPolicy{})
+	obs := SimulateTracking(b, []string{"a.com", "b.com", "c.com"}, "tracker.example", true)
+	if MaxLinkedSites(obs) != 1 {
+		t.Errorf("strict policy should isolate all visits: %v", LinkedGroups(obs))
+	}
+	for _, d := range b.Decisions() {
+		if d.Decision.Granted() {
+			t.Errorf("strict policy granted access: %+v", d)
+		}
+	}
+}
+
+func TestPromptPolicy(t *testing.T) {
+	accept := PromptPolicy{Prompt: func(string, string) bool { return true }}
+	b := New(accept)
+	f := b.VisitTop("news.com").Embed("social.com")
+	if d := f.RequestStorageAccess(); d != GrantedByPrompt {
+		t.Errorf("decision = %v, want GrantedByPrompt", d)
+	}
+	if !f.HasStorageAccess() {
+		t.Error("grant not installed")
+	}
+
+	deny := PromptPolicy{Prompt: func(string, string) bool { return false }}
+	b2 := New(deny)
+	f2 := b2.VisitTop("news.com").Embed("social.com")
+	if d := f2.RequestStorageAccess(); d != DeniedByPrompt {
+		t.Errorf("decision = %v, want DeniedByPrompt", d)
+	}
+	nilPrompt := PromptPolicy{}
+	b3 := New(nilPrompt)
+	if d := b3.VisitTop("a.com").Embed("b.com").RequestStorageAccess(); d != DeniedByPrompt {
+		t.Errorf("nil prompt decision = %v", d)
+	}
+}
+
+func TestRWSPolicyAutoGrantsWithinSet(t *testing.T) {
+	list := testList(t)
+	b := New(RWSPolicy{List: list})
+	// The paper's §2 example: two Times Internet sites — here the bild.de
+	// set. indiatimes/timesinternet analogue: autobild.de embedded under
+	// bild.de auto-grants with no prompt.
+	f := b.VisitTop("bild.de").Embed("autobild.de")
+	if d := f.RequestStorageAccess(); d != GrantedAuto {
+		t.Fatalf("decision = %v, want GrantedAuto", d)
+	}
+	// Cross-set: denied (no prompt configured).
+	f2 := b.VisitTop("bild.de").Embed("webvisor.com")
+	if d := f2.RequestStorageAccess(); d.Granted() {
+		t.Errorf("cross-set request granted: %v", d)
+	}
+	// Unlisted site: denied.
+	f3 := b.VisitTop("bild.de").Embed("random.com")
+	if d := f3.RequestStorageAccess(); d.Granted() {
+		t.Errorf("unlisted request granted: %v", d)
+	}
+}
+
+func TestRWSPolicyLinksSetMembers(t *testing.T) {
+	list := testList(t)
+	b := New(RWSPolicy{List: list})
+	// computerbild.de acts as the intra-set tracker across both siblings.
+	obs := SimulateTracking(b, []string{"bild.de", "autobild.de"}, "computerbild.de", true)
+	if MaxLinkedSites(obs) != 2 {
+		t.Errorf("RWS should link same-set visits: %v", LinkedGroups(obs))
+	}
+	// The same journeys under strict partitioning stay unlinkable.
+	b2 := New(StrictPolicy{})
+	obs2 := SimulateTracking(b2, []string{"bild.de", "autobild.de"}, "computerbild.de", true)
+	if MaxLinkedSites(obs2) != 1 {
+		t.Errorf("strict policy linked: %v", LinkedGroups(obs2))
+	}
+}
+
+func TestRWSServiceSiteRules(t *testing.T) {
+	list := testList(t)
+	// Service site as top-level grantee: never allowed.
+	b := New(RWSPolicy{List: list})
+	f := b.VisitTop("bild-static.de").Embed("bild.de")
+	if d := f.RequestStorageAccess(); d != Denied {
+		t.Errorf("service top-level: %v, want Denied", d)
+	}
+	// Service site requesting access before any interaction with the set:
+	// denied.
+	b2 := New(RWSPolicy{List: list})
+	f2 := &Frame{b: b2, top: "bild.de", site: "bild-static.de"}
+	// Note: VisitTop records interaction, so construct the embed without
+	// visiting first — the user landed directly on a page embedding the
+	// service frame. Use a non-member top to host it? No: service frames
+	// only auto-grant within the set, so embed under bild.de without a
+	// recorded visit.
+	if d := f2.RequestStorageAccess(); d != Denied {
+		t.Errorf("service embed without interaction: %v, want Denied", d)
+	}
+	// After the user interacts with a non-service member, the service
+	// frame auto-grants.
+	b2.VisitTop("autobild.de")
+	f3 := &Frame{b: b2, top: "bild.de", site: "bild-static.de"}
+	if d := f3.RequestStorageAccess(); d != GrantedAuto {
+		t.Errorf("service embed after interaction: %v, want GrantedAuto", d)
+	}
+}
+
+func TestSameSiteFrameAlwaysHasAccess(t *testing.T) {
+	b := New(StrictPolicy{})
+	f := b.VisitTop("a.com").Embed("a.com")
+	if !f.HasStorageAccess() {
+		t.Error("same-site frame should have storage access")
+	}
+	page := b.VisitTop("a.com")
+	pid := page.EnsureUserID()
+	if got := f.EnsureUserID(); got != pid {
+		t.Errorf("same-site frame ID %q != page ID %q", got, pid)
+	}
+}
+
+func TestRequestStorageAccessIdempotent(t *testing.T) {
+	list := testList(t)
+	b := New(RWSPolicy{List: list})
+	f := b.VisitTop("bild.de").Embed("autobild.de")
+	f.RequestStorageAccess()
+	n := len(b.Decisions())
+	// Second call short-circuits on the standing grant.
+	if d := f.RequestStorageAccess(); d != GrantedAuto {
+		t.Errorf("second call = %v", d)
+	}
+	if len(b.Decisions()) != n {
+		t.Error("idempotent call logged a second decision")
+	}
+}
+
+func TestClearSiteData(t *testing.T) {
+	b := New(LegacyPolicy{})
+	obs := SimulateTracking(b, []string{"a.com", "b.com"}, "tracker.example", false)
+	if MaxLinkedSites(obs) != 2 {
+		t.Fatal("setup failed")
+	}
+	b.ClearSiteData("tracker.example")
+	obs2 := SimulateTracking(b, []string{"c.com"}, "tracker.example", false)
+	if obs2[0].UserID == obs[0].UserID {
+		t.Error("ClearSiteData did not reset tracker identity")
+	}
+}
+
+func TestLinkedGroupsDeterminism(t *testing.T) {
+	obs := []Observation{
+		{Tracker: "t", TopLevel: "b.com", UserID: "u1"},
+		{Tracker: "t", TopLevel: "a.com", UserID: "u1"},
+		{Tracker: "t", TopLevel: "c.com", UserID: "u2"},
+	}
+	g := LinkedGroups(obs)
+	if len(g) != 2 || len(g[0]) != 2 || g[0][0] != "a.com" || g[1][0] != "c.com" {
+		t.Errorf("groups = %v", g)
+	}
+	if MaxLinkedSites(nil) != 0 {
+		t.Error("empty observations should yield 0")
+	}
+}
+
+// TestIsolationInvariant is the core property: under any
+// partition-by-default policy that never grants, a tracker embedded under
+// k distinct tops observes k distinct IDs, for random journey orders.
+func TestIsolationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tops := []string{"a.com", "b.com", "c.com", "d.com", "e.com"}
+	for trial := 0; trial < 50; trial++ {
+		b := New(StrictPolicy{})
+		journey := make([]string, 12)
+		for i := range journey {
+			journey[i] = tops[rng.Intn(len(tops))]
+		}
+		obs := SimulateTracking(b, journey, "tracker.example", trial%2 == 0)
+		ids := map[string]string{}
+		for _, o := range obs {
+			if prev, ok := ids[o.TopLevel]; ok && prev != o.UserID {
+				t.Fatalf("top %s changed ID within a profile", o.TopLevel)
+			}
+			ids[o.TopLevel] = o.UserID
+		}
+		seen := map[string]bool{}
+		for top, id := range ids {
+			if seen[id] {
+				t.Fatalf("ID %s shared across tops (journey %v, top %s)", id, journey, top)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	cases := map[Decision]string{
+		Denied: "denied", GrantedAuto: "granted-auto",
+		GrantedByPrompt: "granted-by-prompt", DeniedByPrompt: "denied-by-prompt",
+		Decision(42): "decision(42)",
+	}
+	for d, want := range cases {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(d), d.String(), want)
+		}
+	}
+	if !GrantedAuto.Granted() || Denied.Granted() {
+		t.Error("Granted() wrong")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[string]Policy{
+		"strict-partitioning":  StrictPolicy{},
+		"prompt-on-request":    PromptPolicy{},
+		"chrome-rws":           RWSPolicy{},
+		"legacy-unpartitioned": LegacyPolicy{},
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+	if !(StrictPolicy{}).PartitionByDefault() {
+		t.Error("strict must partition")
+	}
+}
+
+func BenchmarkTrackingJourney(b *testing.B) {
+	l, err := core.ParseJSON([]byte(listJSON))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tops := []string{"bild.de", "autobild.de", "computerbild.de", "ya.ru", "news.com"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := New(RWSPolicy{List: l})
+		SimulateTracking(br, tops, "webvisor.com", true)
+	}
+}

@@ -1,0 +1,76 @@
+package browser
+
+import "fmt"
+
+// The paper's conclusion proposes that "exceptions made to the
+// site-as-privacy-boundary, on the basis of relatedness, need to be
+// explicitly indicated to the user (e.g., via the browser UI itself)".
+// This file implements that future-work feature: a grant indication layer
+// that records a user-visible notice for every storage-access grant, and
+// an auditing policy wrapper that can require indications.
+
+// Notice is one user-visible indication that a privacy boundary was
+// relaxed.
+type Notice struct {
+	// Embedded and TopLevel identify the grant.
+	Embedded string
+	TopLevel string
+	// Reason is the mechanism that produced the grant.
+	Reason string
+	// Silent marks grants that the underlying policy issued without any
+	// user involvement (the RWS auto-grant path) — exactly the grants the
+	// paper argues users cannot anticipate.
+	Silent bool
+}
+
+// String renders the notice in browser-UI phrasing.
+func (n Notice) String() string {
+	mode := "after asking you"
+	if n.Silent {
+		mode = "without asking you"
+	}
+	return fmt.Sprintf("%s can now identify you on %s (%s, %s)", n.Embedded, n.TopLevel, n.Reason, mode)
+}
+
+// IndicatingPolicy wraps a Policy and records a Notice for every grant it
+// issues. It changes no decisions: it makes them visible.
+type IndicatingPolicy struct {
+	// Inner is the wrapped policy. Required.
+	Inner Policy
+	// Notices accumulates the indications, in decision order.
+	Notices []Notice
+}
+
+// Name implements Policy.
+func (p *IndicatingPolicy) Name() string { return p.Inner.Name() + "+indication" }
+
+// PartitionByDefault implements Policy.
+func (p *IndicatingPolicy) PartitionByDefault() bool { return p.Inner.PartitionByDefault() }
+
+// Decide implements Policy, recording a Notice whenever the inner policy
+// grants access.
+func (p *IndicatingPolicy) Decide(b *Browser, embedded, topLevel string) Decision {
+	d := p.Inner.Decide(b, embedded, topLevel)
+	if d.Granted() {
+		p.Notices = append(p.Notices, Notice{
+			Embedded: embedded,
+			TopLevel: topLevel,
+			Reason:   p.Inner.Name(),
+			Silent:   d == GrantedAuto,
+		})
+	}
+	return d
+}
+
+// SilentGrants returns the notices for grants issued without user
+// involvement — the quantity the paper's proposed UI indication is meant
+// to surface.
+func (p *IndicatingPolicy) SilentGrants() []Notice {
+	var out []Notice
+	for _, n := range p.Notices {
+		if n.Silent {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+
+	"rwskit/internal/core"
+)
+
+func TestIndicatingPolicyRecordsSilentRWSGrants(t *testing.T) {
+	list, err := core.ParseJSON([]byte(listJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := &IndicatingPolicy{Inner: RWSPolicy{List: list}}
+	b := New(ip)
+
+	// A same-set auto-grant: silent, must be indicated.
+	f := b.VisitTop("bild.de").Embed("autobild.de")
+	if d := f.RequestStorageAccess(); d != GrantedAuto {
+		t.Fatalf("decision = %v", d)
+	}
+	// A denied cross-set request: no notice.
+	b.VisitTop("bild.de").Embed("webvisor.com").RequestStorageAccess()
+
+	if len(ip.Notices) != 1 {
+		t.Fatalf("notices = %d, want 1: %+v", len(ip.Notices), ip.Notices)
+	}
+	n := ip.Notices[0]
+	if !n.Silent || n.Embedded != "autobild.de" || n.TopLevel != "bild.de" {
+		t.Errorf("notice = %+v", n)
+	}
+	if !strings.Contains(n.String(), "without asking you") {
+		t.Errorf("notice text = %q", n.String())
+	}
+	if len(ip.SilentGrants()) != 1 {
+		t.Errorf("silent grants = %d", len(ip.SilentGrants()))
+	}
+}
+
+func TestIndicatingPolicyPromptGrantsNotSilent(t *testing.T) {
+	ip := &IndicatingPolicy{Inner: PromptPolicy{Prompt: func(string, string) bool { return true }}}
+	b := New(ip)
+	b.VisitTop("news.com").Embed("social.com").RequestStorageAccess()
+	if len(ip.Notices) != 1 {
+		t.Fatalf("notices = %d", len(ip.Notices))
+	}
+	if ip.Notices[0].Silent {
+		t.Error("prompt-approved grant should not be silent")
+	}
+	if !strings.Contains(ip.Notices[0].String(), "after asking you") {
+		t.Errorf("notice text = %q", ip.Notices[0].String())
+	}
+	if len(ip.SilentGrants()) != 0 {
+		t.Error("no silent grants expected")
+	}
+}
+
+func TestIndicatingPolicyIsTransparent(t *testing.T) {
+	list, err := core.ParseJSON([]byte(listJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decisions must be identical with and without the wrapper.
+	plain := New(RWSPolicy{List: list})
+	wrapped := New(&IndicatingPolicy{Inner: RWSPolicy{List: list}})
+	cases := [][2]string{
+		{"bild.de", "autobild.de"},
+		{"bild.de", "webvisor.com"},
+		{"bild-static.de", "bild.de"},
+		{"a.com", "b.com"},
+	}
+	for _, c := range cases {
+		d1 := plain.VisitTop(c[0]).Embed(c[1]).RequestStorageAccess()
+		d2 := wrapped.VisitTop(c[0]).Embed(c[1]).RequestStorageAccess()
+		if d1 != d2 {
+			t.Errorf("wrapper changed decision for %v: %v vs %v", c, d1, d2)
+		}
+	}
+	if !strings.HasSuffix(wrapped.PolicyName(), "+indication") {
+		t.Errorf("policy name = %q", wrapped.PolicyName())
+	}
+	if wrapped.PolicyName() != "chrome-rws+indication" {
+		t.Errorf("policy name = %q", wrapped.PolicyName())
+	}
+}

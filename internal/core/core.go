@@ -1,0 +1,595 @@
+// Package core models Google's Related Website Sets (RWS) list — the object
+// of study in "A First Look at Related Website Sets" (IMC 2024).
+//
+// An RWS list is a collection of disjoint sets. Each set has a primary site
+// and up to three member subsets (§2 of the paper):
+//
+//   - Associated sites: affiliated with the primary (common branding, an
+//     about page, or similar) but NOT required to share ownership. The paper
+//     shows these are the dominant and most privacy-impacting subset.
+//   - Service sites: utility domains under common ownership with the
+//     primary; they can never be the top-level site in a storage-access
+//     grant.
+//   - ccTLD sites: country-code variations of other members, under common
+//     ownership with the member they vary.
+//
+// The package parses and serializes the upstream JSON schema
+// (related_website_sets.JSON), canonicalizes member origins, indexes
+// membership for O(1) relatedness queries, computes composition statistics
+// (Figure 7), and diffs list snapshots for the longitudinal analyses.
+//
+// Deep submission validation (.well-known checks, eTLD+1 rules, Table 3's
+// bot errors) lives in rwskit/internal/validate; browser-side storage
+// semantics live in rwskit/internal/browser.
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"rwskit/internal/domain"
+)
+
+// Role identifies how a site participates in a set.
+type Role int
+
+// Roles, in the order they appear in the upstream schema.
+const (
+	RolePrimary Role = iota
+	RoleAssociated
+	RoleService
+	RoleCCTLD
+)
+
+// String returns the lowercase role name used in reports.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleAssociated:
+		return "associated"
+	case RoleService:
+		return "service"
+	case RoleCCTLD:
+		return "cctld"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Member is a single site's membership record within a set.
+type Member struct {
+	// Site is the canonical registrable domain, e.g. "example.com".
+	Site string
+	// Role is the subset the site belongs to.
+	Role Role
+	// AliasOf is set for RoleCCTLD members: the member site this one is a
+	// country-code variation of.
+	AliasOf string
+}
+
+// Set is one Related Website Set.
+type Set struct {
+	// Contact is the submitter contact recorded in the upstream list.
+	Contact string
+	// Primary is the set primary's canonical registrable domain.
+	Primary string
+	// Associated and Service are the canonical member domains, in list
+	// order (deduplicated, lowercased, scheme stripped).
+	Associated []string
+	Service    []string
+	// CCTLDs maps a canonical member domain to its country-code variants.
+	CCTLDs map[string][]string
+	// RationaleBySite carries the submitter's justification for each
+	// associated and service member, keyed by canonical domain. The RWS
+	// guidelines require one per non-ccTLD member.
+	RationaleBySite map[string]string
+}
+
+// Members returns every member of the set, primary first, then associated,
+// service, and ccTLD members in deterministic order.
+func (s *Set) Members() []Member {
+	out := make([]Member, 0, s.Size())
+	out = append(out, Member{Site: s.Primary, Role: RolePrimary})
+	for _, a := range s.Associated {
+		out = append(out, Member{Site: a, Role: RoleAssociated})
+	}
+	for _, v := range s.Service {
+		out = append(out, Member{Site: v, Role: RoleService})
+	}
+	for _, base := range sortedKeys(s.CCTLDs) {
+		for _, alias := range s.CCTLDs[base] {
+			out = append(out, Member{Site: alias, Role: RoleCCTLD, AliasOf: base})
+		}
+	}
+	return out
+}
+
+// Size returns the total number of member sites including the primary.
+func (s *Set) Size() int {
+	n := 1 + len(s.Associated) + len(s.Service)
+	for _, aliases := range s.CCTLDs {
+		n += len(aliases)
+	}
+	return n
+}
+
+// Sites returns all member domains including the primary.
+func (s *Set) Sites() []string {
+	members := s.Members()
+	out := make([]string, len(members))
+	for i, m := range members {
+		out[i] = m.Site
+	}
+	return out
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{
+		Contact: s.Contact,
+		Primary: s.Primary,
+	}
+	c.Associated = append([]string(nil), s.Associated...)
+	c.Service = append([]string(nil), s.Service...)
+	if s.CCTLDs != nil {
+		c.CCTLDs = make(map[string][]string, len(s.CCTLDs))
+		for k, v := range s.CCTLDs {
+			c.CCTLDs[k] = append([]string(nil), v...)
+		}
+	}
+	if s.RationaleBySite != nil {
+		c.RationaleBySite = make(map[string]string, len(s.RationaleBySite))
+		for k, v := range s.RationaleBySite {
+			c.RationaleBySite[k] = v
+		}
+	}
+	return c
+}
+
+// List is a full Related Website Sets list: a collection of disjoint sets
+// with a site-level membership index.
+type List struct {
+	sets  []*Set
+	index map[string]membership
+}
+
+type membership struct {
+	set     *Set
+	role    Role
+	aliasOf string
+}
+
+// Errors returned when assembling a list.
+var (
+	ErrDuplicateSite = errors.New("core: site appears more than once in the list")
+	ErrNilSet        = errors.New("core: nil set")
+)
+
+// NewList builds a list from sets, canonicalizing membership and enforcing
+// the upstream invariant that sets are disjoint: no site may appear in more
+// than one set, or twice within one set.
+func NewList(sets []*Set) (*List, error) {
+	l := &List{index: make(map[string]membership)}
+	for i, s := range sets {
+		if s == nil {
+			return nil, fmt.Errorf("%w at index %d", ErrNilSet, i)
+		}
+		for _, m := range s.Members() {
+			if prev, ok := l.index[m.Site]; ok {
+				return nil, fmt.Errorf("%w: %q in set %q and set %q",
+					ErrDuplicateSite, m.Site, prev.set.Primary, s.Primary)
+			}
+			l.index[m.Site] = membership{set: s, role: m.Role, aliasOf: m.AliasOf}
+		}
+		l.sets = append(l.sets, s)
+	}
+	return l, nil
+}
+
+// Sets returns the list's sets in order. The slice is shared; callers must
+// not mutate it.
+func (l *List) Sets() []*Set { return l.sets }
+
+// NumSets returns the number of sets.
+func (l *List) NumSets() int { return len(l.sets) }
+
+// NumSites returns the total number of member sites across all sets.
+func (l *List) NumSites() int { return len(l.index) }
+
+// FindSet returns the set containing site and the site's role within it.
+func (l *List) FindSet(site string) (set *Set, role Role, ok bool) {
+	m, ok := l.index[canonicalHost(site)]
+	if !ok {
+		return nil, 0, false
+	}
+	return m.set, m.role, true
+}
+
+// SameSet reports whether a and b are members of the same Related Website
+// Set — the relatedness relation the paper's user study asks participants
+// to judge. A site is trivially in the same set as itself only if it is a
+// member of some set.
+func (l *List) SameSet(a, b string) bool {
+	ma, ok := l.index[canonicalHost(a)]
+	if !ok {
+		return false
+	}
+	mb, ok := l.index[canonicalHost(b)]
+	if !ok {
+		return false
+	}
+	return ma.set == mb.set
+}
+
+// SameSetScan is the ablation baseline for SameSet: it scans every set
+// rather than using the index.
+func (l *List) SameSetScan(a, b string) bool {
+	ca, cb := canonicalHost(a), canonicalHost(b)
+	for _, s := range l.sets {
+		var hasA, hasB bool
+		for _, m := range s.Members() {
+			if m.Site == ca {
+				hasA = true
+			}
+			if m.Site == cb {
+				hasB = true
+			}
+		}
+		if hasA && hasB {
+			return true
+		}
+		if hasA || hasB {
+			return false
+		}
+	}
+	return false
+}
+
+// CompositionStats summarises a list the way Figure 7 and §4 of the paper
+// do.
+type CompositionStats struct {
+	Sets            int
+	AssociatedSites int
+	ServiceSites    int
+	CCTLDSites      int
+
+	SetsWithAssociated int
+	SetsWithService    int
+	SetsWithCCTLD      int
+
+	MeanAssociatedPerSet float64
+}
+
+// FracSetsWithAssociated returns the fraction of sets that contain at least
+// one associated site (the paper reports 92.7%).
+func (c CompositionStats) FracSetsWithAssociated() float64 {
+	if c.Sets == 0 {
+		return 0
+	}
+	return float64(c.SetsWithAssociated) / float64(c.Sets)
+}
+
+// FracSetsWithService returns the fraction of sets with >= 1 service site.
+func (c CompositionStats) FracSetsWithService() float64 {
+	if c.Sets == 0 {
+		return 0
+	}
+	return float64(c.SetsWithService) / float64(c.Sets)
+}
+
+// FracSetsWithCCTLD returns the fraction of sets with >= 1 ccTLD site.
+func (c CompositionStats) FracSetsWithCCTLD() float64 {
+	if c.Sets == 0 {
+		return 0
+	}
+	return float64(c.SetsWithCCTLD) / float64(c.Sets)
+}
+
+// Stats computes composition statistics over the list.
+func (l *List) Stats() CompositionStats {
+	var c CompositionStats
+	c.Sets = len(l.sets)
+	for _, s := range l.sets {
+		c.AssociatedSites += len(s.Associated)
+		c.ServiceSites += len(s.Service)
+		var cc int
+		for _, aliases := range s.CCTLDs {
+			cc += len(aliases)
+		}
+		c.CCTLDSites += cc
+		if len(s.Associated) > 0 {
+			c.SetsWithAssociated++
+		}
+		if len(s.Service) > 0 {
+			c.SetsWithService++
+		}
+		if cc > 0 {
+			c.SetsWithCCTLD++
+		}
+	}
+	if c.Sets > 0 {
+		c.MeanAssociatedPerSet = float64(c.AssociatedSites) / float64(c.Sets)
+	}
+	return c
+}
+
+// SubsetPairs returns (primary SLD-comparand, member) site pairs for the
+// given role across the list: each non-primary member paired with its set
+// primary. Figure 3 computes Levenshtein distances over these pairs.
+func (l *List) SubsetPairs(role Role) [][2]string {
+	var out [][2]string
+	for _, s := range l.sets {
+		for _, m := range s.Members() {
+			if m.Role == role {
+				out = append(out, [2]string{s.Primary, m.Site})
+			}
+		}
+	}
+	return out
+}
+
+// jsonList mirrors the upstream related_website_sets.JSON schema.
+type jsonList struct {
+	Sets []jsonSet `json:"sets"`
+}
+
+type jsonSet struct {
+	Contact         string              `json:"contact,omitempty"`
+	Primary         string              `json:"primary"`
+	AssociatedSites []string            `json:"associatedSites,omitempty"`
+	ServiceSites    []string            `json:"serviceSites,omitempty"`
+	RationaleBySite map[string]string   `json:"rationaleBySite,omitempty"`
+	CCTLDs          map[string][]string `json:"ccTLDs,omitempty"`
+}
+
+// ParseJSON parses data in the upstream related_website_sets.JSON schema:
+// origins are canonicalized ("https://example.com" -> "example.com"),
+// non-https origins are rejected, and the disjointness invariant is
+// enforced. Unknown top-level JSON fields are rejected to catch schema
+// drift.
+func ParseJSON(data []byte) (*List, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var jl jsonList
+	if err := dec.Decode(&jl); err != nil {
+		return nil, fmt.Errorf("core: parsing list JSON: %w", err)
+	}
+	sets := make([]*Set, 0, len(jl.Sets))
+	for i := range jl.Sets {
+		s, err := setFromJSON(&jl.Sets[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: set %d: %w", i, err)
+		}
+		sets = append(sets, s)
+	}
+	return NewList(sets)
+}
+
+// ParseSetJSON parses a single set object (the payload of an RWS pull
+// request) in the upstream schema.
+func ParseSetJSON(data []byte) (*Set, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var js jsonSet
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("core: parsing set JSON: %w", err)
+	}
+	return setFromJSON(&js)
+}
+
+func setFromJSON(js *jsonSet) (*Set, error) {
+	s := &Set{Contact: js.Contact}
+	p, err := canonicalOrigin(js.Primary)
+	if err != nil {
+		return nil, fmt.Errorf("primary: %w", err)
+	}
+	s.Primary = p
+	for _, a := range js.AssociatedSites {
+		c, err := canonicalOrigin(a)
+		if err != nil {
+			return nil, fmt.Errorf("associatedSites: %w", err)
+		}
+		s.Associated = append(s.Associated, c)
+	}
+	for _, v := range js.ServiceSites {
+		c, err := canonicalOrigin(v)
+		if err != nil {
+			return nil, fmt.Errorf("serviceSites: %w", err)
+		}
+		s.Service = append(s.Service, c)
+	}
+	if len(js.CCTLDs) > 0 {
+		s.CCTLDs = make(map[string][]string, len(js.CCTLDs))
+		for base, aliases := range js.CCTLDs {
+			cb, err := canonicalOrigin(base)
+			if err != nil {
+				return nil, fmt.Errorf("ccTLDs key: %w", err)
+			}
+			for _, alias := range aliases {
+				ca, err := canonicalOrigin(alias)
+				if err != nil {
+					return nil, fmt.Errorf("ccTLDs[%s]: %w", base, err)
+				}
+				s.CCTLDs[cb] = append(s.CCTLDs[cb], ca)
+			}
+		}
+	}
+	if len(js.RationaleBySite) > 0 {
+		s.RationaleBySite = make(map[string]string, len(js.RationaleBySite))
+		for site, why := range js.RationaleBySite {
+			c, err := canonicalOrigin(site)
+			if err != nil {
+				return nil, fmt.Errorf("rationaleBySite key: %w", err)
+			}
+			s.RationaleBySite[c] = why
+		}
+	}
+	return s, nil
+}
+
+// MarshalJSON serializes the list back to the upstream schema with
+// deterministic ordering: sets sorted by primary, members in stored order,
+// map keys sorted (encoding/json sorts map keys already).
+func (l *List) MarshalJSON() ([]byte, error) {
+	jl := jsonList{Sets: make([]jsonSet, 0, len(l.sets))}
+	ordered := append([]*Set(nil), l.sets...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Primary < ordered[j].Primary })
+	for _, s := range ordered {
+		jl.Sets = append(jl.Sets, setToJSON(s))
+	}
+	return json.Marshal(jl)
+}
+
+// MarshalJSONIndent is MarshalJSON with two-space indentation, matching the
+// formatting of the upstream list file.
+func (l *List) MarshalJSONIndent() ([]byte, error) {
+	raw, err := l.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// MarshalSetJSON serializes a single set in the upstream schema.
+func MarshalSetJSON(s *Set) ([]byte, error) {
+	return json.Marshal(setToJSON(s))
+}
+
+func setToJSON(s *Set) jsonSet {
+	js := jsonSet{Contact: s.Contact, Primary: originOf(s.Primary)}
+	for _, a := range s.Associated {
+		js.AssociatedSites = append(js.AssociatedSites, originOf(a))
+	}
+	for _, v := range s.Service {
+		js.ServiceSites = append(js.ServiceSites, originOf(v))
+	}
+	if len(s.CCTLDs) > 0 {
+		js.CCTLDs = make(map[string][]string, len(s.CCTLDs))
+		for base, aliases := range s.CCTLDs {
+			oa := make([]string, len(aliases))
+			for i, a := range aliases {
+				oa[i] = originOf(a)
+			}
+			js.CCTLDs[originOf(base)] = oa
+		}
+	}
+	if len(s.RationaleBySite) > 0 {
+		js.RationaleBySite = make(map[string]string, len(s.RationaleBySite))
+		for site, why := range s.RationaleBySite {
+			js.RationaleBySite[originOf(site)] = why
+		}
+	}
+	return js
+}
+
+// Diff describes how a list changed between two snapshots.
+type Diff struct {
+	// AddedSets and RemovedSets identify sets (by primary) present in only
+	// one snapshot.
+	AddedSets   []string
+	RemovedSets []string
+	// AddedMembers and RemovedMembers list member-level changes within
+	// sets that exist in both snapshots, as "primary:site" strings.
+	AddedMembers   []string
+	RemovedMembers []string
+}
+
+// Empty reports whether the diff records no changes.
+func (d Diff) Empty() bool {
+	return len(d.AddedSets) == 0 && len(d.RemovedSets) == 0 &&
+		len(d.AddedMembers) == 0 && len(d.RemovedMembers) == 0
+}
+
+// DiffLists compares two list snapshots, keyed by set primary.
+func DiffLists(old, new *List) Diff {
+	var d Diff
+	oldByPrimary := make(map[string]*Set, len(old.sets))
+	for _, s := range old.sets {
+		oldByPrimary[s.Primary] = s
+	}
+	newByPrimary := make(map[string]*Set, len(new.sets))
+	for _, s := range new.sets {
+		newByPrimary[s.Primary] = s
+	}
+	for p := range newByPrimary {
+		if _, ok := oldByPrimary[p]; !ok {
+			d.AddedSets = append(d.AddedSets, p)
+		}
+	}
+	for p := range oldByPrimary {
+		if _, ok := newByPrimary[p]; !ok {
+			d.RemovedSets = append(d.RemovedSets, p)
+		}
+	}
+	for p, ns := range newByPrimary {
+		os, ok := oldByPrimary[p]
+		if !ok {
+			continue
+		}
+		oldSites := siteSet(os)
+		newSites := siteSet(ns)
+		for site := range newSites {
+			if !oldSites[site] {
+				d.AddedMembers = append(d.AddedMembers, p+":"+site)
+			}
+		}
+		for site := range oldSites {
+			if !newSites[site] {
+				d.RemovedMembers = append(d.RemovedMembers, p+":"+site)
+			}
+		}
+	}
+	sort.Strings(d.AddedSets)
+	sort.Strings(d.RemovedSets)
+	sort.Strings(d.AddedMembers)
+	sort.Strings(d.RemovedMembers)
+	return d
+}
+
+func siteSet(s *Set) map[string]bool {
+	m := make(map[string]bool, s.Size())
+	for _, site := range s.Sites() {
+		m[site] = true
+	}
+	return m
+}
+
+// canonicalOrigin parses an upstream origin string ("https://example.com")
+// into the canonical bare-host form used internally.
+func canonicalOrigin(s string) (string, error) {
+	o, err := domain.ParseHTTPSOrigin(s)
+	if err != nil {
+		return "", err
+	}
+	return o.Host(), nil
+}
+
+// canonicalHost lowercases and strips an optional https:// prefix so lookup
+// functions accept either form.
+func canonicalHost(s string) string {
+	s = strings.TrimSpace(strings.ToLower(s))
+	s = strings.TrimPrefix(s, "https://")
+	s = strings.TrimSuffix(s, "/")
+	return s
+}
+
+// originOf renders a canonical host in upstream origin form.
+func originOf(host string) string { return "https://" + host }
+
+func sortedKeys(m map[string][]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

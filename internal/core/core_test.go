@@ -1,0 +1,430 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleListJSON = `{
+  "sets": [
+    {
+      "contact": "webmaster@times.example",
+      "primary": "https://timesinternet.in",
+      "associatedSites": ["https://indiatimes.com"],
+      "rationaleBySite": {
+        "https://indiatimes.com": "Shared Times Internet branding"
+      }
+    },
+    {
+      "contact": "privacy@bild.example",
+      "primary": "https://bild.de",
+      "associatedSites": ["https://autobild.de", "https://computerbild.de"],
+      "serviceSites": ["https://bild-static.de"],
+      "rationaleBySite": {
+        "https://autobild.de": "Shared BILD branding",
+        "https://computerbild.de": "Shared BILD branding",
+        "https://bild-static.de": "Static asset host"
+      },
+      "ccTLDs": {
+        "https://bild.de": ["https://bild.at", "https://bild.ch"]
+      }
+    }
+  ]
+}`
+
+func mustParse(t *testing.T, data string) *List {
+	t.Helper()
+	l, err := ParseJSON([]byte(data))
+	if err != nil {
+		t.Fatalf("ParseJSON: %v", err)
+	}
+	return l
+}
+
+func TestParseJSON(t *testing.T) {
+	l := mustParse(t, sampleListJSON)
+	if l.NumSets() != 2 {
+		t.Fatalf("NumSets = %d, want 2", l.NumSets())
+	}
+	if l.NumSites() != 8 {
+		t.Fatalf("NumSites = %d, want 8", l.NumSites())
+	}
+	set, role, ok := l.FindSet("autobild.de")
+	if !ok || role != RoleAssociated || set.Primary != "bild.de" {
+		t.Errorf("FindSet(autobild.de) = %v/%v/%v", set, role, ok)
+	}
+	// Lookup accepts origin form too.
+	if _, _, ok := l.FindSet("https://bild.at"); !ok {
+		t.Error("FindSet should accept https:// origin form")
+	}
+	_, role, ok = l.FindSet("bild.at")
+	if !ok || role != RoleCCTLD {
+		t.Errorf("FindSet(bild.at) role = %v, ok=%v, want cctld", role, ok)
+	}
+	_, role, _ = l.FindSet("bild-static.de")
+	if role != RoleService {
+		t.Errorf("bild-static.de role = %v, want service", role)
+	}
+}
+
+func TestSameSet(t *testing.T) {
+	l := mustParse(t, sampleListJSON)
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"bild.de", "autobild.de", true},
+		{"autobild.de", "computerbild.de", true},
+		{"bild.at", "bild-static.de", true},
+		{"bild.de", "indiatimes.com", false},
+		{"timesinternet.in", "indiatimes.com", true},
+		{"bild.de", "unknown.com", false},
+		{"unknown.com", "unknown.com", false},
+	}
+	for _, tc := range cases {
+		if got := l.SameSet(tc.a, tc.b); got != tc.want {
+			t.Errorf("SameSet(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := l.SameSetScan(tc.a, tc.b); got != tc.want {
+			t.Errorf("SameSetScan(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestParseRejectsNonHTTPS(t *testing.T) {
+	bad := `{"sets":[{"primary":"http://example.com"}]}`
+	if _, err := ParseJSON([]byte(bad)); err == nil {
+		t.Error("ParseJSON should reject http:// primaries")
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	bad := `{"sets":[{"primary":"https://example.com","bogus":true}]}`
+	if _, err := ParseJSON([]byte(bad)); err == nil {
+		t.Error("ParseJSON should reject unknown fields")
+	}
+}
+
+func TestParseRejectsDuplicateAcrossSets(t *testing.T) {
+	bad := `{"sets":[
+    {"primary":"https://a.com","associatedSites":["https://shared.com"]},
+    {"primary":"https://b.com","associatedSites":["https://shared.com"]}
+  ]}`
+	_, err := ParseJSON([]byte(bad))
+	if !errors.Is(err, ErrDuplicateSite) {
+		t.Errorf("err = %v, want ErrDuplicateSite", err)
+	}
+}
+
+func TestParseRejectsDuplicateWithinSet(t *testing.T) {
+	bad := `{"sets":[{"primary":"https://a.com","associatedSites":["https://a.com"]}]}`
+	_, err := ParseJSON([]byte(bad))
+	if !errors.Is(err, ErrDuplicateSite) {
+		t.Errorf("err = %v, want ErrDuplicateSite", err)
+	}
+}
+
+func TestNewListNilSet(t *testing.T) {
+	if _, err := NewList([]*Set{nil}); !errors.Is(err, ErrNilSet) {
+		t.Errorf("err = %v, want ErrNilSet", err)
+	}
+}
+
+func TestSetMembersAndSize(t *testing.T) {
+	l := mustParse(t, sampleListJSON)
+	set, _, _ := l.FindSet("bild.de")
+	if set.Size() != 6 {
+		t.Errorf("Size = %d, want 6", set.Size())
+	}
+	members := set.Members()
+	if len(members) != 6 {
+		t.Fatalf("len(Members) = %d, want 6", len(members))
+	}
+	if members[0].Role != RolePrimary || members[0].Site != "bild.de" {
+		t.Errorf("first member = %+v, want primary bild.de", members[0])
+	}
+	var ccTLDCount int
+	for _, m := range members {
+		if m.Role == RoleCCTLD {
+			ccTLDCount++
+			if m.AliasOf != "bild.de" {
+				t.Errorf("ccTLD member AliasOf = %q, want bild.de", m.AliasOf)
+			}
+		}
+	}
+	if ccTLDCount != 2 {
+		t.Errorf("ccTLD members = %d, want 2", ccTLDCount)
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := mustParse(t, sampleListJSON)
+	s := l.Stats()
+	if s.Sets != 2 || s.AssociatedSites != 3 || s.ServiceSites != 1 || s.CCTLDSites != 2 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.SetsWithAssociated != 2 || s.SetsWithService != 1 || s.SetsWithCCTLD != 1 {
+		t.Errorf("Stats subset flags = %+v", s)
+	}
+	if s.MeanAssociatedPerSet != 1.5 {
+		t.Errorf("MeanAssociatedPerSet = %v, want 1.5", s.MeanAssociatedPerSet)
+	}
+	if s.FracSetsWithAssociated() != 1.0 {
+		t.Errorf("FracSetsWithAssociated = %v", s.FracSetsWithAssociated())
+	}
+	if s.FracSetsWithService() != 0.5 || s.FracSetsWithCCTLD() != 0.5 {
+		t.Errorf("Frac service/cctld = %v/%v", s.FracSetsWithService(), s.FracSetsWithCCTLD())
+	}
+	var zero CompositionStats
+	if zero.FracSetsWithAssociated() != 0 || zero.FracSetsWithService() != 0 || zero.FracSetsWithCCTLD() != 0 {
+		t.Error("zero stats fractions should be 0")
+	}
+}
+
+func TestSubsetPairs(t *testing.T) {
+	l := mustParse(t, sampleListJSON)
+	assoc := l.SubsetPairs(RoleAssociated)
+	if len(assoc) != 3 {
+		t.Fatalf("associated pairs = %d, want 3", len(assoc))
+	}
+	for _, p := range assoc {
+		if p[0] != "bild.de" && p[0] != "timesinternet.in" {
+			t.Errorf("unexpected primary %q", p[0])
+		}
+	}
+	svc := l.SubsetPairs(RoleService)
+	if len(svc) != 1 || svc[0] != [2]string{"bild.de", "bild-static.de"} {
+		t.Errorf("service pairs = %v", svc)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	l := mustParse(t, sampleListJSON)
+	out, err := l.MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := ParseJSON(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if l2.NumSets() != l.NumSets() || l2.NumSites() != l.NumSites() {
+		t.Errorf("round trip changed counts: %d/%d vs %d/%d",
+			l.NumSets(), l.NumSites(), l2.NumSets(), l2.NumSites())
+	}
+	out2, err := l2.MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(out2) {
+		t.Error("marshal is not a fixed point after one round trip")
+	}
+	if !strings.Contains(string(out), `"https://bild.de"`) {
+		t.Error("serialized form should use https:// origins")
+	}
+}
+
+func TestParseSetJSONAndMarshal(t *testing.T) {
+	raw := `{"primary":"https://example.com","associatedSites":["https://other.com"],
+	  "rationaleBySite":{"https://other.com":"branding"}}`
+	s, err := ParseSetJSON([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Primary != "example.com" || len(s.Associated) != 1 || s.Associated[0] != "other.com" {
+		t.Errorf("parsed set = %+v", s)
+	}
+	if s.RationaleBySite["other.com"] != "branding" {
+		t.Errorf("rationale = %v", s.RationaleBySite)
+	}
+	out, err := MarshalSetJSON(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js map[string]any
+	if err := json.Unmarshal(out, &js); err != nil {
+		t.Fatal(err)
+	}
+	if js["primary"] != "https://example.com" {
+		t.Errorf("marshaled primary = %v", js["primary"])
+	}
+}
+
+func TestClone(t *testing.T) {
+	l := mustParse(t, sampleListJSON)
+	orig, _, _ := l.FindSet("bild.de")
+	c := orig.Clone()
+	c.Associated[0] = "mutated.de"
+	c.CCTLDs["bild.de"][0] = "mutated.at"
+	c.RationaleBySite["autobild.de"] = "mutated"
+	if orig.Associated[0] == "mutated.de" {
+		t.Error("Clone shares Associated slice")
+	}
+	if orig.CCTLDs["bild.de"][0] == "mutated.at" {
+		t.Error("Clone shares CCTLDs map")
+	}
+	if orig.RationaleBySite["autobild.de"] == "mutated" {
+		t.Error("Clone shares RationaleBySite map")
+	}
+}
+
+func TestDiffLists(t *testing.T) {
+	oldList := mustParse(t, sampleListJSON)
+	newJSON := `{
+  "sets": [
+    {
+      "primary": "https://bild.de",
+      "associatedSites": ["https://autobild.de", "https://sportbild.de"],
+      "ccTLDs": {"https://bild.de": ["https://bild.at", "https://bild.ch"]}
+    },
+    {
+      "primary": "https://ya.ru",
+      "associatedSites": ["https://webvisor.com"]
+    }
+  ]
+}`
+	newList := mustParse(t, newJSON)
+	d := DiffLists(oldList, newList)
+	if len(d.AddedSets) != 1 || d.AddedSets[0] != "ya.ru" {
+		t.Errorf("AddedSets = %v", d.AddedSets)
+	}
+	if len(d.RemovedSets) != 1 || d.RemovedSets[0] != "timesinternet.in" {
+		t.Errorf("RemovedSets = %v", d.RemovedSets)
+	}
+	if len(d.AddedMembers) != 1 || d.AddedMembers[0] != "bild.de:sportbild.de" {
+		t.Errorf("AddedMembers = %v", d.AddedMembers)
+	}
+	// computerbild.de and bild-static.de were dropped.
+	if len(d.RemovedMembers) != 2 {
+		t.Errorf("RemovedMembers = %v", d.RemovedMembers)
+	}
+	if d.Empty() {
+		t.Error("diff should not be empty")
+	}
+	same := DiffLists(oldList, oldList)
+	if !same.Empty() {
+		t.Errorf("self-diff should be empty: %+v", same)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	cases := map[Role]string{
+		RolePrimary:    "primary",
+		RoleAssociated: "associated",
+		RoleService:    "service",
+		RoleCCTLD:      "cctld",
+		Role(99):       "role(99)",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("Role(%d).String() = %q, want %q", int(r), r.String(), want)
+		}
+	}
+}
+
+// TestQuickRoundTripArbitrarySets: construct random well-formed sets,
+// marshal, reparse, and verify membership is preserved.
+func TestQuickRoundTripArbitrarySets(t *testing.T) {
+	letters := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	tlds := []string{"com", "org", "net", "de", "fr"}
+	f := func(seedByte uint8, nSets uint8) bool {
+		n := int(nSets)%4 + 1
+		seen := map[string]bool{}
+		var sets []*Set
+		idx := int(seedByte)
+		nextSite := func() string {
+			for {
+				site := letters[idx%len(letters)] + letters[(idx/3)%len(letters)] + "." + tlds[idx%len(tlds)]
+				idx++
+				if !seen[site] {
+					seen[site] = true
+					return site
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			s := &Set{Primary: nextSite()}
+			for j := 0; j < idx%3+1; j++ {
+				s.Associated = append(s.Associated, nextSite())
+			}
+			if idx%2 == 0 {
+				s.Service = append(s.Service, nextSite())
+			}
+			sets = append(sets, s)
+		}
+		l, err := NewList(sets)
+		if err != nil {
+			return false
+		}
+		raw, err := l.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		l2, err := ParseJSON(raw)
+		if err != nil {
+			return false
+		}
+		if l2.NumSets() != l.NumSets() || l2.NumSites() != l.NumSites() {
+			return false
+		}
+		for site := range seen {
+			s1, r1, ok1 := l.FindSet(site)
+			s2, r2, ok2 := l2.FindSet(site)
+			if !ok1 || !ok2 || r1 != r2 || s1.Primary != s2.Primary {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSameSetIndexed(b *testing.B) {
+	l, err := ParseJSON([]byte(sampleListJSON))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.SameSet("bild.de", "computerbild.de")
+	}
+}
+
+func BenchmarkSameSetScan(b *testing.B) {
+	l, err := ParseJSON([]byte(sampleListJSON))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.SameSetScan("bild.de", "computerbild.de")
+	}
+}
+
+// TestQuickDiffSymmetry: swapping the arguments of DiffLists must swap
+// added and removed, element for element.
+func TestQuickDiffSymmetry(t *testing.T) {
+	a := mustParse(t, sampleListJSON)
+	b := mustParse(t, `{"sets":[
+	  {"primary":"https://bild.de","associatedSites":["https://autobild.de"]},
+	  {"primary":"https://ya.ru","associatedSites":["https://webvisor.com"]}
+	]}`)
+	fwd := DiffLists(a, b)
+	rev := DiffLists(b, a)
+	if len(fwd.AddedSets) != len(rev.RemovedSets) || len(fwd.RemovedSets) != len(rev.AddedSets) {
+		t.Errorf("set-level asymmetry: %+v vs %+v", fwd, rev)
+	}
+	if len(fwd.AddedMembers) != len(rev.RemovedMembers) || len(fwd.RemovedMembers) != len(rev.AddedMembers) {
+		t.Errorf("member-level asymmetry: %+v vs %+v", fwd, rev)
+	}
+	for i, s := range fwd.AddedSets {
+		if rev.RemovedSets[i] != s {
+			t.Errorf("added/removed mismatch at %d: %s vs %s", i, s, rev.RemovedSets[i])
+		}
+	}
+}

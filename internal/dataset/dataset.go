@@ -1,0 +1,296 @@
+// Package dataset embeds the seed data for the reproduction of "A First
+// Look at Related Website Sets" (IMC 2024): a reconstruction of the
+// Related Website Sets list as of 26 March 2024 (the snapshot all of the
+// paper's list analyses use), with per-site Forcepoint-style categories and
+// the month each set first appeared on the list.
+//
+// The reconstruction is synthetic but *shape-faithful*: it reproduces the
+// aggregates the paper reports rather than hard-coding them into analyses —
+//
+//   - 41 sets; 108 associated, 14 service, and a small number of ccTLD
+//     sites (92.7% of sets have associated members, 22% service, 14.6%
+//     ccTLD; mean 2.6 associated per set);
+//   - ~9.3% of associated sites share their primary's SLD exactly
+//     (poalim.xyz / poalim.site style), with a median SLD edit distance
+//     near 7 (Figure 3);
+//   - "News and media" is the largest primary category (Figure 8), and
+//     associated sites spread across more categories including analytics
+//     infrastructure (ya.ru → webvisor.com) (Figure 9);
+//   - the concrete examples the paper names are present verbatim:
+//     bild.de↔autobild.de/computerbild.de, cafemedia.com↔
+//     nourishingpursuits.com, poalim.site↔poalim.xyz,
+//     ya.ru↔webvisor.com, timesinternet.in↔indiatimes.com.
+//
+// Everything downstream (Figures 3, 7, 8, 9; the survey pair generator;
+// the governance simulator's approved sets) is computed from this data
+// through the same code paths that would process the real list file.
+package dataset
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"rwskit/internal/core"
+	"rwskit/internal/forcepoint"
+	"rwskit/internal/sitegen"
+)
+
+// SnapshotDate is the list snapshot date used throughout the paper.
+const SnapshotDate = "2024-03-26"
+
+// SeedSite is one site with its category.
+type SeedSite struct {
+	Domain   string
+	Category forcepoint.Category
+}
+
+// SeedSet is one Related Website Set with reconstruction metadata.
+type SeedSet struct {
+	Primary    SeedSite
+	Added      string // "YYYY-MM": month the set first appeared on the list
+	Associated []SeedSite
+	Service    []string
+	CCTLDs     map[string][]string
+}
+
+// Sets returns a copy of the embedded snapshot's sets.
+func Sets() []SeedSet {
+	out := make([]SeedSet, len(seedSets))
+	copy(out, seedSets)
+	return out
+}
+
+// List builds the snapshot as a core.List, with generated rationale text
+// for every associated and service member (the upstream list requires
+// one).
+func List() (*core.List, error) {
+	return ListAt(time.Date(2024, 3, 26, 0, 0, 0, 0, time.UTC))
+}
+
+// ListAt builds the list as it stood at the end of the given month:
+// only sets whose Added month is <= t are included. Months before the
+// first set yield an empty (but valid) list.
+func ListAt(t time.Time) (*core.List, error) {
+	var sets []*core.Set
+	cutoff := t.Format("2006-01")
+	for _, seed := range seedSets {
+		if seed.Added > cutoff {
+			continue
+		}
+		s := &core.Set{
+			Contact: "admin@" + seed.Primary.Domain,
+			Primary: seed.Primary.Domain,
+		}
+		s.RationaleBySite = make(map[string]string)
+		for _, a := range seed.Associated {
+			s.Associated = append(s.Associated, a.Domain)
+			s.RationaleBySite[a.Domain] = fmt.Sprintf("Clearly presented affiliation with %s (common branding).", seed.Primary.Domain)
+		}
+		for _, svc := range seed.Service {
+			s.Service = append(s.Service, svc)
+			s.RationaleBySite[svc] = fmt.Sprintf("Supports the functionality of %s set members.", seed.Primary.Domain)
+		}
+		if len(seed.CCTLDs) > 0 {
+			s.CCTLDs = make(map[string][]string, len(seed.CCTLDs))
+			for base, aliases := range seed.CCTLDs {
+				s.CCTLDs[base] = append([]string(nil), aliases...)
+			}
+		}
+		sets = append(sets, s)
+	}
+	return core.NewList(sets)
+}
+
+// CategoryDB returns the ThreatSeeker-substitute database covering every
+// site in the snapshot.
+func CategoryDB() *forcepoint.DB {
+	db := forcepoint.NewDB()
+	for _, s := range seedSets {
+		db.Set(s.Primary.Domain, s.Primary.Category)
+		for _, a := range s.Associated {
+			db.Set(a.Domain, a.Category)
+		}
+		for _, svc := range s.Service {
+			db.Set(svc, forcepoint.Analytics) // service sites are infrastructure
+		}
+		for _, aliases := range s.CCTLDs {
+			for _, alias := range aliases {
+				db.Set(alias, s.Primary.Category)
+			}
+		}
+	}
+	return db
+}
+
+// AddedMonths returns the month each set primary first appeared.
+func AddedMonths() map[string]string {
+	out := make(map[string]string, len(seedSets))
+	for _, s := range seedSets {
+		out[s.Primary.Domain] = s.Added
+	}
+	return out
+}
+
+// Months returns the snapshot months of the study window, "2023-01"
+// through "2024-03" inclusive — the x-axes of Figures 7, 8, and 9.
+func Months() []string {
+	var out []string
+	t := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	for !t.After(end) {
+		out = append(out, t.Format("2006-01"))
+		t = t.AddDate(0, 1, 0)
+	}
+	return out
+}
+
+// BrandingVisibility returns the deterministic branding visibility of a
+// member site: how clearly its pages present the affiliation with its set
+// primary. The mixture is calibrated so that roughly a third of associated
+// sites present little or no shared branding — the regime in which the
+// paper's participants misjudged 36.8% of same-set pairs as unrelated.
+// Primaries always present their own brand fully.
+func BrandingVisibility(primary, member string) float64 {
+	if primary == member {
+		return 1.0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(primary))
+	h.Write([]byte{'|'})
+	h.Write([]byte(member))
+	u := float64(h.Sum32()%10000) / 10000.0
+	switch {
+	case u < 0.22: // no usable signals at all
+		return 0.19 * (u / 0.22)
+	case u < 0.48: // footer legal line only
+		return 0.2 + 0.2*((u-0.22)/0.26)
+	case u < 0.70: // footer + about page
+		return 0.4 + 0.2*((u-0.48)/0.22)
+	case u < 0.85: // + shared logo
+		return 0.6 + 0.2*((u-0.70)/0.15)
+	default: // fully co-branded header
+		return 0.8 + 0.2*((u-0.85)/0.15)
+	}
+}
+
+// TopSiteCategories is the category mix used for the synthetic Tranco-200
+// sample (survey groups 3 and 4).
+func TopSiteCategories() []forcepoint.Category {
+	return []forcepoint.Category{
+		forcepoint.NewsAndMedia, forcepoint.InfoTech, forcepoint.Business,
+		forcepoint.SearchPortals, forcepoint.Shopping, forcepoint.Entertainment,
+		forcepoint.Travel, forcepoint.Education, forcepoint.Health,
+		forcepoint.Finance, forcepoint.Sports, forcepoint.Games,
+		forcepoint.SocialNetworking, forcepoint.Analytics,
+	}
+}
+
+// TopSites generates the 200-site categorised top-site sample
+// (deterministic for a seeded rng), substituting for "200 sites, drawn
+// randomly from the Tranco Top 10K" with ThreatSeeker categories. Snapshot
+// member domains are excluded so the two populations never collide.
+func TopSites(rng *rand.Rand) ([]*sitegen.Site, *forcepoint.DB) {
+	exclude := make(map[string]bool)
+	for _, s := range seedSets {
+		exclude[s.Primary.Domain] = true
+		for _, a := range s.Associated {
+			exclude[a.Domain] = true
+		}
+		for _, svc := range s.Service {
+			exclude[svc] = true
+		}
+		for _, aliases := range s.CCTLDs {
+			for _, alias := range aliases {
+				exclude[alias] = true
+			}
+		}
+	}
+	return sitegen.GenerateTopSitesExcluding(rng, 200, TopSiteCategories(), exclude)
+}
+
+// BuildWeb constructs the synthetic web hosting every snapshot set member
+// (as organisation-owned sites with calibrated branding visibility) plus
+// the given independent top sites. The rng drives layout archetypes only.
+func BuildWeb(rng *rand.Rand, topSites []*sitegen.Site) (*sitegen.Web, error) {
+	web := sitegen.NewWeb()
+	db := CategoryDB()
+	for _, seed := range seedSets {
+		var domains []string
+		var cats []forcepoint.Category
+		var vis []float64
+		add := func(d string) {
+			domains = append(domains, d)
+			cats = append(cats, db.Lookup(d))
+			vis = append(vis, BrandingVisibility(seed.Primary.Domain, d))
+		}
+		add(seed.Primary.Domain)
+		for _, a := range seed.Associated {
+			add(a.Domain)
+		}
+		for _, svc := range seed.Service {
+			add(svc)
+		}
+		for _, aliases := range seed.CCTLDs {
+			for _, alias := range aliases {
+				add(alias)
+			}
+		}
+		org, err := sitegen.GenerateOrg(rng, sitegen.OrgConfig{
+			Name:               orgName(seed.Primary.Domain),
+			Domains:            domains,
+			Categories:         cats,
+			BrandingVisibility: vis,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dataset: building org for %s: %w", seed.Primary.Domain, err)
+		}
+		// Service sites serve X-Robots-Tag, as the submission guidelines
+		// require (they are infrastructure, not user destinations).
+		svcSet := make(map[string]bool, len(seed.Service))
+		for _, svc := range seed.Service {
+			svcSet[svc] = true
+		}
+		for _, s := range org.Sites {
+			if svcSet[s.Domain] {
+				s.Headers = http.Header{"X-Robots-Tag": []string{"noindex"}}
+			}
+		}
+		web.AddOrg(org)
+	}
+	for _, s := range topSites {
+		web.AddSite(s)
+	}
+	return web, nil
+}
+
+// orgName derives a display organisation name from the primary domain.
+func orgName(primary string) string {
+	sld := primary
+	if i := indexByte(sld, '.'); i > 0 {
+		sld = sld[:i]
+	}
+	return titleCase(sld) + " Group"
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}

@@ -1,0 +1,360 @@
+package dataset
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"rwskit/internal/core"
+	"rwskit/internal/domain"
+	"rwskit/internal/editdist"
+	"rwskit/internal/forcepoint"
+	"rwskit/internal/psl"
+	"rwskit/internal/stats"
+	"rwskit/internal/validate"
+)
+
+// TestSnapshotAggregates asserts the paper's §4 list statistics hold by
+// construction: 41 sets; 92.7% with associated sites; 22% with service
+// sites; 14.6% with ccTLD sites; mean 2.6 associated per set; 108
+// associated and 14 service sites (the Figure 3 sample sizes).
+func TestSnapshotAggregates(t *testing.T) {
+	l, err := List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.Sets != 41 {
+		t.Errorf("sets = %d, want 41", s.Sets)
+	}
+	if s.AssociatedSites != 108 {
+		t.Errorf("associated sites = %d, want 108", s.AssociatedSites)
+	}
+	if s.ServiceSites != 14 {
+		t.Errorf("service sites = %d, want 14", s.ServiceSites)
+	}
+	if got := s.FracSetsWithAssociated(); got < 0.92 || got > 0.94 {
+		t.Errorf("frac with associated = %.3f, want ~0.927", got)
+	}
+	if got := s.FracSetsWithService(); got < 0.21 || got > 0.23 {
+		t.Errorf("frac with service = %.3f, want ~0.22", got)
+	}
+	if got := s.FracSetsWithCCTLD(); got < 0.14 || got > 0.15 {
+		t.Errorf("frac with ccTLD = %.3f, want ~0.146", got)
+	}
+	if s.MeanAssociatedPerSet < 2.5 || s.MeanAssociatedPerSet > 2.7 {
+		t.Errorf("mean associated per set = %.2f, want ~2.6", s.MeanAssociatedPerSet)
+	}
+}
+
+// TestPaperExamplesPresent: the concrete relationships the paper names
+// must exist in the snapshot.
+func TestPaperExamplesPresent(t *testing.T) {
+	l, err := List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]string{
+		{"bild.de", "autobild.de"},
+		{"bild.de", "computerbild.de"},
+		{"cafemedia.com", "nourishingpursuits.com"},
+		{"poalim.site", "poalim.xyz"},
+		{"ya.ru", "webvisor.com"},
+		{"timesinternet.in", "indiatimes.com"},
+	}
+	for _, p := range pairs {
+		if !l.SameSet(p[0], p[1]) {
+			t.Errorf("%s and %s should be in the same set", p[0], p[1])
+		}
+	}
+}
+
+// TestFigure3Anchors: ~9.3% of associated SLDs identical to the primary's;
+// median associated SLD edit distance near the paper's 7.
+func TestFigure3Anchors(t *testing.T) {
+	l, err := List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pslList := psl.Default()
+	pairs := l.SubsetPairs(core.RoleAssociated)
+	if len(pairs) != 108 {
+		t.Fatalf("associated pairs = %d, want 108", len(pairs))
+	}
+	var dists []float64
+	identical := 0
+	for _, p := range pairs {
+		sldP, err := domain.SLD(pslList, p[0])
+		if err != nil {
+			t.Fatalf("SLD(%s): %v", p[0], err)
+		}
+		sldA, err := domain.SLD(pslList, p[1])
+		if err != nil {
+			t.Fatalf("SLD(%s): %v", p[1], err)
+		}
+		d := editdist.Levenshtein(sldP, sldA)
+		if d == 0 {
+			identical++
+		}
+		dists = append(dists, float64(d))
+	}
+	fracIdentical := float64(identical) / float64(len(pairs))
+	if fracIdentical < 0.08 || fracIdentical > 0.11 {
+		t.Errorf("identical SLD fraction = %.3f (%d/108), want ~0.093", fracIdentical, identical)
+	}
+	med := stats.Median(dists)
+	if med < 5 || med > 9 {
+		t.Errorf("median associated SLD distance = %v, want 5..9 (paper: 7)", med)
+	}
+	svcPairs := l.SubsetPairs(core.RoleService)
+	if len(svcPairs) != 14 {
+		t.Errorf("service pairs = %d, want 14", len(svcPairs))
+	}
+}
+
+// TestEverySiteIsRegistrable: every member of every set must be an eTLD+1
+// under the embedded PSL (the snapshot models the *accepted* list, which
+// passed validation).
+func TestEverySiteIsRegistrable(t *testing.T) {
+	l, err := List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pslList := psl.Default()
+	for _, set := range l.Sets() {
+		for _, site := range set.Sites() {
+			if !pslList.IsETLDPlusOne(site) {
+				t.Errorf("%s (set %s) is not an eTLD+1", site, set.Primary)
+			}
+		}
+	}
+}
+
+// TestSnapshotPassesStructuralValidation: the published list must clear
+// the validator's structural checks (network checks need the synthetic
+// web and are exercised elsewhere).
+func TestSnapshotPassesStructuralValidation(t *testing.T) {
+	l, err := List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := validate.New(psl.Default(), nil, nil)
+	for _, set := range l.Sets() {
+		rep := v.ValidateSet(context.Background(), set)
+		if !rep.Passed() {
+			t.Errorf("set %s fails validation: %v", set.Primary, rep.Issues)
+		}
+	}
+}
+
+func TestListAtGrowth(t *testing.T) {
+	months := Months()
+	if len(months) != 15 || months[0] != "2023-01" || months[14] != "2024-03" {
+		t.Fatalf("Months = %v", months)
+	}
+	prev := 0
+	for _, m := range months {
+		tm, err := time.Parse("2006-01", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := ListAt(tm)
+		if err != nil {
+			t.Fatalf("ListAt(%s): %v", m, err)
+		}
+		if l.NumSets() < prev {
+			t.Errorf("list shrank at %s: %d -> %d", m, prev, l.NumSets())
+		}
+		prev = l.NumSets()
+	}
+	if prev != 41 {
+		t.Errorf("final month sets = %d, want 41", prev)
+	}
+	early, err := ListAt(time.Date(2022, 12, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.NumSets() != 0 {
+		t.Errorf("pre-2023 list should be empty, got %d", early.NumSets())
+	}
+	jan, err := ListAt(time.Date(2023, 1, 31, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jan.NumSets() != 2 {
+		t.Errorf("2023-01 sets = %d, want 2", jan.NumSets())
+	}
+}
+
+func TestCategoryDBCoversEverySite(t *testing.T) {
+	l, err := List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := CategoryDB()
+	for _, set := range l.Sets() {
+		for _, site := range set.Sites() {
+			if !db.Has(site) {
+				t.Errorf("%s missing from category DB", site)
+			}
+		}
+	}
+}
+
+// TestNewsIsLargestPrimaryCategory mirrors Figure 8's headline: news and
+// media is the largest primary category.
+func TestNewsIsLargestPrimaryCategory(t *testing.T) {
+	db := CategoryDB()
+	counts := map[forcepoint.Category]int{}
+	for _, s := range Sets() {
+		counts[db.Lookup(s.Primary.Domain)]++
+	}
+	news := counts[forcepoint.NewsAndMedia]
+	for c, n := range counts {
+		if c != forcepoint.NewsAndMedia && n > news {
+			t.Errorf("category %q (%d) larger than news and media (%d)", c, n, news)
+		}
+	}
+	if news < 5 {
+		t.Errorf("news primaries = %d, implausibly low", news)
+	}
+}
+
+func TestAddedMonthsComplete(t *testing.T) {
+	am := AddedMonths()
+	if len(am) != 41 {
+		t.Fatalf("AddedMonths = %d entries", len(am))
+	}
+	valid := map[string]bool{}
+	for _, m := range Months() {
+		valid[m] = true
+	}
+	for p, m := range am {
+		if !valid[m] {
+			t.Errorf("set %s added in out-of-window month %q", p, m)
+		}
+	}
+}
+
+func TestBrandingVisibilityProperties(t *testing.T) {
+	if BrandingVisibility("a.com", "a.com") != 1.0 {
+		t.Error("primary visibility must be 1")
+	}
+	// Deterministic.
+	if BrandingVisibility("bild.de", "autobild.de") != BrandingVisibility("bild.de", "autobild.de") {
+		t.Error("visibility not deterministic")
+	}
+	// Distribution: over the snapshot's associated pairs, a meaningful
+	// fraction must fall below the footer threshold (0.2) — the "no
+	// signals" regime — and some must be clearly co-branded (>= 0.6).
+	l, err := List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high, n := 0, 0, 0
+	for _, p := range l.SubsetPairs(core.RoleAssociated) {
+		v := BrandingVisibility(p[0], p[1])
+		if v < 0 || v > 1 {
+			t.Fatalf("visibility out of range: %v", v)
+		}
+		if v < 0.2 {
+			low++
+		}
+		if v >= 0.6 {
+			high++
+		}
+		n++
+	}
+	if frac := float64(low) / float64(n); frac < 0.2 || frac > 0.55 {
+		t.Errorf("low-visibility fraction = %.2f (%d/%d), want 0.2..0.55", frac, low, n)
+	}
+	if high == 0 {
+		t.Error("no clearly co-branded members at all")
+	}
+}
+
+func TestTopSites(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sites, db := TopSites(rng)
+	if len(sites) != 200 {
+		t.Fatalf("top sites = %d", len(sites))
+	}
+	cats := map[forcepoint.Category]bool{}
+	for _, s := range sites {
+		cats[db.Lookup(s.Domain)] = true
+	}
+	if len(cats) < 10 {
+		t.Errorf("top-site categories = %d, want >= 10", len(cats))
+	}
+}
+
+func TestBuildWeb(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tops, _ := TopSites(rng)
+	web, err := BuildWeb(rng, tops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every set member and every top site must be served.
+	for _, set := range l.Sets() {
+		for _, site := range set.Sites() {
+			if _, ok := web.Site(site); !ok {
+				t.Errorf("web missing set member %s", site)
+			}
+		}
+	}
+	for _, s := range tops {
+		if _, ok := web.Site(s.Domain); !ok {
+			t.Errorf("web missing top site %s", s.Domain)
+		}
+	}
+	wantSites := l.NumSites() + len(tops)
+	if got := len(web.Domains()); got != wantSites {
+		t.Errorf("web domains = %d, want %d", got, wantSites)
+	}
+}
+
+// TestNoDuplicateDomainsAcrossSeedAndTops guards the generator against
+// colliding with seed domains (which would panic in BuildWeb).
+func TestNoDuplicateDomainsAcrossSeedAndTops(t *testing.T) {
+	seen := map[string]bool{}
+	l, err := List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, set := range l.Sets() {
+		for _, site := range set.Sites() {
+			if seen[site] {
+				t.Fatalf("duplicate seed domain %s", site)
+			}
+			seen[site] = true
+		}
+	}
+	rng := rand.New(rand.NewSource(99))
+	tops, _ := TopSites(rng)
+	var dups []string
+	for _, s := range tops {
+		if seen[s.Domain] {
+			dups = append(dups, s.Domain)
+		}
+	}
+	sort.Strings(dups)
+	if len(dups) > 0 {
+		t.Errorf("top-site domains collide with seed: %v", dups)
+	}
+}
+
+func BenchmarkBuildList(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := List(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package dataset
+
+import fp "rwskit/internal/forcepoint"
+
+// seedSets is the reconstruction of the RWS list snapshot of 26 March
+// 2024. See the package comment for the aggregate invariants this data is
+// constructed to satisfy; dataset_test.go asserts every one of them.
+var seedSets = []SeedSet{
+	{
+		Primary: SeedSite{"bild.de", fp.NewsAndMedia}, Added: "2023-01",
+		Associated: []SeedSite{
+			{"autobild.de", fp.NewsAndMedia},
+			{"computerbild.de", fp.InfoTech},
+			{"sportbild.de", fp.Sports},
+		},
+		Service: []string{"bild-static.de", "bild-login.de"},
+		CCTLDs:  map[string][]string{"bild.de": {"bild.at", "bild.ch"}},
+	},
+	{
+		Primary: SeedSite{"timesinternet.in", fp.NewsAndMedia}, Added: "2023-01",
+		Associated: []SeedSite{
+			{"indiatimes.com", fp.NewsAndMedia},
+			{"economictimes.com", fp.NewsAndMedia},
+			{"timesofindia.com", fp.NewsAndMedia},
+			{"cricbuzz.com", fp.Sports},
+		},
+	},
+	{
+		Primary: SeedSite{"cafemedia.com", fp.Business}, Added: "2023-02",
+		Associated: []SeedSite{
+			{"nourishingpursuits.com", fp.Health},
+			{"wanderingspoon.com", fp.Entertainment},
+			{"cozyhomestead.net", fp.Business},
+			{"gardenglee.com", fp.Entertainment},
+			{"thriftyfinds.net", fp.Shopping},
+			{"trailsandtents.com", fp.Travel},
+			{"simplebakes.net", fp.Entertainment},
+			{"petpalsdaily.com", fp.Entertainment},
+			{"familycraftcorner.com", fp.Education},
+			{"quietreaders.com", fp.Education},
+			{"morningbrewnotes.com", fp.NewsAndMedia},
+			{"happyhikers.net", fp.Travel},
+		},
+		Service: []string{"cafemedia-cdn.com", "adthrive-assets.com", "cafemedia-static.com"},
+	},
+	{
+		Primary: SeedSite{"poalim.site", fp.Finance}, Added: "2023-02",
+		Associated: []SeedSite{
+			{"poalim.xyz", fp.Finance},
+			{"poalim.online", fp.Finance},
+		},
+	},
+	{
+		Primary: SeedSite{"ya.ru", fp.SearchPortals}, Added: "2023-03",
+		Associated: []SeedSite{
+			{"webvisor.com", fp.Analytics},
+			{"turbopages.org", fp.InfoTech},
+		},
+		Service: []string{"yastatic.net"},
+		CCTLDs:  map[string][]string{"ya.ru": {"ya.by"}},
+	},
+	{
+		Primary: SeedSite{"heliosnews.com", fp.NewsAndMedia}, Added: "2023-04",
+		Associated: []SeedSite{
+			{"heliosport.com", fp.Sports},
+			{"heliostech.net", fp.InfoTech},
+			{"heliosdaily.com", fp.NewsAndMedia},
+		},
+	},
+	{
+		Primary: SeedSite{"metrotribune.com", fp.NewsAndMedia}, Added: "2023-04",
+		Associated: []SeedSite{
+			{"metrotribune.news", fp.NewsAndMedia},
+			{"metrovoices.net", fp.NewsAndMedia},
+			{"metropulse.org", fp.NewsAndMedia},
+		},
+	},
+	{
+		Primary: SeedSite{"globaldispatch.net", fp.NewsAndMedia}, Added: "2023-05",
+		Associated: []SeedSite{
+			{"globalbrief.com", fp.NewsAndMedia},
+			{"globalreport.org", fp.NewsAndMedia},
+			{"globalsportsdesk.com", fp.Sports},
+		},
+	},
+	{
+		Primary: SeedSite{"eveningchronicle.co.uk", fp.NewsAndMedia}, Added: "2023-05",
+		Associated: []SeedSite{
+			{"morningledger.co.uk", fp.NewsAndMedia},
+			{"weekendreview.co.uk", fp.Entertainment},
+		},
+		CCTLDs: map[string][]string{"eveningchronicle.co.uk": {"eveningchronicle.ie"}},
+	},
+	{
+		Primary: SeedSite{"citygazette.com", fp.NewsAndMedia}, Added: "2023-06",
+		Associated: []SeedSite{
+			{"cityscribe.com", fp.NewsAndMedia},
+			{"citybrief.net", fp.NewsAndMedia},
+		},
+	},
+	{
+		Primary: SeedSite{"cloudstackhq.com", fp.InfoTech}, Added: "2023-06",
+		Associated: []SeedSite{
+			{"stackmonitor.io", fp.Analytics},
+			{"cloudrunner.dev", fp.InfoTech},
+			{"cloudstackdocs.org", fp.Education},
+		},
+		Service: []string{"cloudstack-auth.com"},
+	},
+	{
+		Primary: SeedSite{"byteforge.io", fp.InfoTech}, Added: "2023-06",
+		Associated: []SeedSite{
+			{"forgecity.dev", fp.InfoTech},
+			{"bytebazaar.com", fp.Shopping},
+			{"bytequarry.net", fp.InfoTech},
+		},
+	},
+	{
+		Primary: SeedSite{"devharbor.dev", fp.InfoTech}, Added: "2023-07",
+		Associated: []SeedSite{
+			{"harborlogs.io", fp.Analytics},
+			{"devmate.tech", fp.InfoTech},
+		},
+	},
+	{
+		Primary: SeedSite{"quantumgridlabs.com", fp.InfoTech}, Added: "2023-07",
+		Associated: []SeedSite{
+			{"gridsim.io", fp.InfoTech},
+			{"quantumnews.net", fp.NewsAndMedia},
+			{"quantumgrid.app", fp.InfoTech},
+		},
+	},
+	{
+		Primary: SeedSite{"codefoundry.tech", fp.InfoTech}, Added: "2023-07",
+		Associated: []SeedSite{
+			{"codelearn.com", fp.Education},
+			{"anvilscript.dev", fp.InfoTech},
+		},
+	},
+	{
+		Primary: SeedSite{"tradebridge.com", fp.Business}, Added: "2023-08",
+		Associated: []SeedSite{
+			{"bridgemarkets.net", fp.Finance},
+			{"exportlane.com", fp.Business},
+			{"tradedesk.org", fp.Business},
+		},
+		CCTLDs: map[string][]string{"tradebridge.com": {"tradebridge.co.uk", "tradebridge.de"}},
+	},
+	{
+		Primary: SeedSite{"venturedesk.com", fp.Business}, Added: "2023-08",
+		Associated: []SeedSite{
+			{"ventureledger.net", fp.Finance},
+			{"founderbrief.com", fp.NewsAndMedia},
+		},
+	},
+	{
+		Primary: SeedSite{"capitalworks.net", fp.Business}, Added: "2023-08",
+		Associated: []SeedSite{
+			{"workscapital.com", fp.Finance},
+			{"capitallane.net", fp.Business},
+		},
+	},
+	{
+		Primary: SeedSite{"marketlane.biz", fp.Business}, Added: "2023-09",
+		Associated: []SeedSite{
+			{"lanecommerce.com", fp.Shopping},
+			{"stallfront.net", fp.Shopping},
+			{"marketvoice.org", fp.Business},
+		},
+	},
+	{
+		Primary: SeedSite{"findhub.com", fp.SearchPortals}, Added: "2023-09",
+		Associated: []SeedSite{
+			{"findhub.io", fp.InfoTech},
+			{"findhub.app", fp.InfoTech},
+			{"seekpath.net", fp.SearchPortals},
+			{"indexbay.org", fp.SearchPortals},
+		},
+		Service: []string{"findhub-sso.com"},
+	},
+	{
+		Primary: SeedSite{"querygate.com", fp.SearchPortals}, Added: "2023-09",
+		Associated: []SeedSite{
+			{"querygate.io", fp.InfoTech},
+			{"answerwell.net", fp.SearchPortals},
+			{"askbridge.org", fp.Education},
+		},
+	},
+	{
+		Primary: SeedSite{"portalnest.net", fp.SearchPortals}, Added: "2023-10",
+		Associated: []SeedSite{
+			{"portalmail.com", fp.InfoTech},
+			{"startpanel.org", fp.SearchPortals},
+			{"webcompass.io", fp.SearchPortals},
+		},
+	},
+	{
+		Primary: SeedSite{"metricflow.io", fp.Analytics}, Added: "2023-10",
+		Associated: []SeedSite{
+			{"funnelsight.com", fp.Analytics},
+			{"eventpipe.net", fp.Analytics},
+		},
+		Service: []string{"metricflow-collector.io"},
+	},
+	{
+		Primary: SeedSite{"insightbeam.com", fp.Analytics}, Added: "2023-10",
+		Associated: []SeedSite{
+			{"beamdash.io", fp.Analytics},
+			{"insightlens.net", fp.Analytics},
+			{"clickmosaic.org", fp.Analytics},
+		},
+	},
+	{
+		Primary: SeedSite{"streamstage.tv", fp.Entertainment}, Added: "2023-10",
+		Associated: []SeedSite{
+			{"streamstage.com", fp.Entertainment},
+			{"streambox.net", fp.Entertainment},
+			{"popcorndaily.org", fp.NewsAndMedia},
+			{"fanreel.io", fp.SocialNetworking},
+		},
+		Service: []string{"streamstage-cdn.com"},
+	},
+	{
+		Primary: SeedSite{"cinevault.com", fp.Entertainment}, Added: "2023-11",
+		Associated: []SeedSite{
+			{"cinearchive.net", fp.Entertainment},
+			{"screengems.org", fp.Entertainment},
+			{"castingcall.io", fp.Business},
+		},
+	},
+	{
+		Primary: SeedSite{"bargaincrate.com", fp.Shopping}, Added: "2023-11",
+		Associated: []SeedSite{
+			{"cratefinds.net", fp.Shopping},
+			{"bargainsprout.org", fp.Shopping},
+			{"couponburst.com", fp.CompromisedSpam},
+		},
+	},
+	{
+		Primary: SeedSite{"dealbasket.shop", fp.Shopping}, Added: "2023-11",
+		Associated: []SeedSite{
+			{"dealbasket.com", fp.Shopping},
+			{"basketbuddy.net", fp.Shopping},
+		},
+	},
+	{
+		Primary: SeedSite{"wanderroute.travel", fp.Travel}, Added: "2023-12",
+		Associated: []SeedSite{
+			{"routediaries.com", fp.Travel},
+			{"wanderlightly.net", fp.Travel},
+			{"transitmaps.org", fp.Travel},
+		},
+		CCTLDs: map[string][]string{"wanderroute.travel": {"wanderroute.fr"}},
+	},
+	{
+		Primary: SeedSite{"voyagenest.com", fp.Travel}, Added: "2023-12",
+		Associated: []SeedSite{
+			{"voyagenest.travel", fp.Travel},
+			{"harborstays.net", fp.Travel},
+		},
+	},
+	{
+		Primary: SeedSite{"learngrove.education", fp.Education}, Added: "2023-12",
+		Associated: []SeedSite{
+			{"grovelessons.com", fp.Education},
+			{"learnmeadow.net", fp.Education},
+		},
+	},
+	{
+		Primary: SeedSite{"scholarfield.org", fp.Education}, Added: "2024-01",
+		Associated: []SeedSite{
+			{"scholarnotes.com", fp.Education},
+			{"campusbeacon.net", fp.Education},
+		},
+	},
+	{
+		Primary: SeedSite{"wellclinic.health", fp.Health}, Added: "2024-01",
+		Associated: []SeedSite{
+			{"clinicnotes.com", fp.Health},
+			{"wellcompanion.net", fp.Health},
+		},
+	},
+	{
+		Primary: SeedSite{"coinvault.finance", fp.Finance}, Added: "2024-01",
+		Associated: []SeedSite{
+			{"coinvault.com", fp.Finance},
+			{"vaultrates.net", fp.Finance},
+			{"loanlattice.org", fp.Finance},
+		},
+	},
+	{
+		Primary: SeedSite{"scorearena.com", fp.Sports}, Added: "2024-01",
+		Associated: []SeedSite{
+			{"arenastats.net", fp.Sports},
+			{"matchdaypulse.org", fp.Sports},
+			{"fanterrace.com", fp.SocialNetworking},
+		},
+	},
+	{
+		Primary: SeedSite{"pixelquest.games", fp.Games}, Added: "2024-02",
+		Associated: []SeedSite{
+			{"questwiki.org", fp.Games},
+			{"pixelbazaar.com", fp.Shopping},
+		},
+	},
+	{
+		Primary: SeedSite{"civicoffice.org", fp.Government}, Added: "2024-02",
+		Associated: []SeedSite{
+			{"citizenforms.com", fp.Government},
+		},
+	},
+	{
+		Primary: SeedSite{"adultprime.com", fp.AdultContent}, Added: "2024-02",
+		Associated: []SeedSite{
+			{"primevids.net", fp.AdultContent},
+			{"nightgallery.org", fp.AdultContent},
+		},
+	},
+	{
+		Primary: SeedSite{"staticgrid.net", fp.Analytics}, Added: "2024-03",
+		Service: []string{"staticgrid-cdn.net", "staticgrid-assets.net", "staticgrid-img.net"},
+	},
+	{
+		Primary: SeedSite{"securelogin.net", fp.InfoTech}, Added: "2024-03",
+		Service: []string{"securelogin-sso.net"},
+	},
+	{
+		Primary: SeedSite{"globalmedia.de", fp.NewsAndMedia}, Added: "2024-03",
+		CCTLDs: map[string][]string{"globalmedia.de": {"globalmedia.at", "globalmedia.ch"}},
+	},
+}

@@ -1,0 +1,217 @@
+// Package disconnect models the Disconnect entities list, the
+// expert-curated product §5 of "A First Look at Related Website Sets"
+// (IMC 2024) identifies as the closest existing analogue to the RWS list:
+// both group domains controlled by one organisation, both are consumed by
+// browsers to relax privacy protections, and both are maintained by a
+// small group of experts.
+//
+// The crucial difference the paper highlights — and this package makes
+// measurable — is that Disconnect's entities list requires *common
+// ownership*, while RWS "associated sites" only require an affiliation
+// that is "clearly presented to users". CompareWithRWS quantifies that
+// relaxation: which RWS members would NOT be covered by an
+// ownership-based entities list.
+package disconnect
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"rwskit/internal/core"
+)
+
+// Entity is one organisation in the entities list.
+type Entity struct {
+	// Name is the organisation name ("Axel Springer").
+	Name string
+	// Properties are the registrable domains the organisation owns and
+	// operates as user-facing sites.
+	Properties []string
+	// Resources are additional domains the organisation serves assets
+	// from (CDNs, trackers); a superset of Properties in the upstream
+	// format.
+	Resources []string
+}
+
+// List is a Disconnect-style entities list.
+type List struct {
+	entities []Entity
+	byDomain map[string]int // domain -> index into entities
+}
+
+// NewList builds a list from entities. Unlike the RWS list, the upstream
+// entities list tolerates a domain appearing under one entity only; a
+// duplicate across entities is an error.
+func NewList(entities []Entity) (*List, error) {
+	l := &List{byDomain: make(map[string]int)}
+	for i, e := range entities {
+		if e.Name == "" {
+			return nil, fmt.Errorf("disconnect: entity %d has no name", i)
+		}
+		for _, d := range append(append([]string{}, e.Properties...), e.Resources...) {
+			d = strings.ToLower(strings.TrimSpace(d))
+			if d == "" {
+				return nil, fmt.Errorf("disconnect: entity %q has an empty domain", e.Name)
+			}
+			if prev, dup := l.byDomain[d]; dup && entities[prev].Name != e.Name {
+				return nil, fmt.Errorf("disconnect: %q appears under %q and %q",
+					d, entities[prev].Name, e.Name)
+			}
+			l.byDomain[d] = i
+		}
+		l.entities = append(l.entities, e)
+	}
+	return l, nil
+}
+
+// jsonList mirrors the upstream services/entities JSON shape:
+//
+//	{"entities": {"Org Name": {"properties": [...], "resources": [...]}}}
+type jsonList struct {
+	Entities map[string]jsonEntity `json:"entities"`
+}
+
+type jsonEntity struct {
+	Properties []string `json:"properties"`
+	Resources  []string `json:"resources"`
+}
+
+// ParseJSON parses the upstream entities JSON format.
+func ParseJSON(data []byte) (*List, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var jl jsonList
+	if err := dec.Decode(&jl); err != nil {
+		return nil, fmt.Errorf("disconnect: parsing entities JSON: %w", err)
+	}
+	names := make([]string, 0, len(jl.Entities))
+	for name := range jl.Entities {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entities := make([]Entity, 0, len(names))
+	for _, name := range names {
+		je := jl.Entities[name]
+		entities = append(entities, Entity{
+			Name:       name,
+			Properties: je.Properties,
+			Resources:  je.Resources,
+		})
+	}
+	return NewList(entities)
+}
+
+// MarshalJSON serializes in the upstream format.
+func (l *List) MarshalJSON() ([]byte, error) {
+	jl := jsonList{Entities: make(map[string]jsonEntity, len(l.entities))}
+	for _, e := range l.entities {
+		jl.Entities[e.Name] = jsonEntity{Properties: e.Properties, Resources: e.Resources}
+	}
+	return json.Marshal(jl)
+}
+
+// NumEntities returns the number of organisations.
+func (l *List) NumEntities() int { return len(l.entities) }
+
+// Entities returns a copy of the entities.
+func (l *List) Entities() []Entity {
+	return append([]Entity(nil), l.entities...)
+}
+
+// EntityOf returns the organisation that owns domain.
+func (l *List) EntityOf(domain string) (Entity, bool) {
+	i, ok := l.byDomain[strings.ToLower(strings.TrimSpace(domain))]
+	if !ok {
+		return Entity{}, false
+	}
+	return l.entities[i], true
+}
+
+// SameEntity reports whether two domains are owned by the same
+// organisation — Disconnect's (stricter) analogue of core.List.SameSet.
+func (l *List) SameEntity(a, b string) bool {
+	ia, ok := l.byDomain[strings.ToLower(strings.TrimSpace(a))]
+	if !ok {
+		return false
+	}
+	ib, ok := l.byDomain[strings.ToLower(strings.TrimSpace(b))]
+	if !ok {
+		return false
+	}
+	return ia == ib
+}
+
+// FromRWSOwnership derives the entities list an ownership-only curator
+// would publish for the same organisations as an RWS list: every set
+// becomes an entity containing the primary, service sites, and ccTLD
+// variants (all ownership-bound subsets under the RWS rules), while
+// associated sites are included only when affiliated by the predicate
+// sameOwner(primary, member). Passing a predicate that always returns
+// false models the paper's worst case: no associated site shares
+// ownership.
+func FromRWSOwnership(rws *core.List, sameOwner func(primary, member string) bool) (*List, error) {
+	var entities []Entity
+	for _, set := range rws.Sets() {
+		e := Entity{Name: set.Primary}
+		e.Properties = append(e.Properties, set.Primary)
+		for _, m := range set.Members() {
+			switch m.Role {
+			case core.RolePrimary:
+				// already added
+			case core.RoleService:
+				e.Resources = append(e.Resources, m.Site)
+			case core.RoleCCTLD:
+				e.Properties = append(e.Properties, m.Site)
+			case core.RoleAssociated:
+				if sameOwner != nil && sameOwner(set.Primary, m.Site) {
+					e.Properties = append(e.Properties, m.Site)
+				}
+			}
+		}
+		entities = append(entities, e)
+	}
+	return NewList(entities)
+}
+
+// Comparison quantifies the relaxation the paper's §5 describes: how much
+// of the RWS relatedness relation is NOT backed by common ownership.
+type Comparison struct {
+	// RWSSites is the number of member sites on the RWS list.
+	RWSSites int
+	// CoveredByEntity is the number of RWS member sites the entities list
+	// attributes to the same organisation as their set primary.
+	CoveredByEntity int
+	// UncoveredAssociated lists RWS associated sites with no ownership
+	// backing — the pairs where RWS enables sharing that an
+	// ownership-based list would not.
+	UncoveredAssociated []string
+}
+
+// CoverageFrac returns the fraction of RWS member sites covered by
+// ownership.
+func (c Comparison) CoverageFrac() float64 {
+	if c.RWSSites == 0 {
+		return 0
+	}
+	return float64(c.CoveredByEntity) / float64(c.RWSSites)
+}
+
+// CompareWithRWS measures how an entities list covers an RWS list.
+func CompareWithRWS(entities *List, rws *core.List) Comparison {
+	var c Comparison
+	for _, set := range rws.Sets() {
+		for _, m := range set.Members() {
+			c.RWSSites++
+			if entities.SameEntity(set.Primary, m.Site) {
+				c.CoveredByEntity++
+			} else if m.Role == core.RoleAssociated {
+				c.UncoveredAssociated = append(c.UncoveredAssociated, m.Site)
+			}
+		}
+	}
+	sort.Strings(c.UncoveredAssociated)
+	return c
+}

@@ -1,0 +1,179 @@
+package disconnect
+
+import (
+	"strings"
+	"testing"
+
+	"rwskit/internal/dataset"
+)
+
+const sampleJSON = `{
+  "entities": {
+    "Axel Springer": {
+      "properties": ["bild.de", "autobild.de", "bild.at"],
+      "resources": ["bild-static.de"]
+    },
+    "Yandex": {
+      "properties": ["ya.ru"],
+      "resources": ["yastatic.net", "webvisor.com"]
+    }
+  }
+}`
+
+func TestParseAndQueries(t *testing.T) {
+	l, err := ParseJSON([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumEntities() != 2 {
+		t.Fatalf("entities = %d", l.NumEntities())
+	}
+	e, ok := l.EntityOf("autobild.de")
+	if !ok || e.Name != "Axel Springer" {
+		t.Errorf("EntityOf(autobild.de) = %+v, %v", e, ok)
+	}
+	if _, ok := l.EntityOf("unknown.com"); ok {
+		t.Error("unknown domain should not resolve")
+	}
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"bild.de", "autobild.de", true},
+		{"bild.de", "bild-static.de", true}, // resources count
+		{"BILD.de", "bild.at", true},        // case-insensitive
+		{"bild.de", "ya.ru", false},
+		{"bild.de", "nope.com", false},
+	}
+	for _, tc := range cases {
+		if got := l.SameEntity(tc.a, tc.b); got != tc.want {
+			t.Errorf("SameEntity(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	bad := []string{
+		`{"entities": {"A": {"properties": ["x.com"]}, "B": {"properties": ["x.com"]}}}`,
+		`{"entities": {"A": {"properties": [""]}}}`,
+		`{"entities": {}, "extra": 1}`,
+		`{not json`,
+	}
+	for _, in := range bad {
+		if _, err := ParseJSON([]byte(in)); err == nil {
+			t.Errorf("ParseJSON(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	l, err := ParseJSON([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := l.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := ParseJSON(raw)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, raw)
+	}
+	if l2.NumEntities() != l.NumEntities() {
+		t.Error("round trip changed entity count")
+	}
+	if !l2.SameEntity("bild.de", "bild-static.de") {
+		t.Error("membership lost in round trip")
+	}
+}
+
+func TestSameDomainTwiceInOneEntityAllowed(t *testing.T) {
+	_, err := NewList([]Entity{{
+		Name:       "A",
+		Properties: []string{"a.com"},
+		Resources:  []string{"a.com"},
+	}})
+	if err != nil {
+		t.Errorf("domain in both properties and resources of one entity should be fine: %v", err)
+	}
+}
+
+// TestRelaxationAgainstSnapshot quantifies the paper's §5 point on the
+// embedded snapshot: with no common ownership behind associated sites, an
+// ownership-based entities list covers only primaries, service sites, and
+// ccTLD variants — the associated majority of the RWS list is exactly the
+// relaxation.
+func TestRelaxationAgainstSnapshot(t *testing.T) {
+	rws, err := dataset.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst case: no associated site shares ownership with its primary.
+	strict, err := FromRWSOwnership(rws, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CompareWithRWS(strict, rws)
+	stats := rws.Stats()
+	wantCovered := stats.Sets + stats.ServiceSites + stats.CCTLDSites
+	if c.CoveredByEntity != wantCovered {
+		t.Errorf("covered = %d, want %d (primaries+service+ccTLD)", c.CoveredByEntity, wantCovered)
+	}
+	if len(c.UncoveredAssociated) != stats.AssociatedSites {
+		t.Errorf("uncovered associated = %d, want %d", len(c.UncoveredAssociated), stats.AssociatedSites)
+	}
+	if c.CoverageFrac() > 0.45 {
+		t.Errorf("ownership coverage = %.2f; the associated majority should dominate", c.CoverageFrac())
+	}
+	// The paper's flagship example of the relaxation must be present.
+	found := false
+	for _, d := range c.UncoveredAssociated {
+		if d == "nourishingpursuits.com" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("nourishingpursuits.com should be an uncovered associated site")
+	}
+
+	// Generous case: every associated site shares ownership; coverage is
+	// total and the relaxation disappears.
+	generous, err := FromRWSOwnership(rws, func(primary, member string) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := CompareWithRWS(generous, rws)
+	if c2.CoverageFrac() != 1 || len(c2.UncoveredAssociated) != 0 {
+		t.Errorf("full-ownership coverage = %.2f, uncovered = %d", c2.CoverageFrac(), len(c2.UncoveredAssociated))
+	}
+}
+
+func TestComparisonZeroValue(t *testing.T) {
+	var c Comparison
+	if c.CoverageFrac() != 0 {
+		t.Error("zero comparison should have 0 coverage")
+	}
+}
+
+func TestNewListValidation(t *testing.T) {
+	if _, err := NewList([]Entity{{Properties: []string{"a.com"}}}); err == nil {
+		t.Error("entity without name should fail")
+	}
+	if _, err := NewList([]Entity{{Name: "A", Properties: []string{" "}}}); err == nil {
+		t.Error("blank domain should fail")
+	}
+}
+
+func TestMarshalContainsUpstreamShape(t *testing.T) {
+	l, err := ParseJSON([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := l.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"entities"`) || !strings.Contains(string(raw), `"properties"`) {
+		t.Errorf("marshaled form missing upstream keys: %s", raw)
+	}
+}

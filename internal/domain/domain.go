@@ -1,0 +1,219 @@
+// Package domain provides domain-name normalization and the site-level
+// concepts the Related Website Sets machinery is built from: registrable
+// domains (eTLD+1, the Web's site-as-privacy-boundary unit described in §2
+// of the paper), second-level-domain (SLD) extraction for the Figure 3
+// edit-distance analysis, and ccTLD-variant detection for the RWS "ccTLDs"
+// subset rules.
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+
+	"rwskit/internal/psl"
+)
+
+// Errors returned by Normalize and the Site constructors.
+var (
+	ErrEmpty          = errors.New("domain: empty domain")
+	ErrTooLong        = errors.New("domain: name exceeds 253 characters")
+	ErrBadLabel       = errors.New("domain: invalid label")
+	ErrNotRegistrable = errors.New("domain: not a registrable domain (eTLD+1)")
+	ErrNotHTTPS       = errors.New("domain: origin scheme is not https")
+)
+
+// Normalize lowercases d, strips a single trailing dot, and validates it as
+// an LDH (letters-digits-hyphen) hostname: labels of 1-63 characters that do
+// not start or end with '-', total length at most 253. It does not consult
+// the PSL; use Site for registrable-domain semantics.
+func Normalize(d string) (string, error) {
+	d = strings.ToLower(strings.TrimSpace(d))
+	d = strings.TrimSuffix(d, ".")
+	if d == "" {
+		return "", ErrEmpty
+	}
+	if len(d) > 253 {
+		return "", ErrTooLong
+	}
+	for _, label := range strings.Split(d, ".") {
+		if err := checkLabel(label); err != nil {
+			return "", fmt.Errorf("%w: %q in %q", ErrBadLabel, label, d)
+		}
+	}
+	return d, nil
+}
+
+func checkLabel(label string) error {
+	if len(label) == 0 || len(label) > 63 {
+		return ErrBadLabel
+	}
+	if label[0] == '-' || label[len(label)-1] == '-' {
+		return ErrBadLabel
+	}
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+		case c == '-':
+		case c >= 'A' && c <= 'Z': // caller lowercases first, but be safe
+		default:
+			return ErrBadLabel
+		}
+	}
+	return nil
+}
+
+// Site is a registrable domain (eTLD+1) — the privacy-boundary unit. The
+// zero value is invalid; construct with NewSite or SiteOf.
+type Site struct {
+	etldPlusOne string
+	suffix      string
+	icannSuffix bool
+}
+
+// NewSite validates that d is exactly a registrable domain against list and
+// returns it as a Site. The RWS submission rules require every set member to
+// be an eTLD+1; violations surface as the "... isn't an eTLD+1" bot errors
+// of Table 3.
+func NewSite(list *psl.List, d string) (Site, error) {
+	norm, err := Normalize(d)
+	if err != nil {
+		return Site{}, err
+	}
+	e, err := list.ETLDPlusOne(norm)
+	if err != nil {
+		return Site{}, fmt.Errorf("%w: %q: %v", ErrNotRegistrable, d, err)
+	}
+	if e != norm {
+		return Site{}, fmt.Errorf("%w: %q (registrable domain is %q)", ErrNotRegistrable, d, e)
+	}
+	suffix, icann := list.PublicSuffix(norm)
+	return Site{etldPlusOne: norm, suffix: suffix, icannSuffix: icann}, nil
+}
+
+// SiteOf maps any host (e.g. "shop.example.co.uk") to its Site
+// ("example.co.uk"). This is the mapping browsers apply when deciding which
+// storage partition a context belongs to.
+func SiteOf(list *psl.List, host string) (Site, error) {
+	norm, err := Normalize(host)
+	if err != nil {
+		return Site{}, err
+	}
+	e, err := list.ETLDPlusOne(norm)
+	if err != nil {
+		return Site{}, fmt.Errorf("%w: %q: %v", ErrNotRegistrable, host, err)
+	}
+	suffix, icann := list.PublicSuffix(e)
+	return Site{etldPlusOne: e, suffix: suffix, icannSuffix: icann}, nil
+}
+
+// String returns the registrable domain.
+func (s Site) String() string { return s.etldPlusOne }
+
+// IsZero reports whether s is the zero (invalid) Site.
+func (s Site) IsZero() bool { return s.etldPlusOne == "" }
+
+// Suffix returns the site's public suffix (its eTLD).
+func (s Site) Suffix() string { return s.suffix }
+
+// ICANNSuffix reports whether the suffix comes from the PSL's ICANN section.
+func (s Site) ICANNSuffix() bool { return s.icannSuffix }
+
+// SLD returns the second-level domain: the single label to the left of the
+// public suffix. For "poalim.xyz" this is "poalim"; for "example.co.uk" it
+// is "example". Figure 3 of the paper compares these labels across set
+// members with Levenshtein distance.
+func (s Site) SLD() string {
+	return strings.TrimSuffix(strings.TrimSuffix(s.etldPlusOne, s.suffix), ".")
+}
+
+// Equal reports whether two sites are the same registrable domain.
+func (s Site) Equal(o Site) bool { return s.etldPlusOne == o.etldPlusOne }
+
+// SLD is a convenience that extracts the second-level domain of d using
+// list, without requiring d to be exactly an eTLD+1 (hosts are reduced to
+// their site first).
+func SLD(list *psl.List, d string) (string, error) {
+	s, err := SiteOf(list, d)
+	if err != nil {
+		return "", err
+	}
+	return s.SLD(), nil
+}
+
+// IsCCTLDVariant reports whether candidate is a ccTLD variation of base per
+// the RWS subset rules: the two registrable domains share the same SLD but
+// differ in their public suffix, and at least one of the suffixes is
+// country-code based (its final label is a two-letter ccTLD). For example
+// "example.co.uk" is a ccTLD variant of "example.com", and vice versa;
+// "poalim.site" is NOT a ccTLD variant of "poalim.xyz" because neither
+// suffix is country-code based.
+func IsCCTLDVariant(base, candidate Site) bool {
+	if base.Equal(candidate) {
+		return false
+	}
+	if base.SLD() != candidate.SLD() || base.SLD() == "" {
+		return false
+	}
+	if base.Suffix() == candidate.Suffix() {
+		return false
+	}
+	return isCCSuffix(base.Suffix()) || isCCSuffix(candidate.Suffix())
+}
+
+func isCCSuffix(suffix string) bool {
+	labels := strings.Split(suffix, ".")
+	last := labels[len(labels)-1]
+	return len(last) == 2
+}
+
+// HTTPSOrigin is a scheme-https origin with no port or path. The RWS list
+// format stores members as "https://example.com"; validation requires the
+// https scheme (one of the automated checks behind Table 3).
+type HTTPSOrigin struct {
+	host string
+}
+
+// ParseHTTPSOrigin parses s as an https origin. It accepts bare domains
+// ("example.com") as shorthand and rejects any explicit non-https scheme,
+// userinfo, port, path, query, or fragment.
+func ParseHTTPSOrigin(s string) (HTTPSOrigin, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return HTTPSOrigin{}, ErrEmpty
+	}
+	if !strings.Contains(s, "://") {
+		norm, err := Normalize(s)
+		if err != nil {
+			return HTTPSOrigin{}, err
+		}
+		return HTTPSOrigin{host: norm}, nil
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return HTTPSOrigin{}, fmt.Errorf("domain: parsing origin %q: %w", s, err)
+	}
+	if u.Scheme != "https" {
+		return HTTPSOrigin{}, fmt.Errorf("%w: %q", ErrNotHTTPS, s)
+	}
+	if u.User != nil || u.Port() != "" || (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" {
+		return HTTPSOrigin{}, fmt.Errorf("domain: origin %q must be scheme and host only", s)
+	}
+	norm, err := Normalize(u.Hostname())
+	if err != nil {
+		return HTTPSOrigin{}, err
+	}
+	return HTTPSOrigin{host: norm}, nil
+}
+
+// Host returns the origin's host.
+func (o HTTPSOrigin) Host() string { return o.host }
+
+// String returns the canonical "https://host" form.
+func (o HTTPSOrigin) String() string { return "https://" + o.host }
+
+// IsZero reports whether o is the zero origin.
+func (o HTTPSOrigin) IsZero() bool { return o.host == "" }

@@ -1,0 +1,232 @@
+package domain
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rwskit/internal/psl"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		wantErr error
+	}{
+		{"Example.COM", "example.com", nil},
+		{"example.com.", "example.com", nil},
+		{"  example.com \t", "example.com", nil},
+		{"xn--bcher-kva.de", "xn--bcher-kva.de", nil},
+		{"a-b.c-d.com", "a-b.c-d.com", nil},
+		{"", "", ErrEmpty},
+		{".", "", ErrEmpty},
+		{"-bad.com", "", ErrBadLabel},
+		{"bad-.com", "", ErrBadLabel},
+		{"ba_d.com", "", ErrBadLabel},
+		{"double..dot.com", "", ErrBadLabel},
+		{"spa ce.com", "", ErrBadLabel},
+		{strings.Repeat("a", 64) + ".com", "", ErrBadLabel},
+		{strings.Repeat("a.", 130) + "com", "", ErrTooLong},
+	}
+	for _, tc := range cases {
+		got, err := Normalize(tc.in)
+		if tc.wantErr != nil {
+			if !errors.Is(err, tc.wantErr) {
+				t.Errorf("Normalize(%q) err = %v, want %v", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Normalize(%q) error: %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNewSite(t *testing.T) {
+	l := psl.Default()
+	ok := []string{"example.com", "bild.de", "example.co.uk", "mysite.github.io", "poalim.xyz"}
+	for _, d := range ok {
+		s, err := NewSite(l, d)
+		if err != nil {
+			t.Errorf("NewSite(%q) error: %v", d, err)
+			continue
+		}
+		if s.String() != d {
+			t.Errorf("NewSite(%q).String() = %q", d, s.String())
+		}
+		if s.IsZero() {
+			t.Errorf("NewSite(%q) is zero", d)
+		}
+	}
+	bad := []string{"www.example.com", "com", "co.uk", "github.io", "", "a..b.com"}
+	for _, d := range bad {
+		if _, err := NewSite(l, d); err == nil {
+			t.Errorf("NewSite(%q) succeeded, want error", d)
+		}
+	}
+}
+
+func TestSiteOf(t *testing.T) {
+	l := psl.Default()
+	cases := []struct {
+		host string
+		want string
+	}{
+		{"example.com", "example.com"},
+		{"www.example.com", "example.com"},
+		{"a.b.c.example.co.uk", "example.co.uk"},
+		{"deep.mysite.github.io", "mysite.github.io"},
+		{"WWW.Example.COM", "example.com"},
+	}
+	for _, tc := range cases {
+		s, err := SiteOf(l, tc.host)
+		if err != nil {
+			t.Errorf("SiteOf(%q) error: %v", tc.host, err)
+			continue
+		}
+		if s.String() != tc.want {
+			t.Errorf("SiteOf(%q) = %q, want %q", tc.host, s.String(), tc.want)
+		}
+	}
+	if _, err := SiteOf(l, "com"); err == nil {
+		t.Error("SiteOf(com) should fail: bare public suffix has no site")
+	}
+}
+
+func TestSLD(t *testing.T) {
+	l := psl.Default()
+	cases := []struct {
+		domain string
+		want   string
+	}{
+		{"poalim.xyz", "poalim"},
+		{"poalim.site", "poalim"},
+		{"example.co.uk", "example"},
+		{"www.bild.de", "bild"},
+		{"autobild.de", "autobild"},
+		{"nourishingpursuits.com", "nourishingpursuits"},
+	}
+	for _, tc := range cases {
+		got, err := SLD(l, tc.domain)
+		if err != nil {
+			t.Errorf("SLD(%q) error: %v", tc.domain, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("SLD(%q) = %q, want %q", tc.domain, got, tc.want)
+		}
+	}
+}
+
+func TestSiteSuffixAndICANN(t *testing.T) {
+	l := psl.Default()
+	s, err := NewSite(l, "example.co.uk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Suffix() != "co.uk" || !s.ICANNSuffix() {
+		t.Errorf("Suffix = %q icann=%v", s.Suffix(), s.ICANNSuffix())
+	}
+	p, err := NewSite(l, "mysite.github.io")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Suffix() != "github.io" || p.ICANNSuffix() {
+		t.Errorf("Suffix = %q icann=%v", p.Suffix(), p.ICANNSuffix())
+	}
+}
+
+func TestIsCCTLDVariant(t *testing.T) {
+	l := psl.Default()
+	mk := func(d string) Site {
+		s, err := NewSite(l, d)
+		if err != nil {
+			t.Fatalf("NewSite(%q): %v", d, err)
+		}
+		return s
+	}
+	cases := []struct {
+		base, cand string
+		want       bool
+	}{
+		{"example.com", "example.co.uk", true},
+		{"example.co.uk", "example.com", true},
+		{"example.de", "example.com", true},
+		{"example.com.au", "example.com", true},
+		{"poalim.xyz", "poalim.site", false}, // neither suffix is a ccTLD
+		{"example.com", "example.com", false},
+		{"example.com", "other.de", false},
+		{"example.de", "example.fr", true},
+	}
+	for _, tc := range cases {
+		if got := IsCCTLDVariant(mk(tc.base), mk(tc.cand)); got != tc.want {
+			t.Errorf("IsCCTLDVariant(%q, %q) = %v, want %v", tc.base, tc.cand, got, tc.want)
+		}
+	}
+}
+
+func TestIsCCTLDVariantZeroSite(t *testing.T) {
+	if IsCCTLDVariant(Site{}, Site{}) {
+		t.Error("zero sites must not be variants")
+	}
+}
+
+func TestParseHTTPSOrigin(t *testing.T) {
+	ok := []struct {
+		in   string
+		host string
+	}{
+		{"https://example.com", "example.com"},
+		{"https://Example.COM", "example.com"},
+		{"https://example.com/", "example.com"},
+		{"example.com", "example.com"},
+	}
+	for _, tc := range ok {
+		o, err := ParseHTTPSOrigin(tc.in)
+		if err != nil {
+			t.Errorf("ParseHTTPSOrigin(%q) error: %v", tc.in, err)
+			continue
+		}
+		if o.Host() != tc.host {
+			t.Errorf("ParseHTTPSOrigin(%q).Host() = %q, want %q", tc.in, o.Host(), tc.host)
+		}
+		if o.String() != "https://"+tc.host {
+			t.Errorf("String() = %q", o.String())
+		}
+	}
+	bad := []string{
+		"http://example.com",
+		"ftp://example.com",
+		"https://example.com:8443",
+		"https://user@example.com",
+		"https://example.com/path",
+		"https://example.com?q=1",
+		"https://example.com#frag",
+		"",
+		"https://bad..dot.com",
+	}
+	for _, in := range bad {
+		if _, err := ParseHTTPSOrigin(in); err == nil {
+			t.Errorf("ParseHTTPSOrigin(%q) succeeded, want error", in)
+		}
+	}
+	var zero HTTPSOrigin
+	if !zero.IsZero() {
+		t.Error("zero origin should report IsZero")
+	}
+}
+
+func BenchmarkSiteOf(b *testing.B) {
+	l := psl.Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SiteOf(l, "a.b.example.co.uk"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

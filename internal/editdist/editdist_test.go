@@ -1,0 +1,218 @@
+package editdist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+var distCases = []struct {
+	a, b string
+	want int
+}{
+	{"", "", 0},
+	{"", "abc", 3},
+	{"abc", "", 3},
+	{"abc", "abc", 0},
+	{"kitten", "sitting", 3},
+	{"flaw", "lawn", 2},
+	{"gumbo", "gambol", 2},
+	{"saturday", "sunday", 3},
+	{"book", "back", 2},
+	{"a", "b", 1},
+	{"ab", "ba", 2},
+	// Paper examples (Figure 3 discussion): SLD pairs from the RWS list.
+	{"poalim", "poalim", 0},
+	{"autobild", "bild", 4},
+	{"nourishingpursuits", "cafemedia", 17},
+	{"indiatimes", "timesinternet", 9},
+	// Unicode: each CJK rune is one edit unit.
+	{"héllo", "hello", 1},
+	{"日本語", "日本", 1},
+	{"日本語", "語本日", 2},
+}
+
+func TestLevenshtein(t *testing.T) {
+	for _, tc := range distCases {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLevenshteinMatrixAgrees(t *testing.T) {
+	for _, tc := range distCases {
+		if got := LevenshteinMatrix(tc.a, tc.b); got != tc.want {
+			t.Errorf("LevenshteinMatrix(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestBounded(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		limit int
+		want  int
+	}{
+		{"kitten", "sitting", 10, 3},
+		{"kitten", "sitting", 3, 3},
+		{"kitten", "sitting", 2, 3}, // exceeds: limit+1
+		{"kitten", "sitting", 0, 1}, // exceeds: limit+1
+		{"abc", "abc", 0, 0},
+		{"", "aaaa", 2, 3}, // length gap short-circuit
+		{"aaaa", "", 10, 4},
+		{"abcdefgh", "ijklmnop", 4, 5}, // all-different, abandoned early
+	}
+	for _, tc := range cases {
+		if got := Bounded(tc.a, tc.b, tc.limit); got != tc.want {
+			t.Errorf("Bounded(%q, %q, %d) = %d, want %d", tc.a, tc.b, tc.limit, got, tc.want)
+		}
+	}
+}
+
+func TestBoundedNegativeLimit(t *testing.T) {
+	if got := Bounded("a", "a", -5); got != 0 {
+		t.Errorf("Bounded with negative limit on equal strings = %d, want 0", got)
+	}
+	if got := Bounded("a", "b", -5); got != 1 {
+		t.Errorf("Bounded with negative limit on unequal strings = %d, want 1 (limit+1)", got)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"abc", "abc", 1},
+		{"abc", "xyz", 0},
+		{"abcd", "abce", 0.75},
+	}
+	for _, tc := range cases {
+		if got := Similarity(tc.a, tc.b); got != tc.want {
+			t.Errorf("Similarity(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// randomDomainish produces strings drawn from the alphabet of registrable
+// domains, the input class this package actually serves.
+func randomDomainish(r *rand.Rand, maxLen int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-"
+	n := r.Intn(maxLen)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return sb.String()
+}
+
+func TestPropertyMetricAxioms(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		a := randomDomainish(r, 24)
+		b := randomDomainish(r, 24)
+		c := randomDomainish(r, 24)
+		dab := Levenshtein(a, b)
+		dba := Levenshtein(b, a)
+		dac := Levenshtein(a, c)
+		dcb := Levenshtein(c, b)
+		if dab != dba {
+			t.Fatalf("symmetry violated: d(%q,%q)=%d d(%q,%q)=%d", a, b, dab, b, a, dba)
+		}
+		if (dab == 0) != (a == b) {
+			t.Fatalf("identity violated: d(%q,%q)=%d", a, b, dab)
+		}
+		if dab > dac+dcb {
+			t.Fatalf("triangle inequality violated: d(%q,%q)=%d > %d+%d via %q", a, b, dab, dac, dcb, c)
+		}
+		// Distance bounds: |len(a)-len(b)| <= d <= max(len(a), len(b)).
+		la, lb := len(a), len(b)
+		lo, hi := la-lb, la
+		if lo < 0 {
+			lo = -lo
+		}
+		if lb > hi {
+			hi = lb
+		}
+		if dab < lo || dab > hi {
+			t.Fatalf("bounds violated: d(%q,%q)=%d not in [%d,%d]", a, b, dab, lo, hi)
+		}
+	}
+}
+
+func TestQuickTwoRowMatchesMatrix(t *testing.T) {
+	f := func(a, b string) bool {
+		// Limit pathological sizes from quick's generator.
+		if utf8.RuneCountInString(a) > 64 || utf8.RuneCountInString(b) > 64 {
+			return true
+		}
+		return Levenshtein(a, b) == LevenshteinMatrix(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBoundedMatchesExactUnderLimit(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 48 || len(b) > 48 {
+			return true
+		}
+		exact := Levenshtein(a, b)
+		got := Bounded(a, b, 64)
+		return got == exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSimilarityRange(t *testing.T) {
+	f := func(a, b string) bool {
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLevenshteinSLD(b *testing.B) {
+	// Typical Figure 3 workload: short registrable-domain SLDs.
+	pairs := [][2]string{
+		{"autobild", "bild"},
+		{"nourishingpursuits", "cafemedia"},
+		{"webvisor", "ya"},
+		{"indiatimes", "timesinternet"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		Levenshtein(p[0], p[1])
+	}
+}
+
+func BenchmarkLevenshteinMatrixSLD(b *testing.B) {
+	pairs := [][2]string{
+		{"autobild", "bild"},
+		{"nourishingpursuits", "cafemedia"},
+		{"webvisor", "ya"},
+		{"indiatimes", "timesinternet"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		LevenshteinMatrix(p[0], p[1])
+	}
+}
+
+func BenchmarkBoundedReject(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Bounded("completely-unrelated-domain-name", "zzzzzzzz", 3)
+	}
+}

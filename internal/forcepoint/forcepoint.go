@@ -1,0 +1,217 @@
+// Package forcepoint substitutes for the Forcepoint ThreatSeeker URL
+// categorisation database used in §3 and §4 of "A First Look at Related
+// Website Sets" (IMC 2024). The paper uses ThreatSeeker to (a) group
+// Tranco top sites by category when generating survey pairs, and (b)
+// characterise set primaries and associated sites over time (Figures 8, 9).
+//
+// ThreatSeeker is a proprietary service; this package provides the same
+// interface shape: a domain->category database plus a deterministic
+// content-based classifier (keyword scoring over visible text) to populate
+// it from crawled or synthetic pages. The taxonomy mirrors the categories
+// the paper reports, including the merge rules used in Figures 8 and 9
+// ("similar categories are merged together, while smaller categories are
+// grouped into Other").
+package forcepoint
+
+import (
+	"sort"
+	"strings"
+)
+
+// Category is a ThreatSeeker-style content category.
+type Category string
+
+// The categories that appear in Figures 8 and 9 of the paper, plus the
+// broader ones that merge into "other".
+const (
+	NewsAndMedia     Category = "news and media"
+	InfoTech         Category = "information technology"
+	Business         Category = "business and economy"
+	SearchPortals    Category = "search engines and portals"
+	Analytics        Category = "analytics/infrastructure"
+	AdultContent     Category = "adult content"
+	SocialNetworking Category = "social networking"
+	CompromisedSpam  Category = "compromised/spam"
+	Shopping         Category = "shopping"
+	Entertainment    Category = "entertainment"
+	Travel           Category = "travel"
+	Education        Category = "education"
+	Health           Category = "health"
+	Finance          Category = "financial services"
+	Sports           Category = "sports"
+	Games            Category = "games"
+	Government       Category = "government"
+	Other            Category = "other"
+	Unknown          Category = "unknown"
+)
+
+// Primary categories kept un-merged in Figure 8 (set primaries).
+var Figure8Keep = map[Category]bool{
+	NewsAndMedia:  true,
+	InfoTech:      true,
+	Business:      true,
+	SearchPortals: true,
+	Analytics:     true,
+	AdultContent:  true,
+	Unknown:       true,
+}
+
+// Categories kept un-merged in Figure 9 (associated sites), which adds
+// social networking and compromised/spam to the Figure 8 palette.
+var Figure9Keep = map[Category]bool{
+	NewsAndMedia:     true,
+	InfoTech:         true,
+	Business:         true,
+	SearchPortals:    true,
+	Analytics:        true,
+	AdultContent:     true,
+	SocialNetworking: true,
+	CompromisedSpam:  true,
+	Unknown:          true,
+}
+
+// Merge applies the paper's category-merging rule: categories in keep stay
+// as-is, Unknown stays Unknown, everything else becomes Other.
+func Merge(c Category, keep map[Category]bool) Category {
+	if keep[c] {
+		return c
+	}
+	if c == Unknown {
+		return Unknown
+	}
+	return Other
+}
+
+// AllCategories returns the full taxonomy in deterministic order.
+func AllCategories() []Category {
+	return []Category{
+		NewsAndMedia, InfoTech, Business, SearchPortals, Analytics,
+		AdultContent, SocialNetworking, CompromisedSpam, Shopping,
+		Entertainment, Travel, Education, Health, Finance, Sports, Games,
+		Government, Other, Unknown,
+	}
+}
+
+// DB is a domain -> category database, the stand-in for ThreatSeeker
+// lookups.
+type DB struct {
+	byDomain map[string]Category
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{byDomain: make(map[string]Category)} }
+
+// Set records the category for a domain (lowercased).
+func (db *DB) Set(domain string, c Category) {
+	db.byDomain[strings.ToLower(domain)] = c
+}
+
+// Lookup returns the category for domain, or Unknown if the domain is not
+// in the database — matching how the paper reports uncategorised sites.
+func (db *DB) Lookup(domain string) Category {
+	if c, ok := db.byDomain[strings.ToLower(domain)]; ok {
+		return c
+	}
+	return Unknown
+}
+
+// Has reports whether domain is categorised.
+func (db *DB) Has(domain string) bool {
+	_, ok := db.byDomain[strings.ToLower(domain)]
+	return ok
+}
+
+// Len returns the number of categorised domains.
+func (db *DB) Len() int { return len(db.byDomain) }
+
+// Domains returns all categorised domains in sorted order.
+func (db *DB) Domains() []string {
+	out := make([]string, 0, len(db.byDomain))
+	for d := range db.byDomain {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DomainsIn returns the categorised domains whose category equals c,
+// sorted.
+func (db *DB) DomainsIn(c Category) []string {
+	var out []string
+	for d, cat := range db.byDomain {
+		if cat == c {
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Classifier assigns categories from visible page text using keyword
+// scoring. It is deterministic: ties break by taxonomy order.
+type Classifier struct {
+	keywords map[Category][]string
+}
+
+// NewClassifier returns a classifier with the built-in keyword model.
+func NewClassifier() *Classifier {
+	return &Classifier{keywords: map[Category][]string{
+		NewsAndMedia:     {"news", "breaking", "headline", "journalist", "editorial", "reporter", "press", "coverage", "bulletin"},
+		InfoTech:         {"software", "developer", "cloud", "api", "technology", "hardware", "computing", "code", "saas", "devops"},
+		Business:         {"business", "enterprise", "market", "industry", "corporate", "b2b", "commerce", "economy", "trade"},
+		SearchPortals:    {"search", "portal", "directory", "find", "results", "query", "index", "webmail"},
+		Analytics:        {"analytics", "tracking", "metrics", "measurement", "telemetry", "tag manager", "attribution", "audience", "pixel"},
+		AdultContent:     {"adult", "xxx", "explicit", "nsfw"},
+		SocialNetworking: {"social", "friends", "follow", "share", "profile", "community", "feed", "connect"},
+		CompromisedSpam:  {"win a prize", "free money", "click here now", "limited offer!!!", "casino bonus"},
+		Shopping:         {"shop", "cart", "checkout", "sale", "product", "buy", "store", "retail", "deal"},
+		Entertainment:    {"movies", "streaming", "celebrity", "entertainment", "show", "episode", "trailer", "music"},
+		Travel:           {"travel", "flight", "hotel", "vacation", "booking", "destination", "tour", "itinerary"},
+		Education:        {"course", "learning", "students", "university", "tutorial", "curriculum", "lesson", "school"},
+		Health:           {"health", "medical", "doctor", "clinic", "wellness", "symptom", "treatment", "patient"},
+		Finance:          {"bank", "banking", "loan", "invest", "insurance", "credit", "mortgage", "portfolio", "finance"},
+		Sports:           {"sports", "league", "score", "match", "team", "championship", "player", "fixture"},
+		Games:            {"game", "gaming", "play", "multiplayer", "quest", "arcade", "esports"},
+		Government:       {"government", "ministry", "citizen", "public service", "official", "agency", "regulation"},
+	}}
+}
+
+// Classify scores the text against each category's keywords and returns
+// the argmax, or Unknown when nothing matches.
+func (cl *Classifier) Classify(text string) Category {
+	lower := strings.ToLower(text)
+	best := Unknown
+	bestScore := 0
+	for _, cat := range AllCategories() {
+		kws, ok := cl.keywords[cat]
+		if !ok {
+			continue
+		}
+		score := 0
+		for _, kw := range kws {
+			score += strings.Count(lower, kw)
+		}
+		if score > bestScore {
+			best = cat
+			bestScore = score
+		}
+	}
+	return best
+}
+
+// Scores returns the per-category keyword hit counts for text, for
+// debugging and tests.
+func (cl *Classifier) Scores(text string) map[Category]int {
+	lower := strings.ToLower(text)
+	out := make(map[Category]int)
+	for cat, kws := range cl.keywords {
+		score := 0
+		for _, kw := range kws {
+			score += strings.Count(lower, kw)
+		}
+		if score > 0 {
+			out[cat] = score
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package forcepoint
+
+import (
+	"testing"
+)
+
+func TestDBLookup(t *testing.T) {
+	db := NewDB()
+	db.Set("Bild.DE", NewsAndMedia)
+	db.Set("webvisor.com", Analytics)
+	if got := db.Lookup("bild.de"); got != NewsAndMedia {
+		t.Errorf("Lookup(bild.de) = %q", got)
+	}
+	if got := db.Lookup("BILD.de"); got != NewsAndMedia {
+		t.Errorf("case-insensitive lookup failed: %q", got)
+	}
+	if got := db.Lookup("missing.com"); got != Unknown {
+		t.Errorf("missing domain = %q, want unknown", got)
+	}
+	if !db.Has("webvisor.com") || db.Has("missing.com") {
+		t.Error("Has() wrong")
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	ds := db.Domains()
+	if len(ds) != 2 || ds[0] != "bild.de" {
+		t.Errorf("Domains = %v", ds)
+	}
+	in := db.DomainsIn(Analytics)
+	if len(in) != 1 || in[0] != "webvisor.com" {
+		t.Errorf("DomainsIn = %v", in)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	cases := []struct {
+		c    Category
+		keep map[Category]bool
+		want Category
+	}{
+		{NewsAndMedia, Figure8Keep, NewsAndMedia},
+		{Analytics, Figure8Keep, Analytics},
+		{Shopping, Figure8Keep, Other},
+		{SocialNetworking, Figure8Keep, Other},
+		{SocialNetworking, Figure9Keep, SocialNetworking},
+		{CompromisedSpam, Figure9Keep, CompromisedSpam},
+		{Travel, Figure9Keep, Other},
+		{Unknown, Figure8Keep, Unknown},
+	}
+	for _, tc := range cases {
+		if got := Merge(tc.c, tc.keep); got != tc.want {
+			t.Errorf("Merge(%q) = %q, want %q", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestClassifier(t *testing.T) {
+	cl := NewClassifier()
+	cases := []struct {
+		text string
+		want Category
+	}{
+		{"Breaking news: our journalists deliver headline coverage daily from the press room", NewsAndMedia},
+		{"Enterprise cloud software for developers; our API powers modern computing", InfoTech},
+		{"Book your flight and hotel for the perfect vacation destination", Travel},
+		{"Audience analytics, tag manager and attribution metrics with tracking pixels", Analytics},
+		{"Shop the winter sale: add products to your cart and checkout for the best deal", Shopping},
+		{"Follow friends, share your profile, connect with the community feed", SocialNetworking},
+		{"Totally neutral text with no category signal at all", Unknown},
+		{"", Unknown},
+	}
+	for _, tc := range cases {
+		if got := cl.Classify(tc.text); got != tc.want {
+			t.Errorf("Classify(%.40q) = %q, want %q", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestClassifierDeterministicTieBreak(t *testing.T) {
+	cl := NewClassifier()
+	// One keyword from news, one from infotech: tie broken by taxonomy
+	// order (news and media comes first).
+	got := cl.Classify("news software")
+	if got != NewsAndMedia {
+		t.Errorf("tie break = %q, want news and media", got)
+	}
+}
+
+func TestScores(t *testing.T) {
+	cl := NewClassifier()
+	s := cl.Scores("news news software")
+	if s[NewsAndMedia] != 2 || s[InfoTech] != 1 {
+		t.Errorf("Scores = %v", s)
+	}
+	if len(cl.Scores("zzz")) != 0 {
+		t.Error("no-signal text should produce empty scores")
+	}
+}
+
+func TestAllCategoriesStable(t *testing.T) {
+	a := AllCategories()
+	b := AllCategories()
+	if len(a) != len(b) || len(a) < 15 {
+		t.Fatalf("AllCategories inconsistent: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("AllCategories order not stable")
+		}
+	}
+	if a[0] != NewsAndMedia || a[len(a)-1] != Unknown {
+		t.Errorf("unexpected taxonomy order: first=%q last=%q", a[0], a[len(a)-1])
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	cl := NewClassifier()
+	text := "Breaking news coverage of the software industry: cloud computing market analysis and enterprise technology headlines from our editorial team"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cl.Classify(text)
+	}
+}

@@ -1,0 +1,251 @@
+// Package github models the governance workflow of the Related Website
+// Sets list studied in §4 of "A First Look at Related Website Sets" (IMC
+// 2024): site owners propose sets via pull requests; an automated bot runs
+// the technical validation checks and comments on failures; submitters
+// frequently close failing PRs and reopen fixed ones; maintainers manually
+// review and merge the survivors.
+//
+// The package provides the PR event-log model, the analytics that
+// regenerate Figure 5 (cumulative PRs by final state), Figure 6 (days to
+// process), and Table 3 (bot validation messages), and a simulator
+// (Simulate, in sim.go) that replays the list's reconstruction history by
+// actually running the validator in rwskit/internal/validate against the
+// synthetic web — the bot comments in the log are genuine check failures,
+// not sampled labels.
+package github
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rwskit/internal/stats"
+	"rwskit/internal/validate"
+)
+
+// State is a pull request's final state.
+type State int
+
+// PR states.
+const (
+	// Open: still awaiting resolution (not present in finalised logs).
+	Open State = iota
+	// Approved: merged into the list.
+	Approved
+	// Closed: closed without being merged.
+	Closed
+)
+
+// String names the state as the paper's figures do.
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case Approved:
+		return "approved"
+	case Closed:
+		return "closed (without being merged)"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Kind distinguishes PRs that propose a brand-new set from maintenance
+// updates to an existing set. The paper's Figures 5/6 count new-set PRs.
+type Kind int
+
+// PR kinds.
+const (
+	NewSet Kind = iota
+	UpdateSet
+)
+
+// PR is one pull request against the list repository.
+type PR struct {
+	ID      int
+	Primary string
+	Kind    Kind
+	State   State
+	// Attempt is 1 for the primary's first PR, 2 for its second, ...
+	Attempt int
+	// OpenedAt and ResolvedAt bound the PR's life. ResolvedAt is the merge
+	// or close time.
+	OpenedAt   time.Time
+	ResolvedAt time.Time
+	// BotComments are the validation issues the bot posted, across every
+	// validation run on this PR (re-validation on update appends more).
+	BotComments []validate.Issue
+	// ValidationRuns counts how many times the bot validated the PR.
+	ValidationRuns int
+}
+
+// Days returns the processing time in whole days (same-day = 0).
+func (p *PR) Days() float64 {
+	return p.ResolvedAt.Sub(p.OpenedAt).Hours() / 24
+}
+
+// FailedChecks reports whether any validation run produced issues.
+func (p *PR) FailedChecks() bool { return len(p.BotComments) > 0 }
+
+// Log is a finalised PR event log.
+type Log struct {
+	PRs []PR
+}
+
+// NewSetPRs returns the PRs that propose a new set, in ID order.
+func (l *Log) NewSetPRs() []PR {
+	var out []PR
+	for _, p := range l.PRs {
+		if p.Kind == NewSet {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CountByState returns how many new-set PRs ended in each state.
+func (l *Log) CountByState() (approved, closed int) {
+	for _, p := range l.NewSetPRs() {
+		switch p.State {
+		case Approved:
+			approved++
+		case Closed:
+			closed++
+		}
+	}
+	return approved, closed
+}
+
+// DistinctPrimaries returns the number of distinct set primaries across
+// new-set PRs (the paper: 60 primaries over 114 PRs, mean 1.9 PRs each).
+func (l *Log) DistinctPrimaries() int {
+	seen := map[string]bool{}
+	for _, p := range l.NewSetPRs() {
+		seen[p.Primary] = true
+	}
+	return len(seen)
+}
+
+// MeanPRsPerPrimary returns new-set PRs divided by distinct primaries.
+func (l *Log) MeanPRsPerPrimary() float64 {
+	n := l.DistinctPrimaries()
+	if n == 0 {
+		return 0
+	}
+	return float64(len(l.NewSetPRs())) / float64(n)
+}
+
+// MonthlyCounts is one month of Figure 5 data.
+type MonthlyCounts struct {
+	Month    string // "2023-04"
+	Approved int    // new-set PRs opened this month that were eventually approved
+	Closed   int    // ... eventually closed unmerged
+}
+
+// ByMonth buckets new-set PRs by opening month, sorted chronologically,
+// covering the full span between the first and last PR inclusive.
+func (l *Log) ByMonth() []MonthlyCounts {
+	prs := l.NewSetPRs()
+	if len(prs) == 0 {
+		return nil
+	}
+	counts := map[string]*MonthlyCounts{}
+	minM, maxM := "", ""
+	for _, p := range prs {
+		m := p.OpenedAt.Format("2006-01")
+		if minM == "" || m < minM {
+			minM = m
+		}
+		if m > maxM {
+			maxM = m
+		}
+		mc, ok := counts[m]
+		if !ok {
+			mc = &MonthlyCounts{Month: m}
+			counts[m] = mc
+		}
+		switch p.State {
+		case Approved:
+			mc.Approved++
+		case Closed:
+			mc.Closed++
+		}
+	}
+	var out []MonthlyCounts
+	t, err := time.Parse("2006-01", minM)
+	if err != nil {
+		return nil
+	}
+	for {
+		m := t.Format("2006-01")
+		if mc, ok := counts[m]; ok {
+			out = append(out, *mc)
+		} else {
+			out = append(out, MonthlyCounts{Month: m})
+		}
+		if m == maxM {
+			break
+		}
+		t = t.AddDate(0, 1, 0)
+	}
+	return out
+}
+
+// DaysToProcess returns the processing-time samples for Figure 6, split by
+// final state.
+func (l *Log) DaysToProcess() (approved, closed []float64) {
+	for _, p := range l.NewSetPRs() {
+		switch p.State {
+		case Approved:
+			approved = append(approved, p.Days())
+		case Closed:
+			closed = append(closed, p.Days())
+		}
+	}
+	sort.Float64s(approved)
+	sort.Float64s(closed)
+	return approved, closed
+}
+
+// FracClosedSameDay returns the fraction of unsuccessful PRs closed within
+// the day they were opened (paper: 54.3%).
+func (l *Log) FracClosedSameDay() float64 {
+	var total, sameDay int
+	for _, p := range l.NewSetPRs() {
+		if p.State != Closed {
+			continue
+		}
+		total++
+		if p.Days() < 1 {
+			sameDay++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(sameDay) / float64(total)
+}
+
+// BotCommentCounts tallies bot comments across all PRs by Table 3
+// category.
+func (l *Log) BotCommentCounts() *stats.Counter {
+	c := stats.NewCounter()
+	for _, p := range l.PRs {
+		for _, issue := range p.BotComments {
+			c.Add(string(issue.Code), 1)
+		}
+	}
+	return c
+}
+
+// ApprovedWithFailedChecks counts approved new-set PRs that had at least
+// one failed automated check (paper: 1 of 47).
+func (l *Log) ApprovedWithFailedChecks() int {
+	n := 0
+	for _, p := range l.NewSetPRs() {
+		if p.State == Approved && p.FailedChecks() {
+			n++
+		}
+	}
+	return n
+}

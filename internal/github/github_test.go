@@ -1,0 +1,214 @@
+package github
+
+import (
+	"testing"
+	"time"
+
+	"rwskit/internal/stats"
+	"rwskit/internal/validate"
+)
+
+func simLog(t testing.TB) *Log {
+	t.Helper()
+	log, err := Simulate(SimConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestFigure5Anchors: 114 new-set PRs, 47 approved / 67 closed (58.8%
+// rejected), 60 distinct primaries, ~1.9 PRs per primary.
+func TestFigure5Anchors(t *testing.T) {
+	log := simLog(t)
+	if n := len(log.NewSetPRs()); n != 114 {
+		t.Errorf("new-set PRs = %d, want 114", n)
+	}
+	approved, closed := log.CountByState()
+	if approved != 47 || closed != 67 {
+		t.Errorf("approved/closed = %d/%d, want 47/67", approved, closed)
+	}
+	if p := log.DistinctPrimaries(); p != 60 {
+		t.Errorf("distinct primaries = %d, want 60", p)
+	}
+	m := log.MeanPRsPerPrimary()
+	if m < 1.8 || m > 2.0 {
+		t.Errorf("mean PRs per primary = %.2f, want ~1.9", m)
+	}
+}
+
+// TestFigure6Anchors: >=45% of unsuccessful PRs close same-day (paper:
+// 54.3%); median approved processing time near 5 days.
+func TestFigure6Anchors(t *testing.T) {
+	log := simLog(t)
+	if f := log.FracClosedSameDay(); f < 0.40 || f > 0.70 {
+		t.Errorf("frac closed same day = %.3f, want ~0.543", f)
+	}
+	approved, closed := log.DaysToProcess()
+	if len(approved) != 47 || len(closed) != 67 {
+		t.Fatalf("samples = %d/%d", len(approved), len(closed))
+	}
+	med := stats.Median(approved)
+	if med < 3 || med > 8 {
+		t.Errorf("median approved days = %.1f, want ~5", med)
+	}
+	for _, d := range approved {
+		if d < 1 {
+			t.Errorf("approved PR processed same-day (%.2f days); manual review takes longer", d)
+		}
+	}
+}
+
+// TestTable3Shape: the bot-comment histogram must reproduce Table 3's
+// ordering — well-known fetch failures dominate, eTLD+1 violations come
+// second, and every category the paper observed is present.
+func TestTable3Shape(t *testing.T) {
+	log := simLog(t)
+	c := log.BotCommentCounts()
+	fetch := c.Get(string(validate.CodeWellKnownFetch))
+	assoc := c.Get(string(validate.CodeAssociatedNotReg))
+	if fetch == 0 || assoc == 0 {
+		t.Fatalf("missing dominant categories: fetch=%d assoc=%d", fetch, assoc)
+	}
+	if fetch <= assoc {
+		t.Errorf("fetch (%d) should dominate associated-eTLD+1 (%d)", fetch, assoc)
+	}
+	if frac := float64(fetch) / float64(c.Total()); frac < 0.4 {
+		t.Errorf("fetch fraction = %.2f of %d messages, want the dominant share (paper: 61%%)",
+			frac, c.Total())
+	}
+	for _, code := range []validate.Code{
+		validate.CodeWellKnownFetch,
+		validate.CodeAssociatedNotReg,
+		validate.CodeServiceNoRobots,
+		validate.CodeWellKnownMismatch,
+		validate.CodeAliasNotReg,
+		validate.CodePrimaryNotReg,
+		validate.CodeOther,
+		validate.CodeNoRationale,
+	} {
+		if c.Get(string(code)) == 0 {
+			t.Errorf("category %q absent from the histogram", code)
+		}
+		if assoc < c.Get(string(code)) && code != validate.CodeAssociatedNotReg && code != validate.CodeWellKnownFetch {
+			t.Errorf("category %q (%d) exceeds associated-eTLD+1 (%d), breaking Table 3's order",
+				code, c.Get(string(code)), assoc)
+		}
+	}
+}
+
+// TestOneApprovedPRWithFailedChecks mirrors "Only 1 of the 47 merged pull
+// requests fail any of the automated checks".
+func TestOneApprovedPRWithFailedChecks(t *testing.T) {
+	log := simLog(t)
+	if n := log.ApprovedWithFailedChecks(); n != 1 {
+		t.Errorf("approved PRs with failed checks = %d, want 1", n)
+	}
+}
+
+func TestByMonthCoversSpanAndGrows(t *testing.T) {
+	log := simLog(t)
+	months := log.ByMonth()
+	if len(months) < 12 {
+		t.Fatalf("months = %d, want >= 12", len(months))
+	}
+	// Chronological and contiguous.
+	for i := 1; i < len(months); i++ {
+		prev, err := time.Parse("2006-01", months[i-1].Month)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev.AddDate(0, 1, 0).Format("2006-01") != months[i].Month {
+			t.Errorf("months not contiguous: %s -> %s", months[i-1].Month, months[i].Month)
+		}
+	}
+	var total int
+	for _, m := range months {
+		total += m.Approved + m.Closed
+	}
+	if total != 114 {
+		t.Errorf("monthly totals = %d, want 114", total)
+	}
+}
+
+func TestSimulationDeterministic(t *testing.T) {
+	a, err := Simulate(SimConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(SimConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.PRs) != len(b.PRs) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.PRs), len(b.PRs))
+	}
+	for i := range a.PRs {
+		pa, pb := a.PRs[i], b.PRs[i]
+		if pa.Primary != pb.Primary || pa.State != pb.State ||
+			!pa.OpenedAt.Equal(pb.OpenedAt) || !pa.ResolvedAt.Equal(pb.ResolvedAt) ||
+			len(pa.BotComments) != len(pb.BotComments) {
+			t.Fatalf("PR %d differs: %+v vs %+v", i, pa, pb)
+		}
+	}
+	// Different seed, different log (timing at minimum).
+	c, err := Simulate(SimConfig{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.PRs {
+		if !a.PRs[i].ResolvedAt.Equal(c.PRs[i].ResolvedAt) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical timing")
+	}
+}
+
+func TestLogHelpersOnEmptyLog(t *testing.T) {
+	var l Log
+	if l.MeanPRsPerPrimary() != 0 || l.FracClosedSameDay() != 0 {
+		t.Error("empty log helpers should return 0")
+	}
+	if l.ByMonth() != nil {
+		t.Error("empty log ByMonth should be nil")
+	}
+	a, c := l.DaysToProcess()
+	if len(a) != 0 || len(c) != 0 {
+		t.Error("empty log samples should be empty")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Open.String() != "open" || Approved.String() != "approved" {
+		t.Error("state strings wrong")
+	}
+	if State(9).String() != "state(9)" {
+		t.Error("unknown state string wrong")
+	}
+}
+
+func TestPRDays(t *testing.T) {
+	p := PR{
+		OpenedAt:   time.Date(2023, 5, 1, 9, 0, 0, 0, time.UTC),
+		ResolvedAt: time.Date(2023, 5, 3, 9, 0, 0, 0, time.UTC),
+	}
+	if p.Days() != 2 {
+		t.Errorf("Days = %v", p.Days())
+	}
+	if p.FailedChecks() {
+		t.Error("no comments should mean no failed checks")
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(SimConfig{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

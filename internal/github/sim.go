@@ -1,0 +1,409 @@
+package github
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"rwskit/internal/core"
+	"rwskit/internal/dataset"
+	"rwskit/internal/psl"
+	"rwskit/internal/sitegen"
+	"rwskit/internal/validate"
+	"rwskit/internal/wellknown"
+)
+
+// SimConfig configures the governance simulation.
+type SimConfig struct {
+	// Seed drives every stochastic choice; the same seed reproduces the
+	// same log bit-for-bit.
+	Seed int64
+}
+
+// Simulate replays the construction of the embedded list snapshot through
+// the governance pipeline and returns the finalised PR log.
+//
+// The simulation is anchored to the paper's §4 observations:
+//
+//   - 114 new-set PRs from 60 distinct primaries (mean 1.9 PRs/primary):
+//     the 41 snapshot sets (plus 6 approved re-submissions) and 19
+//     primaries that never merged;
+//   - 47 approved, 67 closed without merging (58.8%);
+//   - a little over half of unsuccessful PRs close the day they open;
+//     approved PRs wait ~5 days (median) for manual review;
+//   - exactly one approved PR has a failed automated check.
+//
+// Every failing PR's bot comments come from running the real validator
+// against the synthetic web with the submitter's defect actually present
+// (missing .well-known files, subdomain members, missing rationale, ...),
+// so Table 3's histogram is generated, not transcribed.
+func Simulate(cfg SimConfig) (*Log, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// The synthetic web hosts the final state of every snapshot set, with
+	// well-known files mounted and service headers in place.
+	web, err := dataset.BuildWeb(rng, nil)
+	if err != nil {
+		return nil, err
+	}
+	finalList, err := dataset.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range finalList.Sets() {
+		if err := wellknown.Mount(web, s); err != nil {
+			return nil, err
+		}
+	}
+	srv := httptest.NewServer(web)
+	defer srv.Close()
+
+	v := validate.New(psl.Default(), wellknown.HTTPFetcher(srv.Client(), srv.URL), nil)
+	v.HeaderFetch = validate.HTTPHeaderFetcher(srv.Client(), srv.URL)
+
+	sim := &simulator{rng: rng, web: web, v: v, list: finalList}
+	if err := sim.run(); err != nil {
+		return nil, err
+	}
+	log := &Log{PRs: sim.prs}
+	return log, nil
+}
+
+type simulator struct {
+	rng       *rand.Rand
+	web       *sitegen.Web
+	v         *validate.Validator
+	list      *core.List
+	prs       []PR
+	resubmits int
+	closed    int
+	sameDay   int
+}
+
+// failedAttemptCounts distributes the 36 failed attempts preceding the 41
+// successful creations: 16 sets merge first try, 15 after one failure, 9
+// after two, 1 after three.
+func failedAttemptsFor(idx int) int {
+	switch {
+	case idx < 16:
+		return 0
+	case idx < 31:
+		return 1
+	case idx < 40:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func (s *simulator) run() error {
+	ctx := context.Background()
+	seeds := dataset.Sets()
+
+	// --- journeys for the 41 snapshot sets ---
+	for i, seed := range seeds {
+		set, _, ok := s.list.FindSet(seed.Primary.Domain)
+		if !ok {
+			return fmt.Errorf("github: %s missing from final list", seed.Primary.Domain)
+		}
+		mergeMonth, err := time.Parse("2006-01", seed.Added)
+		if err != nil {
+			return err
+		}
+		// Failed attempts first, then the approved one.
+		fails := failedAttemptsFor(i)
+		opened := mergeMonth.AddDate(0, 0, s.rng.Intn(10))
+		for a := 1; a <= fails; a++ {
+			pr, err := s.failingAttempt(ctx, set, a, opened, liveDefect(set, i, a))
+			if err != nil {
+				return err
+			}
+			s.prs = append(s.prs, pr)
+			opened = pr.ResolvedAt.AddDate(0, 0, 1+s.rng.Intn(5))
+		}
+		approved, err := s.approvedAttempt(ctx, set, fails+1, opened, i == 17)
+		if err != nil {
+			return err
+		}
+		s.prs = append(s.prs, approved)
+
+		// Six sets get a later approved re-submission (the surplus of 47
+		// approved PRs over 41 sets the paper observes).
+		if i%7 == 3 && s.resubmits < 6 {
+			reopened := approved.ResolvedAt.AddDate(0, 1+s.rng.Intn(3), s.rng.Intn(15))
+			re, err := s.approvedAttempt(ctx, set, fails+2, reopened, false)
+			if err != nil {
+				return err
+			}
+			s.prs = append(s.prs, re)
+			s.resubmits++
+		}
+	}
+
+	// --- 19 primaries that never merged ---
+	for j := 0; j < 19; j++ {
+		attempts := 1
+		if j < 12 {
+			attempts = 2
+		}
+		// Failed journeys concentrate in the later, busier months.
+		base := time.Date(2023, time.Month(5+j%11), 1, 0, 0, 0, 0, time.UTC)
+		opened := base.AddDate(0, 0, s.rng.Intn(20))
+		set := s.abandonedSet(j)
+		for a := 1; a <= attempts; a++ {
+			pr, err := s.failingAttempt(ctx, set, a, opened, defectInherent)
+			if err != nil {
+				return err
+			}
+			s.prs = append(s.prs, pr)
+			opened = pr.ResolvedAt.AddDate(0, 0, 2+s.rng.Intn(10))
+		}
+	}
+
+	for i := range s.prs {
+		s.prs[i].ID = i + 1
+	}
+	return nil
+}
+
+// abandonedSet fabricates a proposal from a primary that never merged. Its
+// sites do not exist on the web, so every member naturally fails the
+// well-known fetch — the dominant Table 3 error.
+func (s *simulator) abandonedSet(j int) *core.Set {
+	set := &core.Set{
+		Primary:         fmt.Sprintf("aspiring-portal-%d.com", j+1),
+		RationaleBySite: map[string]string{},
+	}
+	n := 1 + j%3
+	for i := 0; i < n; i++ {
+		m := fmt.Sprintf("aspiring-partner-%d-%d.net", j+1, i+1)
+		set.Associated = append(set.Associated, m)
+		set.RationaleBySite[m] = "affiliated property"
+	}
+	// A third of the abandoned proposals additionally misunderstand the
+	// site boundary and submit subdomains (the paper's "fundamental
+	// misunderstanding" case).
+	if j%3 == 0 {
+		bad := "www.aspiring-portal-" + fmt.Sprint(j+1) + ".com"
+		set.Associated = append(set.Associated, bad)
+		set.RationaleBySite[bad] = "our www host"
+	}
+	// A couple also propose the primary as a subdomain.
+	if j == 4 || j == 9 || j == 14 {
+		set.Primary = "app." + set.Primary
+	}
+	// One proposes a singleton.
+	if j == 7 {
+		set.Associated = nil
+	}
+	// A few forget rationales.
+	if j == 2 || j == 11 {
+		set.RationaleBySite = nil
+	}
+	return set
+}
+
+// defect classes a live (eventually successful) submission can exhibit.
+// Abandoned proposals use defectInherent: their defects are baked into the
+// set itself and their sites are not served at all.
+type defectClass int
+
+const (
+	defectInherent defectClass = iota
+	defectNoWellKnown
+	defectPrimaryOnlyWellKnown
+	defectSubdomainAssociated
+	defectStaleWellKnown
+	defectNoRobotsTag
+	defectBadAlias
+)
+
+// liveDefect deterministically assigns a defect class to the a-th failing
+// attempt of set i, so every Table 3 category is exercised at every seed:
+// first attempts rotate through the common mistakes (forgotten well-known
+// files dominate, as in the paper), second attempts exercise the defect
+// the set is actually capable of, and third attempts hit the stale-file
+// mismatch.
+func liveDefect(set *core.Set, i, a int) defectClass {
+	switch a {
+	case 1:
+		switch i % 4 {
+		case 1:
+			return defectPrimaryOnlyWellKnown
+		case 2:
+			return defectSubdomainAssociated
+		default:
+			return defectNoWellKnown
+		}
+	case 2:
+		switch {
+		case len(set.Service) > 0:
+			return defectNoRobotsTag
+		case len(set.CCTLDs) > 0:
+			return defectBadAlias
+		default:
+			return defectStaleWellKnown
+		}
+	default:
+		return defectStaleWellKnown
+	}
+}
+
+// failingAttempt validates a deliberately defective submission of set and
+// returns the closed PR with the bot's genuine comments.
+func (s *simulator) failingAttempt(ctx context.Context, set *core.Set, attempt int, opened time.Time, class defectClass) (PR, error) {
+	pr := PR{
+		Primary:  primaryOf(set),
+		Kind:     NewSet,
+		State:    Closed,
+		Attempt:  attempt,
+		OpenedAt: opened,
+	}
+	proposal, cleanup := s.sabotage(set, class)
+	defer cleanup()
+
+	runs := 1
+	// Roughly a quarter of submitters push an update to the same PR,
+	// triggering re-validation (the paper's one-to-many mapping between
+	// PRs and validation errors).
+	if s.rng.Float64() < 0.25 {
+		runs = 2
+	}
+	for r := 0; r < runs; r++ {
+		rep := s.v.ValidateSet(ctx, proposal)
+		pr.BotComments = append(pr.BotComments, rep.Issues...)
+		pr.ValidationRuns++
+	}
+	if len(pr.BotComments) == 0 {
+		return pr, fmt.Errorf("github: sabotage of %s produced no issues", pr.Primary)
+	}
+	// 54.3% of unsuccessful PRs close the day they open (the submitter
+	// reacts to the bot); the rest linger with a long tail. A quota keeps
+	// the fraction at the paper's value for every seed; the rng only
+	// jitters the hour.
+	s.closed++
+	if float64(s.sameDay+1) <= 0.543*float64(s.closed) {
+		s.sameDay++
+		pr.ResolvedAt = pr.OpenedAt.Add(time.Duration(1+s.rng.Intn(20)) * time.Hour)
+	} else {
+		days := 1 + int(s.rng.ExpFloat64()*8)
+		if days > 50 {
+			days = 50
+		}
+		pr.ResolvedAt = pr.OpenedAt.AddDate(0, 0, days)
+	}
+	return pr, nil
+}
+
+// sabotage produces a defective variant of set per the defect class and
+// applies any matching web-state defect; cleanup restores the web.
+func (s *simulator) sabotage(set *core.Set, class defectClass) (*core.Set, func()) {
+	proposal := set.Clone()
+	cleanup := func() {}
+	if class == defectInherent {
+		// Abandoned journey: nothing is served; fetch failures and the
+		// baked-in structural defects are inherent.
+		return proposal, cleanup
+	}
+	switch class {
+	case defectNoWellKnown:
+		wellknown.Unmount(s.web, set)
+		cleanup = func() { _ = wellknown.Mount(s.web, set) }
+	case defectPrimaryOnlyWellKnown:
+		wellknown.Unmount(s.web, set)
+		if body, err := wellknown.PrimaryBody(set); err == nil {
+			s.web.RegisterRaw(set.Primary, wellknown.Path, wellknown.ContentType, body, nil)
+		}
+		cleanup = func() { _ = wellknown.Mount(s.web, set) }
+	case defectSubdomainAssociated:
+		if len(proposal.Associated) == 0 {
+			// Nothing to mangle: forgetting the files is always possible.
+			wellknown.Unmount(s.web, set)
+			cleanup = func() { _ = wellknown.Mount(s.web, set) }
+			break
+		}
+		for i := range proposal.Associated {
+			if i%2 == 0 {
+				bad := "www." + proposal.Associated[i]
+				proposal.RationaleBySite[bad] = proposal.RationaleBySite[proposal.Associated[i]]
+				proposal.Associated[i] = bad
+			}
+		}
+	case defectStaleWellKnown:
+		// Primary's well-known disagrees with the proposal (stale file).
+		stale := set.Clone()
+		switch {
+		case len(stale.Associated) > 0:
+			stale.Associated = stale.Associated[:len(stale.Associated)-1]
+		case len(stale.Service) > 0:
+			stale.Service = nil
+		default:
+			stale.CCTLDs = nil
+		}
+		if body, err := wellknown.PrimaryBody(stale); err == nil {
+			s.web.RegisterRaw(set.Primary, wellknown.Path, wellknown.ContentType, body, nil)
+		}
+		cleanup = func() { _ = wellknown.Mount(s.web, set) }
+	case defectNoRobotsTag:
+		var restore []func()
+		for _, svc := range set.Service {
+			if site, ok := s.web.Site(svc); ok {
+				saved := site.Headers
+				site.Headers = nil
+				restore = append(restore, func() { site.Headers = saved })
+			}
+		}
+		cleanup = func() {
+			for _, f := range restore {
+				f()
+			}
+		}
+	case defectBadAlias:
+		for base := range proposal.CCTLDs {
+			proposal.CCTLDs[base] = append(proposal.CCTLDs[base], "www."+base)
+			break
+		}
+	}
+	return proposal, cleanup
+}
+
+// approvedAttempt validates the correct submission and merges it after the
+// manual-review delay. withGlitch marks the single approved PR whose
+// automated checks flagged an issue (paper: 1 of 47).
+func (s *simulator) approvedAttempt(ctx context.Context, set *core.Set, attempt int, opened time.Time, withGlitch bool) (PR, error) {
+	pr := PR{
+		Primary:  primaryOf(set),
+		Kind:     NewSet,
+		State:    Approved,
+		Attempt:  attempt,
+		OpenedAt: opened,
+	}
+	if withGlitch {
+		// Transient outage on one member during the first validation run.
+		if len(set.Associated) > 0 {
+			target := set.Associated[0]
+			s.web.SetFault(target, sitegen.Fault{StatusCode: http.StatusServiceUnavailable})
+			rep := s.v.ValidateSet(ctx, set)
+			pr.BotComments = append(pr.BotComments, rep.Issues...)
+			pr.ValidationRuns++
+			s.web.SetFault(target, sitegen.Fault{})
+		}
+	}
+	rep := s.v.ValidateSet(ctx, set)
+	pr.ValidationRuns++
+	if !rep.Passed() {
+		return pr, fmt.Errorf("github: final submission of %s failed validation: %v", set.Primary, rep.Issues)
+	}
+	// Manual review: median ~5 days, long tail, never same-day.
+	days := 2 + int(s.rng.ExpFloat64()*4.5)
+	if days > 30 {
+		days = 30
+	}
+	pr.ResolvedAt = pr.OpenedAt.AddDate(0, 0, days)
+	return pr, nil
+}
+
+func primaryOf(s *core.Set) string { return s.Primary }

@@ -1,0 +1,123 @@
+// Package history computes the longitudinal views of the Related Website
+// Sets list reported in §4 of "A First Look at Related Website Sets" (IMC
+// 2024): subset composition over time (Figure 7) and the Forcepoint
+// categories of set primaries (Figure 8) and associated sites (Figure 9)
+// per monthly snapshot, including the paper's category-merging rules.
+package history
+
+import (
+	"fmt"
+	"time"
+
+	"rwskit/internal/core"
+	"rwskit/internal/dataset"
+	"rwskit/internal/forcepoint"
+)
+
+// Snapshot is the list state at the end of one month.
+type Snapshot struct {
+	Month string // "2023-04"
+	List  *core.List
+}
+
+// Timeline is a chronological sequence of monthly snapshots.
+type Timeline struct {
+	Snapshots []Snapshot
+}
+
+// Build materialises the timeline over the study window (2023-01 through
+// 2024-03) from the embedded dataset.
+func Build() (*Timeline, error) {
+	var tl Timeline
+	for _, m := range dataset.Months() {
+		t, err := time.Parse("2006-01", m)
+		if err != nil {
+			return nil, fmt.Errorf("history: bad month %q: %w", m, err)
+		}
+		l, err := dataset.ListAt(t)
+		if err != nil {
+			return nil, fmt.Errorf("history: building list at %s: %w", m, err)
+		}
+		tl.Snapshots = append(tl.Snapshots, Snapshot{Month: m, List: l})
+	}
+	return &tl, nil
+}
+
+// CompositionPoint is one month of Figure 7: the member count per subset.
+type CompositionPoint struct {
+	Month      string
+	Service    int
+	Associated int
+	CCTLD      int
+	Sets       int
+}
+
+// Composition computes Figure 7's series: per-month counts of service,
+// associated, and ccTLD sites on the list.
+func (tl *Timeline) Composition() []CompositionPoint {
+	out := make([]CompositionPoint, 0, len(tl.Snapshots))
+	for _, snap := range tl.Snapshots {
+		st := snap.List.Stats()
+		out = append(out, CompositionPoint{
+			Month:      snap.Month,
+			Service:    st.ServiceSites,
+			Associated: st.AssociatedSites,
+			CCTLD:      st.CCTLDSites,
+			Sets:       st.Sets,
+		})
+	}
+	return out
+}
+
+// CategoryPoint is one month of Figure 8 or 9: counts per (merged)
+// category.
+type CategoryPoint struct {
+	Month  string
+	Counts map[forcepoint.Category]int
+}
+
+// PrimaryCategories computes Figure 8: the categories of set primaries per
+// month, merged with the Figure 8 palette.
+func (tl *Timeline) PrimaryCategories(db *forcepoint.DB) []CategoryPoint {
+	out := make([]CategoryPoint, 0, len(tl.Snapshots))
+	for _, snap := range tl.Snapshots {
+		counts := make(map[forcepoint.Category]int)
+		for _, set := range snap.List.Sets() {
+			c := forcepoint.Merge(db.Lookup(set.Primary), forcepoint.Figure8Keep)
+			counts[c]++
+		}
+		out = append(out, CategoryPoint{Month: snap.Month, Counts: counts})
+	}
+	return out
+}
+
+// AssociatedCategories computes Figure 9: the categories of associated
+// sites per month, merged with the Figure 9 palette.
+func (tl *Timeline) AssociatedCategories(db *forcepoint.DB) []CategoryPoint {
+	out := make([]CategoryPoint, 0, len(tl.Snapshots))
+	for _, snap := range tl.Snapshots {
+		counts := make(map[forcepoint.Category]int)
+		for _, set := range snap.List.Sets() {
+			for _, a := range set.Associated {
+				c := forcepoint.Merge(db.Lookup(a), forcepoint.Figure9Keep)
+				counts[c]++
+			}
+		}
+		out = append(out, CategoryPoint{Month: snap.Month, Counts: counts})
+	}
+	return out
+}
+
+// Final returns the last snapshot (the 26 March 2024 state).
+func (tl *Timeline) Final() Snapshot {
+	return tl.Snapshots[len(tl.Snapshots)-1]
+}
+
+// Diffs returns the month-over-month list diffs, one per transition.
+func (tl *Timeline) Diffs() []core.Diff {
+	var out []core.Diff
+	for i := 1; i < len(tl.Snapshots); i++ {
+		out = append(out, core.DiffLists(tl.Snapshots[i-1].List, tl.Snapshots[i].List))
+	}
+	return out
+}

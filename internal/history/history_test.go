@@ -1,0 +1,143 @@
+package history
+
+import (
+	"testing"
+
+	"rwskit/internal/dataset"
+	"rwskit/internal/forcepoint"
+)
+
+func buildTimeline(t testing.TB) *Timeline {
+	t.Helper()
+	tl, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestTimelineShape(t *testing.T) {
+	tl := buildTimeline(t)
+	if len(tl.Snapshots) != 15 {
+		t.Fatalf("snapshots = %d, want 15 (2023-01..2024-03)", len(tl.Snapshots))
+	}
+	if tl.Snapshots[0].Month != "2023-01" || tl.Final().Month != "2024-03" {
+		t.Errorf("window = %s..%s", tl.Snapshots[0].Month, tl.Final().Month)
+	}
+}
+
+// TestFigure7Shape: composition counts grow monotonically to the paper's
+// final snapshot (41 sets, 108 associated, 14 service), with associated
+// sites the dominant subset throughout — the paper's headline for Figure 7.
+func TestFigure7Shape(t *testing.T) {
+	tl := buildTimeline(t)
+	comp := tl.Composition()
+	if len(comp) != 15 {
+		t.Fatalf("points = %d", len(comp))
+	}
+	prev := CompositionPoint{}
+	for _, p := range comp {
+		if p.Associated < prev.Associated || p.Service < prev.Service || p.CCTLD < prev.CCTLD || p.Sets < prev.Sets {
+			t.Errorf("composition shrank at %s: %+v -> %+v", p.Month, prev, p)
+		}
+		if p.Month >= "2023-06" && p.Associated <= p.Service {
+			t.Errorf("%s: associated (%d) should dominate service (%d)", p.Month, p.Associated, p.Service)
+		}
+		prev = p
+	}
+	final := comp[len(comp)-1]
+	if final.Sets != 41 || final.Associated != 108 || final.Service != 14 {
+		t.Errorf("final composition = %+v", final)
+	}
+}
+
+// TestFigure8Shape: news and media is the largest primary category in the
+// final snapshot, and merged categories stay within the Figure 8 palette.
+func TestFigure8Shape(t *testing.T) {
+	tl := buildTimeline(t)
+	db := dataset.CategoryDB()
+	points := tl.PrimaryCategories(db)
+	final := points[len(points)-1]
+	var total int
+	for c, n := range final.Counts {
+		total += n
+		if !forcepoint.Figure8Keep[c] && c != forcepoint.Other && c != forcepoint.Unknown {
+			t.Errorf("unmerged category %q in Figure 8 output", c)
+		}
+	}
+	if total != 41 {
+		t.Errorf("final primary count = %d, want 41", total)
+	}
+	// "The largest individual category for set primaries is News and
+	// media" — individual, i.e. excluding the merged other/unknown
+	// buckets.
+	news := final.Counts[forcepoint.NewsAndMedia]
+	for c, n := range final.Counts {
+		if c == forcepoint.NewsAndMedia || c == forcepoint.Other || c == forcepoint.Unknown {
+			continue
+		}
+		if n > news {
+			t.Errorf("category %q (%d) exceeds news and media (%d)", c, n, news)
+		}
+	}
+}
+
+// TestFigure9Shape: associated-site categories include the palette the
+// paper highlights — analytics infrastructure (webvisor.com) and
+// compromised/spam are present; counts sum to the associated totals.
+func TestFigure9Shape(t *testing.T) {
+	tl := buildTimeline(t)
+	db := dataset.CategoryDB()
+	points := tl.AssociatedCategories(db)
+	comp := tl.Composition()
+	for i, p := range points {
+		var total int
+		for c, n := range p.Counts {
+			total += n
+			if !forcepoint.Figure9Keep[c] && c != forcepoint.Other && c != forcepoint.Unknown {
+				t.Errorf("%s: unmerged category %q in Figure 9 output", p.Month, c)
+			}
+		}
+		if total != comp[i].Associated {
+			t.Errorf("%s: category total %d != associated count %d", p.Month, total, comp[i].Associated)
+		}
+	}
+	final := points[len(points)-1]
+	if final.Counts[forcepoint.Analytics] == 0 {
+		t.Error("analytics/infrastructure absent from associated categories (webvisor.com should be there)")
+	}
+	if final.Counts[forcepoint.CompromisedSpam] == 0 {
+		t.Error("compromised/spam absent from associated categories")
+	}
+	if final.Counts[forcepoint.Other] == 0 {
+		t.Error("merged Other bucket empty; merging appears broken")
+	}
+}
+
+func TestDiffsAreAdditive(t *testing.T) {
+	tl := buildTimeline(t)
+	diffs := tl.Diffs()
+	if len(diffs) != 14 {
+		t.Fatalf("diffs = %d", len(diffs))
+	}
+	var added int
+	for i, d := range diffs {
+		if len(d.RemovedSets) != 0 || len(d.RemovedMembers) != 0 {
+			t.Errorf("transition %d removed sets/members: %+v", i, d)
+		}
+		added += len(d.AddedSets)
+	}
+	// 41 sets total, 2 present in the first snapshot.
+	if added != 39 {
+		t.Errorf("sets added across transitions = %d, want 39", added)
+	}
+}
+
+func BenchmarkTimelineBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package htmlsim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const docA = `<!DOCTYPE html>
+<html><head><title>A</title><style>.x{}</style></head>
+<body class="page home">
+  <div class="header brand-red"><h1>Site A</h1></div>
+  <p class="intro">hello</p>
+  <img src="logo.png" alt="logo">
+  <!-- a comment -->
+  <script>var x = "<div>not a tag</div>";</script>
+</body></html>`
+
+const docB = `<!DOCTYPE html>
+<html><head><title>B</title></head>
+<body class="page about">
+  <div class="header brand-red"><h1>Site B</h1></div>
+  <p class="intro">world</p>
+</body></html>`
+
+func TestTokenizeBasics(t *testing.T) {
+	toks := Tokenize(`<div class="a b" id=plain data-x='q'>text</div>`)
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %d, want 3: %+v", len(toks), toks)
+	}
+	if toks[0].Type != TokenStartTag || toks[0].Name != "div" {
+		t.Errorf("token 0 = %+v", toks[0])
+	}
+	if toks[0].Attrs["class"] != "a b" || toks[0].Attrs["id"] != "plain" || toks[0].Attrs["data-x"] != "q" {
+		t.Errorf("attrs = %v", toks[0].Attrs)
+	}
+	if toks[1].Type != TokenText || toks[1].Text != "text" {
+		t.Errorf("token 1 = %+v", toks[1])
+	}
+	if toks[2].Type != TokenEndTag || toks[2].Name != "div" {
+		t.Errorf("token 2 = %+v", toks[2])
+	}
+}
+
+func TestTokenizeSelfClosingAndCase(t *testing.T) {
+	toks := Tokenize(`<BR/><IMG SRC="x"/>`)
+	if len(toks) != 2 {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	if toks[0].Type != TokenSelfClosing || toks[0].Name != "br" {
+		t.Errorf("token 0 = %+v", toks[0])
+	}
+	if toks[1].Name != "img" || toks[1].Attrs["src"] != "x" {
+		t.Errorf("token 1 = %+v", toks[1])
+	}
+}
+
+func TestTokenizeCommentDoctypeScript(t *testing.T) {
+	toks := Tokenize(docA)
+	var sawComment, sawDoctype, sawScriptText bool
+	for _, tok := range toks {
+		switch tok.Type {
+		case TokenComment:
+			sawComment = strings.Contains(tok.Text, "a comment")
+		case TokenDoctype:
+			sawDoctype = strings.EqualFold(tok.Text, "doctype html")
+		case TokenText:
+			if strings.Contains(tok.Text, "not a tag") {
+				sawScriptText = true
+			}
+		case TokenStartTag:
+			if tok.Name == "div" && strings.Contains(tok.Attrs["class"], "not a tag") {
+				t.Error("script content leaked into tag stream")
+			}
+		}
+	}
+	if !sawComment || !sawDoctype || !sawScriptText {
+		t.Errorf("comment=%v doctype=%v scriptText=%v", sawComment, sawDoctype, sawScriptText)
+	}
+	// The <div> inside the script string must NOT appear as a tag.
+	for _, tag := range TagSequence(docA) {
+		if tag == "var" {
+			t.Error("script body tokenized as tags")
+		}
+	}
+}
+
+func TestTokenizeMalformed(t *testing.T) {
+	cases := []string{
+		"<",
+		"<div",
+		"text < more",
+		"<div class=>x</div>",
+		"<!-- unterminated",
+		"<div class='unterminated",
+		"</>",
+		"<a href=foo bar>x",
+		"<script>never closed",
+	}
+	for _, c := range cases {
+		// Must not panic, must terminate.
+		_ = Tokenize(c)
+	}
+	// A lone '<' in text should be preserved as text.
+	toks := Tokenize("a < b")
+	joined := ""
+	for _, tok := range toks {
+		joined += tok.Text
+	}
+	if !strings.Contains(joined, "<") {
+		t.Errorf("lost the literal '<': %+v", toks)
+	}
+}
+
+func TestTagSequence(t *testing.T) {
+	seq := TagSequence(`<html><body><div><p>x</p><img></div></body></html>`)
+	want := []string{"html", "body", "div", "p", "img"}
+	if len(seq) != len(want) {
+		t.Fatalf("seq = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("seq = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestClassSet(t *testing.T) {
+	cs := ClassSet(`<div class="a b"><span class="b  c"></span><p class=""></p></div>`)
+	for _, c := range []string{"a", "b", "c"} {
+		if !cs[c] {
+			t.Errorf("missing class %q: %v", c, cs)
+		}
+	}
+	if len(cs) != 3 {
+		t.Errorf("class set = %v", cs)
+	}
+}
+
+func TestStyleSimilarity(t *testing.T) {
+	// docA classes: page home header brand-red intro (x inside <style> is
+	// CSS source, not a class attribute).
+	// docB classes: page about header brand-red intro.
+	// Intersection = 4 (page, header, brand-red, intro); union = 6.
+	got := StyleSimilarity(docA, docB)
+	want := 4.0 / 6.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("StyleSimilarity = %v, want %v", got, want)
+	}
+}
+
+func TestStyleSimilarityEmpty(t *testing.T) {
+	if got := StyleSimilarity("<p>x</p>", "<p>y</p>"); got != 0 {
+		t.Errorf("no classes anywhere should score 0, got %v", got)
+	}
+}
+
+func TestStructuralSimilarityIdentical(t *testing.T) {
+	if got := StructuralSimilarity(docA, docA); got != 1 {
+		t.Errorf("identical docs = %v, want 1", got)
+	}
+}
+
+func TestStructuralSimilarityDisjoint(t *testing.T) {
+	if got := StructuralSimilarity("<aside></aside>", "<table><tr><td>x</td></tr></table>"); got != 0 {
+		t.Errorf("disjoint tag sets = %v, want 0", got)
+	}
+}
+
+func TestSequenceRatioKnown(t *testing.T) {
+	// difflib reference: ratio of "abcd" vs "bcde" = 2*3/8 = 0.75.
+	a := []string{"a", "b", "c", "d"}
+	b := []string{"b", "c", "d", "e"}
+	if got := SequenceRatio(a, b); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("SequenceRatio = %v, want 0.75", got)
+	}
+}
+
+func TestSequenceRatioEmpty(t *testing.T) {
+	if SequenceRatio(nil, nil) != 1 {
+		t.Error("two empty sequences should be identical")
+	}
+	if SequenceRatio([]string{"a"}, nil) != 0 {
+		t.Error("empty vs non-empty should be 0")
+	}
+}
+
+func TestSequenceRatioLCSBounds(t *testing.T) {
+	a := []string{"a", "b", "c", "d"}
+	b := []string{"c", "d", "a", "b"}
+	ro := SequenceRatio(a, b)
+	lcs := SequenceRatioLCS(a, b)
+	// LCS >= Ratcliff/Obershelp matched total (contiguity is a constraint);
+	// here LCS finds "cd" or "ab" plus more only if order allows: LCS(abcd,
+	// cdab) = 2 ("ab" or "cd"), R/O also 2 contiguous + recursion on the
+	// remainder = 2. So both 0.5.
+	if math.Abs(ro-0.5) > 1e-12 || math.Abs(lcs-0.5) > 1e-12 {
+		t.Errorf("ro=%v lcs=%v, want 0.5/0.5", ro, lcs)
+	}
+}
+
+func TestQuickLCSDominatesRO(t *testing.T) {
+	// LCS is always >= the Ratcliff/Obershelp total because every R/O
+	// matched block is a common subsequence.
+	alphabet := []string{"div", "p", "span", "img", "a"}
+	f := func(xs, ys []uint8) bool {
+		a := make([]string, 0, len(xs)%20)
+		for i := 0; i < len(xs) && i < 20; i++ {
+			a = append(a, alphabet[int(xs[i])%len(alphabet)])
+		}
+		b := make([]string, 0, len(ys)%20)
+		for i := 0; i < len(ys) && i < 20; i++ {
+			b = append(b, alphabet[int(ys[i])%len(alphabet)])
+		}
+		return SequenceRatioLCS(a, b) >= SequenceRatio(a, b)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRatioProperties(t *testing.T) {
+	alphabet := []string{"div", "p", "span"}
+	f := func(xs, ys []uint8) bool {
+		a := make([]string, 0, 16)
+		for i := 0; i < len(xs) && i < 16; i++ {
+			a = append(a, alphabet[int(xs[i])%len(alphabet)])
+		}
+		b := make([]string, 0, 16)
+		for i := 0; i < len(ys) && i < 16; i++ {
+			b = append(b, alphabet[int(ys[i])%len(alphabet)])
+		}
+		r := SequenceRatio(a, b)
+		if r < 0 || r > 1 {
+			return false
+		}
+		// Note: Ratcliff/Obershelp is NOT exactly symmetric (tie-breaking in
+		// the longest-match search changes the recursion partition, as in
+		// Python's difflib), so we only require identity and self-similarity.
+		return SequenceRatio(a, a) == 1 || len(a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	s := Compare(docA, docB)
+	if s.Style <= 0 || s.Style > 1 {
+		t.Errorf("style = %v", s.Style)
+	}
+	if s.Structural <= 0 || s.Structural > 1 {
+		t.Errorf("structural = %v", s.Structural)
+	}
+	wantJoint := DefaultJointK*s.Structural + (1-DefaultJointK)*s.Style
+	if math.Abs(s.Joint-wantJoint) > 1e-12 {
+		t.Errorf("joint = %v, want %v", s.Joint, wantJoint)
+	}
+}
+
+func TestCompareKClamps(t *testing.T) {
+	s := CompareK(docA, docB, -1)
+	if s.Joint != s.Style {
+		t.Errorf("k=-1 should clamp to 0 (all style): joint=%v style=%v", s.Joint, s.Style)
+	}
+	s = CompareK(docA, docB, 2)
+	if s.Joint != s.Structural {
+		t.Errorf("k=2 should clamp to 1 (all structural): joint=%v structural=%v", s.Joint, s.Structural)
+	}
+}
+
+func TestDissimilarSitesScoreLow(t *testing.T) {
+	// Mimics the paper's observation: unrelated sites share almost no
+	// classes; joint score dominated by style similarity stays near 0.
+	news := `<html><body class="news-grid dark">
+	  <nav class="topnav news-brand"></nav>
+	  <article class="story lead"><h2>Headline</h2></article>
+	</body></html>`
+	shop := `<html><body class="shop checkout">
+	  <div class="cart-widget"></div><ul class="product-list"><li class="sku">x</li></ul>
+	</body></html>`
+	s := Compare(news, shop)
+	if s.Style != 0 {
+		t.Errorf("style = %v, want 0", s.Style)
+	}
+	if s.Joint > 0.3 {
+		t.Errorf("joint = %v, want < 0.3", s.Joint)
+	}
+}
+
+func TestRelatedSitesScoreHigh(t *testing.T) {
+	tpl := func(title string) string {
+		return `<html><head><title>` + title + `</title></head>
+		<body class="corp-theme grid">
+		  <header class="corp-header brand"><img class="logo"></header>
+		  <main class="content"><p class="copy">` + title + `</p></main>
+		  <footer class="corp-footer legal">© Corp</footer>
+		</body></html>`
+	}
+	s := Compare(tpl("One"), tpl("Two"))
+	if s.Style != 1 || s.Structural != 1 || s.Joint != 1 {
+		t.Errorf("same-template docs should score 1/1/1, got %+v", s)
+	}
+}
+
+func randomHTML(r *rand.Rand, tags int) string {
+	names := []string{"div", "p", "span", "section", "article", "ul", "li"}
+	classes := []string{"a", "b", "c", "d", "e", "f"}
+	var sb strings.Builder
+	sb.WriteString("<html><body>")
+	for i := 0; i < tags; i++ {
+		n := names[r.Intn(len(names))]
+		sb.WriteString("<" + n + ` class="` + classes[r.Intn(len(classes))] + `">t</` + n + ">")
+	}
+	sb.WriteString("</body></html>")
+	return sb.String()
+}
+
+func TestScoresAlwaysInRange(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		a := randomHTML(r, r.Intn(30))
+		b := randomHTML(r, r.Intn(30))
+		s := Compare(a, b)
+		for name, v := range map[string]float64{"style": s.Style, "structural": s.Structural, "joint": s.Joint} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("%s out of range: %v (docs %q vs %q)", name, v, a, b)
+			}
+		}
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(docA)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randomHTML(r, 200)
+	c := randomHTML(r, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compare(a, c)
+	}
+}

@@ -1,0 +1,148 @@
+package htmlsim
+
+// DefaultJointK is the weighting used by the joint similarity metric,
+// matching the html-similarity library the paper uses:
+// joint = k*structural + (1-k)*style.
+const DefaultJointK = 0.3
+
+// Scores bundles the three Figure 4 metrics for one document pair.
+type Scores struct {
+	Style      float64
+	Structural float64
+	Joint      float64
+}
+
+// Compare computes style, structural, and joint similarity between two HTML
+// documents using DefaultJointK.
+func Compare(htmlA, htmlB string) Scores {
+	return CompareK(htmlA, htmlB, DefaultJointK)
+}
+
+// CompareK is Compare with an explicit joint weighting k in [0,1].
+func CompareK(htmlA, htmlB string, k float64) Scores {
+	if k < 0 {
+		k = 0
+	}
+	if k > 1 {
+		k = 1
+	}
+	style := StyleSimilarity(htmlA, htmlB)
+	structural := StructuralSimilarity(htmlA, htmlB)
+	return Scores{
+		Style:      style,
+		Structural: structural,
+		Joint:      k*structural + (1-k)*style,
+	}
+}
+
+// StyleSimilarity is the Jaccard similarity of the documents' CSS class
+// sets. Two documents with no classes at all are defined to have
+// similarity 0, matching the upstream library's behaviour for empty sets.
+func StyleSimilarity(htmlA, htmlB string) float64 {
+	return JaccardClasses(ClassSet(htmlA), ClassSet(htmlB))
+}
+
+// JaccardClasses computes |A∩B| / |A∪B| over class sets.
+func JaccardClasses(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for c := range a {
+		if b[c] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// StructuralSimilarity is the Ratcliff/Obershelp similarity (difflib
+// SequenceMatcher ratio) over the documents' tag sequences.
+func StructuralSimilarity(htmlA, htmlB string) float64 {
+	return SequenceRatio(TagSequence(htmlA), TagSequence(htmlB))
+}
+
+// SequenceRatio computes the Ratcliff/Obershelp ratio over two string
+// sequences: 2*M / (len(a)+len(b)), where M is the total length of matched
+// blocks found by recursively locating the longest common contiguous run.
+// Two empty sequences have ratio 1 (they are identical).
+func SequenceRatio(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	m := matchTotal(a, b, 0, len(a), 0, len(b))
+	return 2 * float64(m) / float64(len(a)+len(b))
+}
+
+// SequenceRatioLCS is the ablation alternative: 2*LCS/(len(a)+len(b)) using
+// the (non-contiguous) longest common subsequence. It is a looser metric
+// than Ratcliff/Obershelp — reordered blocks still count — and is included
+// to quantify how metric choice shifts Figure 4.
+func SequenceRatioLCS(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Two-row LCS DP.
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return 2 * float64(prev[len(b)]) / float64(len(a)+len(b))
+}
+
+// matchTotal implements the recursive Ratcliff/Obershelp matched-length
+// computation over a[alo:ahi] and b[blo:bhi].
+func matchTotal(a, b []string, alo, ahi, blo, bhi int) int {
+	ai, bj, size := longestMatch(a, b, alo, ahi, blo, bhi)
+	if size == 0 {
+		return 0
+	}
+	total := size
+	total += matchTotal(a, b, alo, ai, blo, bj)
+	total += matchTotal(a, b, ai+size, ahi, bj+size, bhi)
+	return total
+}
+
+// longestMatch finds the longest contiguous matching block between
+// a[alo:ahi] and b[blo:bhi], in the style of difflib's find_longest_match
+// (without the "junk" heuristics, which do not apply to tag alphabets).
+func longestMatch(a, b []string, alo, ahi, blo, bhi int) (besti, bestj, bestsize int) {
+	// j2len[j] = length of longest run ending at a[i-1], b[j-1].
+	j2len := make(map[int]int)
+	besti, bestj = alo, blo
+	for i := alo; i < ahi; i++ {
+		newj2len := make(map[int]int, len(j2len)+4)
+		for j := blo; j < bhi; j++ {
+			if a[i] != b[j] {
+				continue
+			}
+			k := j2len[j-1] + 1
+			newj2len[j] = k
+			if k > bestsize {
+				besti, bestj, bestsize = i-k+1, j-k+1, k
+			}
+		}
+		j2len = newj2len
+	}
+	return besti, bestj, bestsize
+}

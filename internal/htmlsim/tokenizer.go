@@ -1,0 +1,276 @@
+// Package htmlsim computes the HTML similarity metrics used in Figure 4 of
+// "A First Look at Related Website Sets" (IMC 2024). The paper uses the
+// html-similarity library (github.com/matiskay/html-similarity), which
+// defines:
+//
+//   - style similarity: Jaccard similarity over the sets of CSS classes
+//     used in two documents;
+//   - structural similarity: sequence similarity (Ratcliff/Obershelp, i.e.
+//     Python difflib's SequenceMatcher ratio) over the documents' tag
+//     sequences; and
+//   - joint similarity: k*structural + (1-k)*style with k = 0.3.
+//
+// This package reimplements all three over a tolerant, dependency-free HTML
+// tokenizer: real-world HTML (and this repository's synthetic web) is not
+// XML-clean, so the tokenizer recovers from unclosed tags, bare attributes,
+// and embedded script/style payloads rather than failing.
+package htmlsim
+
+import "strings"
+
+// TokenType classifies a lexed HTML token.
+type TokenType int
+
+// Token types produced by Tokenize.
+const (
+	TokenText TokenType = iota
+	TokenStartTag
+	TokenEndTag
+	TokenSelfClosing
+	TokenComment
+	TokenDoctype
+)
+
+// Token is one lexical element of an HTML document.
+type Token struct {
+	Type TokenType
+	// Name is the lowercased tag name for tag tokens, empty otherwise.
+	Name string
+	// Attrs holds attribute key/value pairs for start and self-closing
+	// tags. Keys are lowercased; valueless attributes have "".
+	Attrs map[string]string
+	// Text is the raw text for text, comment, and doctype tokens.
+	Text string
+}
+
+// voidElements are HTML elements with no closing tag; their start tags are
+// reported as TokenStartTag (matching how tag-sequence similarity treats
+// them upstream).
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements swallow their content verbatim until the matching close
+// tag.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// Tokenize lexes HTML into tokens. It never fails: malformed markup
+// degrades into text tokens.
+func Tokenize(html string) []Token {
+	var tokens []Token
+	i := 0
+	n := len(html)
+	for i < n {
+		lt := strings.IndexByte(html[i:], '<')
+		if lt < 0 {
+			tokens = appendText(tokens, html[i:])
+			break
+		}
+		if lt > 0 {
+			tokens = appendText(tokens, html[i:i+lt])
+			i += lt
+		}
+		// html[i] == '<'
+		if i+1 >= n {
+			tokens = appendText(tokens, html[i:])
+			break
+		}
+		switch {
+		case strings.HasPrefix(html[i:], "<!--"):
+			end := strings.Index(html[i+4:], "-->")
+			if end < 0 {
+				tokens = append(tokens, Token{Type: TokenComment, Text: html[i+4:]})
+				i = n
+			} else {
+				tokens = append(tokens, Token{Type: TokenComment, Text: html[i+4 : i+4+end]})
+				i += 4 + end + 3
+			}
+		case strings.HasPrefix(html[i:], "<!"):
+			end := strings.IndexByte(html[i:], '>')
+			if end < 0 {
+				tokens = appendText(tokens, html[i:])
+				i = n
+			} else {
+				tokens = append(tokens, Token{Type: TokenDoctype, Text: strings.TrimSpace(html[i+2 : i+end])})
+				i += end + 1
+			}
+		case html[i+1] == '/':
+			end := strings.IndexByte(html[i:], '>')
+			if end < 0 {
+				tokens = appendText(tokens, html[i:])
+				i = n
+			} else {
+				name := strings.ToLower(strings.TrimSpace(html[i+2 : i+end]))
+				if name != "" {
+					tokens = append(tokens, Token{Type: TokenEndTag, Name: name})
+				}
+				i += end + 1
+			}
+		case isTagNameStart(html[i+1]):
+			tok, next := lexTag(html, i)
+			tokens = append(tokens, tok)
+			i = next
+			if tok.Type == TokenStartTag && rawTextElements[tok.Name] {
+				// Swallow raw text until the matching close tag.
+				closeTag := "</" + tok.Name
+				idx := indexFold(html[i:], closeTag)
+				if idx < 0 {
+					tokens = appendText(tokens, html[i:])
+					i = n
+				} else {
+					if idx > 0 {
+						tokens = appendText(tokens, html[i:i+idx])
+					}
+					i += idx
+					if end := strings.IndexByte(html[i:], '>'); end >= 0 {
+						tokens = append(tokens, Token{Type: TokenEndTag, Name: tok.Name})
+						i += end + 1
+					} else {
+						i = n
+					}
+				}
+			}
+		default:
+			// A lone '<' that does not open a tag: literal text.
+			tokens = appendText(tokens, "<")
+			i++
+		}
+	}
+	return tokens
+}
+
+func appendText(tokens []Token, text string) []Token {
+	if strings.TrimSpace(text) == "" {
+		return tokens
+	}
+	return append(tokens, Token{Type: TokenText, Text: text})
+}
+
+func isTagNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// lexTag lexes a start or self-closing tag beginning at html[i] == '<'.
+func lexTag(html string, i int) (Token, int) {
+	n := len(html)
+	j := i + 1
+	for j < n && (isTagNameStart(html[j]) || html[j] >= '0' && html[j] <= '9' || html[j] == '-') {
+		j++
+	}
+	name := strings.ToLower(html[i+1 : j])
+	tok := Token{Type: TokenStartTag, Name: name}
+	// Lex attributes until '>'.
+	for j < n {
+		for j < n && isSpace(html[j]) {
+			j++
+		}
+		if j >= n {
+			return tok, n
+		}
+		if html[j] == '>' {
+			j++
+			break
+		}
+		if html[j] == '/' {
+			j++
+			if j < n && html[j] == '>' {
+				tok.Type = TokenSelfClosing
+				j++
+				return finishTag(tok), j
+			}
+			continue
+		}
+		// Attribute name.
+		start := j
+		for j < n && html[j] != '=' && html[j] != '>' && html[j] != '/' && !isSpace(html[j]) {
+			j++
+		}
+		key := strings.ToLower(html[start:j])
+		val := ""
+		for j < n && isSpace(html[j]) {
+			j++
+		}
+		if j < n && html[j] == '=' {
+			j++
+			for j < n && isSpace(html[j]) {
+				j++
+			}
+			if j < n && (html[j] == '"' || html[j] == '\'') {
+				quote := html[j]
+				j++
+				vstart := j
+				for j < n && html[j] != quote {
+					j++
+				}
+				val = html[vstart:j]
+				if j < n {
+					j++ // closing quote
+				}
+			} else {
+				vstart := j
+				for j < n && !isSpace(html[j]) && html[j] != '>' {
+					j++
+				}
+				val = html[vstart:j]
+			}
+		}
+		if key != "" {
+			if tok.Attrs == nil {
+				tok.Attrs = make(map[string]string)
+			}
+			if _, dup := tok.Attrs[key]; !dup {
+				tok.Attrs[key] = val
+			}
+		}
+	}
+	return finishTag(tok), j
+}
+
+func finishTag(tok Token) Token {
+	if tok.Type == TokenStartTag && voidElements[tok.Name] {
+		// Void elements carry no subtree; keep them as start tags for the
+		// tag sequence but note there is no close.
+	}
+	return tok
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+// indexFold is a case-insensitive strings.Index for ASCII needles.
+func indexFold(s, needle string) int {
+	return strings.Index(strings.ToLower(s), strings.ToLower(needle))
+}
+
+// TagSequence returns the document's start/self-closing tag names in
+// order — the structural fingerprint compared by StructuralSimilarity.
+func TagSequence(html string) []string {
+	var seq []string
+	for _, t := range Tokenize(html) {
+		if t.Type == TokenStartTag || t.Type == TokenSelfClosing {
+			seq = append(seq, t.Name)
+		}
+	}
+	return seq
+}
+
+// ClassSet returns the set of CSS class names referenced by class
+// attributes in the document — the style fingerprint compared by
+// StyleSimilarity.
+func ClassSet(html string) map[string]bool {
+	classes := make(map[string]bool)
+	for _, t := range Tokenize(html) {
+		if t.Type != TokenStartTag && t.Type != TokenSelfClosing {
+			continue
+		}
+		if cls, ok := t.Attrs["class"]; ok {
+			for _, c := range strings.Fields(cls) {
+				classes[c] = true
+			}
+		}
+	}
+	return classes
+}

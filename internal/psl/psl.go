@@ -1,0 +1,323 @@
+// Package psl implements the Public Suffix List algorithm
+// (https://publicsuffix.org/list/) over an embedded rule snapshot.
+//
+// The "site" privacy boundary studied in "A First Look at Related Website
+// Sets" (IMC 2024) is defined as eTLD+1: the effective top-level domain plus
+// one label. Every part of this repository that reasons about privacy
+// boundaries — the RWS list validator (Table 3's "... isn't an eTLD+1"
+// errors), the browser storage-partitioning simulator, and the SLD
+// edit-distance analysis (Figure 3) — resolves domains through this package.
+//
+// The engine implements the full published algorithm: normal rules,
+// wildcard rules (*.ck), and exception rules (!www.ck), with the ICANN /
+// private section distinction preserved. Rules are held in a label trie;
+// a linear scanning matcher is retained for the ablation benchmark.
+package psl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Rule is a single parsed Public Suffix List rule.
+type Rule struct {
+	// Labels are the rule's DNS labels in presentation order, e.g.
+	// ["co", "uk"] for "co.uk" or ["*", "ck"] for "*.ck".
+	Labels []string
+	// Exception marks "!" rules, which carve registrable domains out of a
+	// wildcard rule's shadow.
+	Exception bool
+	// ICANN is true for rules in the ICANN section of the list, false for
+	// the private section (e.g. github.io).
+	ICANN bool
+}
+
+// String returns the rule in list syntax.
+func (r Rule) String() string {
+	s := strings.Join(r.Labels, ".")
+	if r.Exception {
+		return "!" + s
+	}
+	return s
+}
+
+// node is a label-trie node keyed right-to-left.
+type node struct {
+	children  map[string]*node
+	isRule    bool
+	exception bool
+	icann     bool
+}
+
+// List is a compiled Public Suffix List.
+type List struct {
+	root  *node
+	rules []Rule
+}
+
+// Parse reads rules in the publicsuffix.org text format: one rule per line,
+// "//" comments, blank lines ignored, and the ICANN/private sections marked
+// with the standard BEGIN/END comment markers.
+func Parse(r io.Reader) (*List, error) {
+	l := &List{root: &node{}}
+	scanner := bufio.NewScanner(r)
+	icann := false
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "//"):
+			if strings.Contains(line, "===BEGIN ICANN DOMAINS===") {
+				icann = true
+			}
+			if strings.Contains(line, "===END ICANN DOMAINS===") {
+				icann = false
+			}
+			continue
+		}
+		// Rules terminate at the first whitespace.
+		if i := strings.IndexAny(line, " \t"); i >= 0 {
+			line = line[:i]
+		}
+		rule, err := parseRule(line, icann)
+		if err != nil {
+			return nil, fmt.Errorf("psl: line %d: %w", lineNo, err)
+		}
+		l.add(rule)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("psl: %w", err)
+	}
+	return l, nil
+}
+
+func parseRule(s string, icann bool) (Rule, error) {
+	r := Rule{ICANN: icann}
+	if strings.HasPrefix(s, "!") {
+		r.Exception = true
+		s = s[1:]
+	}
+	s = strings.ToLower(strings.TrimSuffix(s, "."))
+	if s == "" {
+		return Rule{}, fmt.Errorf("empty rule")
+	}
+	r.Labels = strings.Split(s, ".")
+	for i, lab := range r.Labels {
+		if lab == "" {
+			return Rule{}, fmt.Errorf("empty label in rule %q", s)
+		}
+		if lab == "*" && i != 0 {
+			return Rule{}, fmt.Errorf("wildcard label must be leftmost in rule %q", s)
+		}
+	}
+	return r, nil
+}
+
+func (l *List) add(r Rule) {
+	l.rules = append(l.rules, r)
+	n := l.root
+	for i := len(r.Labels) - 1; i >= 0; i-- {
+		lab := r.Labels[i]
+		if n.children == nil {
+			n.children = make(map[string]*node)
+		}
+		child, ok := n.children[lab]
+		if !ok {
+			child = &node{}
+			n.children[lab] = child
+		}
+		n = child
+	}
+	n.isRule = true
+	n.exception = r.Exception
+	n.icann = r.ICANN
+}
+
+// NumRules returns the number of rules compiled into the list.
+func (l *List) NumRules() int { return len(l.rules) }
+
+// Rules returns a copy of the compiled rules.
+func (l *List) Rules() []Rule {
+	out := make([]Rule, len(l.rules))
+	copy(out, l.rules)
+	return out
+}
+
+// match describes the prevailing rule for a domain.
+type match struct {
+	// suffixLabels is the number of trailing domain labels that form the
+	// public suffix.
+	suffixLabels int
+	icann        bool
+	found        bool // a listed rule matched (vs. the implicit "*" default)
+}
+
+// PublicSuffix returns the public suffix of domain and whether it was
+// matched by an ICANN-section rule. The domain must already be normalized
+// (lowercase, no trailing dot); use the domain package for normalization.
+// If no rule matches, the rightmost label is the public suffix, per the
+// algorithm's implicit "*" default rule.
+func (l *List) PublicSuffix(domain string) (suffix string, icann bool) {
+	labels := strings.Split(domain, ".")
+	m := l.matchTrie(labels)
+	return strings.Join(labels[len(labels)-m.suffixLabels:], "."), m.icann
+}
+
+// ETLDPlusOne returns the registrable domain (eTLD+1) for domain: the public
+// suffix plus one additional label. It returns an error if the domain is
+// itself a public suffix or is empty.
+func (l *List) ETLDPlusOne(domain string) (string, error) {
+	if domain == "" {
+		return "", fmt.Errorf("psl: empty domain")
+	}
+	labels := strings.Split(domain, ".")
+	for _, lab := range labels {
+		if lab == "" {
+			return "", fmt.Errorf("psl: %q has an empty label", domain)
+		}
+	}
+	m := l.matchTrie(labels)
+	if m.suffixLabels >= len(labels) {
+		return "", fmt.Errorf("psl: %q is a public suffix", domain)
+	}
+	return strings.Join(labels[len(labels)-m.suffixLabels-1:], "."), nil
+}
+
+// IsETLDPlusOne reports whether domain is exactly a registrable domain
+// (eTLD+1) — the check behind the "Associated site isn't an eTLD+1" class
+// of RWS bot errors (Table 3).
+func (l *List) IsETLDPlusOne(domain string) bool {
+	e, err := l.ETLDPlusOne(domain)
+	return err == nil && e == domain
+}
+
+// IsPublicSuffix reports whether domain is itself a public suffix.
+func (l *List) IsPublicSuffix(domain string) bool {
+	if domain == "" {
+		return false
+	}
+	labels := strings.Split(domain, ".")
+	m := l.matchTrie(labels)
+	return m.suffixLabels >= len(labels)
+}
+
+// matchTrie finds the prevailing rule via the label trie.
+//
+// Per the published algorithm: among matching rules the exception rule
+// prevails if present; otherwise the rule with the most labels. An
+// exception rule's public suffix is the rule with its leftmost label
+// removed. If nothing matches, the implicit "*" rule makes the rightmost
+// label the public suffix.
+func (l *List) matchTrie(labels []string) match {
+	best := match{suffixLabels: 1, found: false}
+	exceptionAt := -1
+	exceptionICANN := false
+	// The walk must branch: at any node both the exact-label child and a
+	// "*" sibling can match (e.g. rules "!www.ck" and "*.ck" for the
+	// domain "www.ck"). Wildcards are leftmost-only, so "*" nodes are
+	// leaves and the branching factor is at most 2.
+	var walk func(n *node, i, depth int)
+	walk = func(n *node, i, depth int) {
+		if n.isRule {
+			if n.exception {
+				if depth > exceptionAt {
+					exceptionAt = depth
+					exceptionICANN = n.icann
+				}
+			} else if depth > best.suffixLabels || !best.found {
+				best = match{suffixLabels: depth, icann: n.icann, found: true}
+			}
+		}
+		if i < 0 || n.children == nil {
+			return
+		}
+		if c := n.children[labels[i]]; c != nil {
+			walk(c, i-1, depth+1)
+		}
+		if c := n.children["*"]; c != nil && labels[i] != "*" {
+			walk(c, i-1, depth+1)
+		}
+	}
+	walk(l.root, len(labels)-1, 0)
+	if exceptionAt >= 0 {
+		// Exception rule prevails: the public suffix is the rule with its
+		// leftmost label removed.
+		return match{suffixLabels: exceptionAt - 1, icann: exceptionICANN, found: true}
+	}
+	return best
+}
+
+// matchLinear is the ablation baseline: scan every rule and apply the
+// prevailing-rule selection directly as written in the spec.
+func (l *List) matchLinear(labels []string) match {
+	best := match{suffixLabels: 1, found: false}
+	var exception *Rule
+	for idx := range l.rules {
+		r := &l.rules[idx]
+		if !ruleMatches(r, labels) {
+			continue
+		}
+		if r.Exception {
+			if exception == nil || len(r.Labels) > len(exception.Labels) {
+				exception = r
+			}
+			continue
+		}
+		if len(r.Labels) > best.suffixLabels || !best.found {
+			best = match{suffixLabels: len(r.Labels), icann: r.ICANN, found: true}
+		}
+	}
+	if exception != nil {
+		return match{suffixLabels: len(exception.Labels) - 1, icann: exception.ICANN, found: true}
+	}
+	return best
+}
+
+func ruleMatches(r *Rule, labels []string) bool {
+	if len(r.Labels) > len(labels) {
+		return false
+	}
+	off := len(labels) - len(r.Labels)
+	for i, rl := range r.Labels {
+		if rl == "*" {
+			continue
+		}
+		if rl != labels[off+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PublicSuffixLinear is PublicSuffix computed with the linear matcher. It is
+// exported for the ablation benchmark and differential tests only.
+func (l *List) PublicSuffixLinear(domain string) (suffix string, icann bool) {
+	labels := strings.Split(domain, ".")
+	m := l.matchLinear(labels)
+	return strings.Join(labels[len(labels)-m.suffixLabels:], "."), m.icann
+}
+
+var (
+	defaultOnce sync.Once
+	defaultList *List
+	defaultErr  error
+)
+
+// Default returns the List compiled from the embedded rule snapshot. It
+// panics if the embedded snapshot fails to parse, which would be a build
+// defect, not a runtime condition.
+func Default() *List {
+	defaultOnce.Do(func() {
+		defaultList, defaultErr = Parse(strings.NewReader(embeddedRules))
+	})
+	if defaultErr != nil {
+		panic("psl: embedded rules invalid: " + defaultErr.Error())
+	}
+	return defaultList
+}

@@ -1,0 +1,263 @@
+package psl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPublicSuffix(t *testing.T) {
+	l := Default()
+	cases := []struct {
+		domain string
+		suffix string
+		icann  bool
+	}{
+		{"example.com", "com", true},
+		{"www.example.com", "com", true},
+		{"example.co.uk", "co.uk", true},
+		{"sub.example.co.uk", "co.uk", true},
+		{"example.uk", "uk", true},
+		{"bild.de", "de", true},
+		{"poalim.xyz", "xyz", true},
+		{"poalim.site", "site", true},
+		{"timesinternet.in", "in", true},
+		{"shop.example.co.in", "co.in", true},
+		// Wildcard rules: any label under ck is a public suffix.
+		{"foo.ck", "foo.ck", true},
+		{"bar.foo.ck", "foo.ck", true},
+		// Exception rule: www.ck is registrable, so suffix is ck.
+		{"www.ck", "ck", true},
+		{"sub.www.ck", "ck", true},
+		{"gov.np", "np", true},
+		{"anything.np", "anything.np", true},
+		{"city.kawasaki.jp", "kawasaki.jp", true},
+		{"foo.kawasaki.jp", "foo.kawasaki.jp", true},
+		// Private section.
+		{"mysite.github.io", "github.io", false},
+		{"a.blogspot.com", "blogspot.com", false},
+		// Unknown TLD: implicit "*" rule makes the rightmost label the
+		// suffix.
+		{"example.zz", "zz", false},
+		{"a.b.example.zz", "zz", false},
+	}
+	for _, tc := range cases {
+		suffix, icann := l.PublicSuffix(tc.domain)
+		if suffix != tc.suffix || icann != tc.icann {
+			t.Errorf("PublicSuffix(%q) = %q/%v, want %q/%v", tc.domain, suffix, icann, tc.suffix, tc.icann)
+		}
+	}
+}
+
+func TestETLDPlusOne(t *testing.T) {
+	l := Default()
+	cases := []struct {
+		domain  string
+		want    string
+		wantErr bool
+	}{
+		{"example.com", "example.com", false},
+		{"www.example.com", "example.com", false},
+		{"a.b.c.example.co.uk", "example.co.uk", false},
+		{"com", "", true},
+		{"co.uk", "", true},
+		{"github.io", "", true},
+		{"mysite.github.io", "mysite.github.io", false},
+		{"deep.mysite.github.io", "mysite.github.io", false},
+		{"foo.ck", "", true},
+		{"x.foo.ck", "x.foo.ck", false},
+		{"www.ck", "www.ck", false},
+		{"a.www.ck", "www.ck", false},
+		{"gov.np", "gov.np", false},
+		{"services.gov.np", "gov.np", false},
+		{"", "", true},
+		{"bad..label.com", "", true},
+		{"zz", "", true},
+		{"example.zz", "example.zz", false},
+	}
+	for _, tc := range cases {
+		got, err := l.ETLDPlusOne(tc.domain)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ETLDPlusOne(%q) = %q, want error", tc.domain, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ETLDPlusOne(%q) error: %v", tc.domain, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ETLDPlusOne(%q) = %q, want %q", tc.domain, got, tc.want)
+		}
+	}
+}
+
+func TestIsETLDPlusOne(t *testing.T) {
+	l := Default()
+	cases := []struct {
+		domain string
+		want   bool
+	}{
+		{"example.com", true},
+		{"www.example.com", false},
+		{"com", false},
+		{"example.co.uk", true},
+		{"co.uk", false},
+		{"mysite.github.io", true},
+		{"github.io", false},
+	}
+	for _, tc := range cases {
+		if got := l.IsETLDPlusOne(tc.domain); got != tc.want {
+			t.Errorf("IsETLDPlusOne(%q) = %v, want %v", tc.domain, got, tc.want)
+		}
+	}
+}
+
+func TestIsPublicSuffix(t *testing.T) {
+	l := Default()
+	for _, d := range []string{"com", "co.uk", "github.io", "foo.ck", "zz"} {
+		if !l.IsPublicSuffix(d) {
+			t.Errorf("IsPublicSuffix(%q) = false, want true", d)
+		}
+	}
+	for _, d := range []string{"example.com", "www.ck", "", "x.github.io"} {
+		if l.IsPublicSuffix(d) {
+			t.Errorf("IsPublicSuffix(%q) = true, want false", d)
+		}
+	}
+}
+
+func TestParseRejectsBadRules(t *testing.T) {
+	for _, bad := range []string{"foo..bar", "!", "foo.*.bar", "*.*"} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseSectionsAndComments(t *testing.T) {
+	src := `// comment
+// ===BEGIN ICANN DOMAINS===
+com
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+example.com
+// ===END PRIVATE DOMAINS===
+`
+	l, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumRules() != 2 {
+		t.Fatalf("NumRules = %d, want 2", l.NumRules())
+	}
+	if _, icann := l.PublicSuffix("foo.com"); !icann {
+		t.Error("com should be ICANN")
+	}
+	if s, icann := l.PublicSuffix("a.example.com"); s != "example.com" || icann {
+		t.Errorf("PublicSuffix(a.example.com) = %q/%v, want example.com/false", s, icann)
+	}
+}
+
+func TestParseInlineWhitespaceTerminatesRule(t *testing.T) {
+	l, err := Parse(strings.NewReader("com trailing junk\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumRules() != 1 || l.Rules()[0].String() != "com" {
+		t.Errorf("rules = %v", l.Rules())
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Labels: []string{"*", "ck"}}
+	if r.String() != "*.ck" {
+		t.Errorf("String = %q", r.String())
+	}
+	r.Exception = true
+	if r.String() != "!*.ck" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+// TestTrieMatchesLinear differentially tests the trie matcher against the
+// spec-literal linear matcher over random domains built from labels that
+// appear in the rule set (plus noise), covering wildcard and exception
+// paths.
+func TestTrieMatchesLinear(t *testing.T) {
+	l := Default()
+	labels := []string{"com", "uk", "co", "ck", "www", "jp", "kawasaki", "city",
+		"np", "gov", "io", "github", "example", "foo", "bar", "zz", "blogspot",
+		"de", "bild", "xyz", "a", "b"}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 3000; i++ {
+		n := 1 + rng.Intn(5)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = labels[rng.Intn(len(labels))]
+		}
+		d := strings.Join(parts, ".")
+		ts, ti := l.PublicSuffix(d)
+		ls, li := l.PublicSuffixLinear(d)
+		if ts != ls || ti != li {
+			t.Fatalf("mismatch for %q: trie=%q/%v linear=%q/%v", d, ts, ti, ls, li)
+		}
+	}
+}
+
+// TestETLDPlusOneIdempotent: eTLD+1 of an eTLD+1 is itself.
+func TestETLDPlusOneIdempotent(t *testing.T) {
+	l := Default()
+	labels := []string{"com", "uk", "co", "ck", "www", "example", "foo", "github", "io", "zz", "np", "gov"}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 2000; i++ {
+		n := 1 + rng.Intn(4)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = labels[rng.Intn(len(labels))]
+		}
+		d := strings.Join(parts, ".")
+		e1, err := l.ETLDPlusOne(d)
+		if err != nil {
+			continue
+		}
+		e2, err := l.ETLDPlusOne(e1)
+		if err != nil {
+			t.Fatalf("ETLDPlusOne(%q) ok but ETLDPlusOne(%q) failed: %v", d, e1, err)
+		}
+		if e1 != e2 {
+			t.Fatalf("not idempotent: %q -> %q -> %q", d, e1, e2)
+		}
+		if !l.IsETLDPlusOne(e1) {
+			t.Fatalf("IsETLDPlusOne(%q) = false after ETLDPlusOne(%q)", e1, d)
+		}
+	}
+}
+
+func TestDefaultSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default() should return the same compiled list")
+	}
+	if Default().NumRules() < 300 {
+		t.Errorf("embedded snapshot too small: %d rules", Default().NumRules())
+	}
+}
+
+func BenchmarkPublicSuffixTrie(b *testing.B) {
+	l := Default()
+	domains := []string{"www.example.com", "a.b.example.co.uk", "x.foo.ck", "deep.mysite.github.io"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.PublicSuffix(domains[i%len(domains)])
+	}
+}
+
+func BenchmarkPublicSuffixLinear(b *testing.B) {
+	l := Default()
+	domains := []string{"www.example.com", "a.b.example.co.uk", "x.foo.ck", "deep.mysite.github.io"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.PublicSuffixLinear(domains[i%len(domains)])
+	}
+}

@@ -1,0 +1,171 @@
+package sitegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rwskit/internal/forcepoint"
+)
+
+// NewBrand derives a Brand from an organisation name.
+func NewBrand(orgName string) Brand {
+	slug := strings.ToLower(orgName)
+	slug = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r == ' ' || r == '-':
+			return '-'
+		default:
+			return -1
+		}
+	}, slug)
+	slug = strings.Trim(slug, "-")
+	if slug == "" {
+		slug = "org"
+	}
+	if i := strings.IndexByte(slug, '-'); i > 0 {
+		slug = slug[:i]
+	}
+	return Brand{
+		Name:       orgName,
+		Slug:       slug,
+		LegalLine:  fmt.Sprintf("© %s. All rights reserved.", orgName),
+		AboutBlurb: fmt.Sprintf("This website is part of the %s family of sites.", orgName),
+	}
+}
+
+// OrgConfig configures GenerateOrg.
+type OrgConfig struct {
+	// Name is the organisation name, e.g. "Helios Media Group".
+	Name string
+	// Domains are the registrable domains the org's sites live on; the
+	// first is conventionally the set primary.
+	Domains []string
+	// Categories assigns each domain a content category. If shorter than
+	// Domains, the last category is reused; if empty, Business is used.
+	Categories []forcepoint.Category
+	// BrandingVisibility assigns each site its visibility; same
+	// last-value-extends semantics. If empty, visibility is drawn
+	// uniformly from [0.1, 0.9) — the mixed regime the paper observed,
+	// where some members are clearly co-branded and most are not.
+	BrandingVisibility []float64
+}
+
+// GenerateOrg builds an organisation and its sites. rng drives archetype
+// assignment and any unset visibilities; generation is deterministic for a
+// seeded rng.
+func GenerateOrg(rng *rand.Rand, cfg OrgConfig) (*Org, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("sitegen: org needs a name")
+	}
+	if len(cfg.Domains) == 0 {
+		return nil, fmt.Errorf("sitegen: org %q needs at least one domain", cfg.Name)
+	}
+	o := &Org{Name: cfg.Name, Brand: NewBrand(cfg.Name)}
+	for i, d := range cfg.Domains {
+		cat := forcepoint.Business
+		if len(cfg.Categories) > 0 {
+			if i < len(cfg.Categories) {
+				cat = cfg.Categories[i]
+			} else {
+				cat = cfg.Categories[len(cfg.Categories)-1]
+			}
+		}
+		var vis float64
+		if len(cfg.BrandingVisibility) > 0 {
+			if i < len(cfg.BrandingVisibility) {
+				vis = cfg.BrandingVisibility[i]
+			} else {
+				vis = cfg.BrandingVisibility[len(cfg.BrandingVisibility)-1]
+			}
+		} else {
+			vis = 0.1 + 0.8*rng.Float64()
+		}
+		s := &Site{
+			Domain:             strings.ToLower(d),
+			Org:                o,
+			Category:           cat,
+			BrandingVisibility: vis,
+			Archetype:          rng.Intn(NumArchetypes),
+		}
+		o.Sites = append(o.Sites, s)
+	}
+	return o, nil
+}
+
+// Category-flavoured name fragments for synthetic top-site domains.
+var domainFragments = map[forcepoint.Category][][2]string{
+	forcepoint.NewsAndMedia:     {{"daily", "herald"}, {"metro", "tribune"}, {"global", "dispatch"}, {"evening", "chronicle"}, {"city", "gazette"}},
+	forcepoint.InfoTech:         {{"cloud", "stack"}, {"byte", "forge"}, {"dev", "harbor"}, {"quantum", "grid"}, {"code", "foundry"}},
+	forcepoint.Business:         {{"trade", "bridge"}, {"venture", "desk"}, {"capital", "works"}, {"market", "lane"}, {"ledger", "point"}},
+	forcepoint.SearchPortals:    {{"find", "hub"}, {"query", "gate"}, {"portal", "nest"}, {"seek", "path"}, {"index", "bay"}},
+	forcepoint.Analytics:        {{"metric", "flow"}, {"insight", "beam"}, {"track", "lens"}, {"signal", "graph"}, {"pixel", "scope"}},
+	forcepoint.SocialNetworking: {{"friend", "sphere"}, {"chatter", "loop"}, {"social", "weave"}, {"circle", "link"}, {"gather", "space"}},
+	forcepoint.Shopping:         {{"bargain", "crate"}, {"shop", "mill"}, {"deal", "basket"}, {"retail", "row"}, {"outlet", "yard"}},
+	forcepoint.Entertainment:    {{"stream", "stage"}, {"cine", "vault"}, {"show", "reel"}, {"melody", "den"}, {"screen", "fort"}},
+	forcepoint.Travel:           {{"wander", "route"}, {"voyage", "nest"}, {"trip", "compass"}, {"roam", "atlas"}, {"transit", "trail"}},
+	forcepoint.Education:        {{"learn", "grove"}, {"study", "arch"}, {"scholar", "field"}, {"tutor", "bridge"}, {"campus", "way"}},
+	forcepoint.Health:           {{"well", "clinic"}, {"care", "harbor"}, {"vital", "path"}, {"medic", "grove"}, {"health", "anchor"}},
+	forcepoint.Finance:          {{"coin", "vault"}, {"ledger", "bank"}, {"asset", "bridge"}, {"fund", "harbor"}, {"credit", "field"}},
+	forcepoint.Sports:           {{"score", "arena"}, {"league", "post"}, {"match", "field"}, {"sprint", "track"}, {"goal", "stand"}},
+	forcepoint.Games:            {{"pixel", "quest"}, {"arcade", "keep"}, {"guild", "forge"}, {"raid", "realm"}, {"joy", "stick"}},
+	forcepoint.Government:       {{"civic", "office"}, {"public", "bureau"}, {"citizen", "desk"}, {"agency", "house"}, {"council", "gate"}},
+}
+
+var topSiteTLDs = []string{"com", "org", "net", "io", "co"}
+
+// GenerateTopSites builds n independent synthetic top-sites across the
+// given categories (round-robin), returning the sites and a forcepoint DB
+// recording their categories — the substitute for "200 sites, drawn
+// randomly from the Tranco Top 10K" with ThreatSeeker classifications.
+// Domains are unique; archetypes and branding are site-local (no org).
+func GenerateTopSites(rng *rand.Rand, n int, categories []forcepoint.Category) ([]*Site, *forcepoint.DB) {
+	return GenerateTopSitesExcluding(rng, n, categories, nil)
+}
+
+// GenerateTopSitesExcluding is GenerateTopSites with a domain exclusion
+// set, so generated top sites never collide with an existing population
+// (e.g. the embedded RWS snapshot's members).
+func GenerateTopSitesExcluding(rng *rand.Rand, n int, categories []forcepoint.Category, exclude map[string]bool) ([]*Site, *forcepoint.DB) {
+	if len(categories) == 0 {
+		categories = []forcepoint.Category{forcepoint.Business}
+	}
+	db := forcepoint.NewDB()
+	sites := make([]*Site, 0, n)
+	seen := make(map[string]bool, len(exclude))
+	for d := range exclude {
+		seen[d] = true
+	}
+	for i := 0; len(sites) < n; i++ {
+		cat := categories[i%len(categories)]
+		frags := domainFragments[cat]
+		if len(frags) == 0 {
+			frags = domainFragments[forcepoint.Business]
+		}
+		f := frags[rng.Intn(len(frags))]
+		tld := topSiteTLDs[rng.Intn(len(topSiteTLDs))]
+		name := f[0] + f[1]
+		if rng.Float64() < 0.3 {
+			name = f[0] + "-" + f[1]
+		}
+		if seen[name+"."+tld] {
+			// Disambiguate with a numeric suffix; keeps domains valid.
+			name = fmt.Sprintf("%s%d", name, len(sites))
+		}
+		d := name + "." + tld
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		s := &Site{
+			Domain:    d,
+			Category:  cat,
+			Archetype: rng.Intn(NumArchetypes),
+		}
+		sites = append(sites, s)
+		db.Set(d, cat)
+	}
+	return sites, db
+}

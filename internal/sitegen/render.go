@@ -1,0 +1,305 @@
+package sitegen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"rwskit/internal/forcepoint"
+)
+
+// RenderPage renders the HTML for one page of a site. Rendering is pure:
+// the same (site, path) always yields identical bytes, so crawls are
+// reproducible. Unknown paths return an error (the handler maps it to 404).
+func RenderPage(s *Site, path string) (string, error) {
+	switch path {
+	case "/", "/index.html":
+		return renderHome(s), nil
+	case "/about":
+		return renderAbout(s), nil
+	case "/contact":
+		return renderContact(s), nil
+	default:
+		return "", fmt.Errorf("sitegen: %s has no page %q", s.Domain, path)
+	}
+}
+
+// cls derives the site's private CSS class #i deterministically from the
+// domain, so two different sites essentially never share private classes —
+// which is what drives Figure 4's near-zero style similarity for unrelated
+// (and weakly-branded related) site pairs.
+func cls(s *Site, role string, i int) string {
+	h := fnv.New32a()
+	h.Write([]byte(s.Domain))
+	h.Write([]byte(role))
+	h.Write([]byte{byte(i)})
+	return fmt.Sprintf("%s-%x", role, h.Sum32()%0xFFFF)
+}
+
+// brandCls is a class shared by every site of the same organisation that
+// renders the corresponding brand signal.
+func brandCls(o *Org, role string) string { return o.Brand.Slug + "-" + role }
+
+// hashN derives a small per-site integer in [lo, hi] for structural
+// variety: real websites differ wildly in element counts, so two sites —
+// even related ones — should rarely share a tag sequence (the paper
+// measures a median joint HTML similarity of just 0.04 across set
+// members).
+func hashN(s *Site, role string, lo, hi int) int {
+	h := fnv.New32a()
+	h.Write([]byte(s.Domain))
+	h.Write([]byte(role))
+	return lo + int(h.Sum32())%(hi-lo+1)
+}
+
+// inlineTag picks the site's habitual inline text wrapper.
+func inlineTag(s *Site) string {
+	tags := []string{"span", "em", "strong", "b", "small", "mark", "i"}
+	return tags[hashN(s, "inline", 0, len(tags)-1)]
+}
+
+// renderFiller emits a per-site pseudo-random content stream: every real
+// site carries a long tail of idiosyncratic markup (widgets, promos,
+// embeds), which is what keeps the structural similarity of even related
+// sites low in the paper's Figure 4 (median joint similarity 0.04). The
+// element at each position is chosen by a per-domain hash, so two sites
+// rarely share more than short runs.
+func renderFiller(s *Site, words []string) string {
+	var b strings.Builder
+	n := hashN(s, "filler-len", 14, 32)
+	for i := 0; i < n; i++ {
+		h := fnv.New32a()
+		h.Write([]byte(s.Domain))
+		h.Write([]byte("filler"))
+		h.Write([]byte{byte(i), byte(i >> 3)})
+		w := pick(s, words, i)
+		c := cls(s, "w", 64+i)
+		switch h.Sum32() % 9 {
+		case 0:
+			fmt.Fprintf(&b, `<section class="%s"><p>%s</p></section>`, c, w)
+		case 1:
+			fmt.Fprintf(&b, `<ul class="%s"><li>%s</li><li>%s</li></ul>`, c, w, w)
+		case 2:
+			fmt.Fprintf(&b, `<figure class="%s"><img src="/static/%s.png" alt="%s"><figcaption>%s</figcaption></figure>`, c, c, w, w)
+		case 3:
+			fmt.Fprintf(&b, `<blockquote class="%s"><em>%s</em></blockquote>`, c, w)
+		case 4:
+			fmt.Fprintf(&b, `<dl class="%s"><dt>%s</dt><dd>%s</dd></dl>`, c, w, w)
+		case 5:
+			fmt.Fprintf(&b, `<div class="%s"><a href="/f%d"><strong>%s</strong></a></div>`, c, i, w)
+		case 6:
+			fmt.Fprintf(&b, `<p class="%s"><small>%s</small></p>`, c, w)
+		case 7:
+			fmt.Fprintf(&b, `<details class="%s"><summary>%s</summary><p>%s</p></details>`, c, w, w)
+		default:
+			fmt.Fprintf(&b, `<table class="%s"><tr><td>%s</td></tr></table>`, c, w)
+		}
+	}
+	return b.String()
+}
+
+// vocab returns category-flavoured words for visible text, so the
+// forcepoint classifier can recover the category from crawled pages.
+func vocab(c forcepoint.Category) []string {
+	switch c {
+	case forcepoint.NewsAndMedia:
+		return []string{"breaking news", "headline coverage", "editorial desk", "press briefing", "reporter dispatch"}
+	case forcepoint.InfoTech:
+		return []string{"cloud software", "developer API", "computing platform", "devops tooling", "hardware review"}
+	case forcepoint.Business:
+		return []string{"market analysis", "enterprise strategy", "industry trade", "corporate economy", "b2b commerce"}
+	case forcepoint.SearchPortals:
+		return []string{"search results", "web portal", "site directory", "query index", "webmail portal"}
+	case forcepoint.Analytics:
+		return []string{"audience analytics", "tracking metrics", "tag manager", "attribution measurement", "telemetry pixel"}
+	case forcepoint.AdultContent:
+		return []string{"adult content", "explicit material", "nsfw gallery", "adult xxx listings", "explicit adult videos"}
+	case forcepoint.SocialNetworking:
+		return []string{"social feed", "follow friends", "share your profile", "community connect", "friends network"}
+	case forcepoint.Shopping:
+		return []string{"shop the sale", "product checkout", "retail store deals", "cart and buy", "seasonal sale products"}
+	case forcepoint.Entertainment:
+		return []string{"streaming movies", "celebrity show", "new episode trailer", "music entertainment", "streaming show"}
+	case forcepoint.Travel:
+		return []string{"flight booking", "hotel vacation", "travel destination", "tour itinerary", "vacation booking"}
+	case forcepoint.Education:
+		return []string{"online course", "students learning", "university curriculum", "tutorial lesson", "school courses"}
+	case forcepoint.Health:
+		return []string{"health clinic", "medical treatment", "doctor wellness", "patient symptom checker", "clinic treatment"}
+	case forcepoint.Finance:
+		return []string{"banking portfolio", "loan and credit", "invest with insurance", "mortgage finance", "bank invest"}
+	case forcepoint.Sports:
+		return []string{"league scores", "match fixtures", "championship team", "player stats", "sports league"}
+	case forcepoint.Games:
+		return []string{"multiplayer game", "arcade quest", "esports play", "gaming guild", "game quest"}
+	case forcepoint.Government:
+		return []string{"government agency", "citizen services", "official ministry", "public service regulation", "ministry office"}
+	case forcepoint.CompromisedSpam:
+		return []string{"win a prize today", "free money offer", "click here now", "casino bonus spins", "limited offer!!!"}
+	default:
+		return []string{"general interest", "miscellaneous topics", "assorted notes", "various items", "plain content"}
+	}
+}
+
+// pick deterministically selects vocab item i for the site.
+func pick(s *Site, words []string, i int) string {
+	h := fnv.New32a()
+	h.Write([]byte(s.Domain))
+	h.Write([]byte{byte(i)})
+	return words[int(h.Sum32())%len(words)]
+}
+
+func siteTitle(s *Site) string {
+	sld, _, _ := strings.Cut(s.Domain, ".")
+	return strings.Title(strings.ReplaceAll(sld, "-", " "))
+}
+
+func renderHead(s *Site, page string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<!DOCTYPE html>
+<html lang="en"><head>
+<meta charset="utf-8">
+<title>%s — %s</title>
+`, siteTitle(s), page)
+	// Sites differ in boilerplate head metadata.
+	for i := 0; i < hashN(s, "meta", 0, 4); i++ {
+		fmt.Fprintf(&b, `<meta name="x-%s-%d" content="%s">`+"\n", cls(s, "m", 40+i), i, siteTitle(s))
+	}
+	for i := 0; i < hashN(s, "css", 1, 3); i++ {
+		fmt.Fprintf(&b, `<link rel="stylesheet" href="/static/%s-%d.css">`+"\n", cls(s, "theme", i), i)
+	}
+	b.WriteString("</head>")
+	return b.String()
+}
+
+func renderHeader(s *Site) string {
+	var b strings.Builder
+	sig := s.Signals()
+	fmt.Fprintf(&b, `<header class="%s %s">`, cls(s, "hdr", 1), cls(s, "hdr", 2))
+	if sig.Logo {
+		fmt.Fprintf(&b, `<div class="%s logo"><img src="/static/%s-logo.svg" alt="%s logo"></div>`,
+			brandCls(s.Org, "logo"), s.Org.Brand.Slug, s.Org.Brand.Name)
+	} else {
+		fmt.Fprintf(&b, `<div class="%s"><span>%s</span></div>`, cls(s, "mark", 3), siteTitle(s))
+	}
+	if sig.HeaderText {
+		fmt.Fprintf(&b, `<p class="%s">A %s service</p>`, brandCls(s.Org, "tagline"), s.Org.Brand.Name)
+	}
+	b.WriteString(`</header>`)
+	return b.String()
+}
+
+func renderNav(s *Site) string {
+	return fmt.Sprintf(`<nav class="%s"><a class="%s" href="/">Home</a> <a class="%s" href="/about">About</a> <a class="%s" href="/contact">Contact</a></nav>`,
+		cls(s, "nav", 4), cls(s, "navlink", 5), cls(s, "navlink", 5), cls(s, "navlink", 5))
+}
+
+func renderFooter(s *Site) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<footer class="%s">`, cls(s, "ftr", 6))
+	if s.Signals().FooterText {
+		fmt.Fprintf(&b, `<p class="%s">%s</p>`, brandCls(s.Org, "legal"), s.Org.Brand.LegalLine)
+	} else {
+		fmt.Fprintf(&b, `<p class="%s">© %s</p>`, cls(s, "legal", 7), siteTitle(s))
+	}
+	b.WriteString(`</footer></body></html>`)
+	return b.String()
+}
+
+func renderHome(s *Site) string {
+	words := vocab(s.Category)
+	var b strings.Builder
+	b.WriteString(renderHead(s, "Home"))
+	fmt.Fprintf(&b, `<body class="%s %s">`, cls(s, "page", 8), cls(s, "home", 9))
+	switch s.Archetype % NumArchetypes {
+	case 0: // classic header/nav/articles
+		b.WriteString(renderHeader(s))
+		b.WriteString(renderNav(s))
+		fmt.Fprintf(&b, `<main class="%s">`, cls(s, "main", 10))
+		it := inlineTag(s)
+		for i := 0; i < hashN(s, "articles", 2, 9); i++ {
+			fmt.Fprintf(&b, `<article class="%s"><h%d class="%s">%s</h%d><p><%s>%s</%s> for %s readers.</p></article>`,
+				cls(s, "card", 11+i), 2+i%3, cls(s, "title", 11+i), pick(s, words, i), 2+i%3, it, pick(s, words, i+4), it, siteTitle(s))
+		}
+		if hashN(s, "hr", 0, 1) == 1 {
+			b.WriteString(`<hr>`)
+		}
+		b.WriteString(`</main>`)
+	case 1: // nav-first hero + grid
+		b.WriteString(renderNav(s))
+		b.WriteString(renderHeader(s))
+		fmt.Fprintf(&b, `<section class="%s hero"><h1>%s</h1><p>%s</p></section>`,
+			cls(s, "hero", 10), pick(s, words, 0), pick(s, words, 1))
+		fmt.Fprintf(&b, `<div class="%s grid">`, cls(s, "grid", 11))
+		it := inlineTag(s)
+		for i := 0; i < hashN(s, "cells", 3, 11); i++ {
+			fmt.Fprintf(&b, `<div class="%s cell"><%s>%s</%s></div>`, cls(s, "cell", 12+i), it, pick(s, words, i), it)
+		}
+		b.WriteString(`</div>`)
+		if hashN(s, "aside", 0, 1) == 1 {
+			fmt.Fprintf(&b, `<aside class="%s"><p>%s</p></aside>`, cls(s, "promo", 18), pick(s, words, 3))
+		}
+	case 2: // sidebar layout
+		b.WriteString(renderHeader(s))
+		fmt.Fprintf(&b, `<div class="%s layout"><aside class="%s"><ul>`, cls(s, "layout", 10), cls(s, "side", 11))
+		for i := 0; i < hashN(s, "side", 3, 10); i++ {
+			fmt.Fprintf(&b, `<li class="%s">%s</li>`, cls(s, "sideitem", 12), pick(s, words, i))
+		}
+		fmt.Fprintf(&b, `</ul></aside><section class="%s"><h1>%s</h1><p>%s from %s.</p></section></div>`,
+			cls(s, "content", 13), pick(s, words, 0), pick(s, words, 2), siteTitle(s))
+		b.WriteString(renderNav(s))
+	case 3: // minimal landing
+		b.WriteString(renderHeader(s))
+		fmt.Fprintf(&b, `<main class="%s landing"><h1 class="%s">%s</h1><p class="%s">%s.</p><a class="%s cta" href="/contact">Get started</a></main>`,
+			cls(s, "main", 10), cls(s, "h1", 11), pick(s, words, 0), cls(s, "sub", 12), pick(s, words, 1), cls(s, "cta", 13))
+	case 4: // portal list
+		b.WriteString(renderNav(s))
+		fmt.Fprintf(&b, `<main class="%s portal"><h1>%s</h1><ol class="%s">`, cls(s, "main", 10), pick(s, words, 0), cls(s, "list", 11))
+		it := inlineTag(s)
+		for i := 0; i < hashN(s, "items", 4, 14); i++ {
+			fmt.Fprintf(&b, `<li class="%s"><a href="/item%d"><%s>%s</%s></a></li>`, cls(s, "item", 12), i, it, pick(s, words, i), it)
+		}
+		b.WriteString(`</ol></main>`)
+		b.WriteString(renderHeader(s))
+	default: // 5: tabular dashboard
+		b.WriteString(renderHeader(s))
+		fmt.Fprintf(&b, `<main class="%s dash"><table class="%s"><thead><tr><th>Item</th><th>Detail</th></tr></thead><tbody>`,
+			cls(s, "main", 10), cls(s, "table", 11))
+		for i := 0; i < hashN(s, "rows", 3, 10); i++ {
+			fmt.Fprintf(&b, `<tr class="%s"><td>%s</td><td><%s>%s</%s></td></tr>`, cls(s, "row", 12), pick(s, words, i), inlineTag(s), pick(s, words, i+3), inlineTag(s))
+		}
+		b.WriteString(`</tbody></table></main>`)
+	}
+	fmt.Fprintf(&b, `<div class="%s extras">%s</div>`, cls(s, "extras", 60), renderFiller(s, words))
+	b.WriteString(renderFooter(s))
+	return b.String()
+}
+
+func renderAbout(s *Site) string {
+	words := vocab(s.Category)
+	var b strings.Builder
+	b.WriteString(renderHead(s, "About"))
+	fmt.Fprintf(&b, `<body class="%s %s">`, cls(s, "page", 8), cls(s, "about", 20))
+	b.WriteString(renderHeader(s))
+	b.WriteString(renderNav(s))
+	fmt.Fprintf(&b, `<main class="%s"><h1>About %s</h1><p>%s, %s and more.</p>`,
+		cls(s, "main", 21), siteTitle(s), pick(s, words, 0), pick(s, words, 1))
+	if s.Signals().AboutPage {
+		fmt.Fprintf(&b, `<p class="%s affiliation">%s</p>`, brandCls(s.Org, "about"), s.Org.Brand.AboutBlurb)
+	}
+	b.WriteString(`</main>`)
+	b.WriteString(renderFooter(s))
+	return b.String()
+}
+
+func renderContact(s *Site) string {
+	var b strings.Builder
+	b.WriteString(renderHead(s, "Contact"))
+	fmt.Fprintf(&b, `<body class="%s %s">`, cls(s, "page", 8), cls(s, "contact", 30))
+	b.WriteString(renderHeader(s))
+	b.WriteString(renderNav(s))
+	fmt.Fprintf(&b, `<main class="%s"><h1>Contact</h1><form class="%s" action="/contact" method="post"><input class="%s" name="email"><textarea class="%s" name="message"></textarea><button class="%s">Send</button></form></main>`,
+		cls(s, "main", 31), cls(s, "form", 32), cls(s, "field", 33), cls(s, "field", 34), cls(s, "btn", 35))
+	b.WriteString(renderFooter(s))
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package sitegen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rwskit/internal/forcepoint"
+	"rwskit/internal/htmlsim"
+)
+
+// TestPropertyPagesWellFormed: every page of every generated site must
+// tokenize into a balanced-enough document — a doctype, matching html/body
+// open+close, and no leaked raw '<' inside attribute values.
+func TestPropertyPagesWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sites, _ := GenerateTopSites(rng, 60, []forcepoint.Category{
+		forcepoint.NewsAndMedia, forcepoint.Shopping, forcepoint.Travel,
+		forcepoint.Analytics, forcepoint.Games, forcepoint.Finance,
+	})
+	org, err := GenerateOrg(rng, OrgConfig{
+		Name:               "Property Test Org",
+		Domains:            []string{"prop-a.com", "prop-b.com", "prop-c.com"},
+		BrandingVisibility: []float64{0.9, 0.5, 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites = append(sites, org.Sites...)
+	for _, s := range sites {
+		for _, path := range Pages() {
+			html, err := RenderPage(s, path)
+			if err != nil {
+				t.Fatalf("render %s%s: %v", s.Domain, path, err)
+			}
+			void := map[string]bool{
+				"br": true, "img": true, "input": true, "link": true,
+				"meta": true, "hr": true, "source": true, "wbr": true,
+			}
+			toks := htmlsim.Tokenize(html)
+			depth := 0
+			opens := map[string]int{}
+			for _, tok := range toks {
+				switch tok.Type {
+				case htmlsim.TokenStartTag:
+					if !void[tok.Name] {
+						depth++
+						opens[tok.Name]++
+					}
+				case htmlsim.TokenEndTag:
+					depth--
+					opens[tok.Name]--
+				}
+			}
+			if depth != 0 {
+				t.Fatalf("%s%s: unbalanced tags (depth %d)", s.Domain, path, depth)
+			}
+			for name, n := range opens {
+				if n != 0 {
+					t.Fatalf("%s%s: tag <%s> open/close mismatch (%d)", s.Domain, path, name, n)
+				}
+			}
+			if !strings.HasPrefix(html, "<!DOCTYPE html>") {
+				t.Fatalf("%s%s: missing doctype", s.Domain, path)
+			}
+		}
+	}
+}
+
+// TestPropertyPrivateClassesDistinct: two different sites must share almost
+// no private CSS classes — the invariant behind Figure 4's near-zero style
+// similarity for unbranded pairs.
+func TestPropertyPrivateClassesDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	sites, _ := GenerateTopSites(rng, 30, nil)
+	for i := 0; i < len(sites)-1; i++ {
+		a, _ := RenderPage(sites[i], "/")
+		b, _ := RenderPage(sites[i+1], "/")
+		if j := htmlsim.JaccardClasses(htmlsim.ClassSet(a), htmlsim.ClassSet(b)); j > 0.15 {
+			t.Errorf("%s vs %s: class overlap %.3f, want near 0",
+				sites[i].Domain, sites[i+1].Domain, j)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package sitegen builds the synthetic web that substitutes for the live
+// sites crawled in "A First Look at Related Website Sets" (IMC 2024).
+//
+// The paper's analyses need real HTML flowing through a real HTTP
+// fetch→parse→compare pipeline (Figure 4), pages whose visible text can be
+// categorised (Figures 8, 9), and controllable *relatedness signals* — the
+// cues survey participants reported using (Table 2): domain names, branding
+// elements, header text, footer text, and "about" pages.
+//
+// sitegen models organisations that own one or more sites. Each site has a
+// layout archetype, a private CSS-class vocabulary, and a branding
+// visibility in [0,1] controlling how much of the owning organisation's
+// brand (logo block, footer legal line, about-page affiliation) leaks into
+// the rendered pages. Low visibility reproduces the paper's core finding:
+// most set members look nothing alike (median joint HTML similarity 0.04),
+// and users cannot tell they are related.
+//
+// A Web is also an http.Handler that routes by Host header, so the crawler
+// and validator exercise genuine HTTP paths against it via httptest.
+package sitegen
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"rwskit/internal/forcepoint"
+)
+
+// Brand is the visual identity of an organisation.
+type Brand struct {
+	// Name is the public organisation name, e.g. "Helios Media Group".
+	Name string
+	// Slug is the CSS-class prefix derived from the name ("helios").
+	Slug string
+	// LegalLine is the footer ownership statement.
+	LegalLine string
+	// AboutBlurb is the affiliation sentence shown on /about pages.
+	AboutBlurb string
+}
+
+// Org is an organisation owning one or more sites.
+type Org struct {
+	Name  string
+	Brand Brand
+	Sites []*Site
+}
+
+// Site is one synthetic website.
+type Site struct {
+	// Domain is the registrable domain the site is served on.
+	Domain string
+	// Org is the owning organisation (nil for independent sites).
+	Org *Org
+	// Category drives the vocabulary of the site's visible text.
+	Category forcepoint.Category
+	// BrandingVisibility in [0,1] controls how strongly the owning org's
+	// brand shows: 0 = no shared signals at all, 1 = logo + header +
+	// footer + about affiliation all present.
+	BrandingVisibility float64
+	// Archetype selects the page layout skeleton (0..NumArchetypes-1).
+	Archetype int
+	// Headers are extra response headers served with every page (used for
+	// service sites' X-Robots-Tag).
+	Headers http.Header
+}
+
+// Signals are the machine-readable relatedness cues a page pair exposes,
+// consumed by the survey respondent model. Each is 1 if present on this
+// site, scaled by branding visibility.
+type Signals struct {
+	Logo       bool // shared branding element (logo block with org slug)
+	HeaderText bool // org name in the header
+	FooterText bool // legal line in the footer
+	AboutPage  bool // affiliation statement on /about
+}
+
+// Signals returns the brand signals the site actually renders, derived
+// deterministically from BrandingVisibility: signals switch on in a fixed
+// order (footer, about, logo, header) as visibility rises, matching the
+// intuition that a legal footer line is the cheapest affiliation cue and
+// header co-branding the strongest.
+func (s *Site) Signals() Signals {
+	if s.Org == nil {
+		return Signals{}
+	}
+	v := s.BrandingVisibility
+	return Signals{
+		FooterText: v >= 0.2,
+		AboutPage:  v >= 0.4,
+		Logo:       v >= 0.6,
+		HeaderText: v >= 0.8,
+	}
+}
+
+// NumArchetypes is the number of distinct page layout skeletons.
+const NumArchetypes = 6
+
+// Web is a collection of synthetic sites, routable by Host.
+type Web struct {
+	mu    sync.RWMutex
+	sites map[string]*Site
+	orgs  []*Org
+	// raw holds exact-path overrides: host -> path -> response.
+	raw map[string]map[string]rawResponse
+	// faults holds per-host failure injection.
+	faults map[string]Fault
+}
+
+type rawResponse struct {
+	contentType string
+	body        []byte
+	headers     http.Header
+	status      int
+}
+
+// Fault configures failure injection for a host.
+type Fault struct {
+	// StatusCode, if non-zero, is returned for every request.
+	StatusCode int
+	// RedirectTo, if set, 302-redirects every request to this URL.
+	RedirectTo string
+	// Hang, if true, never writes a response body header until the client
+	// gives up (bounded by the test server); implemented as an immediate
+	// connection close to keep tests fast.
+	Hang bool
+}
+
+// NewWeb returns an empty synthetic web.
+func NewWeb() *Web {
+	return &Web{
+		sites:  make(map[string]*Site),
+		raw:    make(map[string]map[string]rawResponse),
+		faults: make(map[string]Fault),
+	}
+}
+
+// AddOrg registers an organisation and all its sites. It panics on
+// duplicate domains, which indicate a generator bug.
+func (w *Web) AddOrg(o *Org) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.orgs = append(w.orgs, o)
+	for _, s := range o.Sites {
+		if _, dup := w.sites[s.Domain]; dup {
+			panic("sitegen: duplicate domain " + s.Domain)
+		}
+		w.sites[s.Domain] = s
+	}
+}
+
+// AddSite registers an independent site.
+func (w *Web) AddSite(s *Site) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.sites[s.Domain]; dup {
+		panic("sitegen: duplicate domain " + s.Domain)
+	}
+	w.sites[s.Domain] = s
+}
+
+// Site looks up a site by domain.
+func (w *Web) Site(domain string) (*Site, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	s, ok := w.sites[strings.ToLower(domain)]
+	return s, ok
+}
+
+// Domains returns all registered domains, sorted.
+func (w *Web) Domains() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]string, 0, len(w.sites))
+	for d := range w.sites {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Orgs returns the registered organisations in insertion order.
+func (w *Web) Orgs() []*Org {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return append([]*Org(nil), w.orgs...)
+}
+
+// RegisterRaw serves body at https://host+path with the given content type
+// and optional extra headers, overriding page rendering. Used to mount
+// .well-known files and failure payloads.
+func (w *Web) RegisterRaw(host, path, contentType string, body []byte, headers http.Header) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	host = strings.ToLower(host)
+	if w.raw[host] == nil {
+		w.raw[host] = make(map[string]rawResponse)
+	}
+	w.raw[host][path] = rawResponse{contentType: contentType, body: body, headers: headers, status: http.StatusOK}
+}
+
+// RemoveRaw removes a raw override.
+func (w *Web) RemoveRaw(host, path string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.raw[strings.ToLower(host)], path)
+}
+
+// SetFault configures failure injection for host. A zero Fault clears it.
+func (w *Web) SetFault(host string, f Fault) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	host = strings.ToLower(host)
+	if f == (Fault{}) {
+		delete(w.faults, host)
+		return
+	}
+	w.faults[host] = f
+}
+
+// ServeHTTP implements http.Handler, routing by Host header. Unknown hosts
+// get 502 (the synthetic resolver's NXDOMAIN analogue); unknown paths get
+// 404.
+func (w *Web) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	host := strings.ToLower(r.Host)
+	if h, _, found := strings.Cut(host, ":"); found {
+		host = h
+	}
+	w.mu.RLock()
+	fault, hasFault := w.faults[host]
+	var raw rawResponse
+	var hasRaw bool
+	if byPath, ok := w.raw[host]; ok {
+		raw, hasRaw = byPath[r.URL.Path]
+	}
+	site, hasSite := w.sites[host]
+	w.mu.RUnlock()
+
+	if hasFault {
+		switch {
+		case fault.RedirectTo != "":
+			http.Redirect(rw, r, fault.RedirectTo, http.StatusFound)
+			return
+		case fault.Hang:
+			// Abort the connection without a response.
+			if hj, ok := rw.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			return
+		case fault.StatusCode != 0:
+			http.Error(rw, http.StatusText(fault.StatusCode), fault.StatusCode)
+			return
+		}
+	}
+	if hasRaw {
+		for k, vs := range raw.headers {
+			for _, v := range vs {
+				rw.Header().Add(k, v)
+			}
+		}
+		rw.Header().Set("Content-Type", raw.contentType)
+		rw.WriteHeader(raw.status)
+		rw.Write(raw.body)
+		return
+	}
+	if !hasSite {
+		http.Error(rw, "unknown host "+host, http.StatusBadGateway)
+		return
+	}
+	html, err := RenderPage(site, r.URL.Path)
+	if err != nil {
+		http.NotFound(rw, r)
+		return
+	}
+	for k, vs := range site.Headers {
+		for _, v := range vs {
+			rw.Header().Add(k, v)
+		}
+	}
+	rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(rw, html)
+}
+
+// Pages returns the paths every generated site serves.
+func Pages() []string { return []string{"/", "/about", "/contact"} }

@@ -1,0 +1,400 @@
+package sitegen
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rwskit/internal/forcepoint"
+	"rwskit/internal/htmlsim"
+)
+
+func testOrg(t *testing.T, vis ...float64) *Org {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	o, err := GenerateOrg(rng, OrgConfig{
+		Name:               "Helios Media Group",
+		Domains:            []string{"heliosnews.com", "heliossport.com", "metro-dispatch.com"},
+		Categories:         []forcepoint.Category{forcepoint.NewsAndMedia},
+		BrandingVisibility: vis,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestGenerateOrg(t *testing.T) {
+	o := testOrg(t, 0.9, 0.5, 0.1)
+	if len(o.Sites) != 3 {
+		t.Fatalf("sites = %d", len(o.Sites))
+	}
+	if o.Brand.Slug != "helios" {
+		t.Errorf("slug = %q", o.Brand.Slug)
+	}
+	for _, s := range o.Sites {
+		if s.Org != o {
+			t.Error("site missing org backref")
+		}
+		if s.Category != forcepoint.NewsAndMedia {
+			t.Errorf("category = %q", s.Category)
+		}
+	}
+	if o.Sites[0].BrandingVisibility != 0.9 || o.Sites[2].BrandingVisibility != 0.1 {
+		t.Error("visibility assignment wrong")
+	}
+}
+
+func TestGenerateOrgValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateOrg(rng, OrgConfig{Name: "X"}); err == nil {
+		t.Error("org without domains should fail")
+	}
+	if _, err := GenerateOrg(rng, OrgConfig{Domains: []string{"a.com"}}); err == nil {
+		t.Error("org without name should fail")
+	}
+}
+
+func TestSignalsThresholds(t *testing.T) {
+	o := testOrg(t, 0.0, 0.3, 0.5, 0.7, 0.9)
+	// Only 3 domains in testOrg; rebuild with 5.
+	rng := rand.New(rand.NewSource(2))
+	o, err := GenerateOrg(rng, OrgConfig{
+		Name:               "Helios Media Group",
+		Domains:            []string{"a.com", "b.com", "c.com", "d.com", "e.com"},
+		BrandingVisibility: []float64{0.0, 0.3, 0.5, 0.7, 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []Signals{
+		{},
+		{FooterText: true},
+		{FooterText: true, AboutPage: true},
+		{FooterText: true, AboutPage: true, Logo: true},
+		{FooterText: true, AboutPage: true, Logo: true, HeaderText: true},
+	}
+	for i, s := range o.Sites {
+		if got := s.Signals(); got != wants[i] {
+			t.Errorf("site %d (vis %.1f) signals = %+v, want %+v", i, s.BrandingVisibility, got, wants[i])
+		}
+	}
+	indep := &Site{Domain: "solo.com"}
+	if indep.Signals() != (Signals{}) {
+		t.Error("org-less site must have no brand signals")
+	}
+}
+
+func TestRenderPageDeterministic(t *testing.T) {
+	o := testOrg(t)
+	for _, path := range Pages() {
+		a, err := RenderPage(o.Sites[0], path)
+		if err != nil {
+			t.Fatalf("render %s: %v", path, err)
+		}
+		b, _ := RenderPage(o.Sites[0], path)
+		if a != b {
+			t.Errorf("rendering %s is not deterministic", path)
+		}
+		if !strings.Contains(a, "<!DOCTYPE html>") || !strings.Contains(a, "</html>") {
+			t.Errorf("page %s is not a complete document", path)
+		}
+	}
+	if _, err := RenderPage(o.Sites[0], "/missing"); err == nil {
+		t.Error("unknown path should error")
+	}
+}
+
+func TestBrandSignalsAppearInHTML(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	o, err := GenerateOrg(rng, OrgConfig{
+		Name:               "Helios Media Group",
+		Domains:            []string{"strong.com", "weak.com"},
+		BrandingVisibility: []float64{0.95, 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, _ := RenderPage(o.Sites[0], "/")
+	weak, _ := RenderPage(o.Sites[1], "/")
+	if !strings.Contains(strong, "helios-logo") || !strings.Contains(strong, "Helios Media Group") {
+		t.Error("high-visibility site missing brand block")
+	}
+	if strings.Contains(weak, "helios-logo") || strings.Contains(weak, "All rights reserved") {
+		t.Error("low-visibility site leaked brand signals")
+	}
+	strongAbout, _ := RenderPage(o.Sites[0], "/about")
+	if !strings.Contains(strongAbout, "family of sites") {
+		t.Error("high-visibility about page missing affiliation")
+	}
+}
+
+func TestCategoryRecoverableFromHTML(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cl := forcepoint.NewClassifier()
+	cats := []forcepoint.Category{
+		forcepoint.NewsAndMedia, forcepoint.InfoTech, forcepoint.Travel,
+		forcepoint.Analytics, forcepoint.Shopping,
+	}
+	sites, db := GenerateTopSites(rng, 25, cats)
+	correct := 0
+	for _, s := range sites {
+		html, err := RenderPage(s, "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Strip tags to get visible-ish text.
+		var text strings.Builder
+		for _, tok := range htmlsim.Tokenize(html) {
+			if tok.Type == htmlsim.TokenText {
+				text.WriteString(tok.Text)
+				text.WriteByte(' ')
+			}
+		}
+		if cl.Classify(text.String()) == db.Lookup(s.Domain) {
+			correct++
+		}
+	}
+	if correct < 20 {
+		t.Errorf("classifier recovered %d/25 categories; want >= 20", correct)
+	}
+}
+
+func TestUnrelatedSitesDissimilar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sites, _ := GenerateTopSites(rng, 10, []forcepoint.Category{forcepoint.NewsAndMedia, forcepoint.Shopping})
+	a, _ := RenderPage(sites[0], "/")
+	b, _ := RenderPage(sites[1], "/")
+	s := htmlsim.Compare(a, b)
+	if s.Style > 0.2 {
+		t.Errorf("unrelated sites style similarity = %v, want near 0", s.Style)
+	}
+}
+
+func TestGenerateTopSitesUnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sites, db := GenerateTopSites(rng, 200, []forcepoint.Category{
+		forcepoint.NewsAndMedia, forcepoint.InfoTech, forcepoint.Business,
+		forcepoint.Shopping, forcepoint.Travel, forcepoint.Finance,
+	})
+	if len(sites) != 200 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if seen[s.Domain] {
+			t.Fatalf("duplicate domain %q", s.Domain)
+		}
+		seen[s.Domain] = true
+		if db.Lookup(s.Domain) == forcepoint.Unknown {
+			t.Fatalf("%q not categorised", s.Domain)
+		}
+	}
+}
+
+func TestWebServeHTTP(t *testing.T) {
+	w := NewWeb()
+	o := testOrg(t, 0.9)
+	w.AddOrg(o)
+	w.AddSite(&Site{Domain: "solo.com", Category: forcepoint.Travel})
+	srv := httptest.NewServer(w)
+	defer srv.Close()
+
+	get := func(host, path string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest("GET", srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Host = host
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	resp, body := get("heliosnews.com", "/")
+	if resp.StatusCode != 200 || !strings.Contains(body, "Heliosnews") {
+		t.Errorf("home: %d %q", resp.StatusCode, body[:min(80, len(body))])
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	resp, _ = get("heliosnews.com", "/nope")
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown path = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = get("unknown-host.com", "/")
+	if resp.StatusCode != 502 {
+		t.Errorf("unknown host = %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestWebRawAndHeaders(t *testing.T) {
+	w := NewWeb()
+	svc := &Site{Domain: "svc.com", Headers: http.Header{"X-Robots-Tag": []string{"noindex"}}}
+	w.AddSite(svc)
+	w.RegisterRaw("svc.com", "/.well-known/related-website-set.json",
+		"application/json", []byte(`{"primary":"https://p.com"}`), http.Header{"X-Extra": []string{"1"}})
+	srv := httptest.NewServer(w)
+	defer srv.Close()
+
+	req, err := http.NewRequest("GET", srv.URL+"/.well-known/related-website-set.json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Host = "svc.com"
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("Content-Type") != "application/json" || resp.Header.Get("X-Extra") != "1" {
+		t.Errorf("raw headers: %v", resp.Header)
+	}
+	if !strings.Contains(string(body), "p.com") {
+		t.Errorf("raw body = %q", body)
+	}
+
+	// Page responses carry the site's standing headers.
+	req, _ = http.NewRequest("GET", srv.URL+"/", nil)
+	req.Host = "svc.com"
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Robots-Tag") != "noindex" {
+		t.Errorf("missing X-Robots-Tag: %v", resp.Header)
+	}
+
+	w.RemoveRaw("svc.com", "/.well-known/related-website-set.json")
+	req, _ = http.NewRequest("GET", srv.URL+"/.well-known/related-website-set.json", nil)
+	req.Host = "svc.com"
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("after RemoveRaw: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestWebFaults(t *testing.T) {
+	w := NewWeb()
+	w.AddSite(&Site{Domain: "down.com"})
+	w.AddSite(&Site{Domain: "moved.com"})
+	w.AddSite(&Site{Domain: "dead.com"})
+	w.SetFault("down.com", Fault{StatusCode: 503})
+	w.SetFault("moved.com", Fault{RedirectTo: "https://elsewhere.com/"})
+	w.SetFault("dead.com", Fault{Hang: true})
+	srv := httptest.NewServer(w)
+	defer srv.Close()
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+
+	req, _ := http.NewRequest("GET", srv.URL+"/", nil)
+	req.Host = "down.com"
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("down.com = %d", resp.StatusCode)
+	}
+
+	req, _ = http.NewRequest("GET", srv.URL+"/", nil)
+	req.Host = "moved.com"
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 302 || resp.Header.Get("Location") != "https://elsewhere.com/" {
+		t.Errorf("moved.com = %d loc=%q", resp.StatusCode, resp.Header.Get("Location"))
+	}
+
+	req, _ = http.NewRequest("GET", srv.URL+"/", nil)
+	req.Host = "dead.com"
+	if _, err := client.Do(req); err == nil {
+		t.Error("dead.com should fail at transport level")
+	}
+
+	// Clearing the fault restores service.
+	w.SetFault("down.com", Fault{})
+	req, _ = http.NewRequest("GET", srv.URL+"/", nil)
+	req.Host = "down.com"
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("after clearing fault: %d", resp.StatusCode)
+	}
+}
+
+func TestWebDuplicatePanics(t *testing.T) {
+	w := NewWeb()
+	w.AddSite(&Site{Domain: "dup.com"})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddSite should panic")
+		}
+	}()
+	w.AddSite(&Site{Domain: "dup.com"})
+}
+
+func TestDomainsSorted(t *testing.T) {
+	w := NewWeb()
+	w.AddSite(&Site{Domain: "zeta.com"})
+	w.AddSite(&Site{Domain: "alpha.com"})
+	d := w.Domains()
+	if len(d) != 2 || d[0] != "alpha.com" || d[1] != "zeta.com" {
+		t.Errorf("Domains = %v", d)
+	}
+}
+
+func TestNewBrandEdgeCases(t *testing.T) {
+	b := NewBrand("!!!")
+	if b.Slug != "org" {
+		t.Errorf("degenerate name slug = %q", b.Slug)
+	}
+	b = NewBrand("Times Internet Ltd")
+	if b.Slug != "times" {
+		t.Errorf("slug = %q, want times", b.Slug)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkRenderHome(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	o, err := GenerateOrg(rng, OrgConfig{Name: "Bench Org", Domains: []string{"bench.com"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RenderPage(o.Sites[0], "/"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package stats provides the statistical machinery used throughout the
+// reproduction of "A First Look at Related Website Sets" (IMC 2024):
+// empirical CDFs (Figures 2, 3, 4, 6), two-sample Kolmogorov–Smirnov tests
+// (the paper's §3 timing analysis), quantiles and summary statistics, and
+// seeded samplers for the simulation substrates.
+//
+// All randomness flows through explicit *rand.Rand values supplied by the
+// caller, so every experiment in this repository is reproducible.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Min    float64
+	Max    float64
+	Stddev float64 // sample standard deviation (n-1 denominator)
+}
+
+// Summarize computes descriptive statistics for xs. It returns ErrEmpty if
+// xs has no elements.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s, nil
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks (the same convention as numpy's
+// default). The input need not be sorted; it is not modified. An empty input
+// returns NaN.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// ECDF is an empirical cumulative distribution function built from a sample.
+// The zero value is not usable; construct with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from xs. The input is copied, so the
+// caller may reuse the slice.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns F(x) = P(X <= x), the fraction of the sample that is <= x.
+func (e *ECDF) At(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x; we
+	// want the count of elements <= x, so search for the first index > x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Min returns the smallest observation.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest observation.
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Quantile returns the q-th quantile of the underlying sample.
+func (e *ECDF) Quantile(q float64) float64 { return quantileSorted(e.sorted, q) }
+
+// Points returns the step points of the ECDF as parallel slices (x_i, F(x_i))
+// with duplicates collapsed, suitable for plotting.
+func (e *ECDF) Points() (xs, fs []float64) {
+	n := float64(len(e.sorted))
+	for i := 0; i < len(e.sorted); i++ {
+		// Collapse runs of equal values to their final (highest) F.
+		if i+1 < len(e.sorted) && e.sorted[i+1] == e.sorted[i] {
+			continue
+		}
+		xs = append(xs, e.sorted[i])
+		fs = append(fs, float64(i+1)/n)
+	}
+	return xs, fs
+}
+
+// KSResult is the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	Statistic float64 // the KS D statistic: sup |F1(x) - F2(x)|
+	PValue    float64 // asymptotic two-sided p-value
+	N1, N2    int
+}
+
+// Significant reports whether the result rejects the null hypothesis of a
+// common distribution at significance level alpha.
+func (r KSResult) Significant(alpha float64) bool { return r.PValue < alpha }
+
+// String renders the result in the compact form used by EXPERIMENTS.md.
+func (r KSResult) String() string {
+	return fmt.Sprintf("KS D=%.4f p=%.4g (n1=%d n2=%d)", r.Statistic, r.PValue, r.N1, r.N2)
+}
+
+// KolmogorovSmirnov performs a two-sample KS test on samples a and b,
+// mirroring the analysis in §3 of the paper ("Performing a two-sample
+// Kolmogorov-Smirnov test pair-wise across the timing distributions...").
+// The p-value uses the Kolmogorov asymptotic distribution with the usual
+// effective sample size n1*n2/(n1+n2).
+func KolmogorovSmirnov(a, b []float64) (KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{}, ErrEmpty
+	}
+	sa := make([]float64, len(a))
+	copy(sa, a)
+	sort.Float64s(sa)
+	sb := make([]float64, len(b))
+	copy(sb, b)
+	sort.Float64s(sb)
+
+	var d float64
+	i, j := 0, 0
+	n1, n2 := float64(len(sa)), float64(len(sb))
+	for i < len(sa) && j < len(sb) {
+		// Advance through all observations tied at the current minimum on
+		// both sides before measuring the gap, so ties do not create
+		// spurious intermediate differences.
+		v := math.Min(sa[i], sb[j])
+		for i < len(sa) && sa[i] == v {
+			i++
+		}
+		for j < len(sb) && sb[j] == v {
+			j++
+		}
+		diff := math.Abs(float64(i)/n1 - float64(j)/n2)
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := n1 * n2 / (n1 + n2)
+	p := ksPValue(d, ne)
+	return KSResult{Statistic: d, PValue: p, N1: len(sa), N2: len(sb)}, nil
+}
+
+// ksPValue returns the asymptotic two-sided p-value for KS statistic d with
+// effective sample size ne, using the Marsaglia/Stephens style correction
+// lambda = (sqrt(ne) + 0.12 + 0.11/sqrt(ne)) * d and the Kolmogorov series
+// Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+func ksPValue(d, ne float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	if d >= 1 {
+		return 0
+	}
+	sqrtNe := math.Sqrt(ne)
+	lambda := (sqrtNe + 0.12 + 0.11/sqrtNe) * d
+	return kolmogorovQ(lambda)
+}
+
+func kolmogorovQ(lambda float64) float64 {
+	if lambda < 1e-8 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		sign = -sign
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// KolmogorovSmirnovPermutation computes a permutation-test p-value for the
+// two-sample KS statistic, as the ablation counterpart to the asymptotic
+// approximation. rounds controls the number of label permutations; rng must
+// be non-nil (use a seeded *rand.Rand for reproducibility).
+func KolmogorovSmirnovPermutation(a, b []float64, rounds int, rng Rand) (KSResult, error) {
+	obs, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		return KSResult{}, err
+	}
+	if rounds <= 0 {
+		rounds = 1000
+	}
+	pool := make([]float64, 0, len(a)+len(b))
+	pool = append(pool, a...)
+	pool = append(pool, b...)
+	exceed := 0
+	for r := 0; r < rounds; r++ {
+		shuffle(pool, rng)
+		perm, err := KolmogorovSmirnov(pool[:len(a)], pool[len(a):])
+		if err != nil {
+			return KSResult{}, err
+		}
+		if perm.Statistic >= obs.Statistic {
+			exceed++
+		}
+	}
+	obs.PValue = (float64(exceed) + 1) / (float64(rounds) + 1)
+	return obs, nil
+}
+
+// Rand is the subset of *math/rand.Rand this package needs. Accepting an
+// interface keeps samplers testable with deterministic fakes.
+type Rand interface {
+	Float64() float64
+	Intn(n int) int
+	NormFloat64() float64
+}
+
+func shuffle(xs []float64, rng Rand) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// LogNormal samples a log-normal value with the given median and a
+// multiplicative spread sigma (the stddev of the underlying normal in log
+// space). The survey simulator uses this for dwell times: the paper reports
+// per-category mean answer times between 25.5s and 39.4s with long tails.
+func LogNormal(rng Rand, median, sigma float64) float64 {
+	if median <= 0 {
+		return 0
+	}
+	return median * math.Exp(sigma*rng.NormFloat64())
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.Float64() < p
+}
+
+// Logistic is the standard logistic function 1/(1+e^-x), used by the survey
+// respondent model to turn evidence scores into response probabilities.
+func Logistic(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+// Zipf draws a rank in [1, n] with probability proportional to 1/rank^s.
+// It is used by the synthetic Tranco generator; the real Tranco list is
+// approximately Zipfian in traffic share.
+func Zipf(rng Rand, n int, s float64) int {
+	if n <= 1 {
+		return 1
+	}
+	// Inverse-CDF over the normalized harmonic weights. n is small (<=10k)
+	// in this repository, so the linear scan is fine; callers on hot paths
+	// should precompute a sampler.
+	var total float64
+	for k := 1; k <= n; k++ {
+		total += 1 / math.Pow(float64(k), s)
+	}
+	u := rng.Float64() * total
+	var cum float64
+	for k := 1; k <= n; k++ {
+		cum += 1 / math.Pow(float64(k), s)
+		if u <= cum {
+			return k
+		}
+	}
+	return n
+}
+
+// Counter accumulates integer counts by string key, with deterministic
+// (sorted) iteration. It backs the table-shaped outputs (Tables 1-3).
+type Counter struct {
+	counts map[string]int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int)} }
+
+// Add increments key by delta.
+func (c *Counter) Add(key string, delta int) { c.counts[key] += delta }
+
+// Get returns the count for key (0 if absent).
+func (c *Counter) Get(key string) int { return c.counts[key] }
+
+// Total returns the sum of all counts.
+func (c *Counter) Total() int {
+	var t int
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// Keys returns all keys in sorted order.
+func (c *Counter) Keys() []string {
+	keys := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedByCount returns keys ordered by descending count, ties broken
+// alphabetically — the order used when rendering Table 3.
+func (c *Counter) SortedByCount() []string {
+	keys := c.Keys()
+	sort.SliceStable(keys, func(i, j int) bool {
+		if c.counts[keys[i]] != c.counts[keys[j]] {
+			return c.counts[keys[i]] > c.counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

@@ -1,0 +1,396 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if !almostEqual(s.Median, 4.5, 1e-12) {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if !almostEqual(s.Stddev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("Stddev = %v, want %v", s.Stddev, math.Sqrt(32.0/7.0))
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("Summarize(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 15},
+		{1, 50},
+		{0.5, 35},
+		{0.25, 20},
+		{0.75, 40},
+		{0.4, 29}, // 20 + 0.6*(35-20)
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0.25},
+		{1.5, 0.25},
+		{2, 0.75},
+		{3, 1},
+		{99, 1},
+	}
+	for _, tc := range cases {
+		if got := e.At(tc.x); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if e.N() != 4 || e.Min() != 1 || e.Max() != 3 {
+		t.Errorf("N/Min/Max = %d/%v/%v", e.N(), e.Min(), e.Max())
+	}
+	xs, fs := e.Points()
+	if len(xs) != 3 || xs[1] != 2 || !almostEqual(fs[1], 0.75, 1e-12) {
+		t.Errorf("Points() = %v, %v", xs, fs)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); err != ErrEmpty {
+		t.Errorf("NewECDF(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestECDFPropertyMonotonic(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			return false
+		}
+		// F must be monotone nondecreasing over a probe grid and bounded.
+		probes := append([]float64{}, xs...)
+		sort.Float64s(probes)
+		prev := 0.0
+		for _, p := range probes {
+			v := e.At(p)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return e.At(e.Max()) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKSIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	res, err := KolmogorovSmirnov(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 0 {
+		t.Errorf("D = %v, want 0", res.Statistic)
+	}
+	if res.PValue < 0.99 {
+		t.Errorf("p = %v, want ~1", res.PValue)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(i) + 1000
+	}
+	res, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 1 {
+		t.Errorf("D = %v, want 1", res.Statistic)
+	}
+	if !res.Significant(0.05) {
+		t.Errorf("disjoint samples should be significant, p = %v", res.PValue)
+	}
+}
+
+func TestKSShiftedDistributionsSignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 1.5
+	}
+	res, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.05) {
+		t.Errorf("shifted normals should be significant: %v", res)
+	}
+}
+
+func TestKSSameDistributionNotSignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.01) {
+		t.Errorf("same-distribution samples flagged significant: %v", res)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, []float64{1}); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+	if _, err := KolmogorovSmirnov([]float64{1}, nil); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestKSStatisticRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		n1, n2 := 1+rng.Intn(40), 1+rng.Intn(40)
+		a := make([]float64, n1)
+		b := make([]float64, n2)
+		for j := range a {
+			a[j] = rng.Float64() * 10
+		}
+		for j := range b {
+			b[j] = rng.Float64() * 10
+		}
+		res, err := KolmogorovSmirnov(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Statistic < 0 || res.Statistic > 1 {
+			t.Fatalf("D out of range: %v", res.Statistic)
+		}
+		if res.PValue < 0 || res.PValue > 1 {
+			t.Fatalf("p out of range: %v", res.PValue)
+		}
+	}
+}
+
+func TestKSPermutationAgreesDirectionally(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := make([]float64, 80)
+	b := make([]float64, 80)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 2
+	}
+	asym, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := KolmogorovSmirnovPermutation(a, b, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm.Statistic != asym.Statistic {
+		t.Errorf("permutation D = %v, asymptotic D = %v", perm.Statistic, asym.Statistic)
+	}
+	if !perm.Significant(0.05) || !asym.Significant(0.05) {
+		t.Errorf("both tests should reject: perm p=%v asym p=%v", perm.PValue, asym.PValue)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = LogNormal(rng, 30, 0.5)
+	}
+	med := Median(xs)
+	if med < 27 || med > 33 {
+		t.Errorf("empirical median = %v, want ~30", med)
+	}
+	for _, x := range xs[:100] {
+		if x <= 0 {
+			t.Fatalf("LogNormal produced non-positive value %v", x)
+		}
+	}
+	if LogNormal(rng, 0, 1) != 0 {
+		t.Error("LogNormal with non-positive median should return 0")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if Bernoulli(rng, 0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !Bernoulli(rng, 1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	hits := 0
+	n := 10000
+	for i := 0; i < n; i++ {
+		if Bernoulli(rng, 0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("Bernoulli(0.3) empirical rate %v", frac)
+	}
+}
+
+func TestLogistic(t *testing.T) {
+	if !almostEqual(Logistic(0), 0.5, 1e-12) {
+		t.Errorf("Logistic(0) = %v", Logistic(0))
+	}
+	if Logistic(10) < 0.99 || Logistic(-10) > 0.01 {
+		t.Error("Logistic tails wrong")
+	}
+	if Logistic(2) <= Logistic(1) {
+		t.Error("Logistic not increasing")
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	counts := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		k := Zipf(rng, 100, 1.0)
+		if k < 1 || k > 100 {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[1] <= counts[50] {
+		t.Errorf("Zipf rank 1 (%d draws) should dominate rank 50 (%d draws)", counts[1], counts[50])
+	}
+	if Zipf(rng, 1, 1.0) != 1 {
+		t.Error("Zipf(n=1) must return 1")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add("b", 2)
+	c.Add("a", 1)
+	c.Add("b", 3)
+	c.Add("c", 5)
+	if c.Get("b") != 5 || c.Get("missing") != 0 {
+		t.Errorf("Get: b=%d missing=%d", c.Get("b"), c.Get("missing"))
+	}
+	if c.Total() != 11 {
+		t.Errorf("Total = %d, want 11", c.Total())
+	}
+	keys := c.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("Keys = %v", keys)
+	}
+	byCount := c.SortedByCount()
+	if byCount[0] != "b" && byCount[0] != "c" {
+		t.Errorf("SortedByCount = %v", byCount)
+	}
+	// b and c both = 5: ties alphabetical.
+	if byCount[0] != "b" || byCount[1] != "c" || byCount[2] != "a" {
+		t.Errorf("SortedByCount order = %v, want [b c a]", byCount)
+	}
+}
+
+func BenchmarkKolmogorovSmirnov(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 500)
+	y := make([]float64, 500)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64() + 0.2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KolmogorovSmirnov(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECDFAt(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	e, err := NewECDF(xs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(0.5)
+	}
+}

@@ -1,0 +1,212 @@
+// Package survey reproduces the user study in §3 of "A First Look at
+// Related Website Sets" (IMC 2024): 30 participants each judge up to 20
+// website pairs — 5 drawn from each of four groups — as related or
+// unrelated, with per-question timing and a closing questionnaire about
+// the factors they used.
+//
+// The study's human participants are replaced by a stochastic respondent
+// model (model.go) whose judgement depends only on the signals a
+// participant could actually observe: shared branding rendered by the
+// synthetic web (dataset.BrandingVisibility), domain-name similarity, and
+// topical similarity. The paper's aggregate findings — 36.8% of same-set
+// pairs misjudged as unrelated, ~94% correct rejection elsewhere, slower
+// "unrelated" conclusions on same-set pairs — emerge from those signal
+// distributions, not from transcribed numbers.
+package survey
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rwskit/internal/core"
+	"rwskit/internal/forcepoint"
+)
+
+// Group is one of the four pair groups from §3.
+type Group int
+
+// The four groups, in the paper's order.
+const (
+	// RWSSameSet: both sites are members of the same Related Website Set.
+	// These pairs are related under the RWS proposal.
+	RWSSameSet Group = iota
+	// RWSOtherSet: both sites are RWS members, but of different sets.
+	RWSOtherSet
+	// TopSiteSameCategory: an RWS site paired with a Tranco top site in
+	// the same Forcepoint category.
+	TopSiteSameCategory
+	// TopSiteOtherCategory: an RWS site paired with a top site in a
+	// different category.
+	TopSiteOtherCategory
+)
+
+// Groups lists the four groups in order.
+func Groups() []Group {
+	return []Group{RWSSameSet, RWSOtherSet, TopSiteSameCategory, TopSiteOtherCategory}
+}
+
+// String returns the paper's label for the group.
+func (g Group) String() string {
+	switch g {
+	case RWSSameSet:
+		return "RWS (same set)"
+	case RWSOtherSet:
+		return "RWS (other set)"
+	case TopSiteSameCategory:
+		return "Top Site (same category)"
+	case TopSiteOtherCategory:
+		return "Top Site (other category)"
+	default:
+		return fmt.Sprintf("group(%d)", int(g))
+	}
+}
+
+// Pair is one website pair shown to participants.
+type Pair struct {
+	A, B  string
+	Group Group
+	// Related is the ground truth under the RWS proposal (true only for
+	// RWSSameSet pairs).
+	Related bool
+}
+
+// PairSet is the generated pair pool.
+type PairSet struct {
+	Pairs   []Pair
+	ByGroup map[Group][]Pair
+}
+
+// TopSite is a categorised top-site entry for groups 3 and 4.
+type TopSite struct {
+	Domain   string
+	Category forcepoint.Category
+}
+
+// PairConfig configures GeneratePairs.
+type PairConfig struct {
+	// List is the RWS list in force.
+	List *core.List
+	// Eligible are the RWS member sites that survived the paper's
+	// liveness/language filtering (31 sites in the paper).
+	Eligible []string
+	// TopSites is the categorised top-site sample (200 in the paper).
+	TopSites []TopSite
+	// Categories looks up RWS sites' categories for the group 3/4 split.
+	Categories *forcepoint.DB
+	// SameCategoryTarget and OtherCategoryTarget bound the number of
+	// group 3/4 pairs sampled from the full cross product (the paper's
+	// pools: 141 and 216).
+	SameCategoryTarget, OtherCategoryTarget int
+	// RNG drives the sampling; required.
+	RNG *rand.Rand
+}
+
+// GeneratePairs builds the four pair groups exactly as §3 describes:
+// all within-set combinations of eligible sites (group 1), all cross-set
+// combinations (group 2), and samples of RWS×top-site pairs split by
+// category agreement (groups 3 and 4).
+func GeneratePairs(cfg PairConfig) (*PairSet, error) {
+	if cfg.List == nil || cfg.RNG == nil {
+		return nil, fmt.Errorf("survey: List and RNG are required")
+	}
+	if len(cfg.Eligible) < 2 {
+		return nil, fmt.Errorf("survey: need at least two eligible sites")
+	}
+	if cfg.SameCategoryTarget <= 0 {
+		cfg.SameCategoryTarget = 141
+	}
+	if cfg.OtherCategoryTarget <= 0 {
+		cfg.OtherCategoryTarget = 216
+	}
+	ps := &PairSet{ByGroup: make(map[Group][]Pair)}
+	add := func(p Pair) {
+		ps.Pairs = append(ps.Pairs, p)
+		ps.ByGroup[p.Group] = append(ps.ByGroup[p.Group], p)
+	}
+
+	eligible := append([]string(nil), cfg.Eligible...)
+	sort.Strings(eligible)
+	for _, site := range eligible {
+		if _, _, ok := cfg.List.FindSet(site); !ok {
+			return nil, fmt.Errorf("survey: eligible site %q is not on the RWS list", site)
+		}
+	}
+
+	// Groups 1 and 2: all combinations of eligible RWS sites, split by
+	// set membership.
+	for i := 0; i < len(eligible); i++ {
+		for j := i + 1; j < len(eligible); j++ {
+			a, b := eligible[i], eligible[j]
+			if cfg.List.SameSet(a, b) {
+				add(Pair{A: a, B: b, Group: RWSSameSet, Related: true})
+			} else {
+				add(Pair{A: a, B: b, Group: RWSOtherSet})
+			}
+		}
+	}
+
+	// Groups 3 and 4: eligible RWS sites × top sites, split by category,
+	// sampled down to the configured pool sizes.
+	var sameCat, otherCat []Pair
+	for _, site := range eligible {
+		siteCat := cfg.Categories.Lookup(site)
+		for _, top := range cfg.TopSites {
+			p := Pair{A: site, B: top.Domain}
+			if top.Category == siteCat && siteCat != forcepoint.Unknown {
+				p.Group = TopSiteSameCategory
+				sameCat = append(sameCat, p)
+			} else {
+				p.Group = TopSiteOtherCategory
+				otherCat = append(otherCat, p)
+			}
+		}
+	}
+	for _, p := range samplePairs(cfg.RNG, sameCat, cfg.SameCategoryTarget) {
+		add(p)
+	}
+	for _, p := range samplePairs(cfg.RNG, otherCat, cfg.OtherCategoryTarget) {
+		add(p)
+	}
+	return ps, nil
+}
+
+func samplePairs(rng *rand.Rand, pool []Pair, k int) []Pair {
+	if k >= len(pool) {
+		return pool
+	}
+	idx := rng.Perm(len(pool))[:k]
+	sort.Ints(idx)
+	out := make([]Pair, k)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// EligibleSites returns the deterministic "survived filtering" subset of
+// the embedded snapshot, mirroring the paper's reduction of the list to 31
+// live, primarily-English sites whose within-set combinations yield
+// exactly 39 same-set pairs (and hence 426 cross-set pairs).
+func EligibleSites() []string {
+	return []string{
+		// cafemedia set: primary + 6 associated (21 same-set pairs).
+		"cafemedia.com", "nourishingpursuits.com", "wanderingspoon.com",
+		"cozyhomestead.net", "gardenglee.com", "thriftyfinds.net",
+		"trailsandtents.com",
+		// timesinternet set: primary + 4 associated (10 pairs).
+		"timesinternet.in", "indiatimes.com", "economictimes.com",
+		"timesofindia.com", "cricbuzz.com",
+		// bild set: primary + 3 associated (6 pairs).
+		"bild.de", "autobild.de", "computerbild.de", "sportbild.de",
+		// poalim set: primary + 1 associated (1 pair).
+		"poalim.site", "poalim.xyz",
+		// findhub set: primary + 1 associated (1 pair).
+		"findhub.com", "findhub.io",
+		// Eleven sets contribute their primary only (0 same-set pairs).
+		"heliosnews.com", "metrotribune.com", "globaldispatch.net",
+		"citygazette.com", "cloudstackhq.com", "byteforge.io",
+		"tradebridge.com", "venturedesk.com", "streamstage.tv",
+		"bargaincrate.com", "wanderroute.travel",
+	}
+}

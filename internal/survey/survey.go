@@ -1,0 +1,288 @@
+package survey
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rwskit/internal/stats"
+)
+
+// StudyConfig configures a simulated run of the user study.
+type StudyConfig struct {
+	// Seed drives all randomness; a seed reproduces the study exactly.
+	Seed int64
+	// Participants is the number of survey sessions (paper: 30).
+	Participants int
+	// QuestionsPerGroup is the number of pairs drawn per group per
+	// participant (paper: 5, for 20 questions).
+	QuestionsPerGroup int
+	// AnswerRate is the probability a question is answered rather than
+	// skipped (the paper's 30 participants produced 430 of a possible 600
+	// responses).
+	AnswerRate float64
+	// QuestionnaireRate is the probability a participant completes the
+	// closing factors questionnaire (paper: 21 of 30).
+	QuestionnaireRate float64
+	// Params is the respondent model; zero value means DefaultParams.
+	Params ModelParams
+	// Pairs is the generated pair pool.
+	Pairs *PairSet
+	// Evaluator derives pair evidence.
+	Evaluator *Evaluator
+}
+
+// Response is one answered question.
+type Response struct {
+	Participant int
+	Pair        Pair
+	SaidRelated bool
+	Seconds     float64
+}
+
+// Correct reports whether the response matches RWS ground truth.
+func (r Response) Correct() bool { return r.SaidRelated == r.Pair.Related }
+
+// PrivacyHarming reports the error direction the paper highlights: the
+// pair IS related under RWS (data will be shared) but the participant
+// judged it unrelated (and so would not expect sharing).
+func (r Response) PrivacyHarming() bool { return r.Pair.Related && !r.SaidRelated }
+
+// FactorReport is one participant's questionnaire answers: which factors
+// they used when judging sites related, and unrelated.
+type FactorReport struct {
+	Participant int
+	Related     map[Factor]bool
+	Unrelated   map[Factor]bool
+}
+
+// Results holds a completed study.
+type Results struct {
+	Participants int
+	Responses    []Response
+	Factors      []FactorReport
+}
+
+// Run simulates the study.
+func Run(cfg StudyConfig) (*Results, error) {
+	if cfg.Pairs == nil || cfg.Evaluator == nil {
+		return nil, fmt.Errorf("survey: Pairs and Evaluator are required")
+	}
+	if cfg.Participants <= 0 {
+		cfg.Participants = 30
+	}
+	if cfg.QuestionsPerGroup <= 0 {
+		cfg.QuestionsPerGroup = 5
+	}
+	if cfg.AnswerRate <= 0 {
+		cfg.AnswerRate = 0.717
+	}
+	if cfg.QuestionnaireRate <= 0 {
+		cfg.QuestionnaireRate = 0.7
+	}
+	if cfg.Params == (ModelParams{}) {
+		cfg.Params = DefaultParams()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Results{Participants: cfg.Participants}
+
+	for p := 0; p < cfg.Participants; p++ {
+		// Each participant sees QuestionsPerGroup random pairs from each
+		// group, in shuffled order.
+		var questions []Pair
+		for _, g := range Groups() {
+			pool := cfg.Pairs.ByGroup[g]
+			if len(pool) == 0 {
+				return nil, fmt.Errorf("survey: group %v has no pairs", g)
+			}
+			idx := rng.Perm(len(pool))
+			n := cfg.QuestionsPerGroup
+			if n > len(pool) {
+				n = len(pool)
+			}
+			for _, j := range idx[:n] {
+				questions = append(questions, pool[j])
+			}
+		}
+		rng.Shuffle(len(questions), func(i, j int) {
+			questions[i], questions[j] = questions[j], questions[i]
+		})
+		for _, q := range questions {
+			if !stats.Bernoulli(rng, cfg.AnswerRate) {
+				continue // skipped
+			}
+			ev := cfg.Evaluator.Evidence(q)
+			said := Judge(rng, cfg.Params, ev)
+			res.Responses = append(res.Responses, Response{
+				Participant: p,
+				Pair:        q,
+				SaidRelated: said,
+				Seconds:     Dwell(rng, q.Group, said),
+			})
+		}
+		// Closing questionnaire.
+		if stats.Bernoulli(rng, cfg.QuestionnaireRate) {
+			fr := FactorReport{
+				Participant: p,
+				Related:     make(map[Factor]bool),
+				Unrelated:   make(map[Factor]bool),
+			}
+			for _, f := range Factors() {
+				pr, pu := factorPropensity(f)
+				fr.Related[f] = stats.Bernoulli(rng, pr)
+				fr.Unrelated[f] = stats.Bernoulli(rng, pu)
+			}
+			res.Factors = append(res.Factors, fr)
+		}
+	}
+	return res, nil
+}
+
+// GroupSummary is one row of Table 1.
+type GroupSummary struct {
+	Group            Group
+	Related          int
+	Unrelated        int
+	MeanRelatedSec   float64
+	MeanUnrelatedSec float64
+}
+
+// Table1 computes the per-group response summary (Table 1).
+func (r *Results) Table1() []GroupSummary {
+	out := make([]GroupSummary, 0, 4)
+	for _, g := range Groups() {
+		s := GroupSummary{Group: g}
+		var relSecs, unrelSecs []float64
+		for _, resp := range r.Responses {
+			if resp.Pair.Group != g {
+				continue
+			}
+			if resp.SaidRelated {
+				s.Related++
+				relSecs = append(relSecs, resp.Seconds)
+			} else {
+				s.Unrelated++
+				unrelSecs = append(unrelSecs, resp.Seconds)
+			}
+		}
+		s.MeanRelatedSec = stats.Mean(relSecs)
+		s.MeanUnrelatedSec = stats.Mean(unrelSecs)
+		out = append(out, s)
+	}
+	return out
+}
+
+// Confusion computes the Figure 1 matrix: rows are the expected response
+// (RWS ground truth), columns the actual response; order [related,
+// unrelated].
+func (r *Results) Confusion() [2][2]int {
+	var m [2][2]int
+	for _, resp := range r.Responses {
+		row := 1
+		if resp.Pair.Related {
+			row = 0
+		}
+		col := 1
+		if resp.SaidRelated {
+			col = 0
+		}
+		m[row][col]++
+	}
+	return m
+}
+
+// PrivacyHarmingErrorRate is the fraction of same-set responses that
+// wrongly said "unrelated" (paper: 36.8%).
+func (r *Results) PrivacyHarmingErrorRate() float64 {
+	var related, harming int
+	for _, resp := range r.Responses {
+		if !resp.Pair.Related {
+			continue
+		}
+		related++
+		if resp.PrivacyHarming() {
+			harming++
+		}
+	}
+	if related == 0 {
+		return 0
+	}
+	return float64(harming) / float64(related)
+}
+
+// CorrectRejectionRate is the fraction of unrelated-pair responses that
+// said "unrelated" (paper: 93.7%).
+func (r *Results) CorrectRejectionRate() float64 {
+	var unrelated, correct int
+	for _, resp := range r.Responses {
+		if resp.Pair.Related {
+			continue
+		}
+		unrelated++
+		if !resp.SaidRelated {
+			correct++
+		}
+	}
+	if unrelated == 0 {
+		return 0
+	}
+	return float64(correct) / float64(unrelated)
+}
+
+// ParticipantsWithHarmingError counts participants who made at least one
+// privacy-harming evaluation (paper: 22 of 30, 73.3%).
+func (r *Results) ParticipantsWithHarmingError() (with, total int) {
+	seen := map[int]bool{}
+	for _, resp := range r.Responses {
+		if resp.PrivacyHarming() {
+			seen[resp.Participant] = true
+		}
+	}
+	return len(seen), r.Participants
+}
+
+// Timings returns the dwell-time samples of a group split by response —
+// the Figure 2 series for RWSSameSet.
+func (r *Results) Timings(g Group) (related, unrelated []float64) {
+	for _, resp := range r.Responses {
+		if resp.Pair.Group != g {
+			continue
+		}
+		if resp.SaidRelated {
+			related = append(related, resp.Seconds)
+		} else {
+			unrelated = append(unrelated, resp.Seconds)
+		}
+	}
+	return related, unrelated
+}
+
+// GroupTimings returns all dwell times for a group regardless of response
+// (for the paper's pair-wise cross-group KS tests).
+func (r *Results) GroupTimings(g Group) []float64 {
+	var out []float64
+	for _, resp := range r.Responses {
+		if resp.Pair.Group == g {
+			out = append(out, resp.Seconds)
+		}
+	}
+	return out
+}
+
+// FactorCounts tallies Table 2: for each factor, how many questionnaire
+// respondents used it when judging related, and unrelated.
+func (r *Results) FactorCounts() map[Factor][2]int {
+	out := make(map[Factor][2]int, len(Factors()))
+	for _, fr := range r.Factors {
+		for _, f := range Factors() {
+			c := out[f]
+			if fr.Related[f] {
+				c[0]++
+			}
+			if fr.Unrelated[f] {
+				c[1]++
+			}
+			out[f] = c
+		}
+	}
+	return out
+}

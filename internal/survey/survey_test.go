@@ -1,0 +1,332 @@
+package survey
+
+import (
+	"math/rand"
+	"testing"
+
+	"rwskit/internal/dataset"
+	"rwskit/internal/forcepoint"
+	"rwskit/internal/psl"
+	"rwskit/internal/stats"
+)
+
+// studyEnv builds the full study environment from the embedded dataset.
+func studyEnv(t testing.TB, seed int64) (*PairSet, *Evaluator) {
+	t.Helper()
+	list, err := dataset.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := dataset.CategoryDB()
+	rng := rand.New(rand.NewSource(seed))
+	tops, topDB := dataset.TopSites(rng)
+	// Merge the top-site categories into a combined DB for the evaluator.
+	combined := forcepoint.NewDB()
+	for _, d := range db.Domains() {
+		combined.Set(d, db.Lookup(d))
+	}
+	var topEntries []TopSite
+	for _, s := range tops {
+		combined.Set(s.Domain, topDB.Lookup(s.Domain))
+		topEntries = append(topEntries, TopSite{Domain: s.Domain, Category: topDB.Lookup(s.Domain)})
+	}
+	pairs, err := GeneratePairs(PairConfig{
+		List:       list,
+		Eligible:   EligibleSites(),
+		TopSites:   topEntries,
+		Categories: combined,
+		RNG:        rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs, NewEvaluator(list, psl.Default(), combined)
+}
+
+func runStudy(t testing.TB, seed int64) *Results {
+	t.Helper()
+	pairs, ev := studyEnv(t, seed)
+	res, err := Run(StudyConfig{Seed: seed, Pairs: pairs, Evaluator: ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPairPoolMatchesPaper: 31 eligible sites; 39 same-set, 426 other-set,
+// 141 same-category, 216 other-category pairs; 822 total.
+func TestPairPoolMatchesPaper(t *testing.T) {
+	pairs, _ := studyEnv(t, 1)
+	if len(EligibleSites()) != 31 {
+		t.Errorf("eligible sites = %d, want 31", len(EligibleSites()))
+	}
+	wants := map[Group]int{
+		RWSSameSet:           39,
+		RWSOtherSet:          426,
+		TopSiteSameCategory:  141,
+		TopSiteOtherCategory: 216,
+	}
+	total := 0
+	for g, want := range wants {
+		got := len(pairs.ByGroup[g])
+		total += got
+		if got != want {
+			t.Errorf("%v pairs = %d, want %d", g, got, want)
+		}
+	}
+	if total != 822 || len(pairs.Pairs) != 822 {
+		t.Errorf("total pairs = %d/%d, want 822", total, len(pairs.Pairs))
+	}
+	// Ground truth flags must match group semantics.
+	for _, p := range pairs.Pairs {
+		if p.Related != (p.Group == RWSSameSet) {
+			t.Fatalf("pair %v has inconsistent Related flag", p)
+		}
+	}
+}
+
+// TestTable1Anchors: same-set error rate ~36.8% (band 30-44%); correct
+// rejection elsewhere ~93.7% (band 90-97.5%); ~430 responses.
+func TestTable1Anchors(t *testing.T) {
+	res := runStudy(t, 2024)
+	if n := len(res.Responses); n < 380 || n > 480 {
+		t.Errorf("responses = %d, want ~430", n)
+	}
+	if r := res.PrivacyHarmingErrorRate(); r < 0.30 || r > 0.44 {
+		t.Errorf("privacy-harming error rate = %.3f, want ~0.368", r)
+	}
+	if r := res.CorrectRejectionRate(); r < 0.90 || r > 0.975 {
+		t.Errorf("correct rejection rate = %.3f, want ~0.937", r)
+	}
+	with, total := res.ParticipantsWithHarmingError()
+	if total != 30 {
+		t.Fatalf("participants = %d", total)
+	}
+	frac := float64(with) / float64(total)
+	if frac < 0.55 || frac > 0.95 {
+		t.Errorf("participants with >=1 harming error = %d/%d (%.2f), want ~0.733", with, total, frac)
+	}
+}
+
+// TestTable1MeanTimes: the (group, response) mean dwell times land near
+// Table 1's values.
+func TestTable1MeanTimes(t *testing.T) {
+	res := runStudy(t, 2024)
+	rows := res.Table1()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	type band struct{ lo, hi float64 }
+	wantRel := map[Group]band{
+		RWSSameSet:           {23, 34}, // 28.1
+		RWSOtherSet:          {17, 34}, // 25.5 (few samples: wide band)
+		TopSiteSameCategory:  {22, 45}, // 32.6
+		TopSiteOtherCategory: {20, 45}, // 31.5
+	}
+	wantUnrel := map[Group]band{
+		RWSSameSet:           {33, 47}, // 39.4
+		RWSOtherSet:          {28, 38}, // 32.5
+		TopSiteSameCategory:  {28, 39}, // 33.2
+		TopSiteOtherCategory: {22, 31}, // 26.5
+	}
+	for _, row := range rows {
+		if row.Related > 0 {
+			b := wantRel[row.Group]
+			if row.MeanRelatedSec < b.lo || row.MeanRelatedSec > b.hi {
+				t.Errorf("%v mean related sec = %.1f, want [%v, %v]", row.Group, row.MeanRelatedSec, b.lo, b.hi)
+			}
+		}
+		if row.Unrelated > 0 {
+			b := wantUnrel[row.Group]
+			if row.MeanUnrelatedSec < b.lo || row.MeanUnrelatedSec > b.hi {
+				t.Errorf("%v mean unrelated sec = %.1f, want [%v, %v]", row.Group, row.MeanUnrelatedSec, b.lo, b.hi)
+			}
+		}
+	}
+	// Doubt takes longer: same-set unrelated answers slower than related.
+	if rows[0].MeanUnrelatedSec <= rows[0].MeanRelatedSec {
+		t.Errorf("same-set unrelated (%.1f) should be slower than related (%.1f)",
+			rows[0].MeanUnrelatedSec, rows[0].MeanRelatedSec)
+	}
+}
+
+// TestFigure2KS: the same-set related-vs-unrelated timing split is
+// statistically significant, as in the paper.
+func TestFigure2KS(t *testing.T) {
+	res := runStudy(t, 2024)
+	rel, unrel := res.Timings(RWSSameSet)
+	if len(rel) < 20 || len(unrel) < 10 {
+		t.Fatalf("samples = %d/%d", len(rel), len(unrel))
+	}
+	ks, err := stats.KolmogorovSmirnov(rel, unrel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ks.Significant(0.05) {
+		t.Errorf("same-set timing split not significant: %v", ks)
+	}
+}
+
+// TestCrossGroupKSMostlyNotSignificant mirrors the paper's finding of no
+// significant pair-wise differences across group timing distributions.
+// Sampling noise can make one comparison cross the line, so require at
+// least 4 of the 6 comparisons to be non-significant.
+func TestCrossGroupKSMostlyNotSignificant(t *testing.T) {
+	res := runStudy(t, 2024)
+	groups := Groups()
+	notSig := 0
+	total := 0
+	for i := 0; i < len(groups); i++ {
+		for j := i + 1; j < len(groups); j++ {
+			a := res.GroupTimings(groups[i])
+			b := res.GroupTimings(groups[j])
+			ks, err := stats.KolmogorovSmirnov(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if !ks.Significant(0.05) {
+				notSig++
+			}
+		}
+	}
+	if notSig < 4 {
+		t.Errorf("only %d/%d cross-group comparisons non-significant", notSig, total)
+	}
+}
+
+// TestTable2Factors: branding is the most-used factor for "related"
+// judgements; counts stay near Table 2's proportions.
+func TestTable2Factors(t *testing.T) {
+	res := runStudy(t, 2024)
+	n := len(res.Factors)
+	if n < 15 || n > 27 {
+		t.Errorf("questionnaire respondents = %d, want ~21", n)
+	}
+	counts := res.FactorCounts()
+	brand := counts[FactorBranding][0]
+	for f, c := range counts {
+		if f == FactorBranding {
+			continue
+		}
+		if c[0] > brand+2 {
+			t.Errorf("factor %q (%d) exceeds branding (%d) for related", f, c[0], brand)
+		}
+	}
+	other := counts[FactorOther]
+	if other[0] >= brand {
+		t.Errorf("Other (%d) should trail branding (%d)", other[0], brand)
+	}
+	for f, c := range counts {
+		if c[0] > n || c[1] > n {
+			t.Errorf("factor %q counts %v exceed respondents %d", f, c, n)
+		}
+	}
+}
+
+// TestEvidenceSemantics sanity-checks the evaluator.
+func TestEvidenceSemantics(t *testing.T) {
+	_, ev := studyEnv(t, 3)
+	// Identical SLD, same set: strong domain evidence.
+	e := ev.Evidence(Pair{A: "poalim.site", B: "poalim.xyz", Group: RWSSameSet, Related: true})
+	if e.DomainSimilarity != 1 {
+		t.Errorf("poalim domain similarity = %v, want 1", e.DomainSimilarity)
+	}
+	if e.BrandOverlap <= 0 {
+		t.Errorf("same-org pair should have brand overlap, got %v", e.BrandOverlap)
+	}
+	// Cross-set pair: no brand overlap ever.
+	e = ev.Evidence(Pair{A: "bild.de", B: "ya.ru", Group: RWSOtherSet})
+	if e.BrandOverlap != 0 {
+		t.Errorf("cross-set brand overlap = %v, want 0", e.BrandOverlap)
+	}
+	// autobild vs bild: noticeable domain similarity.
+	e = ev.Evidence(Pair{A: "bild.de", B: "autobild.de", Group: RWSSameSet, Related: true})
+	if e.DomainSimilarity <= 0.3 {
+		t.Errorf("autobild/bild similarity = %v, want > 0.3", e.DomainSimilarity)
+	}
+}
+
+// TestJudgeMonotonicity: more evidence means more "related" judgements.
+func TestJudgeMonotonicity(t *testing.T) {
+	params := DefaultParams()
+	count := func(ev Evidence) int {
+		rng := rand.New(rand.NewSource(1))
+		n := 0
+		for i := 0; i < 2000; i++ {
+			if Judge(rng, params, ev) {
+				n++
+			}
+		}
+		return n
+	}
+	none := count(Evidence{})
+	strong := count(Evidence{BrandOverlap: 0.9, DomainSimilarity: 0.8, SameCategory: true})
+	mid := count(Evidence{BrandOverlap: 0.4})
+	if !(none < mid && mid < strong) {
+		t.Errorf("judgement not monotone: none=%d mid=%d strong=%d", none, mid, strong)
+	}
+	if none > 300 {
+		t.Errorf("baseline related rate too high: %d/2000", none)
+	}
+	if strong < 1800 {
+		t.Errorf("strong-evidence related rate too low: %d/2000", strong)
+	}
+}
+
+// TestStudyDeterminism: same seed, same results.
+func TestStudyDeterminism(t *testing.T) {
+	a := runStudy(t, 7)
+	b := runStudy(t, 7)
+	if len(a.Responses) != len(b.Responses) {
+		t.Fatalf("response counts differ: %d vs %d", len(a.Responses), len(b.Responses))
+	}
+	for i := range a.Responses {
+		if a.Responses[i] != b.Responses[i] {
+			t.Fatalf("response %d differs", i)
+		}
+	}
+}
+
+// TestStabilityAcrossSeeds: the headline error rate stays in band across
+// seeds — the finding is a property of the signal distribution, not of a
+// lucky seed.
+func TestStabilityAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed stability check")
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		res := runStudy(t, seed)
+		r := res.PrivacyHarmingErrorRate()
+		if r < 0.25 || r > 0.50 {
+			t.Errorf("seed %d: harming error rate = %.3f out of band", seed, r)
+		}
+		cr := res.CorrectRejectionRate()
+		if cr < 0.88 {
+			t.Errorf("seed %d: correct rejection = %.3f out of band", seed, cr)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(StudyConfig{}); err == nil {
+		t.Error("Run without pairs should fail")
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	if RWSSameSet.String() != "RWS (same set)" || Group(9).String() != "group(9)" {
+		t.Error("group strings wrong")
+	}
+}
+
+func BenchmarkStudyRun(b *testing.B) {
+	pairs, ev := studyEnv(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(StudyConfig{Seed: int64(i), Pairs: pairs, Evaluator: ev}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package textplot renders the reproduction's tables and figures as
+// plain-text artifacts: aligned tables (Tables 1-3), CDF step plots
+// (Figures 2, 3, 4, 6), stacked time series (Figures 5, 7, 8, 9), and the
+// confusion-matrix heatmap (Figure 1).
+//
+// Output is deterministic ASCII so experiment results can be diffed in CI
+// and embedded in EXPERIMENTS.md.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table renders rows as an aligned text table with a header row and a rule
+// under the header. Cells are left-aligned; the table caption, if non-empty,
+// is printed above.
+func Table(caption string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var b strings.Builder
+	if caption != "" {
+		b.WriteString(caption)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	r := []rune(s)
+	if len(r) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(r))
+}
+
+// Series is one named line in a CDF plot.
+type Series struct {
+	Name string
+	// Xs are sample values; the plot computes the empirical CDF itself.
+	Xs []float64
+}
+
+// CDF renders empirical CDFs of the given series on a shared axis as an
+// ASCII step plot of the given width and height (characters). Each series
+// is drawn with its own glyph; a legend follows the plot.
+func CDF(caption string, width, height int, series ...Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Global x-range across series.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	anyData := false
+	for _, s := range series {
+		for _, x := range s.Xs {
+			anyData = true
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+	}
+	if !anyData {
+		return caption + "\n(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		if len(s.Xs) == 0 {
+			continue
+		}
+		sorted := append([]float64(nil), s.Xs...)
+		sort.Float64s(sorted)
+		g := glyphs[si%len(glyphs)]
+		for col := 0; col < width; col++ {
+			x := lo + (hi-lo)*float64(col)/float64(width-1)
+			// F(x): fraction of samples <= x.
+			idx := sort.Search(len(sorted), func(i int) bool { return sorted[i] > x })
+			f := float64(idx) / float64(len(sorted))
+			row := int(math.Round((1 - f) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	if caption != "" {
+		b.WriteString(caption)
+		b.WriteByte('\n')
+	}
+	for i, row := range grid {
+		f := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", f, string(row))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "      %-*.4g%*.4g\n", width/2+1, lo, width/2+1, hi)
+	for si, s := range series {
+		fmt.Fprintf(&b, "      %c %s (n=%d)\n", glyphs[si%len(glyphs)], s.Name, len(s.Xs))
+	}
+	return b.String()
+}
+
+// TimePoint is one (label, values-per-series) sample of a time series, e.g.
+// one month of Figure 7.
+type TimePoint struct {
+	Label  string
+	Values []float64
+}
+
+// TimeSeries renders one or more aligned series over labelled time steps as
+// rows of numbers — the layout used for the composition-over-time figures,
+// where exact counts matter more than line art.
+func TimeSeries(caption string, names []string, points []TimePoint) string {
+	header := append([]string{"period"}, names...)
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		row := []string{p.Label}
+		for i := range names {
+			v := 0.0
+			if i < len(p.Values) {
+				v = p.Values[i]
+			}
+			row = append(row, trimFloat(v))
+		}
+		rows = append(rows, row)
+	}
+	return Table(caption, header, rows)
+}
+
+// Sparkline renders values as a compact unicode-free bar string using
+// ASCII shade characters, useful for quick trends in logs.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	glyphs := []byte(" .:-=+*#%@")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	out := make([]byte, len(values))
+	for i, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(glyphs)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(glyphs) {
+			idx = len(glyphs) - 1
+		}
+		out[i] = glyphs[idx]
+	}
+	return string(out)
+}
+
+// ConfusionMatrix renders a 2x2 confusion matrix in the layout of Figure 1:
+// rows are expected responses, columns are actual responses, and each cell
+// shows the count with its within-row percentage, plus an ASCII intensity
+// mark mirroring the paper's heat-map colouring.
+func ConfusionMatrix(caption string, rowLabels, colLabels [2]string, counts [2][2]int) string {
+	var b strings.Builder
+	if caption != "" {
+		b.WriteString(caption)
+		b.WriteByte('\n')
+	}
+	cell := func(r, c int) string {
+		total := counts[r][0] + counts[r][1]
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(counts[r][c]) / float64(total)
+		}
+		return fmt.Sprintf("%d (%.1f%%) %s", counts[r][c], pct, intensity(pct))
+	}
+	rows := [][]string{
+		{rowLabels[0], cell(0, 0), cell(0, 1)},
+		{rowLabels[1], cell(1, 0), cell(1, 1)},
+	}
+	header := []string{"expected \\ actual", colLabels[0], colLabels[1]}
+	b.WriteString(Table("", header, rows))
+	return b.String()
+}
+
+func intensity(pct float64) string {
+	switch {
+	case pct >= 80:
+		return "[####]"
+	case pct >= 60:
+		return "[### ]"
+	case pct >= 40:
+		return "[##  ]"
+	case pct >= 20:
+		return "[#   ]"
+	default:
+		return "[    ]"
+	}
+}
+
+// CumulativeSteps renders monotone cumulative counts per series over
+// labelled steps (Figure 5's layout).
+func CumulativeSteps(caption string, names []string, points []TimePoint) string {
+	cum := make([]float64, len(names))
+	outPoints := make([]TimePoint, 0, len(points))
+	for _, p := range points {
+		for i := range names {
+			if i < len(p.Values) {
+				cum[i] += p.Values[i]
+			}
+		}
+		outPoints = append(outPoints, TimePoint{Label: p.Label, Values: append([]float64(nil), cum...)})
+	}
+	return TimeSeries(caption, names, outPoints)
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}

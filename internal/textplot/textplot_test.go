@@ -1,0 +1,177 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	out := Table("Caption", []string{"a", "long-header"}, [][]string{
+		{"x", "1"},
+		{"yyyy", "22"},
+	})
+	if !strings.HasPrefix(out, "Caption\n") {
+		t.Errorf("missing caption:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // caption + header + rule + 2 rows
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	// All rows should align: same prefix width for the second column.
+	col2 := strings.Index(lines[1], "long-header")
+	if col2 < 0 {
+		t.Fatalf("header missing: %q", lines[1])
+	}
+	for _, ln := range lines[2:] {
+		if len(ln) < col2 {
+			t.Errorf("row too short for alignment: %q", ln)
+		}
+	}
+}
+
+func TestTableNoCaption(t *testing.T) {
+	out := Table("", []string{"h"}, nil)
+	if strings.HasPrefix(out, "\n") {
+		t.Error("empty caption should not add a leading newline")
+	}
+	if !strings.Contains(out, "h\n-\n") {
+		t.Errorf("unexpected layout:\n%q", out)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	out := CDF("Figure X", 40, 10,
+		Series{Name: "fast", Xs: []float64{1, 2, 3, 4, 5}},
+		Series{Name: "slow", Xs: []float64{10, 20, 30, 40, 50}},
+	)
+	if !strings.Contains(out, "Figure X") {
+		t.Error("missing caption")
+	}
+	if !strings.Contains(out, "* fast (n=5)") || !strings.Contains(out, "o slow (n=5)") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing plot glyphs")
+	}
+	// Axis labels: 1.00 at top, 0.00 at bottom.
+	if !strings.Contains(out, " 1.00 |") || !strings.Contains(out, " 0.00 |") {
+		t.Errorf("missing axis labels:\n%s", out)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	out := CDF("Empty", 40, 10, Series{Name: "none"})
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty series should render (no data):\n%s", out)
+	}
+}
+
+func TestCDFDegenerate(t *testing.T) {
+	// Single constant value: range is artificially widened; should not
+	// panic or divide by zero.
+	out := CDF("Const", 20, 5, Series{Name: "c", Xs: []float64{7, 7, 7}})
+	if !strings.Contains(out, "c (n=3)") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+}
+
+func TestCDFMinimumDimensions(t *testing.T) {
+	out := CDF("tiny", 1, 1, Series{Name: "s", Xs: []float64{1, 2}})
+	if len(out) == 0 {
+		t.Error("empty output")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	out := TimeSeries("Figure 7", []string{"service", "associated"}, []TimePoint{
+		{Label: "2023-01", Values: []float64{1, 5}},
+		{Label: "2023-02", Values: []float64{2, 9.5}},
+		{Label: "2023-03", Values: []float64{2}}, // missing second value -> 0
+	})
+	if !strings.Contains(out, "2023-01") || !strings.Contains(out, "9.50") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // caption + header + rule + 3 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestCumulativeSteps(t *testing.T) {
+	out := CumulativeSteps("Figure 5", []string{"approved", "closed"}, []TimePoint{
+		{Label: "m1", Values: []float64{1, 2}},
+		{Label: "m2", Values: []float64{3, 4}},
+	})
+	// Second row must be cumulative: 4 and 6.
+	if !strings.Contains(out, "4") || !strings.Contains(out, "6") {
+		t.Errorf("not cumulative:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "4") || !strings.Contains(last, "6") {
+		t.Errorf("last row should hold cumulative totals: %q", last)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	// Figure 1's actual numbers.
+	out := ConfusionMatrix("Figure 1",
+		[2]string{"Related", "Unrelated"},
+		[2]string{"Related", "Unrelated"},
+		[2][2]int{{72, 42}, {20, 296}},
+	)
+	for _, want := range []string{"72 (63.2%)", "42 (36.8%)", "20 (6.3%)", "296 (93.7%)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "[####]") {
+		t.Error("missing high-intensity cell")
+	}
+}
+
+func TestConfusionMatrixZeroRow(t *testing.T) {
+	out := ConfusionMatrix("z", [2]string{"a", "b"}, [2]string{"a", "b"}, [2][2]int{})
+	if !strings.Contains(out, "0 (0.0%)") {
+		t.Errorf("zero rows should render 0%%:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5})
+	if len(s) != 6 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0] != ' ' || s[5] != '@' {
+		t.Errorf("sparkline = %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("nil input should be empty")
+	}
+	flat := Sparkline([]float64{2, 2, 2})
+	if flat != "   " {
+		t.Errorf("flat = %q", flat)
+	}
+}
+
+func TestIntensityBuckets(t *testing.T) {
+	cases := map[float64]string{
+		95: "[####]", 70: "[### ]", 50: "[##  ]", 30: "[#   ]", 5: "[    ]",
+	}
+	for pct, want := range cases {
+		if got := intensity(pct); got != want {
+			t.Errorf("intensity(%v) = %q, want %q", pct, got, want)
+		}
+	}
+}
+
+func BenchmarkCDFRender(b *testing.B) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i % 97)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CDF("bench", 64, 16, Series{Name: "s", Xs: xs})
+	}
+}

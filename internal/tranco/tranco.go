@@ -1,0 +1,165 @@
+// Package tranco models a Tranco-style research top-sites ranking
+// (Le Pochat et al., "Tranco: A Research-Oriented Top Sites Ranking
+// Hardened Against Manipulation"). The paper's user study draws 200 sites
+// from the Tranco Top 10K, filtered by Forcepoint category, to build its
+// "Top Site (same category)" and "Top Site (other category)" pair groups.
+//
+// The real list is fetched from tranco-list.eu; this package provides the
+// same artifact shape offline: the standard "rank,domain" CSV codec, rank
+// lookups, and a seeded synthetic generator for tests and simulations.
+package tranco
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one ranked domain.
+type Entry struct {
+	Rank   int
+	Domain string
+}
+
+// List is an immutable ranking.
+type List struct {
+	entries  []Entry
+	byDomain map[string]int // domain -> rank
+}
+
+// Errors returned by New and ParseCSV.
+var (
+	ErrBadRank     = errors.New("tranco: ranks must be 1..N in order")
+	ErrDupDomain   = errors.New("tranco: duplicate domain")
+	ErrEmptyDomain = errors.New("tranco: empty domain")
+)
+
+// New builds a list from entries, which must be ranked 1..N in ascending
+// order with unique, non-empty domains — the invariants of the published
+// CSV files.
+func New(entries []Entry) (*List, error) {
+	l := &List{byDomain: make(map[string]int, len(entries))}
+	for i, e := range entries {
+		if e.Rank != i+1 {
+			return nil, fmt.Errorf("%w: entry %d has rank %d", ErrBadRank, i, e.Rank)
+		}
+		d := strings.ToLower(strings.TrimSpace(e.Domain))
+		if d == "" {
+			return nil, fmt.Errorf("%w at rank %d", ErrEmptyDomain, e.Rank)
+		}
+		if _, dup := l.byDomain[d]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrDupDomain, d)
+		}
+		l.byDomain[d] = e.Rank
+		l.entries = append(l.entries, Entry{Rank: e.Rank, Domain: d})
+	}
+	return l, nil
+}
+
+// ParseCSV reads the standard Tranco "rank,domain" CSV (no header).
+func ParseCSV(r io.Reader) (*List, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	var entries []Entry
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tranco: reading CSV: %w", err)
+		}
+		rank, err := strconv.Atoi(strings.TrimSpace(rec[0]))
+		if err != nil {
+			return nil, fmt.Errorf("tranco: bad rank %q: %w", rec[0], err)
+		}
+		entries = append(entries, Entry{Rank: rank, Domain: rec[1]})
+	}
+	return New(entries)
+}
+
+// WriteCSV writes the list in the standard "rank,domain" format.
+func (l *List) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, e := range l.entries {
+		if err := cw.Write([]string{strconv.Itoa(e.Rank), e.Domain}); err != nil {
+			return fmt.Errorf("tranco: writing CSV: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Len returns the number of ranked domains.
+func (l *List) Len() int { return len(l.entries) }
+
+// Top returns the k highest-ranked entries (fewer if the list is shorter).
+func (l *List) Top(k int) []Entry {
+	if k > len(l.entries) {
+		k = len(l.entries)
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make([]Entry, k)
+	copy(out, l.entries[:k])
+	return out
+}
+
+// Rank returns the rank of domain, if present.
+func (l *List) Rank(domain string) (int, bool) {
+	r, ok := l.byDomain[strings.ToLower(strings.TrimSpace(domain))]
+	return r, ok
+}
+
+// Contains reports whether domain is ranked.
+func (l *List) Contains(domain string) bool {
+	_, ok := l.Rank(domain)
+	return ok
+}
+
+// Domains returns all domains in rank order.
+func (l *List) Domains() []string {
+	out := make([]string, len(l.entries))
+	for i, e := range l.entries {
+		out[i] = e.Domain
+	}
+	return out
+}
+
+// Sample draws k distinct domains from the list uniformly at random using
+// rng, mirroring the paper's "200 sites, drawn randomly from the Tranco
+// Top 10K". It returns fewer than k only if the list is shorter than k.
+func (l *List) Sample(rng *rand.Rand, k int) []string {
+	n := len(l.entries)
+	if k >= n {
+		return l.Domains()
+	}
+	perm := rng.Perm(n)[:k]
+	sort.Ints(perm)
+	out := make([]string, k)
+	for i, idx := range perm {
+		out[i] = l.entries[idx].Domain
+	}
+	return out
+}
+
+// Generate builds a synthetic ranking over the given domains: the order of
+// domains is shuffled deterministically by rng (rank is positional). Use
+// alongside a forcepoint.DB to emulate the categorised Top-10K substrate.
+func Generate(rng *rand.Rand, domains []string) (*List, error) {
+	shuffled := append([]string(nil), domains...)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	entries := make([]Entry, len(shuffled))
+	for i, d := range shuffled {
+		entries[i] = Entry{Rank: i + 1, Domain: d}
+	}
+	return New(entries)
+}

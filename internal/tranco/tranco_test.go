@@ -1,0 +1,196 @@
+package tranco
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mustList(t *testing.T, domains ...string) *List {
+	t.Helper()
+	entries := make([]Entry, len(domains))
+	for i, d := range domains {
+		entries[i] = Entry{Rank: i + 1, Domain: d}
+	}
+	l, err := New(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]Entry{{Rank: 2, Domain: "a.com"}}); !errors.Is(err, ErrBadRank) {
+		t.Errorf("err = %v, want ErrBadRank", err)
+	}
+	if _, err := New([]Entry{{Rank: 1, Domain: "a.com"}, {Rank: 2, Domain: "A.com"}}); !errors.Is(err, ErrDupDomain) {
+		t.Errorf("err = %v, want ErrDupDomain", err)
+	}
+	if _, err := New([]Entry{{Rank: 1, Domain: "  "}}); !errors.Is(err, ErrEmptyDomain) {
+		t.Errorf("err = %v, want ErrEmptyDomain", err)
+	}
+}
+
+func TestRankAndTop(t *testing.T) {
+	l := mustList(t, "one.com", "two.com", "three.com")
+	if r, ok := l.Rank("TWO.com"); !ok || r != 2 {
+		t.Errorf("Rank(two.com) = %d/%v", r, ok)
+	}
+	if _, ok := l.Rank("absent.com"); ok {
+		t.Error("absent domain should not rank")
+	}
+	top := l.Top(2)
+	if len(top) != 2 || top[0].Domain != "one.com" || top[1].Rank != 2 {
+		t.Errorf("Top(2) = %v", top)
+	}
+	if len(l.Top(99)) != 3 {
+		t.Error("Top beyond length should clamp")
+	}
+	if len(l.Top(-1)) != 0 {
+		t.Error("Top(-1) should be empty")
+	}
+	if !l.Contains("three.com") || l.Contains("nope.com") {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := mustList(t, "alpha.com", "beta.org", "gamma.net")
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "1,alpha.com\n") {
+		t.Errorf("CSV = %q", got)
+	}
+	l2, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 3 {
+		t.Errorf("Len = %d", l2.Len())
+	}
+	if r, _ := l2.Rank("gamma.net"); r != 3 {
+		t.Errorf("gamma.net rank = %d", r)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	if _, err := ParseCSV(strings.NewReader("x,a.com\n")); err == nil {
+		t.Error("non-numeric rank should fail")
+	}
+	if _, err := ParseCSV(strings.NewReader("1,a.com,extra\n")); err == nil {
+		t.Error("wrong field count should fail")
+	}
+	if _, err := ParseCSV(strings.NewReader("5,a.com\n")); err == nil {
+		t.Error("rank not starting at 1 should fail")
+	}
+	empty, err := ParseCSV(strings.NewReader(""))
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("empty CSV: %v len=%d", err, empty.Len())
+	}
+}
+
+func TestSample(t *testing.T) {
+	domains := make([]string, 50)
+	for i := range domains {
+		domains[i] = strings.Repeat("a", i%5+1) + "-" + string(rune('a'+i%26)) + ".com"
+	}
+	// Deduplicate construction noise.
+	seen := map[string]bool{}
+	var uniq []string
+	for _, d := range domains {
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	l := mustList(t, uniq...)
+	rng := rand.New(rand.NewSource(4))
+	s := l.Sample(rng, 10)
+	if len(s) != 10 {
+		t.Fatalf("Sample = %d domains", len(s))
+	}
+	dup := map[string]bool{}
+	for _, d := range s {
+		if dup[d] {
+			t.Fatalf("duplicate in sample: %q", d)
+		}
+		dup[d] = true
+		if !l.Contains(d) {
+			t.Fatalf("sampled domain not in list: %q", d)
+		}
+	}
+	all := l.Sample(rng, 10000)
+	if len(all) != l.Len() {
+		t.Errorf("oversized sample = %d, want %d", len(all), l.Len())
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	l := mustList(t, "a.com", "b.com", "c.com", "d.com", "e.com")
+	s1 := l.Sample(rand.New(rand.NewSource(7)), 3)
+	s2 := l.Sample(rand.New(rand.NewSource(7)), 3)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("sampling not deterministic: %v vs %v", s1, s2)
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	domains := []string{"a.com", "b.com", "c.com", "d.com"}
+	l, err := Generate(rand.New(rand.NewSource(3)), domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	for _, d := range domains {
+		if !l.Contains(d) {
+			t.Errorf("missing %q", d)
+		}
+	}
+	// Deterministic given the seed.
+	l2, err := Generate(rand.New(rand.NewSource(3)), domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range l.Top(4) {
+		if l2.Top(4)[i] != e {
+			t.Fatal("Generate not deterministic")
+		}
+	}
+}
+
+func BenchmarkRankLookup(b *testing.B) {
+	entries := make([]Entry, 10000)
+	for i := range entries {
+		entries[i] = Entry{Rank: i + 1, Domain: "site" + strings.Repeat("x", i%7) + "-" + itoa(i) + ".com"}
+	}
+	l, err := New(entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Rank("site-5000.com")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var digits []byte
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,272 @@
+// Package validate implements the automated set-level technical checks the
+// Related Website Sets GitHub bot runs against proposed sets, per the RWS
+// Submission Guidelines. Each check failure maps onto one of the bot
+// comment categories counted in Table 3 of "A First Look at Related
+// Website Sets" (IMC 2024):
+//
+//	Unable to fetch .well-known JSON file        202
+//	Associated site isn't an eTLD+1               65
+//	Service site without X-Robots-Tag header      19
+//	PR set does not match .well-known JSON file   12
+//	Alias site isn't an eTLD+1                    10
+//	Primary site isn't an eTLD+1                   9
+//	Other                                          8
+//	No rationale for one or more set members       5
+//
+// The validator runs structural checks first (domains, eTLD+1 rules,
+// rationale, ccTLD variants, disjointness with the existing list) and then
+// the network checks (.well-known fetch/match, service-site X-Robots-Tag)
+// against a live web reachable through the supplied fetcher — in this
+// repository, the synthetic web in rwskit/internal/sitegen.
+package validate
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"rwskit/internal/core"
+	"rwskit/internal/domain"
+	"rwskit/internal/psl"
+	"rwskit/internal/wellknown"
+)
+
+// Code is a bot-comment category. Values are the exact strings the paper's
+// Table 3 reports, so counting issues by Code regenerates the table.
+type Code string
+
+// Bot comment categories from Table 3.
+const (
+	CodeWellKnownFetch    Code = "Unable to fetch .well-known JSON file"
+	CodeAssociatedNotReg  Code = "Associated site isn't an eTLD+1"
+	CodeServiceNoRobots   Code = "Service site without X-Robots-Tag header"
+	CodeWellKnownMismatch Code = "PR set does not match .well-known JSON file"
+	CodeAliasNotReg       Code = "Alias site isn't an eTLD+1"
+	CodePrimaryNotReg     Code = "Primary site isn't an eTLD+1"
+	CodeOther             Code = "Other"
+	CodeNoRationale       Code = "No rationale for one or more set members"
+)
+
+// Issue is one validation failure. The bot posts one comment line per
+// issue; some checks emit per-site issues, so a single broken set can
+// produce many issues (the paper notes this one-to-many mapping).
+type Issue struct {
+	Code   Code
+	Site   string
+	Detail string
+}
+
+// String renders the issue as a bot comment line.
+func (i Issue) String() string {
+	if i.Site == "" {
+		return fmt.Sprintf("%s: %s", i.Code, i.Detail)
+	}
+	return fmt.Sprintf("%s (%s): %s", i.Code, i.Site, i.Detail)
+}
+
+// Report is the outcome of validating one proposed set.
+type Report struct {
+	Issues []Issue
+}
+
+// Passed reports whether the set cleared every check.
+func (r Report) Passed() bool { return len(r.Issues) == 0 }
+
+// Count returns the number of issues with the given code.
+func (r Report) Count(code Code) int {
+	n := 0
+	for _, i := range r.Issues {
+		if i.Code == code {
+			n++
+		}
+	}
+	return n
+}
+
+// Codes returns the distinct issue codes present, sorted.
+func (r Report) Codes() []Code {
+	seen := map[Code]bool{}
+	for _, i := range r.Issues {
+		seen[i.Code] = true
+	}
+	out := make([]Code, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HeaderFetcher retrieves the response headers and status of
+// https://<host><path>, for checks that inspect headers rather than bodies
+// (the service-site X-Robots-Tag check).
+type HeaderFetcher func(ctx context.Context, host, path string) (http.Header, int, error)
+
+// Validator runs the submission checks.
+type Validator struct {
+	// PSL is the public suffix list used for eTLD+1 checks. Required.
+	PSL *psl.List
+	// Fetch retrieves member pages and well-known files. If nil, the
+	// network checks are skipped (structural validation only).
+	Fetch wellknown.Fetcher
+	// HeaderFetch retrieves response headers for the X-Robots-Tag check.
+	// If nil, that check is skipped.
+	HeaderFetch HeaderFetcher
+	// Existing is the current published list; the proposed set must not
+	// overlap any existing set (other than replacing the one with the same
+	// primary). Optional.
+	Existing *core.List
+	// RequireRationale controls the rationale check (on for the real bot).
+	RequireRationale bool
+}
+
+// New returns a Validator with the standard configuration.
+func New(list *psl.List, fetch wellknown.Fetcher, existing *core.List) *Validator {
+	return &Validator{PSL: list, Fetch: fetch, Existing: existing, RequireRationale: true}
+}
+
+// ValidateSet runs all checks against the proposed set and returns the
+// report. Structural issues do not stop the network checks: the real bot
+// reports everything it finds in one pass.
+func (v *Validator) ValidateSet(ctx context.Context, s *core.Set) Report {
+	var rep Report
+	add := func(code Code, site, detail string) {
+		rep.Issues = append(rep.Issues, Issue{Code: code, Site: site, Detail: detail})
+	}
+
+	// --- structural checks ---
+
+	// Primary must be a registrable domain.
+	if _, err := domain.NewSite(v.PSL, s.Primary); err != nil {
+		add(CodePrimaryNotReg, s.Primary, err.Error())
+	}
+
+	// A set must bring at least one non-primary member.
+	if s.Size() <= 1 {
+		add(CodeOther, s.Primary, "set has no members beyond the primary")
+	}
+
+	// Associated sites must be registrable domains.
+	for _, a := range s.Associated {
+		if _, err := domain.NewSite(v.PSL, a); err != nil {
+			add(CodeAssociatedNotReg, a, err.Error())
+		}
+	}
+	// Service sites must be registrable domains; the guidelines phrase all
+	// non-alias eTLD+1 violations per-subset, and the dataset's observed
+	// comments fold service-site domain problems into "Other".
+	for _, svc := range s.Service {
+		if _, err := domain.NewSite(v.PSL, svc); err != nil {
+			add(CodeOther, svc, "service site isn't an eTLD+1: "+err.Error())
+		}
+	}
+
+	// ccTLD aliases: registrable, and actually a ccTLD variant of their
+	// base member, which must itself be in the set.
+	memberSet := map[string]bool{}
+	for _, m := range s.Members() {
+		memberSet[m.Site] = true
+	}
+	for base, aliases := range s.CCTLDs {
+		if !memberSet[base] {
+			add(CodeOther, base, "ccTLD base is not a member of the set")
+			continue
+		}
+		baseSite, baseErr := domain.NewSite(v.PSL, base)
+		for _, alias := range aliases {
+			aliasSite, err := domain.NewSite(v.PSL, alias)
+			if err != nil {
+				add(CodeAliasNotReg, alias, err.Error())
+				continue
+			}
+			if baseErr == nil && !domain.IsCCTLDVariant(baseSite, aliasSite) {
+				add(CodeOther, alias, fmt.Sprintf("%s is not a ccTLD variant of %s", alias, base))
+			}
+		}
+	}
+
+	// Rationale required for associated and service members.
+	if v.RequireRationale {
+		missing := 0
+		for _, m := range append(append([]string{}, s.Associated...), s.Service...) {
+			if s.RationaleBySite[m] == "" {
+				missing++
+			}
+		}
+		if missing > 0 {
+			add(CodeNoRationale, "", fmt.Sprintf("%d member(s) missing a rationale", missing))
+		}
+	}
+
+	// Disjointness with the existing list: a site may only appear in one
+	// set (unless this proposal replaces the set with the same primary).
+	if v.Existing != nil {
+		for _, m := range s.Members() {
+			if owner, _, ok := v.Existing.FindSet(m.Site); ok && owner.Primary != s.Primary {
+				add(CodeOther, m.Site, fmt.Sprintf("already a member of the set with primary %s", owner.Primary))
+			}
+		}
+	}
+
+	// --- network checks ---
+	if v.Fetch == nil {
+		return rep
+	}
+
+	// Primary's well-known file must exist and match the proposal.
+	switch outcome, err := wellknown.CheckPrimary(ctx, v.Fetch, s); outcome {
+	case wellknown.FetchFailed:
+		add(CodeWellKnownFetch, s.Primary, err.Error())
+	case wellknown.Mismatch:
+		add(CodeWellKnownMismatch, s.Primary, err.Error())
+	}
+
+	// Every non-primary member must point back at the primary.
+	for _, m := range s.Members() {
+		if m.Role == core.RolePrimary {
+			continue
+		}
+		switch outcome, err := wellknown.CheckMember(ctx, v.Fetch, m.Site, s.Primary); outcome {
+		case wellknown.FetchFailed:
+			add(CodeWellKnownFetch, m.Site, err.Error())
+		case wellknown.Mismatch:
+			add(CodeWellKnownMismatch, m.Site, err.Error())
+		}
+	}
+
+	// Service sites must serve an X-Robots-Tag header (they are utility
+	// domains, not user destinations, and must not be indexed). A home
+	// page we cannot fetch at all is already surfaced by the well-known
+	// checks, so only a served page missing the header is reported here.
+	if v.HeaderFetch != nil {
+		for _, svc := range s.Service {
+			h, status, err := v.HeaderFetch(ctx, svc, "/")
+			if err != nil || status != http.StatusOK {
+				continue
+			}
+			if h.Get("X-Robots-Tag") == "" {
+				add(CodeServiceNoRobots, svc, "service site home page lacks X-Robots-Tag")
+			}
+		}
+	}
+	return rep
+}
+
+// HTTPHeaderFetcher adapts an http.Client whose requests are routed by
+// Host header to baseURL, mirroring wellknown.HTTPFetcher.
+func HTTPHeaderFetcher(client *http.Client, baseURL string) HeaderFetcher {
+	return func(ctx context.Context, host, path string) (http.Header, int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+path, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		req.Host = host
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, 0, err
+		}
+		resp.Body.Close()
+		return resp.Header, resp.StatusCode, nil
+	}
+}

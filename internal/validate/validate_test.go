@@ -1,0 +1,294 @@
+package validate
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rwskit/internal/core"
+	"rwskit/internal/psl"
+	"rwskit/internal/sitegen"
+	"rwskit/internal/wellknown"
+)
+
+// env is a full validation environment: a synthetic web served over HTTP
+// with fetchers wired to it.
+type env struct {
+	web *sitegen.Web
+	v   *Validator
+}
+
+func newEnv(t *testing.T, existing *core.List) *env {
+	t.Helper()
+	web := sitegen.NewWeb()
+	srv := httptest.NewServer(web)
+	t.Cleanup(srv.Close)
+	v := New(psl.Default(), wellknown.HTTPFetcher(srv.Client(), srv.URL), existing)
+	v.HeaderFetch = HTTPHeaderFetcher(srv.Client(), srv.URL)
+	return &env{web: web, v: v}
+}
+
+func parseSet(t *testing.T, raw string) *core.Set {
+	t.Helper()
+	s, err := core.ParseSetJSON([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// goodSet returns a fully well-formed set and registers compliant sites +
+// well-known files on the web.
+func goodSet(t *testing.T, e *env) *core.Set {
+	t.Helper()
+	s := parseSet(t, `{
+	  "primary": "https://bild.de",
+	  "associatedSites": ["https://autobild.de"],
+	  "serviceSites": ["https://bild-static.de"],
+	  "rationaleBySite": {
+	    "https://autobild.de": "shared branding",
+	    "https://bild-static.de": "static assets"
+	  },
+	  "ccTLDs": {"https://bild.de": ["https://bild.at"]}
+	}`)
+	for _, m := range s.Members() {
+		site := &sitegen.Site{Domain: m.Site}
+		if m.Role == core.RoleService {
+			site.Headers = http.Header{"X-Robots-Tag": []string{"noindex"}}
+		}
+		e.web.AddSite(site)
+	}
+	if err := wellknown.Mount(e.web, s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHappyPath(t *testing.T) {
+	e := newEnv(t, nil)
+	s := goodSet(t, e)
+	rep := e.v.ValidateSet(context.Background(), s)
+	if !rep.Passed() {
+		t.Fatalf("expected pass, got issues: %v", rep.Issues)
+	}
+}
+
+func TestPrimaryNotETLD1(t *testing.T) {
+	e := newEnv(t, nil)
+	s := parseSet(t, `{"primary":"https://www.bild.de","associatedSites":["https://autobild.de"],
+	  "rationaleBySite":{"https://autobild.de":"x"}}`)
+	rep := e.v.ValidateSet(context.Background(), s)
+	if rep.Count(CodePrimaryNotReg) != 1 {
+		t.Errorf("issues = %v", rep.Issues)
+	}
+}
+
+func TestAssociatedNotETLD1(t *testing.T) {
+	e := newEnv(t, nil)
+	// a.example.com is a subdomain: the classic misunderstanding the paper
+	// highlights ("this represents a fundamental misunderstanding of the
+	// privacy boundaries that already exist").
+	s := parseSet(t, `{"primary":"https://example.com",
+	  "associatedSites":["https://a.example.com","https://co.uk"],
+	  "rationaleBySite":{"https://a.example.com":"x","https://co.uk":"x"}}`)
+	rep := e.v.ValidateSet(context.Background(), s)
+	if rep.Count(CodeAssociatedNotReg) != 2 {
+		t.Errorf("want 2 associated eTLD+1 issues, got %v", rep.Issues)
+	}
+}
+
+func TestAliasNotETLD1AndNotVariant(t *testing.T) {
+	e := newEnv(t, nil)
+	s := parseSet(t, `{"primary":"https://example.com",
+	  "associatedSites":["https://other.com"],
+	  "rationaleBySite":{"https://other.com":"x"},
+	  "ccTLDs":{"https://example.com":["https://sub.example.de","https://unrelated.fr"]}}`)
+	rep := e.v.ValidateSet(context.Background(), s)
+	if rep.Count(CodeAliasNotReg) != 1 {
+		t.Errorf("want 1 alias eTLD+1 issue, got %v", rep.Issues)
+	}
+	// unrelated.fr is an eTLD+1 but not a variant of example.com.
+	if rep.Count(CodeOther) < 1 {
+		t.Errorf("want ccTLD-variant issue, got %v", rep.Issues)
+	}
+}
+
+func TestCCTLDBaseNotMember(t *testing.T) {
+	e := newEnv(t, nil)
+	s := parseSet(t, `{"primary":"https://example.com",
+	  "associatedSites":["https://other.com"],
+	  "rationaleBySite":{"https://other.com":"x"},
+	  "ccTLDs":{"https://stranger.com":["https://stranger.de"]}}`)
+	rep := e.v.ValidateSet(context.Background(), s)
+	found := false
+	for _, i := range rep.Issues {
+		if i.Code == CodeOther && strings.Contains(i.Detail, "not a member") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want base-not-member issue, got %v", rep.Issues)
+	}
+}
+
+func TestMissingRationale(t *testing.T) {
+	e := newEnv(t, nil)
+	s := parseSet(t, `{"primary":"https://example.com","associatedSites":["https://other.com"]}`)
+	rep := e.v.ValidateSet(context.Background(), s)
+	if rep.Count(CodeNoRationale) != 1 {
+		t.Errorf("want rationale issue, got %v", rep.Issues)
+	}
+	// With the requirement disabled, the issue disappears.
+	e.v.RequireRationale = false
+	rep = e.v.ValidateSet(context.Background(), s)
+	if rep.Count(CodeNoRationale) != 0 {
+		t.Errorf("rationale issue should be suppressed, got %v", rep.Issues)
+	}
+}
+
+func TestSingletonSet(t *testing.T) {
+	e := newEnv(t, nil)
+	s := parseSet(t, `{"primary":"https://example.com"}`)
+	rep := e.v.ValidateSet(context.Background(), s)
+	found := false
+	for _, i := range rep.Issues {
+		if i.Code == CodeOther && strings.Contains(i.Detail, "no members beyond") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want singleton issue, got %v", rep.Issues)
+	}
+}
+
+func TestWellKnownFetchFailure(t *testing.T) {
+	e := newEnv(t, nil)
+	s := goodSet(t, e)
+	// Break two members' well-known files.
+	e.web.RemoveRaw("autobild.de", wellknown.Path)
+	e.web.RemoveRaw("bild.at", wellknown.Path)
+	rep := e.v.ValidateSet(context.Background(), s)
+	if rep.Count(CodeWellKnownFetch) != 2 {
+		t.Errorf("want 2 fetch issues, got %v", rep.Issues)
+	}
+}
+
+func TestWellKnownMismatch(t *testing.T) {
+	e := newEnv(t, nil)
+	s := goodSet(t, e)
+	// Primary serves a stale set (different membership).
+	stale := parseSet(t, `{"primary":"https://bild.de","associatedSites":["https://stale.de"]}`)
+	body, err := wellknown.PrimaryBody(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.web.RegisterRaw("bild.de", wellknown.Path, wellknown.ContentType, body, nil)
+	rep := e.v.ValidateSet(context.Background(), s)
+	if rep.Count(CodeWellKnownMismatch) != 1 {
+		t.Errorf("want 1 mismatch issue, got %v", rep.Issues)
+	}
+}
+
+func TestServiceSiteRobotsTag(t *testing.T) {
+	e := newEnv(t, nil)
+	s := goodSet(t, e)
+	// Re-register the service site without the header.
+	site, _ := e.web.Site("bild-static.de")
+	site.Headers = nil
+	rep := e.v.ValidateSet(context.Background(), s)
+	if rep.Count(CodeServiceNoRobots) != 1 {
+		t.Errorf("want X-Robots-Tag issue, got %v", rep.Issues)
+	}
+}
+
+func TestDisjointnessWithExistingList(t *testing.T) {
+	existing, err := core.ParseJSON([]byte(`{"sets":[
+	  {"primary":"https://ya.ru","associatedSites":["https://webvisor.com"]}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEnv(t, existing)
+	s := parseSet(t, `{"primary":"https://newset.com",
+	  "associatedSites":["https://webvisor.com"],
+	  "rationaleBySite":{"https://webvisor.com":"x"}}`)
+	rep := e.v.ValidateSet(context.Background(), s)
+	found := false
+	for _, i := range rep.Issues {
+		if i.Code == CodeOther && strings.Contains(i.Detail, "already a member") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want overlap issue, got %v", rep.Issues)
+	}
+	// Replacing one's own set is allowed.
+	own := parseSet(t, `{"primary":"https://ya.ru",
+	  "associatedSites":["https://webvisor.com"],
+	  "rationaleBySite":{"https://webvisor.com":"x"}}`)
+	rep = e.v.ValidateSet(context.Background(), own)
+	for _, i := range rep.Issues {
+		if strings.Contains(i.Detail, "already a member") {
+			t.Errorf("self-replacement flagged as overlap: %v", i)
+		}
+	}
+}
+
+func TestStructuralOnlyWithoutFetcher(t *testing.T) {
+	v := New(psl.Default(), nil, nil)
+	s := parseSet(t, `{"primary":"https://example.com","associatedSites":["https://other.com"],
+	  "rationaleBySite":{"https://other.com":"x"}}`)
+	rep := v.ValidateSet(context.Background(), s)
+	if !rep.Passed() {
+		t.Errorf("structural-only validation should pass: %v", rep.Issues)
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	r := Report{Issues: []Issue{
+		{Code: CodeWellKnownFetch, Site: "a.com", Detail: "d"},
+		{Code: CodeWellKnownFetch, Site: "b.com", Detail: "d"},
+		{Code: CodeOther, Detail: "d"},
+	}}
+	if r.Passed() {
+		t.Error("non-empty report passed")
+	}
+	if r.Count(CodeWellKnownFetch) != 2 || r.Count(CodeNoRationale) != 0 {
+		t.Error("Count wrong")
+	}
+	codes := r.Codes()
+	if len(codes) != 2 {
+		t.Errorf("Codes = %v", codes)
+	}
+	line := r.Issues[0].String()
+	if !strings.Contains(line, "a.com") || !strings.Contains(line, string(CodeWellKnownFetch)) {
+		t.Errorf("issue line = %q", line)
+	}
+	bare := Issue{Code: CodeOther, Detail: "top"}.String()
+	if strings.Contains(bare, "()") {
+		t.Errorf("bare issue line = %q", bare)
+	}
+}
+
+func BenchmarkValidateStructural(b *testing.B) {
+	v := New(psl.Default(), nil, nil)
+	s, err := core.ParseSetJSON([]byte(`{
+	  "primary": "https://bild.de",
+	  "associatedSites": ["https://autobild.de", "https://computerbild.de"],
+	  "serviceSites": ["https://bild-static.de"],
+	  "rationaleBySite": {"https://autobild.de":"x","https://computerbild.de":"x","https://bild-static.de":"x"},
+	  "ccTLDs": {"https://bild.de": ["https://bild.at"]}
+	}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := v.ValidateSet(context.Background(), s); !rep.Passed() {
+			b.Fatalf("unexpected issues: %v", rep.Issues)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package wellknown implements the RWS "/.well-known/related-website-set.json"
+// mechanism: the file every proposed set member must serve to prove that
+// the submitter has administrative control of the domain.
+//
+// Per the RWS submission guidelines (and §4 of "A First Look at Related
+// Website Sets", IMC 2024): the set primary serves the complete set object,
+// and every non-primary member serves {"primary": "https://<primary>"}.
+// Failures to serve or match this file are the single most common reason
+// set proposals are rejected — 202 of the bot comments in the paper's
+// Table 3 are "Unable to fetch .well-known JSON file".
+package wellknown
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"rwskit/internal/core"
+	"rwskit/internal/sitegen"
+)
+
+// Path is the well-known path mandated by the RWS spec.
+const Path = "/.well-known/related-website-set.json"
+
+// ContentType is the media type the file is served with.
+const ContentType = "application/json"
+
+// PrimaryBody renders the JSON document the set primary must serve: the
+// complete set object.
+func PrimaryBody(s *core.Set) ([]byte, error) {
+	raw, err := core.MarshalSetJSON(s)
+	if err != nil {
+		return nil, fmt.Errorf("wellknown: encoding primary body: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// MemberBody renders the JSON document every non-primary member must
+// serve: a pointer back to the set primary.
+func MemberBody(primaryDomain string) ([]byte, error) {
+	return json.MarshalIndent(map[string]string{
+		"primary": "https://" + primaryDomain,
+	}, "", "  ")
+}
+
+// Mount registers correct well-known responses for every member of s on
+// the synthetic web: the full set on the primary, pointers on the other
+// members. It is how a "well-behaved submitter" is modelled.
+func Mount(web *sitegen.Web, s *core.Set) error {
+	pb, err := PrimaryBody(s)
+	if err != nil {
+		return err
+	}
+	web.RegisterRaw(s.Primary, Path, ContentType, pb, nil)
+	for _, m := range s.Members() {
+		if m.Role == core.RolePrimary {
+			continue
+		}
+		mb, err := MemberBody(s.Primary)
+		if err != nil {
+			return err
+		}
+		web.RegisterRaw(m.Site, Path, ContentType, mb, nil)
+	}
+	return nil
+}
+
+// Unmount removes the well-known responses for every member of s.
+func Unmount(web *sitegen.Web, s *core.Set) {
+	for _, m := range s.Members() {
+		web.RemoveRaw(m.Site, Path)
+	}
+}
+
+// Fetcher retrieves the body of https://<host><path>. Implementations
+// adapt the crawler or a bare http.Client; status is the HTTP status code
+// (0 on transport error).
+type Fetcher func(ctx context.Context, host, path string) (body []byte, status int, err error)
+
+// HTTPFetcher adapts an http.Client whose requests are routed by Host
+// header to baseURL (the synthetic web pattern).
+func HTTPFetcher(client *http.Client, baseURL string) Fetcher {
+	return func(ctx context.Context, host, path string) ([]byte, int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+path, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		req.Host = host
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			return nil, resp.StatusCode, err
+		}
+		return buf.Bytes(), resp.StatusCode, nil
+	}
+}
+
+// CheckOutcome classifies the result of checking one member's well-known
+// file.
+type CheckOutcome int
+
+// Possible outcomes of CheckMember / CheckPrimary.
+const (
+	// OK: the file was fetched and matches expectations.
+	OK CheckOutcome = iota
+	// FetchFailed: transport error, non-200 status, or unparseable JSON —
+	// the "Unable to fetch .well-known JSON file" bot error.
+	FetchFailed
+	// Mismatch: the file parsed but does not match the proposed set — the
+	// "PR set does not match .well-known JSON file" bot error.
+	Mismatch
+)
+
+// String returns a short name for the outcome.
+func (o CheckOutcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case FetchFailed:
+		return "fetch-failed"
+	case Mismatch:
+		return "mismatch"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// CheckPrimary fetches the primary's well-known file and verifies it
+// describes the same set as s (same primary and identical member sites per
+// subset).
+func CheckPrimary(ctx context.Context, fetch Fetcher, s *core.Set) (CheckOutcome, error) {
+	body, status, err := fetch(ctx, s.Primary, Path)
+	if err != nil {
+		return FetchFailed, fmt.Errorf("wellknown: fetching %s%s: %w", s.Primary, Path, err)
+	}
+	if status != http.StatusOK {
+		return FetchFailed, fmt.Errorf("wellknown: %s%s returned status %d", s.Primary, Path, status)
+	}
+	served, err := core.ParseSetJSON(body)
+	if err != nil {
+		return FetchFailed, fmt.Errorf("wellknown: %s%s is not a valid set document: %w", s.Primary, Path, err)
+	}
+	if !sameSet(served, s) {
+		return Mismatch, fmt.Errorf("wellknown: %s%s does not match the proposed set", s.Primary, Path)
+	}
+	return OK, nil
+}
+
+// CheckMember fetches a non-primary member's well-known file and verifies
+// it points at the expected primary.
+func CheckMember(ctx context.Context, fetch Fetcher, member, primary string) (CheckOutcome, error) {
+	body, status, err := fetch(ctx, member, Path)
+	if err != nil {
+		return FetchFailed, fmt.Errorf("wellknown: fetching %s%s: %w", member, Path, err)
+	}
+	if status != http.StatusOK {
+		return FetchFailed, fmt.Errorf("wellknown: %s%s returned status %d", member, Path, status)
+	}
+	var doc struct {
+		Primary string `json:"primary"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return FetchFailed, fmt.Errorf("wellknown: %s%s is not valid JSON: %w", member, Path, err)
+	}
+	want := "https://" + primary
+	if doc.Primary != want && doc.Primary != primary {
+		return Mismatch, fmt.Errorf("wellknown: %s%s points at %q, want %q", member, Path, doc.Primary, want)
+	}
+	return OK, nil
+}
+
+// sameSet compares two sets by membership (order-insensitive), ignoring
+// contact and rationale text.
+func sameSet(a, b *core.Set) bool {
+	if a.Primary != b.Primary {
+		return false
+	}
+	return sameStrings(a.Associated, b.Associated) &&
+		sameStrings(a.Service, b.Service) &&
+		sameCCTLDs(a.CCTLDs, b.CCTLDs)
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]int, len(a))
+	for _, s := range a {
+		set[s]++
+	}
+	for _, s := range b {
+		set[s]--
+		if set[s] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func sameCCTLDs(a, b map[string][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || !sameStrings(va, vb) {
+			return false
+		}
+	}
+	return true
+}

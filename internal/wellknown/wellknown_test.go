@@ -1,0 +1,181 @@
+package wellknown
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rwskit/internal/core"
+	"rwskit/internal/sitegen"
+)
+
+func testSet(t *testing.T) *core.Set {
+	t.Helper()
+	s, err := core.ParseSetJSON([]byte(`{
+	  "primary": "https://bild.de",
+	  "associatedSites": ["https://autobild.de"],
+	  "serviceSites": ["https://bild-static.de"],
+	  "rationaleBySite": {
+	    "https://autobild.de": "branding",
+	    "https://bild-static.de": "assets"
+	  },
+	  "ccTLDs": {"https://bild.de": ["https://bild.at"]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func webFor(t *testing.T, s *core.Set) (*sitegen.Web, Fetcher) {
+	t.Helper()
+	web := sitegen.NewWeb()
+	for _, m := range s.Members() {
+		web.AddSite(&sitegen.Site{Domain: m.Site})
+	}
+	srv := httptest.NewServer(web)
+	t.Cleanup(srv.Close)
+	return web, HTTPFetcher(srv.Client(), srv.URL)
+}
+
+func TestBodies(t *testing.T) {
+	s := testSet(t)
+	pb, err := PrimaryBody(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(pb), `"https://autobild.de"`) {
+		t.Errorf("primary body missing member: %s", pb)
+	}
+	mb, err := MemberBody("bild.de")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mb), `"primary": "https://bild.de"`) {
+		t.Errorf("member body = %s", mb)
+	}
+}
+
+func TestMountAndCheckHappyPath(t *testing.T) {
+	s := testSet(t)
+	web, fetch := webFor(t, s)
+	if err := Mount(web, s); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if outcome, err := CheckPrimary(ctx, fetch, s); outcome != OK {
+		t.Errorf("CheckPrimary = %v: %v", outcome, err)
+	}
+	for _, m := range s.Members() {
+		if m.Role == core.RolePrimary {
+			continue
+		}
+		if outcome, err := CheckMember(ctx, fetch, m.Site, s.Primary); outcome != OK {
+			t.Errorf("CheckMember(%s) = %v: %v", m.Site, outcome, err)
+		}
+	}
+}
+
+func TestCheckFetchFailed(t *testing.T) {
+	s := testSet(t)
+	_, fetch := webFor(t, s) // nothing mounted: 404 everywhere
+	ctx := context.Background()
+	outcome, err := CheckPrimary(ctx, fetch, s)
+	if outcome != FetchFailed || err == nil {
+		t.Errorf("CheckPrimary = %v/%v, want FetchFailed", outcome, err)
+	}
+	outcome, err = CheckMember(ctx, fetch, "autobild.de", s.Primary)
+	if outcome != FetchFailed || err == nil {
+		t.Errorf("CheckMember = %v/%v, want FetchFailed", outcome, err)
+	}
+}
+
+func TestCheckPrimaryMismatch(t *testing.T) {
+	s := testSet(t)
+	web, fetch := webFor(t, s)
+	// Serve a different set on the primary.
+	other, err := core.ParseSetJSON([]byte(`{"primary":"https://bild.de","associatedSites":["https://different.de"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Mount(web, other); err != nil {
+		t.Fatal(err)
+	}
+	outcome, err := CheckPrimary(context.Background(), fetch, s)
+	if outcome != Mismatch || err == nil {
+		t.Errorf("CheckPrimary = %v/%v, want Mismatch", outcome, err)
+	}
+}
+
+func TestCheckMemberMismatch(t *testing.T) {
+	s := testSet(t)
+	web, fetch := webFor(t, s)
+	mb, _ := MemberBody("someoneelse.com")
+	web.RegisterRaw("autobild.de", Path, ContentType, mb, nil)
+	outcome, err := CheckMember(context.Background(), fetch, "autobild.de", s.Primary)
+	if outcome != Mismatch || err == nil {
+		t.Errorf("CheckMember = %v/%v, want Mismatch", outcome, err)
+	}
+}
+
+func TestCheckMalformedJSON(t *testing.T) {
+	s := testSet(t)
+	web, fetch := webFor(t, s)
+	web.RegisterRaw(s.Primary, Path, ContentType, []byte("{not json"), nil)
+	outcome, _ := CheckPrimary(context.Background(), fetch, s)
+	if outcome != FetchFailed {
+		t.Errorf("malformed JSON = %v, want FetchFailed", outcome)
+	}
+	web.RegisterRaw("autobild.de", Path, ContentType, []byte("[1,2"), nil)
+	outcome, _ = CheckMember(context.Background(), fetch, "autobild.de", s.Primary)
+	if outcome != FetchFailed {
+		t.Errorf("malformed member JSON = %v, want FetchFailed", outcome)
+	}
+}
+
+func TestUnmount(t *testing.T) {
+	s := testSet(t)
+	web, fetch := webFor(t, s)
+	if err := Mount(web, s); err != nil {
+		t.Fatal(err)
+	}
+	Unmount(web, s)
+	outcome, _ := CheckPrimary(context.Background(), fetch, s)
+	if outcome != FetchFailed {
+		t.Errorf("after Unmount = %v, want FetchFailed", outcome)
+	}
+}
+
+func TestSameSetSemantics(t *testing.T) {
+	a := testSet(t)
+	b := testSet(t)
+	// Order within subsets must not matter.
+	b.Associated = append([]string{}, a.Associated...)
+	if !sameSet(a, b) {
+		t.Error("identical sets must match")
+	}
+	b.Service = []string{"other-static.de"}
+	if sameSet(a, b) {
+		t.Error("different service members must not match")
+	}
+	c := testSet(t)
+	c.CCTLDs["bild.de"] = []string{"bild.ch"}
+	if sameSet(a, c) {
+		t.Error("different ccTLD aliases must not match")
+	}
+	d := testSet(t)
+	delete(d.CCTLDs, "bild.de")
+	if sameSet(a, d) {
+		t.Error("missing ccTLD map entry must not match")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if OK.String() != "ok" || FetchFailed.String() != "fetch-failed" || Mismatch.String() != "mismatch" {
+		t.Error("outcome strings wrong")
+	}
+	if CheckOutcome(9).String() != "outcome(9)" {
+		t.Error("unknown outcome string wrong")
+	}
+}

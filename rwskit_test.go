@@ -1,0 +1,164 @@
+package rwskit
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotQueries(t *testing.T) {
+	list, err := Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.NumSets() != 41 {
+		t.Errorf("NumSets = %d, want 41", list.NumSets())
+	}
+	if !list.SameSet("bild.de", "autobild.de") {
+		t.Error("bild.de and autobild.de should be related")
+	}
+	if list.SameSet("bild.de", "ya.ru") {
+		t.Error("bild.de and ya.ru should not be related")
+	}
+	set, role, ok := list.FindSet("webvisor.com")
+	if !ok || role != RoleAssociated || set.Primary != "ya.ru" {
+		t.Errorf("FindSet(webvisor.com) = %v/%v/%v", set, role, ok)
+	}
+}
+
+func TestParseListRoundTrip(t *testing.T) {
+	list, err := Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := list.MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseList(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.NumSets() != list.NumSets() || again.NumSites() != list.NumSites() {
+		t.Error("round trip changed counts")
+	}
+}
+
+func TestETLDPlusOneAndSLD(t *testing.T) {
+	e, err := ETLDPlusOne("www.example.co.uk")
+	if err != nil || e != "example.co.uk" {
+		t.Errorf("ETLDPlusOne = %q, %v", e, err)
+	}
+	s, err := SLD("poalim.xyz")
+	if err != nil || s != "poalim" {
+		t.Errorf("SLD = %q, %v", s, err)
+	}
+	if _, err := ETLDPlusOne("com"); err == nil {
+		t.Error("bare suffix should error")
+	}
+}
+
+func TestValidateSetOffline(t *testing.T) {
+	good, err := ParseSet([]byte(`{"primary":"https://example.com",
+	  "associatedSites":["https://other.com"],
+	  "rationaleBySite":{"https://other.com":"branding"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := ValidateSetOffline(context.Background(), good); !rep.Passed() {
+		t.Errorf("good set failed: %v", rep.Issues)
+	}
+	bad, err := ParseSet([]byte(`{"primary":"https://www.example.com"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := ValidateSetOffline(context.Background(), bad); rep.Passed() {
+		t.Error("subdomain primary should fail validation")
+	}
+}
+
+func TestBrowserPolicies(t *testing.T) {
+	list, err := Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chrome+RWS links same-set visits; strict does not.
+	rws := NewRWSBrowser(list)
+	f := rws.VisitTop("bild.de").Embed("autobild.de")
+	if d := f.RequestStorageAccess(); !d.Granted() {
+		t.Errorf("RWS browser denied same-set access: %v", d)
+	}
+	strict := NewStrictBrowser()
+	f2 := strict.VisitTop("bild.de").Embed("autobild.de")
+	if d := f2.RequestStorageAccess(); d.Granted() {
+		t.Errorf("strict browser granted access: %v", d)
+	}
+	prompted := 0
+	pb := NewPromptBrowser(func(embedded, top string) bool { prompted++; return true })
+	if d := pb.VisitTop("a.com").Embed("b.com").RequestStorageAccess(); !d.Granted() || prompted != 1 {
+		t.Errorf("prompt browser: %v, prompts=%d", d, prompted)
+	}
+	legacy := NewLegacyBrowser()
+	if !legacy.VisitTop("a.com").Embed("tracker.example").HasStorageAccess() {
+		t.Error("legacy browser should be unpartitioned")
+	}
+}
+
+func TestRunExperimentByID(t *testing.T) {
+	a, err := RunExperiment(context.Background(), 1, "figure3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "figure3" || !strings.Contains(a.Rendered, "Associated sites (108)") {
+		t.Errorf("unexpected artifact: %s\n%s", a.ID, a.Rendered)
+	}
+	if _, err := RunExperiment(context.Background(), 1, "nope"); err == nil {
+		t.Error("unknown experiment should error")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error should name the ID: %v", err)
+	}
+}
+
+func TestExperimentsListStable(t *testing.T) {
+	es := Experiments()
+	if len(es) != 12 {
+		t.Fatalf("experiments = %d, want 12", len(es))
+	}
+	if es[0].ID != "table1" || es[11].ID != "figure9" {
+		t.Errorf("order: first=%s last=%s", es[0].ID, es[11].ID)
+	}
+}
+
+func TestOwnershipComparisonFacade(t *testing.T) {
+	list, err := Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entities, err := ParseEntitiesList([]byte(`{
+	  "entities": {
+	    "Bild": {"properties": ["bild.de", "autobild.de"], "resources": []}
+	  }
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CompareOwnership(entities, list)
+	if c.RWSSites != list.NumSites() {
+		t.Errorf("RWSSites = %d, want %d", c.RWSSites, list.NumSites())
+	}
+	if c.CoveredByEntity < 2 {
+		t.Errorf("covered = %d, want >= 2 (bild.de + autobild.de)", c.CoveredByEntity)
+	}
+}
+
+func TestIndicatingRWSBrowserFacade(t *testing.T) {
+	list, err := Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, p := NewIndicatingRWSBrowser(list)
+	b.VisitTop("bild.de").Embed("autobild.de").RequestStorageAccess()
+	if len(p.SilentGrants()) != 1 {
+		t.Errorf("silent grants = %d, want 1", len(p.SilentGrants()))
+	}
+}
