@@ -71,12 +71,25 @@ func BenchmarkFigure8PrimaryCategories(b *testing.B)    { benchExperiment(b, "fi
 func BenchmarkFigure9AssociatedCategories(b *testing.B) { benchExperiment(b, "figure9") }
 
 // BenchmarkRunAllExperiments regenerates the entire evaluation in one
-// session (shared intermediates cached), the cost of `rws-analyze`.
+// session (shared intermediates cached, experiments scheduled across a
+// worker pool), the cost of `rws-analyze`.
 func BenchmarkRunAllExperiments(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := analysis.NewSession(analysis.Config{Seed: int64(i + 1)})
 		if _, err := analysis.RunAll(context.Background(), s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllExperimentsSequential is the pre-parallel baseline: the
+// same twelve experiments run strictly one after another.
+func BenchmarkRunAllExperimentsSequential(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := analysis.NewSession(analysis.Config{Seed: int64(i + 1)})
+		if _, err := analysis.RunAllSequential(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,110 @@
+// Command rws-serve exposes Related Website Sets queries as an HTTP
+// service: relatedness checks, set lookups, storage-partitioning
+// verdicts, and list statistics.
+//
+// Usage:
+//
+//	rws-serve [-addr :8080] [-list file]
+//
+// Without -list, the embedded reconstruction of the 26 March 2024
+// snapshot is served. With -list, SIGHUP re-reads the file and hot-swaps
+// the snapshot without dropping traffic.
+//
+// Endpoints:
+//
+//	GET /healthz
+//	GET /v1/sameset?a=SITE&b=SITE
+//	GET /v1/set?site=SITE
+//	GET /v1/partition?top=SITE&embedded=SITE[&policy=rws|strict|prompt|legacy]
+//	GET /v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rwskit/internal/core"
+	"rwskit/internal/dataset"
+	"rwskit/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rws-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	addr, listPath, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	list, err := loadList(listPath)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(list)
+
+	if listPath != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				fresh, err := loadList(listPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "rws-serve: reload failed, keeping current list:", err)
+					continue
+				}
+				srv.Swap(fresh)
+				fmt.Fprintf(os.Stderr, "rws-serve: reloaded %s (%d sets)\n", listPath, fresh.NumSets())
+			}
+		}()
+	}
+
+	fmt.Fprintf(os.Stderr, "rws-serve: serving %d sets on %s\n", list.NumSets(), addr)
+	return newHTTPServer(addr, srv).ListenAndServe()
+}
+
+// newHTTPServer wraps a handler with the timeouts a public-facing
+// service needs (slow-header and idle connections must not pin
+// goroutines forever).
+func newHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+func parseFlags(args []string) (addr, listPath string, err error) {
+	fs := flag.NewFlagSet("rws-serve", flag.ContinueOnError)
+	a := fs.String("addr", ":8080", "listen address")
+	l := fs.String("list", "", "list JSON file (default: embedded snapshot; SIGHUP reloads)")
+	if err := fs.Parse(args); err != nil {
+		return "", "", err
+	}
+	if fs.NArg() != 0 {
+		return "", "", fmt.Errorf("usage: rws-serve [-addr :8080] [-list file]")
+	}
+	return *a, *l, nil
+}
+
+func loadList(path string) (*core.List, error) {
+	if path == "" {
+		return dataset.List()
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.ParseJSON(data)
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	addr, listPath, err := parseFlags([]string{"-addr", ":9999", "-list", "x.json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != ":9999" || listPath != "x.json" {
+		t.Errorf("parseFlags = %q, %q", addr, listPath)
+	}
+	if _, _, err := parseFlags([]string{"extra-arg"}); err == nil {
+		t.Error("positional args should be rejected")
+	}
+}
+
+func TestLoadListEmbeddedAndFile(t *testing.T) {
+	list, err := loadList("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.NumSets() != 41 {
+		t.Errorf("embedded snapshot has %d sets, want 41", list.NumSets())
+	}
+
+	path := filepath.Join(t.TempDir(), "list.json")
+	os.WriteFile(path, []byte(`{"sets":[{"primary":"https://a.com","associatedSites":["https://b.com"]}]}`), 0o644)
+	list, err = loadList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.NumSets() != 1 || !list.SameSet("a.com", "b.com") {
+		t.Errorf("file list = %d sets", list.NumSets())
+	}
+
+	if _, err := loadList(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -7,6 +7,7 @@
 //	rwsctl find [-list file] SITE         which set does a site belong to?
 //	rwsctl validate SET.json              run the submission bot's structural checks
 //	rwsctl diff OLD.json NEW.json         member-level diff of two list snapshots
+//	rwsctl serve [-addr :8080] [-list file]  serve the list as the rws-serve HTTP API
 //
 // Without -list, the embedded reconstruction of the 26 March 2024 snapshot
 // is used.
@@ -17,9 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"time"
 
 	"rwskit"
+	"rwskit/internal/serve"
 )
 
 func main() {
@@ -31,7 +35,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rwsctl <stats|related|find|validate|diff> [args]")
+		return fmt.Errorf("usage: rwsctl <stats|related|find|validate|diff|serve> [args]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -45,6 +49,8 @@ func run(args []string, out io.Writer) error {
 		return cmdValidate(rest, out)
 	case "diff":
 		return cmdDiff(rest, out)
+	case "serve":
+		return cmdServe(rest, out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
@@ -162,6 +168,38 @@ func cmdValidate(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  - %s\n", issue)
 	}
 	return fmt.Errorf("validation failed")
+}
+
+// cmdServe starts the rws-serve HTTP API in-process. serveAndListen is a
+// variable so tests can intercept the blocking listen call.
+func cmdServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	listPath := fs.String("list", "", "list JSON file (default: embedded snapshot)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: rwsctl serve [-addr :8080] [-list file]")
+	}
+	list, err := loadList(*listPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving %d sets on %s\n", list.NumSets(), *addr)
+	return serveAndListen(*addr, serve.New(list))
+}
+
+var serveAndListen = func(addr string, handler http.Handler) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
 }
 
 func cmdDiff(args []string, out io.Writer) error {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -97,6 +100,42 @@ func TestDiff(t *testing.T) {
 	}
 }
 
+// TestServe intercepts the blocking listen call and exercises the wired
+// HTTP handler the way rwsctl serve would expose it.
+func TestServe(t *testing.T) {
+	orig := serveAndListen
+	defer func() { serveAndListen = orig }()
+	var handler http.Handler
+	serveAndListen = func(addr string, h http.Handler) error {
+		handler = h
+		return nil
+	}
+	var sb strings.Builder
+	if err := run([]string{"serve", "-addr", ":0"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "serving 41 sets") {
+		t.Errorf("output: %s", sb.String())
+	}
+	if handler == nil {
+		t.Fatal("serve never reached the listen call")
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/sameset?a=bild.de&b=autobild.de")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"same_set": true`) {
+		t.Errorf("status %d body %s", resp.StatusCode, body)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	for _, args := range [][]string{
 		nil,
@@ -105,6 +144,7 @@ func TestUsageErrors(t *testing.T) {
 		{"find"},
 		{"validate"},
 		{"diff", "one"},
+		{"serve", "positional"},
 	} {
 		var sb strings.Builder
 		if err := run(args, &sb); err == nil {

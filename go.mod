@@ -1,0 +1,3 @@
+module rwskit
+
+go 1.22

@@ -3,8 +3,10 @@ package analysis
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"rwskit/internal/core"
 	"rwskit/internal/dataset"
@@ -35,29 +37,105 @@ type Artifact struct {
 type Experiment struct {
 	ID    string
 	Title string
+	// Needs declares the shared intermediates the experiment reads, so the
+	// scheduler can start the expensive pipelines early and run experiments
+	// with disjoint inputs concurrently.
+	Needs []Intermediate
 	Run   func(ctx context.Context, s *Session) (*Artifact, error)
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"table1", "Website relatedness survey results summary", Table1},
-		{"table2", "Factors used to determine relatedness", Table2},
-		{"table3", "RWS GitHub bot validation messages", Table3},
-		{"figure1", "Website relatedness survey results matrix", Figure1},
-		{"figure2", "Survey timing distributions, RWS (same set)", Figure2},
-		{"figure3", "Levenshtein edit distance between member and primary SLDs", Figure3},
-		{"figure4", "HTML similarity of set primaries and members", Figure4},
-		{"figure5", "Cumulative new-set PRs by final state", Figure5},
-		{"figure6", "Days taken to process new-set PRs", Figure6},
-		{"figure7", "Set composition over time", Figure7},
-		{"figure8", "Categories of set primaries over time", Figure8},
-		{"figure9", "Categories of associated sites over time", Figure9},
+		{"table1", "Website relatedness survey results summary", []Intermediate{NeedSurvey}, Table1},
+		{"table2", "Factors used to determine relatedness", []Intermediate{NeedSurvey}, Table2},
+		{"table3", "RWS GitHub bot validation messages", []Intermediate{NeedGitHub}, Table3},
+		{"figure1", "Website relatedness survey results matrix", []Intermediate{NeedSurvey}, Figure1},
+		{"figure2", "Survey timing distributions, RWS (same set)", []Intermediate{NeedSurvey}, Figure2},
+		{"figure3", "Levenshtein edit distance between member and primary SLDs", []Intermediate{NeedList}, Figure3},
+		{"figure4", "HTML similarity of set primaries and members", []Intermediate{NeedSimilarities}, Figure4},
+		{"figure5", "Cumulative new-set PRs by final state", []Intermediate{NeedGitHub}, Figure5},
+		{"figure6", "Days taken to process new-set PRs", []Intermediate{NeedGitHub}, Figure6},
+		{"figure7", "Set composition over time", []Intermediate{NeedTimeline}, Figure7},
+		{"figure8", "Categories of set primaries over time", []Intermediate{NeedTimeline}, Figure8},
+		{"figure9", "Categories of associated sites over time", []Intermediate{NeedTimeline}, Figure9},
 	}
 }
 
-// RunAll executes every experiment against one session.
+// RunAll executes every experiment against one session, scheduling them
+// across a worker pool so experiments with disjoint intermediates run in
+// parallel while experiments sharing an input wait on one build of it
+// (the Session's per-intermediate cells are singleflight). Artifacts are
+// returned in paper order regardless of completion order, and the same
+// seed reproduces the same artifacts byte-for-byte as a sequential run.
 func RunAll(ctx context.Context, s *Session) ([]*Artifact, error) {
+	return runPool(ctx, s, runAllWorkers)
+}
+
+// runAllWorkers is the RunAll pool size. Twelve experiments over five
+// intermediates: more workers than distinct intermediates buys nothing
+// once every pipeline is building, so the pool is capped near that.
+var runAllWorkers = min(runtime.GOMAXPROCS(0), 6)
+
+func runPool(ctx context.Context, s *Session, workers int) ([]*Artifact, error) {
+	exps := scheduleOrder(All())
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]*Artifact, len(exps))
+	errs := make([]error, len(exps))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				e := exps[i].e
+				for _, n := range e.Needs {
+					if err := s.Build(ctx, n); err != nil {
+						errs[i] = fmt.Errorf("analysis: %s: %w", e.ID, err)
+						break
+					}
+				}
+				if errs[i] != nil {
+					continue
+				}
+				a, err := e.Run(ctx, s)
+				if err != nil {
+					errs[i] = fmt.Errorf("analysis: %s: %w", e.ID, err)
+					continue
+				}
+				out[i] = a
+			}
+		}()
+	}
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	// Undo the scheduling permutation, and report the first failure in
+	// paper order so errors are deterministic regardless of which worker
+	// hit one first.
+	ordered := make([]*Artifact, len(exps))
+	byPaper := make([]error, len(exps))
+	for i, se := range exps {
+		ordered[se.paperIdx] = out[i]
+		byPaper[se.paperIdx] = errs[i]
+	}
+	for _, err := range byPaper {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// RunAllSequential executes every experiment one after another — the
+// pre-parallel behaviour, kept as the benchmark baseline and as the
+// reference output the parallel scheduler must reproduce exactly.
+func RunAllSequential(ctx context.Context, s *Session) ([]*Artifact, error) {
 	var out []*Artifact
 	for _, e := range All() {
 		a, err := e.Run(ctx, s)
@@ -67,6 +145,50 @@ func RunAll(ctx context.Context, s *Session) ([]*Artifact, error) {
 		out = append(out, a)
 	}
 	return out, nil
+}
+
+// schedExp pairs an experiment with its position in paper order.
+type schedExp struct {
+	e        Experiment
+	paperIdx int
+}
+
+// scheduleOrder reorders experiments so that each intermediate's first
+// consumer is dispatched as early as possible: the expensive pipelines
+// (crawl, survey, governance sim) all start building in the pool's first
+// wave instead of queueing behind experiments that share one input.
+func scheduleOrder(all []Experiment) []schedExp {
+	seen := make(map[Intermediate]bool)
+	var first, rest []schedExp
+	for i, e := range all {
+		fresh := false
+		for _, n := range e.Needs {
+			if !seen[n] {
+				fresh = true
+				seen[n] = true
+			}
+		}
+		if fresh {
+			first = append(first, schedExp{e, i})
+		} else {
+			rest = append(rest, schedExp{e, i})
+		}
+	}
+	// Within the first wave, start the costliest intermediates first.
+	sort.SliceStable(first, func(i, j int) bool {
+		return maxNeed(first[i].e) > maxNeed(first[j].e)
+	})
+	return append(first, rest...)
+}
+
+func maxNeed(e Experiment) Intermediate {
+	m := Intermediate(-1)
+	for _, n := range e.Needs {
+		if n > m {
+			m = n
+		}
+	}
+	return m
 }
 
 // Table1 regenerates Table 1: per-group response counts and mean times.

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestParallelMatchesSequential: the parallel scheduler must reproduce the
+// sequential seed-1 output exactly — same artifact IDs, same order, same
+// renderings, same metrics.
+func TestParallelMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	seq, err := RunAllSequential(ctx, NewSession(Config{Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAll(ctx, NewSession(Config{Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel artifacts = %d, sequential = %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if par[i].ID != seq[i].ID {
+			t.Errorf("artifact %d: parallel id %s, sequential id %s", i, par[i].ID, seq[i].ID)
+			continue
+		}
+		if par[i].Rendered != seq[i].Rendered {
+			t.Errorf("%s: parallel rendering differs from sequential", seq[i].ID)
+		}
+		if len(par[i].Metrics) != len(seq[i].Metrics) {
+			t.Errorf("%s: parallel has %d metrics, sequential %d",
+				seq[i].ID, len(par[i].Metrics), len(seq[i].Metrics))
+		}
+		for k, v := range seq[i].Metrics {
+			if got, ok := par[i].Metrics[k]; !ok || got != v {
+				t.Errorf("%s: metric %s = %v, sequential %v", seq[i].ID, k, got, v)
+			}
+		}
+	}
+}
+
+// TestRunAllConcurrentOnOneSession runs RunAll twice concurrently on a
+// single Session (run with -race): the per-intermediate cells must hand
+// both runs one shared build of each input, and both runs must still
+// produce the sequential seed-1 artifacts byte-for-byte.
+func TestRunAllConcurrentOnOneSession(t *testing.T) {
+	ctx := context.Background()
+	want, err := RunAllSequential(ctx, NewSession(Config{Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSession(Config{Seed: 1})
+	const runs = 2
+	results := make([][]*Artifact, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = RunAll(ctx, s)
+		}(r)
+	}
+	wg.Wait()
+
+	for r := 0; r < runs; r++ {
+		if errs[r] != nil {
+			t.Fatalf("run %d: %v", r, errs[r])
+		}
+		if len(results[r]) != len(want) {
+			t.Fatalf("run %d: %d artifacts, want %d", r, len(results[r]), len(want))
+		}
+		for i := range want {
+			if results[r][i].ID != want[i].ID {
+				t.Errorf("run %d artifact %d: id %s, want %s", r, i, results[r][i].ID, want[i].ID)
+			}
+			if results[r][i].Rendered != want[i].Rendered {
+				t.Errorf("run %d: %s rendered differently from the sequential baseline", r, want[i].ID)
+			}
+		}
+	}
+
+	// Both runs must have shared one build of each intermediate.
+	sv1, err := s.Survey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv2, err := s.Survey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv1 != sv2 {
+		t.Error("Survey rebuilt across calls on one session")
+	}
+}
+
+// TestScheduleOrderStartsEveryIntermediateEarly: the first consumer of
+// each intermediate must be dispatched before any experiment that only
+// re-reads an already-started input.
+func TestScheduleOrderStartsEveryIntermediateEarly(t *testing.T) {
+	order := scheduleOrder(All())
+	if len(order) != len(All()) {
+		t.Fatalf("scheduleOrder dropped experiments: %d != %d", len(order), len(All()))
+	}
+	started := make(map[Intermediate]int) // intermediate -> dispatch index of first consumer
+	for i, se := range order {
+		for _, n := range se.e.Needs {
+			if _, ok := started[n]; !ok {
+				started[n] = i
+			}
+		}
+	}
+	nDistinct := len(started)
+	for n, idx := range started {
+		if idx >= nDistinct {
+			t.Errorf("intermediate %v first dispatched at slot %d; every pipeline should start within the first %d slots", n, idx, nDistinct)
+		}
+	}
+	// The permutation must cover every experiment exactly once.
+	seen := make(map[int]bool)
+	for _, se := range order {
+		if seen[se.paperIdx] {
+			t.Errorf("paper index %d scheduled twice", se.paperIdx)
+		}
+		seen[se.paperIdx] = true
+	}
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rwskit/internal/dataset"
+)
+
+// benchServer wires the embedded snapshot behind a real HTTP listener so
+// the benchmark includes the full serving stack, not just the handler.
+func benchServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	list, err := dataset.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(New(list))
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func benchGet(b *testing.B, path string) {
+	b.Helper()
+	ts := benchServer(b)
+	client := ts.Client()
+	url := ts.URL + path
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d for %s", resp.StatusCode, url)
+			}
+			resp.Body.Close()
+		}
+	})
+}
+
+func BenchmarkServeSameSet(b *testing.B) {
+	benchGet(b, "/v1/sameset?a=bild.de&b=autobild.de")
+}
+
+func BenchmarkServeSetLookup(b *testing.B) {
+	benchGet(b, "/v1/set?site=webvisor.com")
+}
+
+func BenchmarkServePartition(b *testing.B) {
+	benchGet(b, "/v1/partition?top=bild.de&embedded=autobild.de")
+}
+
+// BenchmarkServeSameSetUnderSwaps measures the read path while a writer
+// hot-swaps the snapshot continuously — the reload-under-traffic scenario.
+func BenchmarkServeSameSetUnderSwaps(b *testing.B) {
+	list, err := dataset.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(list)
+	ts := httptest.NewServer(s)
+	b.Cleanup(ts.Close)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Swap(list)
+			}
+		}
+	}()
+	defer close(stop)
+	client := ts.Client()
+	url := ts.URL + "/v1/sameset?a=bild.de&b=autobild.de"
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	})
+}
+
+// BenchmarkHandlerSameSet measures the handler alone (no network), the
+// per-request cost floor of the query service.
+func BenchmarkHandlerSameSet(b *testing.B) {
+	list, err := dataset.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(list)
+	req := httptest.NewRequest(http.MethodGet, "/v1/sameset?a=bild.de&b=autobild.de", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatal(fmt.Errorf("status %d", rec.Code))
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package serve exposes the hot RWS read path over HTTP: relatedness
+// queries, set lookups, and storage-partitioning verdicts against a live
+// list snapshot. It is the serving layer the ROADMAP's "millions of
+// users" north star asks for on top of the rwskit core.
+//
+// The list snapshot is held in an atomic pointer, so it can be hot-swapped
+// (e.g. on SIGHUP, or when upstream publishes a new
+// related_website_sets.JSON) without pausing traffic: in-flight requests
+// finish against the snapshot they started with, new requests see the new
+// list. Handlers allocate nothing shared and take no locks on the read
+// path.
+//
+// Endpoints:
+//
+//	GET /healthz                                    liveness probe
+//	GET /v1/sameset?a=SITE&b=SITE                   are two sites related?
+//	GET /v1/set?site=SITE                           the set a site belongs to
+//	GET /v1/partition?top=SITE&embedded=SITE[&policy=P]
+//	                                                storage-access verdict
+//	GET /v1/stats                                   list composition + server counters
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"rwskit/internal/browser"
+	"rwskit/internal/core"
+)
+
+// Server answers RWS queries against a hot-swappable list snapshot.
+type Server struct {
+	list     atomic.Pointer[core.List]
+	requests atomic.Uint64
+	swaps    atomic.Uint64
+	mux      *http.ServeMux
+}
+
+// New returns a server answering queries against list.
+func New(list *core.List) *Server {
+	s := &Server{}
+	s.list.Store(list)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/sameset", s.handleSameSet)
+	mux.HandleFunc("/v1/set", s.handleSet)
+	mux.HandleFunc("/v1/partition", s.handlePartition)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux = mux
+	return s
+}
+
+// List returns the snapshot currently serving queries.
+func (s *Server) List() *core.List { return s.list.Load() }
+
+// Swap atomically replaces the serving snapshot. Safe under traffic:
+// requests already executing keep the list they loaded; subsequent
+// requests see the new one.
+func (s *Server) Swap(list *core.List) {
+	s.list.Store(list)
+	s.swaps.Add(1)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// requireGET rejects non-GET methods; the read path is side-effect free.
+func requireGET(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "method not allowed"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":   true,
+		"sets": s.List().NumSets(),
+	})
+}
+
+// SameSetResponse answers /v1/sameset.
+type SameSetResponse struct {
+	A       string `json:"a"`
+	B       string `json:"b"`
+	SameSet bool   `json:"same_set"`
+	// Primary is the shared set's primary when SameSet is true.
+	Primary string `json:"primary,omitempty"`
+}
+
+func (s *Server) handleSameSet(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if a == "" || b == "" {
+		badRequest(w, "both a and b query parameters are required")
+		return
+	}
+	list := s.List()
+	resp := SameSetResponse{A: a, B: b, SameSet: list.SameSet(a, b)}
+	if resp.SameSet {
+		if set, _, ok := list.FindSet(a); ok {
+			resp.Primary = set.Primary
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SetMember is one member in a /v1/set response.
+type SetMember struct {
+	Site    string `json:"site"`
+	Role    string `json:"role"`
+	AliasOf string `json:"alias_of,omitempty"`
+}
+
+// SetResponse answers /v1/set.
+type SetResponse struct {
+	Site    string      `json:"site"`
+	Found   bool        `json:"found"`
+	Role    string      `json:"role,omitempty"`
+	Primary string      `json:"primary,omitempty"`
+	Members []SetMember `json:"members,omitempty"`
+}
+
+func (s *Server) handleSet(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	site := r.URL.Query().Get("site")
+	if site == "" {
+		badRequest(w, "site query parameter is required")
+		return
+	}
+	set, role, ok := s.List().FindSet(site)
+	resp := SetResponse{Site: site, Found: ok}
+	if ok {
+		resp.Role = role.String()
+		resp.Primary = set.Primary
+		for _, m := range set.Members() {
+			resp.Members = append(resp.Members, SetMember{
+				Site:    m.Site,
+				Role:    m.Role.String(),
+				AliasOf: m.AliasOf,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PartitionResponse answers /v1/partition: the storage semantics a fresh
+// profile under the named vendor policy would apply to embedded loaded
+// under top, after the user lands on top (a top-level visit, the state
+// every embedded storage-access request starts from).
+type PartitionResponse struct {
+	Policy   string `json:"policy"`
+	Top      string `json:"top"`
+	Embedded string `json:"embedded"`
+	SameSet  bool   `json:"same_set"`
+	// PartitionedByDefault reports whether the policy partitions
+	// third-party storage before any grant.
+	PartitionedByDefault bool `json:"partitioned_by_default"`
+	// Decision is the requestStorageAccess outcome
+	// (denied, granted-auto, granted-by-prompt, denied-by-prompt).
+	Decision string `json:"decision"`
+	// Granted reports whether the frame ends up with unpartitioned access.
+	Granted bool `json:"granted"`
+}
+
+// policyFor maps the policy query parameter to a vendor policy. The
+// prompt-based policies are modelled with a declining user: the verdict
+// reports what happens with no user opt-in, which is the privacy-relevant
+// default the paper compares vendors on.
+func policyFor(name string, list *core.List) (browser.Policy, error) {
+	switch name {
+	case "", "rws", "chrome":
+		return browser.RWSPolicy{List: list}, nil
+	case "strict", "brave":
+		return browser.StrictPolicy{}, nil
+	case "prompt", "firefox", "safari":
+		return browser.PromptPolicy{}, nil
+	case "legacy", "unpartitioned":
+		return browser.LegacyPolicy{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want rws, strict, prompt, or legacy)", name)
+	}
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	top, embedded := q.Get("top"), q.Get("embedded")
+	if top == "" || embedded == "" {
+		badRequest(w, "both top and embedded query parameters are required")
+		return
+	}
+	list := s.List()
+	policy, err := policyFor(q.Get("policy"), list)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	b := browser.New(policy)
+	frame := b.VisitTop(top).Embed(embedded)
+	decision := frame.RequestStorageAccess()
+	writeJSON(w, http.StatusOK, PartitionResponse{
+		Policy:               policy.Name(),
+		Top:                  top,
+		Embedded:             embedded,
+		SameSet:              list.SameSet(top, embedded),
+		PartitionedByDefault: policy.PartitionByDefault(),
+		Decision:             decision.String(),
+		Granted:              frame.HasStorageAccess(),
+	})
+}
+
+// StatsResponse answers /v1/stats.
+type StatsResponse struct {
+	Sets            int     `json:"sets"`
+	Sites           int     `json:"sites"`
+	AssociatedSites int     `json:"associated_sites"`
+	ServiceSites    int     `json:"service_sites"`
+	CCTLDSites      int     `json:"cctld_sites"`
+	MeanAssociated  float64 `json:"mean_associated_per_set"`
+	Requests        uint64  `json:"requests_served"`
+	ListSwaps       uint64  `json:"list_swaps"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	list := s.List()
+	st := list.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Sets:            st.Sets,
+		Sites:           list.NumSites(),
+		AssociatedSites: st.AssociatedSites,
+		ServiceSites:    st.ServiceSites,
+		CCTLDSites:      st.CCTLDSites,
+		MeanAssociated:  st.MeanAssociatedPerSet,
+		Requests:        s.requests.Load(),
+		ListSwaps:       s.swaps.Load(),
+	})
+}

@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rwskit/internal/core"
+	"rwskit/internal/dataset"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	list, err := dataset.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(list)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("%s: Content-Type = %q", url, ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("%s: decoding body: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	var body struct {
+		OK   bool `json:"ok"`
+		Sets int  `json:"sets"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !body.OK || body.Sets != 41 {
+		t.Errorf("healthz = %+v, want ok with 41 sets", body)
+	}
+}
+
+func TestSameSet(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		a, b    string
+		related bool
+		primary string
+	}{
+		{"bild.de", "autobild.de", true, "bild.de"},
+		{"https://bild.de", "autobild.de", true, "bild.de"}, // origin form accepted
+		{"webvisor.com", "ya.ru", true, "ya.ru"},
+		{"bild.de", "ya.ru", false, ""},
+		{"nosuch.example", "bild.de", false, ""},
+	} {
+		var body SameSetResponse
+		url := fmt.Sprintf("%s/v1/sameset?a=%s&b=%s", ts.URL, tc.a, tc.b)
+		if code := getJSON(t, url, &body); code != http.StatusOK {
+			t.Fatalf("%s: status %d", url, code)
+		}
+		if body.SameSet != tc.related || body.Primary != tc.primary {
+			t.Errorf("sameset(%s, %s) = %+v, want related=%v primary=%q",
+				tc.a, tc.b, body, tc.related, tc.primary)
+		}
+	}
+}
+
+func TestSetLookup(t *testing.T) {
+	_, ts := newTestServer(t)
+	var body SetResponse
+	if code := getJSON(t, ts.URL+"/v1/set?site=webvisor.com", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !body.Found || body.Role != "associated" || body.Primary != "ya.ru" {
+		t.Errorf("set(webvisor.com) = %+v", body)
+	}
+	if len(body.Members) == 0 || body.Members[0].Role != "primary" {
+		t.Errorf("members should lead with the primary: %+v", body.Members)
+	}
+
+	body = SetResponse{}
+	if code := getJSON(t, ts.URL+"/v1/set?site=nosuch.example", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body.Found || body.Primary != "" {
+		t.Errorf("set(nosuch.example) = %+v, want not found", body)
+	}
+}
+
+func TestPartitionPolicies(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		policy   string
+		top, emb string
+		decision string
+		granted  bool
+	}{
+		// Same set: Chrome+RWS auto-grants, strict never, prompt needs the
+		// (declining) user, legacy never partitioned to begin with.
+		{"rws", "bild.de", "autobild.de", "granted-auto", true},
+		{"strict", "bild.de", "autobild.de", "denied", false},
+		{"prompt", "bild.de", "autobild.de", "denied-by-prompt", false},
+		{"legacy", "bild.de", "autobild.de", "granted-auto", true},
+		// Cross-set: RWS falls back to deny.
+		{"rws", "bild.de", "ya.ru", "denied-by-prompt", false},
+		// Service-site rules: a service site can never be the grant's
+		// top-level site.
+		{"rws", "yastatic.net", "ya.ru", "denied", false},
+		// A service member embedded under the set primary is auto-granted
+		// (the user has interacted with a non-service member: the visit).
+		{"rws", "ya.ru", "yastatic.net", "granted-auto", true},
+	} {
+		var body PartitionResponse
+		url := fmt.Sprintf("%s/v1/partition?policy=%s&top=%s&embedded=%s",
+			ts.URL, tc.policy, tc.top, tc.emb)
+		if code := getJSON(t, url, &body); code != http.StatusOK {
+			t.Fatalf("%s: status %d", url, code)
+		}
+		if body.Decision != tc.decision || body.Granted != tc.granted {
+			t.Errorf("partition(%s, top=%s, embedded=%s) = %s/granted=%v, want %s/granted=%v",
+				tc.policy, tc.top, tc.emb, body.Decision, body.Granted, tc.decision, tc.granted)
+		}
+	}
+}
+
+func TestStatsAndCounters(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Generate a little traffic first.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	var body StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body.Sets != 41 || body.AssociatedSites != 108 {
+		t.Errorf("stats = %+v, want the 41-set / 108-associated snapshot", body)
+	}
+	if body.Requests < 4 {
+		t.Errorf("requests_served = %d, want >= 4", body.Requests)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{
+		"/v1/sameset",
+		"/v1/sameset?a=bild.de",
+		"/v1/set",
+		"/v1/partition?top=bild.de",
+		"/v1/partition?top=a.com&embedded=b.com&policy=bogus",
+	} {
+		var body struct {
+			Error string `json:"error"`
+		}
+		if code := getJSON(t, ts.URL+path, &body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, code)
+		}
+		if body.Error == "" {
+			t.Errorf("%s: empty error body", path)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/sameset?a=x&b=y", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHotSwapUnderTraffic: queries answered before and after a Swap must
+// reflect the snapshot in force at the time, with no restart and no
+// in-between state.
+func TestHotSwapUnderTraffic(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	sameSet := func(a, b string) bool {
+		t.Helper()
+		var body SameSetResponse
+		if code := getJSON(t, fmt.Sprintf("%s/v1/sameset?a=%s&b=%s", ts.URL, a, b), &body); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		return body.SameSet
+	}
+
+	if !sameSet("bild.de", "autobild.de") {
+		t.Fatal("seed snapshot should relate bild.de and autobild.de")
+	}
+
+	// Swap in a tiny replacement list where a different pair is related.
+	replacement, err := core.ParseJSON([]byte(`{"sets":[{
+	  "primary": "https://example.com",
+	  "associatedSites": ["https://example-blog.com"],
+	  "rationaleBySite": {"https://example-blog.com": "same brand"}
+	}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Swap(replacement)
+
+	if sameSet("bild.de", "autobild.de") {
+		t.Error("after swap, the old list should no longer answer")
+	}
+	if !sameSet("example.com", "example-blog.com") {
+		t.Error("after swap, the new list should answer")
+	}
+
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Sets != 1 || st.ListSwaps != 1 {
+		t.Errorf("stats after swap = %+v, want 1 set and 1 swap", st)
+	}
+
+	// Swap back; the original snapshot serves again.
+	orig, err := dataset.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Swap(orig)
+	if !sameSet("bild.de", "autobild.de") {
+		t.Error("after swapping back, the seed snapshot should answer again")
+	}
+}
+
+// TestConcurrentQueriesDuringSwaps hammers the read path while the list
+// is swapped continuously (run with -race): every response must be
+// internally consistent with one snapshot or the other.
+func TestConcurrentQueriesDuringSwaps(t *testing.T) {
+	s, ts := newTestServer(t)
+	orig := s.List()
+	alt, err := core.ParseJSON([]byte(`{"sets":[{
+	  "primary": "https://example.com",
+	  "associatedSites": ["https://example-blog.com"],
+	  "rationaleBySite": {"https://example-blog.com": "same brand"}
+	}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if i%2 == 0 {
+				s.Swap(alt)
+			} else {
+				s.Swap(orig)
+			}
+		}
+	}()
+
+	client := ts.Client()
+	for i := 0; i < 100; i++ {
+		resp, err := client.Get(ts.URL + "/v1/sameset?a=bild.de&b=autobild.de")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body SameSetResponse
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d mid-swap", resp.StatusCode)
+		}
+	}
+	<-done
+}

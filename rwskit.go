@@ -15,9 +15,12 @@
 //     (strict, prompt-based, Chrome+RWS, legacy unpartitioned);
 //   - the paper's measurement pipelines: the §3 relatedness user study,
 //     SLD edit-distance and HTML-similarity analyses, list composition
-//     and category timelines, and the GitHub governance analysis; and
-//   - an experiment runner that regenerates every table and figure in the
-//     paper's evaluation (see EXPERIMENTS.md).
+//     and category timelines, and the GitHub governance analysis;
+//   - a parallel experiment runner that regenerates every table and figure
+//     in the paper's evaluation (see EXPERIMENTS.md), sharing one build of
+//     each expensive intermediate across experiments; and
+//   - an HTTP query service (rws-serve) answering relatedness, set, and
+//     storage-partitioning queries against a hot-swappable list snapshot.
 //
 // # Quick start
 //
@@ -44,6 +47,7 @@ import (
 	"rwskit/internal/disconnect"
 	"rwskit/internal/domain"
 	"rwskit/internal/psl"
+	"rwskit/internal/serve"
 	"rwskit/internal/validate"
 	"rwskit/internal/wellknown"
 )
@@ -201,6 +205,15 @@ func NewIndicatingRWSBrowser(list *List) (*Browser, *IndicatingPolicy) {
 	p := &browser.IndicatingPolicy{Inner: browser.RWSPolicy{List: list}}
 	return browser.New(p), p
 }
+
+// Server answers RWS queries over HTTP (sameset, set, partition, stats)
+// against a hot-swappable list snapshot. See rwskit/internal/serve for
+// the endpoint contract and cmd/rws-serve for the standalone binary.
+type Server = serve.Server
+
+// NewServer returns an http.Handler serving RWS queries against list.
+// Server.Swap hot-swaps the snapshot under traffic.
+func NewServer(list *List) *Server { return serve.New(list) }
 
 // Artifact is one regenerated table or figure.
 type Artifact = analysis.Artifact
