@@ -1,30 +1,40 @@
 // Command rws-serve exposes Related Website Sets queries as an HTTP
 // service: relatedness checks, set lookups, storage-partitioning
-// verdicts, and list statistics.
+// verdicts, list statistics, and server metrics.
 //
 // Usage:
 //
-//	rws-serve [-addr :8080] [-list file]
+//	rws-serve [-addr :8080] [-list file] [-poll interval]
 //
 // Without -list, the embedded reconstruction of the 26 March 2024
 // snapshot is served. With -list, SIGHUP re-reads the file and hot-swaps
-// the snapshot without dropping traffic.
+// the snapshot without dropping traffic; -poll additionally re-reads it
+// on a ticker, gated on mtime/size and the list content hash, logging
+// the diff of what changed. SIGINT/SIGTERM drain in-flight requests
+// before exiting.
 //
 // Endpoints:
 //
-//	GET /healthz
-//	GET /v1/sameset?a=SITE&b=SITE
-//	GET /v1/set?site=SITE
-//	GET /v1/partition?top=SITE&embedded=SITE[&policy=rws|strict|prompt|legacy]
-//	GET /v1/stats
+//	GET  /healthz
+//	GET  /v1/sameset?a=SITE&b=SITE          (or ?pairs=a1,b1;a2,b2;...)
+//	GET  /v1/set?site=SITE
+//	GET  /v1/partition?top=SITE&embedded=SITE[&policy=rws|strict|prompt|legacy]
+//	POST /v1/partition/batch
+//	GET  /v1/stats
+//	GET  /v1/metrics
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -34,49 +44,105 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
 		fmt.Fprintln(os.Stderr, "rws-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
-	addr, listPath, err := parseFlags(args)
+// run serves until ctx is cancelled (gracefully draining in-flight
+// requests) or the listener fails. ready, if non-nil, is called with the
+// bound address once the server is listening — the test hook.
+func run(ctx context.Context, args []string, ready func(addr string)) error {
+	cfg, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
-	list, err := loadList(listPath)
+	// Stat the list file before reading it: if a writer lands between the
+	// stat and the load, the recorded mtime is older than the file's, so
+	// the next poll re-reads (the safe direction) instead of pairing the
+	// new mtime with the old content and skipping forever.
+	var preStat os.FileInfo
+	if cfg.listPath != "" {
+		preStat, _ = os.Stat(cfg.listPath)
+	}
+	list, err := loadList(cfg.listPath)
 	if err != nil {
 		return err
 	}
 	srv := serve.New(list)
 
-	if listPath != "" {
+	// cancel releases the reload goroutine on every exit path, including
+	// a listener failure where ctx itself was never cancelled.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	if cfg.listPath != "" {
+		rl := newReloader(cfg.listPath, srv.Snapshot().Hash(), preStat)
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)
+		var tick <-chan time.Time
+		var ticker *time.Ticker
+		if cfg.poll > 0 {
+			ticker = time.NewTicker(cfg.poll)
+			tick = ticker.C
+		}
+		wg.Add(1)
 		go func() {
-			for range hup {
-				fresh, err := loadList(listPath)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "rws-serve: reload failed, keeping current list:", err)
-					continue
+			defer wg.Done()
+			defer signal.Stop(hup)
+			if ticker != nil {
+				defer ticker.Stop()
+			}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+					rl.reload(srv, true, os.Stderr)
+				case <-tick:
+					rl.reload(srv, false, os.Stderr)
 				}
-				srv.Swap(fresh)
-				fmt.Fprintf(os.Stderr, "rws-serve: reloaded %s (%d sets)\n", listPath, fresh.NumSets())
 			}
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "rws-serve: serving %d sets on %s\n", list.NumSets(), addr)
-	return newHTTPServer(addr, srv).ListenAndServe()
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := newHTTPServer(srv)
+	fmt.Fprintf(os.Stderr, "rws-serve: serving %d sets on %s\n", list.NumSets(), ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		cancel()
+		wg.Wait()
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "rws-serve: shutting down, draining in-flight requests")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := httpSrv.Shutdown(shutCtx)
+		<-errc // Serve has returned http.ErrServerClosed
+		wg.Wait()
+		return err
+	}
 }
 
 // newHTTPServer wraps a handler with the timeouts a public-facing
 // service needs (slow-header and idle connections must not pin
 // goroutines forever).
-func newHTTPServer(addr string, handler http.Handler) *http.Server {
+func newHTTPServer(handler http.Handler) *http.Server {
 	return &http.Server{
-		Addr:              addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
@@ -85,17 +151,30 @@ func newHTTPServer(addr string, handler http.Handler) *http.Server {
 	}
 }
 
-func parseFlags(args []string) (addr, listPath string, err error) {
+type config struct {
+	addr     string
+	listPath string
+	poll     time.Duration
+}
+
+func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("rws-serve", flag.ContinueOnError)
 	a := fs.String("addr", ":8080", "listen address")
 	l := fs.String("list", "", "list JSON file (default: embedded snapshot; SIGHUP reloads)")
+	p := fs.Duration("poll", 0, "re-read -list on this interval (0 disables; mtime/hash gated)")
 	if err := fs.Parse(args); err != nil {
-		return "", "", err
+		return config{}, err
 	}
 	if fs.NArg() != 0 {
-		return "", "", fmt.Errorf("usage: rws-serve [-addr :8080] [-list file]")
+		return config{}, fmt.Errorf("usage: rws-serve [-addr :8080] [-list file] [-poll interval]")
 	}
-	return *a, *l, nil
+	if *p > 0 && *l == "" {
+		return config{}, fmt.Errorf("-poll requires -list")
+	}
+	if *p < 0 {
+		return config{}, fmt.Errorf("-poll must be >= 0")
+	}
+	return config{addr: *a, listPath: *l, poll: *p}, nil
 }
 
 func loadList(path string) (*core.List, error) {
@@ -107,4 +186,81 @@ func loadList(path string) (*core.List, error) {
 		return nil, err
 	}
 	return core.ParseJSON(data)
+}
+
+// reloader re-reads a list file into a server's snapshot. Polls are gated
+// twice: on the file's (mtime, size), so an unchanged file costs one stat,
+// and on the list content hash, so a rewrite with identical content (or a
+// touch(1)) never swaps the snapshot. A SIGHUP forces the read but still
+// respects the hash gate.
+type reloader struct {
+	path  string
+	mtime time.Time
+	size  int64
+	hash  string
+}
+
+// newReloader seeds the stat gate from fi, the os.Stat taken BEFORE the
+// initial load (nil if it failed — the first poll then re-reads).
+func newReloader(path, hash string, fi os.FileInfo) *reloader {
+	rl := &reloader{path: path, hash: hash}
+	if fi != nil {
+		rl.mtime, rl.size = fi.ModTime(), fi.Size()
+	}
+	return rl
+}
+
+// reload performs one reload attempt, logging to logw. It reports whether
+// a new snapshot was swapped in.
+func (rl *reloader) reload(srv *serve.Server, force bool, logw io.Writer) bool {
+	fi, err := os.Stat(rl.path)
+	if err != nil {
+		fmt.Fprintf(logw, "rws-serve: stat %s failed, keeping current list: %v\n", rl.path, err)
+		return false
+	}
+	if !force && fi.ModTime().Equal(rl.mtime) && fi.Size() == rl.size {
+		return false
+	}
+	fresh, err := loadList(rl.path)
+	if err != nil {
+		fmt.Fprintf(logw, "rws-serve: reload failed, keeping current list: %v\n", err)
+		return false
+	}
+	rl.mtime, rl.size = fi.ModTime(), fi.Size()
+	h := fresh.Hash()
+	if h == rl.hash {
+		return false
+	}
+	diff := core.DiffLists(srv.List(), fresh)
+	srv.Swap(fresh)
+	rl.hash = h
+	fmt.Fprintf(logw, "rws-serve: reloaded %s (%d sets): %s\n", rl.path, fresh.NumSets(), diffSummary(diff))
+	return true
+}
+
+// diffSummary renders a core diff compactly for the reload log: counts
+// plus the first few names per category.
+func diffSummary(d core.Diff) string {
+	if d.Empty() {
+		return "no semantic changes"
+	}
+	var parts []string
+	add := func(label string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		const show = 3
+		names := items
+		suffix := ""
+		if len(names) > show {
+			names = names[:show]
+			suffix = ", ..."
+		}
+		parts = append(parts, fmt.Sprintf("%s %d (%s%s)", label, len(items), strings.Join(names, ", "), suffix))
+	}
+	add("+sets", d.AddedSets)
+	add("-sets", d.RemovedSets)
+	add("+members", d.AddedMembers)
+	add("-members", d.RemovedMembers)
+	return strings.Join(parts, ", ")
 }

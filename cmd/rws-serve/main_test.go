@@ -1,21 +1,35 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
+
+	"rwskit/internal/serve"
 )
 
 func TestParseFlags(t *testing.T) {
-	addr, listPath, err := parseFlags([]string{"-addr", ":9999", "-list", "x.json"})
+	cfg, err := parseFlags([]string{"-addr", ":9999", "-list", "x.json", "-poll", "30s"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != ":9999" || listPath != "x.json" {
-		t.Errorf("parseFlags = %q, %q", addr, listPath)
+	if cfg.addr != ":9999" || cfg.listPath != "x.json" || cfg.poll != 30*time.Second {
+		t.Errorf("parseFlags = %+v", cfg)
 	}
-	if _, _, err := parseFlags([]string{"extra-arg"}); err == nil {
+	if _, err := parseFlags([]string{"extra-arg"}); err == nil {
 		t.Error("positional args should be rejected")
+	}
+	if _, err := parseFlags([]string{"-poll", "10s"}); err == nil {
+		t.Error("-poll without -list should be rejected")
+	}
+	if _, err := parseFlags([]string{"-list", "x.json", "-poll", "-1s"}); err == nil {
+		t.Error("negative -poll should be rejected")
 	}
 }
 
@@ -40,5 +54,154 @@ func TestLoadListEmbeddedAndFile(t *testing.T) {
 
 	if _, err := loadList(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+const oneSetJSON = `{"sets":[{"primary":"https://a.com","associatedSites":["https://b.com"]}]}`
+const twoSetJSON = `{"sets":[
+  {"primary":"https://a.com","associatedSites":["https://b.com"]},
+  {"primary":"https://c.com","associatedSites":["https://d.com"]}
+]}`
+
+// TestReloader exercises the poll gates directly: mtime/size gate, hash
+// gate, forced reload, and the diff log line.
+func TestReloader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "list.json")
+	if err := os.WriteFile(path, []byte(oneSetJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	list, err := loadList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(list)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := newReloader(path, srv.Snapshot().Hash(), fi)
+
+	var log strings.Builder
+	if rl.reload(srv, false, &log) {
+		t.Error("unchanged file should not swap")
+	}
+
+	// Same content rewritten with a future mtime: the stat gate opens, the
+	// hash gate must hold.
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	if rl.reload(srv, false, &log) {
+		t.Error("identical content should not swap, even with a new mtime")
+	}
+
+	// Real change: must swap and log the diff.
+	if err := os.WriteFile(path, []byte(twoSetJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future = future.Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	log.Reset()
+	if !rl.reload(srv, false, &log) {
+		t.Fatal("changed content should swap")
+	}
+	if srv.List().NumSets() != 2 {
+		t.Errorf("server has %d sets after reload, want 2", srv.List().NumSets())
+	}
+	if !strings.Contains(log.String(), "+sets 1 (c.com)") {
+		t.Errorf("reload log should summarise the diff, got %q", log.String())
+	}
+
+	// Forced reload (SIGHUP path) with no change: hash gate still holds.
+	if rl.reload(srv, true, &log) {
+		t.Error("forced reload of identical content should not swap")
+	}
+
+	// Parse failure keeps the current list.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log.Reset()
+	if rl.reload(srv, true, &log) {
+		t.Error("broken file should not swap")
+	}
+	if srv.List().NumSets() != 2 {
+		t.Error("broken file must keep the current snapshot")
+	}
+	if !strings.Contains(log.String(), "keeping current list") {
+		t.Errorf("broken reload should be logged, got %q", log.String())
+	}
+}
+
+// TestRunServesPollsAndShutsDown drives the full binary loop: start on a
+// random port, watch -poll pick up a list change, then cancel the context
+// and require a clean drain.
+func TestRunServesPollsAndShutsDown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "list.json")
+	if err := os.WriteFile(path, []byte(oneSetJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-list", path, "-poll", "10ms"},
+			func(addr string) { addrc <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-errc:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	numSets := func() int {
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/stats", addr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body serve.StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Sets
+	}
+	if n := numSets(); n != 1 {
+		t.Fatalf("initial sets = %d, want 1", n)
+	}
+
+	// Change the file; the poll loop must swap it in without a signal.
+	if err := os.WriteFile(path, []byte(twoSetJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for numSets() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("poll loop never picked up the new list")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancel")
 	}
 }

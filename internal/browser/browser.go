@@ -87,6 +87,28 @@ func (d Decision) String() string {
 	}
 }
 
+// Verdict is the outcome of one fresh-profile partition experiment: the
+// requestStorageAccess decision and whether the frame ends up with
+// unpartitioned storage access.
+type Verdict struct {
+	Decision Decision
+	Granted  bool
+}
+
+// EvaluateFresh runs the canonical partition experiment on a fresh profile
+// under policy p: visit top as the top-level page (the state every embedded
+// storage-access request starts from), embed embedded, and call
+// requestStorageAccess. For list members the outcome depends only on
+// (topRole, embRole, sameSet) — the properties Decide consults on a fresh
+// profile — which is what lets a serving layer enumerate the verdicts into
+// a lookup table ahead of time instead of building a Browser per request.
+func EvaluateFresh(p Policy, top, embedded string) Verdict {
+	b := New(p)
+	frame := b.VisitTop(top).Embed(embedded)
+	d := frame.RequestStorageAccess()
+	return Verdict{Decision: d, Granted: frame.HasStorageAccess()}
+}
+
 // PromptFunc models the user's response to a storage-access prompt.
 type PromptFunc func(embedded, topLevel string) bool
 

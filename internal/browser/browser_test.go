@@ -297,3 +297,40 @@ func BenchmarkTrackingJourney(b *testing.B) {
 		SimulateTracking(br, tops, "webvisor.com", true)
 	}
 }
+
+// TestEvaluateFresh holds the packaged fresh-profile experiment to the
+// manual sequence it replaces, for every decision shape the policies
+// produce.
+func TestEvaluateFresh(t *testing.T) {
+	list := testList(t)
+	cases := []struct {
+		name     string
+		policy   Policy
+		top, emb string
+		decision Decision
+		granted  bool
+	}{
+		{"rws same set", RWSPolicy{List: list}, "bild.de", "autobild.de", GrantedAuto, true},
+		{"rws cross set", RWSPolicy{List: list}, "bild.de", "ya.ru", DeniedByPrompt, false},
+		{"rws service top", RWSPolicy{List: list}, "bild-static.de", "bild.de", Denied, false},
+		{"rws service embedded", RWSPolicy{List: list}, "bild.de", "bild-static.de", GrantedAuto, true},
+		{"strict", StrictPolicy{}, "bild.de", "autobild.de", Denied, false},
+		{"prompt declining", PromptPolicy{}, "bild.de", "autobild.de", DeniedByPrompt, false},
+		{"legacy", LegacyPolicy{}, "bild.de", "ya.ru", GrantedAuto, true},
+		{"same site", StrictPolicy{}, "bild.de", "bild.de", GrantedAuto, true},
+	}
+	for _, tc := range cases {
+		got := EvaluateFresh(tc.policy, tc.top, tc.emb)
+		if got.Decision != tc.decision || got.Granted != tc.granted {
+			t.Errorf("%s: EvaluateFresh = %v/granted=%v, want %v/granted=%v",
+				tc.name, got.Decision, got.Granted, tc.decision, tc.granted)
+		}
+		// The packaged experiment must agree with the manual sequence.
+		b := New(tc.policy)
+		f := b.VisitTop(tc.top).Embed(tc.emb)
+		d := f.RequestStorageAccess()
+		if got.Decision != d || got.Granted != f.HasStorageAccess() {
+			t.Errorf("%s: EvaluateFresh diverges from the manual sequence", tc.name)
+		}
+	}
+}

@@ -25,6 +25,8 @@ package core
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -491,6 +493,36 @@ func setToJSON(s *Set) jsonSet {
 	return js
 }
 
+// Hash returns a hex SHA-256 digest of the list's semantic content: sets
+// ordered by primary, members in deterministic order, rationales by sorted
+// key. Two lists hash equal iff they describe the same sets, independent of
+// input formatting or set order — the cheap identity check reload/poll
+// loops use to gate a snapshot swap.
+func (l *List) Hash() string {
+	h := sha256.New()
+	ordered := append([]*Set(nil), l.sets...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Primary < ordered[j].Primary })
+	for _, s := range ordered {
+		fmt.Fprintf(h, "set\x00%s\x00%s\x00", s.Primary, s.Contact)
+		for _, m := range s.Members() {
+			fmt.Fprintf(h, "m\x00%d\x00%s\x00%s\x00", int(m.Role), m.Site, m.AliasOf)
+		}
+		for _, site := range sortedStringKeys(s.RationaleBySite) {
+			fmt.Fprintf(h, "r\x00%s\x00%s\x00", site, s.RationaleBySite[site])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func sortedStringKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Diff describes how a list changed between two snapshots.
 type Diff struct {
 	// AddedSets and RemovedSets identify sets (by primary) present in only
@@ -573,13 +605,42 @@ func canonicalOrigin(s string) (string, error) {
 	return o.Host(), nil
 }
 
-// canonicalHost lowercases and strips an optional https:// prefix so lookup
-// functions accept either form.
+// CanonicalHost normalizes a site spelling to the canonical bare-host form
+// list lookups use: lowercased, scheme prefix ("https://" or "http://"),
+// ":port" suffix, trailing slash, and trailing root-label dot stripped,
+// whitespace trimmed on both sides of the prefix strip. All of
+// "example.com", "HTTPS://EXAMPLE.COM:443/", "http://example.com", and
+// "example.com." canonicalize to "example.com", so lookup functions answer
+// the same for every legitimate spelling of a host. List parsing
+// (canonicalOrigin) stays strict and is unaffected.
+func CanonicalHost(s string) string { return canonicalHost(s) }
+
+// canonicalHost is CanonicalHost; lookup functions call it directly.
 func canonicalHost(s string) string {
 	s = strings.TrimSpace(strings.ToLower(s))
 	s = strings.TrimPrefix(s, "https://")
+	s = strings.TrimPrefix(s, "http://")
+	s = strings.TrimSpace(s)
 	s = strings.TrimSuffix(s, "/")
+	if i := strings.LastIndexByte(s, ':'); i >= 0 && isPort(s[i+1:]) {
+		s = s[:i]
+	}
+	s = strings.TrimSuffix(s, ".")
 	return s
+}
+
+// isPort reports whether s is a plausible port number, so ":443" is
+// stripped but an IPv6-ish or malformed suffix is left alone.
+func isPort(s string) bool {
+	if len(s) == 0 || len(s) > 5 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // originOf renders a canonical host in upstream origin form.

@@ -94,6 +94,89 @@ func TestSameSet(t *testing.T) {
 	}
 }
 
+func TestCanonicalHost(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"example.com", "example.com"},
+		{"EXAMPLE.COM", "example.com"},
+		{"https://example.com", "example.com"},
+		{"https://example.com/", "example.com"},
+		{"http://example.com", "example.com"},
+		{"http://example.com/", "example.com"},
+		{"example.com:443", "example.com"},
+		{"example.com:8080", "example.com"},
+		{"https://example.com:443/", "example.com"},
+		{"http://example.com:80", "example.com"},
+		{"example.com.", "example.com"},
+		{"example.com.:443", "example.com"},
+		{"HTTPS://EXAMPLE.COM:443/", "example.com"},
+		{"  example.com  ", "example.com"},
+		{"  https://example.com", "example.com"},
+		// Not ports: malformed suffixes stay put rather than corrupting
+		// the host.
+		{"example.com:http", "example.com:http"},
+		{"example.com:", "example.com:"},
+		{"example.com:123456", "example.com:123456"},
+	}
+	for _, tc := range cases {
+		if got := CanonicalHost(tc.in); got != tc.want {
+			t.Errorf("CanonicalHost(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestLookupsAcceptHostSpellings: every lookup function must answer the
+// same for every legitimate spelling of a member host — ports, schemes,
+// and trailing dots previously produced false negatives.
+func TestLookupsAcceptHostSpellings(t *testing.T) {
+	l := mustParse(t, sampleListJSON)
+	for _, spelling := range []string{
+		"bild.de", "BILD.DE", "https://bild.de", "http://bild.de",
+		"bild.de:443", "bild.de.", "http://BILD.DE:80/",
+	} {
+		if !l.SameSet(spelling, "autobild.de") {
+			t.Errorf("SameSet(%q, autobild.de) = false, want true", spelling)
+		}
+		if !l.SameSetScan(spelling, "autobild.de") {
+			t.Errorf("SameSetScan(%q, autobild.de) = false, want true", spelling)
+		}
+		set, role, ok := l.FindSet(spelling)
+		if !ok || role != RolePrimary || set.Primary != "bild.de" {
+			t.Errorf("FindSet(%q) = %v/%v/%v, want bild.de primary", spelling, set, role, ok)
+		}
+	}
+}
+
+func TestHash(t *testing.T) {
+	l := mustParse(t, sampleListJSON)
+	h := l.Hash()
+	if len(h) != 64 {
+		t.Fatalf("Hash() = %q, want 64 hex chars", h)
+	}
+	if l.Hash() != h {
+		t.Error("Hash should be deterministic")
+	}
+	// Formatting and set order must not affect the hash: round-trip
+	// through the canonical serialization.
+	raw, err := l.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != h {
+		t.Error("Hash should survive a serialization round trip")
+	}
+	// Any semantic change must move the hash.
+	other := mustParse(t, `{"sets":[{"primary":"https://bild.de","associatedSites":["https://autobild.de"]}]}`)
+	if other.Hash() == h {
+		t.Error("different lists should hash differently")
+	}
+}
+
 func TestParseRejectsNonHTTPS(t *testing.T) {
 	bad := `{"sets":[{"primary":"http://example.com"}]}`
 	if _, err := ParseJSON([]byte(bad)); err == nil {

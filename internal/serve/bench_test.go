@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	neturl "net/url"
+	"strings"
 	"testing"
 
+	"rwskit/internal/browser"
 	"rwskit/internal/dataset"
 )
 
@@ -56,23 +59,26 @@ func BenchmarkServePartition(b *testing.B) {
 }
 
 // BenchmarkServeSameSetUnderSwaps measures the read path while a writer
-// hot-swaps the snapshot continuously — the reload-under-traffic scenario.
+// hot-swaps the snapshot continuously — the reload-under-traffic
+// scenario. The snapshots are prebuilt so the writer exercises the
+// atomic install, not the (off-path, once-per-reload) precompute.
 func BenchmarkServeSameSetUnderSwaps(b *testing.B) {
 	list, err := dataset.List()
 	if err != nil {
 		b.Fatal(err)
 	}
 	s := New(list)
+	snaps := [2]*Snapshot{NewSnapshot(list), NewSnapshot(list)}
 	ts := httptest.NewServer(s)
 	b.Cleanup(ts.Close)
 	stop := make(chan struct{})
 	go func() {
-		for {
+		for i := 0; ; i++ {
 			select {
 			case <-stop:
 				return
 			default:
-				s.Swap(list)
+				s.SwapSnapshot(snaps[i%2])
 			}
 		}
 	}()
@@ -111,6 +117,115 @@ func BenchmarkHandlerSameSet(b *testing.B) {
 		s.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
 			b.Fatal(fmt.Errorf("status %d", rec.Code))
+		}
+	}
+}
+
+// BenchmarkHandlerPartition is the handler-level partition cost on the
+// precomputed snapshot plane.
+func BenchmarkHandlerPartition(b *testing.B) {
+	list, err := dataset.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(list)
+	req := httptest.NewRequest(http.MethodGet, "/v1/partition?top=bild.de&embedded=autobild.de", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatal(fmt.Errorf("status %d", rec.Code))
+		}
+	}
+}
+
+// BenchmarkPartition is the verdict-table lookup for a list-member pair —
+// the hot core of /v1/partition after the snapshot precompute.
+func BenchmarkPartition(b *testing.B) {
+	list, err := dataset.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := NewSnapshot(list)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := snap.Partition("rws", "bild.de", "autobild.de")
+		if err != nil || resp.Decision != "granted-auto" {
+			b.Fatalf("partition = %+v, %v", resp, err)
+		}
+	}
+}
+
+// BenchmarkPartitionLiveBaseline is the PR-1 per-request cost the table
+// replaces: a fresh browser profile (four map allocations) plus a visit,
+// embed, and requestStorageAccess per query.
+func BenchmarkPartitionLiveBaseline(b *testing.B) {
+	list, err := dataset.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	policy := browser.RWSPolicy{List: list}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := browser.EvaluateFresh(policy, "bild.de", "autobild.de")
+		if v.Decision != browser.GrantedAuto {
+			b.Fatalf("decision = %v", v.Decision)
+		}
+		_ = list.SameSet("bild.de", "autobild.de")
+	}
+}
+
+// BenchmarkServeSameSetBatch answers 50 pairs per request over HTTP — the
+// amortization the batch endpoint buys for the user-effect site-pair
+// sweeps.
+func BenchmarkServeSameSetBatch(b *testing.B) {
+	list, err := dataset.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pairs []string
+	for _, s := range list.Sets() {
+		pairs = append(pairs, s.Primary+","+s.Primary)
+		if len(pairs) == 50 {
+			break
+		}
+	}
+	ts := httptest.NewServer(New(list))
+	b.Cleanup(ts.Close)
+	client := ts.Client()
+	url := ts.URL + "/v1/sameset?pairs=" + neturl.QueryEscape(strings.Join(pairs, ";"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	})
+}
+
+// BenchmarkSnapshotBuild is the Swap-time precompute cost — the price paid
+// once per reload so every request afterwards is a lookup.
+func BenchmarkSnapshotBuild(b *testing.B) {
+	list, err := dataset.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap := NewSnapshot(list); snap.NumSets() == 0 {
+			b.Fatal("empty snapshot")
 		}
 	}
 }

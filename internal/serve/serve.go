@@ -3,63 +3,135 @@
 // list snapshot. It is the serving layer the ROADMAP's "millions of
 // users" north star asks for on top of the rwskit core.
 //
-// The list snapshot is held in an atomic pointer, so it can be hot-swapped
-// (e.g. on SIGHUP, or when upstream publishes a new
-// related_website_sets.JSON) without pausing traffic: in-flight requests
-// finish against the snapshot they started with, new requests see the new
-// list. Handlers allocate nothing shared and take no locks on the read
-// path.
+// Queries are answered from a Snapshot — a precomputed query plane
+// (normalized host index, per-role membership tables, per-policy
+// partition-verdict table, composition stats) derived from a *core.List
+// once, at New/Swap time. The snapshot is held in an atomic pointer, so
+// it can be hot-swapped (e.g. on SIGHUP, on a -poll tick, or when
+// upstream publishes a new related_website_sets.JSON) without pausing
+// traffic: in-flight requests finish against the snapshot they started
+// with, new requests see the new one. Handlers allocate nothing shared
+// and take no locks on the read path; per-endpoint metrics are plain
+// atomics.
 //
 // Endpoints:
 //
-//	GET /healthz                                    liveness probe
-//	GET /v1/sameset?a=SITE&b=SITE                   are two sites related?
-//	GET /v1/set?site=SITE                           the set a site belongs to
-//	GET /v1/partition?top=SITE&embedded=SITE[&policy=P]
+//	GET  /healthz                                   liveness probe
+//	GET  /v1/sameset?a=SITE&b=SITE                  are two sites related?
+//	GET  /v1/sameset?pairs=a1,b1;a2,b2;...          batch form
+//	GET  /v1/set?site=SITE                          the set a site belongs to
+//	GET  /v1/partition?top=SITE&embedded=SITE[&policy=P]
 //	                                                storage-access verdict
-//	GET /v1/stats                                   list composition + server counters
+//	POST /v1/partition/batch                        batch verdicts (JSON body)
+//	GET  /v1/stats                                  list composition + server counters
+//	GET  /v1/metrics                                per-endpoint request/latency/error counters
+//
+// Host parameters accept any legitimate spelling — scheme prefix, :port
+// suffix, trailing dot, mixed case — and are canonicalized before lookup.
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
 	"sync/atomic"
+	"time"
 
-	"rwskit/internal/browser"
 	"rwskit/internal/core"
 )
 
-// Server answers RWS queries against a hot-swappable list snapshot.
+// endpointID indexes the per-endpoint metrics table.
+type endpointID int
+
+// The instrumented endpoints. epOther covers unmatched paths (the JSON
+// 404 handler).
+const (
+	epHealthz endpointID = iota
+	epSameSet
+	epSet
+	epPartition
+	epPartitionBatch
+	epStats
+	epMetrics
+	epOther
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{
+	epHealthz:        "/healthz",
+	epSameSet:        "/v1/sameset",
+	epSet:            "/v1/set",
+	epPartition:      "/v1/partition",
+	epPartitionBatch: "/v1/partition/batch",
+	epStats:          "/v1/stats",
+	epMetrics:        "/v1/metrics",
+	epOther:          "other",
+}
+
+// endpointCounters is one endpoint's metrics. All fields are atomics so
+// the read path takes no locks.
+type endpointCounters struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64 // responses with status >= 400
+	nanos    atomic.Uint64 // cumulative handler latency
+}
+
+// maxBatchPairs bounds a single batch request, so one query cannot pin a
+// handler goroutine arbitrarily long.
+const maxBatchPairs = 1000
+
+// maxBatchBody bounds the /v1/partition/batch request body.
+const maxBatchBody = 1 << 20
+
+// Server answers RWS queries against a hot-swappable precomputed snapshot.
 type Server struct {
-	list     atomic.Pointer[core.List]
+	snap     atomic.Pointer[Snapshot]
 	requests atomic.Uint64
 	swaps    atomic.Uint64
+	metrics  [numEndpoints]endpointCounters
 	mux      *http.ServeMux
 }
 
-// New returns a server answering queries against list.
+// New returns a server answering queries against list, precomputing the
+// query plane once up front.
 func New(list *core.List) *Server {
 	s := &Server{}
-	s.list.Store(list)
+	s.snap.Store(NewSnapshot(list))
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/sameset", s.handleSameSet)
-	mux.HandleFunc("/v1/set", s.handleSet)
-	mux.HandleFunc("/v1/partition", s.handlePartition)
-	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.instrument(epHealthz, s.handleHealthz))
+	mux.HandleFunc("/v1/sameset", s.instrument(epSameSet, s.handleSameSet))
+	mux.HandleFunc("/v1/set", s.instrument(epSet, s.handleSet))
+	mux.HandleFunc("/v1/partition", s.instrument(epPartition, s.handlePartition))
+	mux.HandleFunc("/v1/partition/batch", s.instrument(epPartitionBatch, s.handlePartitionBatch))
+	mux.HandleFunc("/v1/stats", s.instrument(epStats, s.handleStats))
+	mux.HandleFunc("/v1/metrics", s.instrument(epMetrics, s.handleMetrics))
+	mux.HandleFunc("/", s.instrument(epOther, s.handleNotFound))
 	s.mux = mux
 	return s
 }
 
-// List returns the snapshot currently serving queries.
-func (s *Server) List() *core.List { return s.list.Load() }
+// Snapshot returns the precomputed plane currently serving queries.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
-// Swap atomically replaces the serving snapshot. Safe under traffic:
-// requests already executing keep the list they loaded; subsequent
-// requests see the new one.
+// List returns the list behind the snapshot currently serving queries.
+func (s *Server) List() *core.List { return s.Snapshot().list }
+
+// Swap precomputes a fresh snapshot from list and atomically installs it.
+// Safe under traffic: requests already executing keep the snapshot they
+// loaded; subsequent requests see the new one. The precompute runs on the
+// caller, never on the request path.
 func (s *Server) Swap(list *core.List) {
-	s.list.Store(list)
+	s.SwapSnapshot(NewSnapshot(list))
+}
+
+// SwapSnapshot installs an already-built snapshot, for callers that want
+// to precompute off the serving goroutine entirely.
+func (s *Server) SwapSnapshot(snap *Snapshot) {
+	s.snap.Store(snap)
 	s.swaps.Add(1)
 }
 
@@ -69,17 +141,54 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// statusWriter records the status code a handler wrote, for the error
+// counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with the per-endpoint counters: requests,
+// cumulative latency, and error responses.
+func (s *Server) instrument(id endpointID, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		m := &s.metrics[id]
+		m.requests.Add(1)
+		m.nanos.Add(uint64(time.Since(start).Nanoseconds()))
+		if sw.status >= 400 {
+			m.errors.Add(1)
+		}
+	}
+}
+
 // errorBody is the JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`
 }
 
+// writeJSON writes v as indented JSON. Encoding happens into a buffer
+// before any byte reaches the wire, so an encode failure surfaces as a
+// 500 JSON envelope instead of a truncated 200. Write errors after that
+// mean the client went away; there is nothing left to surface to it.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		status = http.StatusInternalServerError
+		body, _ = json.Marshal(errorBody{Error: "encoding response: " + err.Error()})
+	}
+	body = append(body, '\n')
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	w.Write(body)
 }
 
 func badRequest(w http.ResponseWriter, format string, args ...any) {
@@ -96,13 +205,19 @@ func requireGET(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
+// handleNotFound keeps unmatched paths inside the JSON contract instead
+// of falling through to a plain-text 404.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusNotFound, errorBody{Error: "no such endpoint: " + r.URL.Path})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":   true,
-		"sets": s.List().NumSets(),
+		"sets": s.Snapshot().NumSets(),
 	})
 }
 
@@ -115,23 +230,80 @@ type SameSetResponse struct {
 	Primary string `json:"primary,omitempty"`
 }
 
+// SameSetBatchResponse answers the batch form of /v1/sameset. Results are
+// in input order, so the output is byte-deterministic for a given request
+// and snapshot.
+type SameSetBatchResponse struct {
+	Pairs   int               `json:"pairs"`
+	Results []SameSetResponse `json:"results"`
+}
+
+// pairsParam extracts the pairs parameter. Go's url.Values silently
+// drops keys whose raw value contains a ';' (historically a query
+// separator, rejected since Go 1.17), which would swallow the documented
+// pairs=a1,b1;a2,b2 syntax whenever the caller doesn't percent-encode
+// the semicolons — so fall back to scanning the raw query ourselves.
+func pairsParam(q url.Values, rawQuery string) string {
+	if v := q.Get("pairs"); v != "" {
+		return v
+	}
+	for _, seg := range strings.Split(rawQuery, "&") {
+		if v, ok := strings.CutPrefix(seg, "pairs="); ok {
+			if dec, err := url.QueryUnescape(v); err == nil {
+				return dec
+			}
+			return v
+		}
+	}
+	return ""
+}
+
+// parsePairs parses the pairs parameter: semicolon-separated a,b pairs.
+func parsePairs(raw string) ([][2]string, error) {
+	items := strings.Split(raw, ";")
+	if len(items) > maxBatchPairs {
+		return nil, fmt.Errorf("too many pairs: %d > %d", len(items), maxBatchPairs)
+	}
+	out := make([][2]string, 0, len(items))
+	for i, item := range items {
+		a, b, ok := strings.Cut(item, ",")
+		if !ok || a == "" || b == "" {
+			return nil, fmt.Errorf("pair %d: want \"a,b\", got %q", i, item)
+		}
+		out = append(out, [2]string{a, b})
+	}
+	return out, nil
+}
+
 func (s *Server) handleSameSet(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
 		return
 	}
-	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	q := r.URL.Query()
+	snap := s.Snapshot()
+	if raw := pairsParam(q, r.URL.RawQuery); raw != "" {
+		if q.Get("a") != "" || q.Get("b") != "" {
+			badRequest(w, "use either pairs= or a=/b=, not both")
+			return
+		}
+		pairs, err := parsePairs(raw)
+		if err != nil {
+			badRequest(w, "%v", err)
+			return
+		}
+		resp := SameSetBatchResponse{Pairs: len(pairs), Results: make([]SameSetResponse, len(pairs))}
+		for i, p := range pairs {
+			resp.Results[i] = snap.SameSet(p[0], p[1])
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	a, b := q.Get("a"), q.Get("b")
 	if a == "" || b == "" {
 		badRequest(w, "both a and b query parameters are required")
 		return
 	}
-	list := s.List()
-	resp := SameSetResponse{A: a, B: b, SameSet: list.SameSet(a, b)}
-	if resp.SameSet {
-		if set, _, ok := list.FindSet(a); ok {
-			resp.Primary = set.Primary
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, snap.SameSet(a, b))
 }
 
 // SetMember is one member in a /v1/set response.
@@ -159,20 +331,7 @@ func (s *Server) handleSet(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "site query parameter is required")
 		return
 	}
-	set, role, ok := s.List().FindSet(site)
-	resp := SetResponse{Site: site, Found: ok}
-	if ok {
-		resp.Role = role.String()
-		resp.Primary = set.Primary
-		for _, m := range set.Members() {
-			resp.Members = append(resp.Members, SetMember{
-				Site:    m.Site,
-				Role:    m.Role.String(),
-				AliasOf: m.AliasOf,
-			})
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, s.Snapshot().Set(site))
 }
 
 // PartitionResponse answers /v1/partition: the storage semantics a fresh
@@ -194,25 +353,6 @@ type PartitionResponse struct {
 	Granted bool `json:"granted"`
 }
 
-// policyFor maps the policy query parameter to a vendor policy. The
-// prompt-based policies are modelled with a declining user: the verdict
-// reports what happens with no user opt-in, which is the privacy-relevant
-// default the paper compares vendors on.
-func policyFor(name string, list *core.List) (browser.Policy, error) {
-	switch name {
-	case "", "rws", "chrome":
-		return browser.RWSPolicy{List: list}, nil
-	case "strict", "brave":
-		return browser.StrictPolicy{}, nil
-	case "prompt", "firefox", "safari":
-		return browser.PromptPolicy{}, nil
-	case "legacy", "unpartitioned":
-		return browser.LegacyPolicy{}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q (want rws, strict, prompt, or legacy)", name)
-	}
-}
-
 func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
 		return
@@ -223,24 +363,81 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "both top and embedded query parameters are required")
 		return
 	}
-	list := s.List()
-	policy, err := policyFor(q.Get("policy"), list)
+	resp, err := s.Snapshot().Partition(q.Get("policy"), top, embedded)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
 	}
-	b := browser.New(policy)
-	frame := b.VisitTop(top).Embed(embedded)
-	decision := frame.RequestStorageAccess()
-	writeJSON(w, http.StatusOK, PartitionResponse{
-		Policy:               policy.Name(),
-		Top:                  top,
-		Embedded:             embedded,
-		SameSet:              list.SameSet(top, embedded),
-		PartitionedByDefault: policy.PartitionByDefault(),
-		Decision:             decision.String(),
-		Granted:              frame.HasStorageAccess(),
-	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PartitionQuery is one query in a /v1/partition/batch request. Policy
+// overrides the request-level default for this query only.
+type PartitionQuery struct {
+	Top      string `json:"top"`
+	Embedded string `json:"embedded"`
+	Policy   string `json:"policy,omitempty"`
+}
+
+// PartitionBatchRequest is the POST /v1/partition/batch body.
+type PartitionBatchRequest struct {
+	// Policy is the default policy for queries that do not name their own.
+	Policy  string           `json:"policy,omitempty"`
+	Queries []PartitionQuery `json:"queries"`
+}
+
+// PartitionBatchResponse answers /v1/partition/batch, results in query
+// order.
+type PartitionBatchResponse struct {
+	Queries int                 `json:"queries"`
+	Results []PartitionResponse `json:"results"`
+}
+
+func (s *Server) handlePartitionBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "method not allowed (POST a JSON body)"})
+		return
+	}
+	var req PartitionBatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+			return
+		}
+		badRequest(w, "decoding request body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		badRequest(w, "queries must be non-empty")
+		return
+	}
+	if len(req.Queries) > maxBatchPairs {
+		badRequest(w, "too many queries: %d > %d", len(req.Queries), maxBatchPairs)
+		return
+	}
+	snap := s.Snapshot()
+	resp := PartitionBatchResponse{Queries: len(req.Queries), Results: make([]PartitionResponse, len(req.Queries))}
+	for i, pq := range req.Queries {
+		if pq.Top == "" || pq.Embedded == "" {
+			badRequest(w, "query %d: both top and embedded are required", i)
+			return
+		}
+		policy := pq.Policy
+		if policy == "" {
+			policy = req.Policy
+		}
+		pr, err := snap.Partition(policy, pq.Top, pq.Embedded)
+		if err != nil {
+			badRequest(w, "query %d: %v", i, err)
+			return
+		}
+		resp.Results[i] = pr
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // StatsResponse answers /v1/stats.
@@ -251,6 +448,7 @@ type StatsResponse struct {
 	ServiceSites    int     `json:"service_sites"`
 	CCTLDSites      int     `json:"cctld_sites"`
 	MeanAssociated  float64 `json:"mean_associated_per_set"`
+	SnapshotHash    string  `json:"snapshot_hash"`
 	Requests        uint64  `json:"requests_served"`
 	ListSwaps       uint64  `json:"list_swaps"`
 }
@@ -259,16 +457,61 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
 		return
 	}
-	list := s.List()
-	st := list.Stats()
+	snap := s.Snapshot()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Sets:            st.Sets,
-		Sites:           list.NumSites(),
-		AssociatedSites: st.AssociatedSites,
-		ServiceSites:    st.ServiceSites,
-		CCTLDSites:      st.CCTLDSites,
-		MeanAssociated:  st.MeanAssociatedPerSet,
+		Sets:            snap.stats.Sets,
+		Sites:           snap.numSites,
+		AssociatedSites: snap.stats.AssociatedSites,
+		ServiceSites:    snap.stats.ServiceSites,
+		CCTLDSites:      snap.stats.CCTLDSites,
+		MeanAssociated:  snap.stats.MeanAssociatedPerSet,
+		SnapshotHash:    snap.hash,
 		Requests:        s.requests.Load(),
 		ListSwaps:       s.swaps.Load(),
 	})
+}
+
+// EndpointMetrics is one endpoint's counters in a /v1/metrics response.
+type EndpointMetrics struct {
+	Endpoint string `json:"endpoint"`
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	// TotalLatencyMicros is the cumulative handler time.
+	TotalLatencyMicros uint64 `json:"total_latency_micros"`
+	// MeanLatencyMicros is TotalLatencyMicros / Requests (0 when idle).
+	MeanLatencyMicros float64 `json:"mean_latency_micros"`
+}
+
+// MetricsResponse answers /v1/metrics.
+type MetricsResponse struct {
+	Requests     uint64            `json:"requests_served"`
+	ListSwaps    uint64            `json:"list_swaps"`
+	SnapshotHash string            `json:"snapshot_hash"`
+	Endpoints    []EndpointMetrics `json:"endpoints"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	resp := MetricsResponse{
+		Requests:     s.requests.Load(),
+		ListSwaps:    s.swaps.Load(),
+		SnapshotHash: s.Snapshot().hash,
+		Endpoints:    make([]EndpointMetrics, 0, numEndpoints),
+	}
+	for id := endpointID(0); id < numEndpoints; id++ {
+		m := &s.metrics[id]
+		em := EndpointMetrics{
+			Endpoint:           endpointNames[id],
+			Requests:           m.requests.Load(),
+			Errors:             m.errors.Load(),
+			TotalLatencyMicros: m.nanos.Load() / 1000,
+		}
+		if em.Requests > 0 {
+			em.MeanLatencyMicros = float64(em.TotalLatencyMicros) / float64(em.Requests)
+		}
+		resp.Endpoints = append(resp.Endpoints, em)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

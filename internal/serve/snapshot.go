@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"rwskit/internal/browser"
+	"rwskit/internal/core"
+)
+
+// policyID indexes the vendor policies the serve layer knows about.
+type policyID int
+
+// The vendor policies, in table order.
+const (
+	policyRWS policyID = iota
+	policyStrict
+	policyPrompt
+	policyLegacy
+	numPolicies
+)
+
+// policyFor maps the policy query parameter to a table index. The
+// prompt-based policies are modelled with a declining user: the verdict
+// reports what happens with no user opt-in, which is the privacy-relevant
+// default the paper compares vendors on.
+func policyFor(name string) (policyID, error) {
+	switch name {
+	case "", "rws", "chrome":
+		return policyRWS, nil
+	case "strict", "brave":
+		return policyStrict, nil
+	case "prompt", "firefox", "safari":
+		return policyPrompt, nil
+	case "legacy", "unpartitioned":
+		return policyLegacy, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want rws, strict, prompt, or legacy)", name)
+	}
+}
+
+// policyInfo is the precomputed per-policy metadata plus the live policy
+// value used when a query falls off the precomputed plane.
+type policyInfo struct {
+	name               string
+	partitionByDefault bool
+	live               browser.Policy
+}
+
+// verdict is one precomputed partition outcome. filled distinguishes a
+// computed cell from a role combination the list never produces.
+type verdict struct {
+	decision browser.Decision
+	granted  bool
+	filled   bool
+}
+
+// hostEntry is the precomputed membership record for one canonical host.
+type hostEntry struct {
+	set  *core.Set
+	role core.Role
+}
+
+// numRoles sizes the verdict table's role axes (primary, associated,
+// service, cctld).
+const numRoles = 4
+
+// Snapshot is the precomputed, immutable query plane the server answers
+// from. New derives everything the hot path needs from a *core.List once:
+//
+//   - a normalized host index (every member keyed by canonical host),
+//   - per-role membership tables,
+//   - prebuilt /v1/set member slices per set,
+//   - composition statistics,
+//   - a per-policy partition-verdict table over (topRole, embRole,
+//     sameSet), so /v1/partition for list members is a table lookup
+//     instead of a browser build + visit + embed per request,
+//   - the list's content hash.
+//
+// A Snapshot is never mutated after NewSnapshot returns, so any number of
+// request goroutines may read it without locks; Server.Swap installs a
+// fresh one atomically.
+type Snapshot struct {
+	list *core.List
+	hash string
+
+	hosts   map[string]hostEntry
+	members map[*core.Set][]SetMember
+	byRole  [numRoles][]string
+
+	stats    core.CompositionStats
+	numSites int
+
+	policies [numPolicies]policyInfo
+	// sameSet holds the verdicts for same-set pairs, indexed by
+	// [policy][topRole][embRole]; cross holds the (role-independent)
+	// verdict for pairs that are not in the same set. Policies only
+	// consult roles inside their same-set branch, which is why one cross
+	// cell per policy suffices; TestPartitionTableMatchesLive holds the
+	// tables to the live simulation.
+	sameSet [numPolicies][numRoles][numRoles]verdict
+	cross   [numPolicies]verdict
+}
+
+// NewSnapshot precomputes the query plane for list.
+func NewSnapshot(list *core.List) *Snapshot {
+	s := &Snapshot{
+		list:     list,
+		hash:     list.Hash(),
+		hosts:    make(map[string]hostEntry, list.NumSites()),
+		members:  make(map[*core.Set][]SetMember, list.NumSets()),
+		stats:    list.Stats(),
+		numSites: list.NumSites(),
+	}
+	for _, set := range list.Sets() {
+		ms := set.Members()
+		pre := make([]SetMember, len(ms))
+		for i, m := range ms {
+			pre[i] = SetMember{Site: m.Site, Role: m.Role.String(), AliasOf: m.AliasOf}
+			s.hosts[m.Site] = hostEntry{set: set, role: m.Role}
+			s.byRole[m.Role] = append(s.byRole[m.Role], m.Site)
+		}
+		s.members[set] = pre
+	}
+	for r := range s.byRole {
+		sort.Strings(s.byRole[r])
+	}
+	s.policies = [numPolicies]policyInfo{
+		policyRWS:    {live: browser.RWSPolicy{List: list}},
+		policyStrict: {live: browser.StrictPolicy{}},
+		policyPrompt: {live: browser.PromptPolicy{}},
+		policyLegacy: {live: browser.LegacyPolicy{}},
+	}
+	for pid := range s.policies {
+		info := &s.policies[pid]
+		info.name = info.live.Name()
+		info.partitionByDefault = info.live.PartitionByDefault()
+		s.buildVerdicts(policyID(pid))
+	}
+	return s
+}
+
+// buildVerdicts fills the partition-verdict tables for one policy by
+// running the fresh-profile simulation once per reachable cell.
+func (s *Snapshot) buildVerdicts(pid policyID) {
+	live := s.policies[pid].live
+	// Cross-set cell: any pair of hosts that are not in the same set —
+	// including off-list hosts — takes this verdict, because every policy
+	// decides such requests without consulting the list or the roles. The
+	// .invalid TLD is reserved (RFC 2606), so these hosts can never be
+	// list members.
+	v := browser.EvaluateFresh(live, "cross-top.invalid", "cross-embedded.invalid")
+	s.cross[pid] = verdict{decision: v.Decision, granted: v.Granted, filled: true}
+	// Same-set cells: one live evaluation per (topRole, embRole)
+	// combination the list actually contains, using the first member pair
+	// that exhibits it.
+	for _, set := range s.list.Sets() {
+		ms := set.Members()
+		for _, top := range ms {
+			for _, emb := range ms {
+				if top.Site == emb.Site {
+					continue
+				}
+				cell := &s.sameSet[pid][top.Role][emb.Role]
+				if cell.filled {
+					continue
+				}
+				v := browser.EvaluateFresh(live, top.Site, emb.Site)
+				*cell = verdict{decision: v.Decision, granted: v.Granted, filled: true}
+			}
+		}
+	}
+}
+
+// List returns the list the snapshot was derived from.
+func (s *Snapshot) List() *core.List { return s.list }
+
+// Hash returns the content hash of the underlying list.
+func (s *Snapshot) Hash() string { return s.hash }
+
+// NumSets returns the number of sets in the snapshot.
+func (s *Snapshot) NumSets() int { return s.list.NumSets() }
+
+// NumSites returns the number of member sites in the snapshot.
+func (s *Snapshot) NumSites() int { return s.numSites }
+
+// SitesByRole returns the canonical member hosts holding role, sorted.
+// The slice is shared; callers must not mutate it.
+func (s *Snapshot) SitesByRole(role core.Role) []string {
+	if role < 0 || int(role) >= numRoles {
+		return nil
+	}
+	return s.byRole[role]
+}
+
+// SameSet answers a relatedness query against the precomputed host index.
+// Inputs may be any legitimate host spelling (scheme, port, trailing dot,
+// mixed case); the response echoes them as given.
+func (s *Snapshot) SameSet(a, b string) SameSetResponse {
+	resp := SameSetResponse{A: a, B: b}
+	ea, aok := s.hosts[core.CanonicalHost(a)]
+	eb, bok := s.hosts[core.CanonicalHost(b)]
+	if aok && bok && ea.set == eb.set {
+		resp.SameSet = true
+		resp.Primary = ea.set.Primary
+	}
+	return resp
+}
+
+// Set answers a set-lookup query from the prebuilt member tables.
+func (s *Snapshot) Set(site string) SetResponse {
+	resp := SetResponse{Site: site}
+	if e, ok := s.hosts[core.CanonicalHost(site)]; ok {
+		resp.Found = true
+		resp.Role = e.role.String()
+		resp.Primary = e.set.Primary
+		resp.Members = s.members[e.set]
+	}
+	return resp
+}
+
+// Partition answers a storage-partitioning query. For pairs of list
+// members the verdict comes from the precomputed table; a same-host pair
+// is trivially granted (same-site embedding never reaches the policy); any
+// query involving an off-list host falls back to the live fresh-profile
+// evaluation on the normalized hosts.
+func (s *Snapshot) Partition(policyName, top, embedded string) (PartitionResponse, error) {
+	pid, err := policyFor(policyName)
+	if err != nil {
+		return PartitionResponse{}, err
+	}
+	info := &s.policies[pid]
+	ct, ce := core.CanonicalHost(top), core.CanonicalHost(embedded)
+	te, tok := s.hosts[ct]
+	ee, eok := s.hosts[ce]
+	sameSet := tok && eok && te.set == ee.set
+
+	var v verdict
+	switch {
+	case ct == ce:
+		v = verdict{decision: browser.GrantedAuto, granted: true, filled: true}
+	case sameSet:
+		v = s.sameSet[pid][te.role][ee.role]
+	case tok && eok:
+		v = s.cross[pid]
+	}
+	if !v.filled {
+		ev := browser.EvaluateFresh(info.live, ct, ce)
+		v = verdict{decision: ev.Decision, granted: ev.Granted, filled: true}
+	}
+	return PartitionResponse{
+		Policy:               info.name,
+		Top:                  top,
+		Embedded:             embedded,
+		SameSet:              sameSet,
+		PartitionedByDefault: info.partitionByDefault,
+		Decision:             v.decision.String(),
+		Granted:              v.granted,
+	}, nil
+}

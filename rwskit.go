@@ -91,6 +91,13 @@ type Diff = core.Diff
 // DiffLists compares two list snapshots by set primary.
 func DiffLists(old, new *List) Diff { return core.DiffLists(old, new) }
 
+// CanonicalHost normalizes a site spelling to the canonical bare-host
+// form list lookups use: lowercased, scheme prefix, ":port" suffix,
+// trailing slash, and trailing root-label dot stripped. All of
+// "example.com", "HTTPS://EXAMPLE.COM:443/", and "example.com." answer
+// the same in SameSet, FindSet, and every rws-serve endpoint.
+func CanonicalHost(s string) string { return core.CanonicalHost(s) }
+
 // SuffixList is a compiled Public Suffix List.
 type SuffixList = psl.List
 
@@ -206,14 +213,26 @@ func NewIndicatingRWSBrowser(list *List) (*Browser, *IndicatingPolicy) {
 	return browser.New(p), p
 }
 
-// Server answers RWS queries over HTTP (sameset, set, partition, stats)
-// against a hot-swappable list snapshot. See rwskit/internal/serve for
-// the endpoint contract and cmd/rws-serve for the standalone binary.
+// Server answers RWS queries over HTTP (sameset incl. batch pairs, set,
+// partition incl. POST batch, stats, metrics) against a hot-swappable
+// precomputed snapshot. See rwskit/internal/serve for the endpoint
+// contract and cmd/rws-serve for the standalone binary.
 type Server = serve.Server
 
-// NewServer returns an http.Handler serving RWS queries against list.
-// Server.Swap hot-swaps the snapshot under traffic.
+// NewServer returns an http.Handler serving RWS queries against list,
+// precomputing the query plane (host index, per-role tables, partition
+// verdict table) once up front. Server.Swap hot-swaps it under traffic.
 func NewServer(list *List) *Server { return serve.New(list) }
+
+// ServerSnapshot is the immutable precomputed query plane a Server
+// answers from: normalized host index, per-role membership tables, and
+// the per-policy partition-verdict table.
+type ServerSnapshot = serve.Snapshot
+
+// NewServerSnapshot precomputes the query plane for list without
+// installing it in a server; Server.SwapSnapshot installs a prebuilt one,
+// keeping the precompute off the serving path.
+func NewServerSnapshot(list *List) *ServerSnapshot { return serve.NewSnapshot(list) }
 
 // Artifact is one regenerated table or figure.
 type Artifact = analysis.Artifact

@@ -162,3 +162,34 @@ func TestIndicatingRWSBrowserFacade(t *testing.T) {
 		t.Errorf("silent grants = %d, want 1", len(p.SilentGrants()))
 	}
 }
+
+func TestCanonicalHostFacade(t *testing.T) {
+	for _, spelling := range []string{
+		"bild.de", "HTTPS://BILD.DE:443/", "http://bild.de", "bild.de.",
+	} {
+		if got := CanonicalHost(spelling); got != "bild.de" {
+			t.Errorf("CanonicalHost(%q) = %q, want bild.de", spelling, got)
+		}
+	}
+}
+
+func TestServerSnapshotFacade(t *testing.T) {
+	list, err := Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := NewServerSnapshot(list)
+	if snap.NumSets() != list.NumSets() || snap.Hash() != list.Hash() {
+		t.Errorf("snapshot = %d sets / %s, want %d / %s",
+			snap.NumSets(), snap.Hash(), list.NumSets(), list.Hash())
+	}
+	srv := NewServer(list)
+	srv.SwapSnapshot(snap)
+	if srv.Snapshot() != snap {
+		t.Error("SwapSnapshot should install the prebuilt snapshot")
+	}
+	resp := snap.SameSet("https://bild.de:443", "autobild.de")
+	if !resp.SameSet || resp.Primary != "bild.de" {
+		t.Errorf("snapshot SameSet = %+v", resp)
+	}
+}
