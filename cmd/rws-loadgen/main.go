@@ -1,0 +1,459 @@
+// Command rws-loadgen is a closed-loop, keep-alive load generator for
+// rws-serve: N workers issue queries back-to-back over pooled
+// connections, so the measured numbers reflect the server's query plane
+// rather than TCP dial latency (PR 2's loopback benchmarks were
+// dial-dominated; this is the ROADMAP's fix).
+//
+// Usage:
+//
+//	rws-loadgen -target http://host:port [-workers 8] [-duration 10s]
+//	            [-mix sameset=4,set=3,partition=2,batch=1] [-seed 1]
+//	            [-list file-or-url] [-batch 8] [-json]
+//
+// Scenarios:
+//
+//	sameset    GET  /v1/sameset?a=&b=
+//	set        GET  /v1/set?site=
+//	partition  GET  /v1/partition?top=&embedded=
+//	batch      GET  /v1/sameset?pairs= (-batch pairs per request)
+//
+// Hosts are drawn deterministically from the list (-list, default the
+// embedded snapshot) with a seeded PRNG per worker, so two runs with the
+// same flags issue the same request sequence. Half of each pair scenario
+// picks two members of one set (hitting the related/precomputed path),
+// half picks two hosts at random. The report gives req/s and
+// p50/p95/p99/max latency over every completed request.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"rwskit/internal/core"
+	"rwskit/internal/dataset"
+	"rwskit/internal/source"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rws-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// scenarioID indexes the request mix.
+type scenarioID int
+
+const (
+	scSameSet scenarioID = iota
+	scSet
+	scPartition
+	scBatch
+	numScenarios
+)
+
+var scenarioNames = [numScenarios]string{
+	scSameSet:   "sameset",
+	scSet:       "set",
+	scPartition: "partition",
+	scBatch:     "batch",
+}
+
+type config struct {
+	target   string
+	workers  int
+	duration time.Duration
+	weights  [numScenarios]int
+	mix      string
+	seed     int64
+	list     string
+	batch    int
+	timeout  time.Duration
+	jsonOut  bool
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("rws-loadgen", flag.ContinueOnError)
+	target := fs.String("target", "", "base URL of the rws-serve instance (required)")
+	workers := fs.Int("workers", 8, "concurrent closed-loop workers")
+	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
+	mix := fs.String("mix", "sameset=4,set=3,partition=2,batch=1", "scenario weights")
+	seed := fs.Int64("seed", 1, "PRNG seed for deterministic host selection")
+	list := fs.String("list", "", "draw hosts from this list file or URL (default: embedded snapshot)")
+	batch := fs.Int("batch", 8, "pairs per batch request")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() != 0 {
+		return config{}, errors.New("usage: rws-loadgen -target URL [flags]")
+	}
+	cfg := config{
+		target: strings.TrimSuffix(*target, "/"), workers: *workers,
+		duration: *duration, mix: *mix, seed: *seed, list: *list,
+		batch: *batch, timeout: *timeout, jsonOut: *jsonOut,
+	}
+	if cfg.target == "" {
+		return config{}, errors.New("-target is required")
+	}
+	if _, err := url.ParseRequestURI(cfg.target); err != nil {
+		return config{}, fmt.Errorf("-target: %v", err)
+	}
+	if cfg.workers < 1 {
+		return config{}, errors.New("-workers must be >= 1")
+	}
+	if cfg.duration <= 0 {
+		return config{}, errors.New("-duration must be > 0")
+	}
+	if cfg.batch < 1 || cfg.batch > 500 {
+		return config{}, errors.New("-batch must be in [1, 500]")
+	}
+	var err error
+	if cfg.weights, err = parseMix(*mix); err != nil {
+		return config{}, err
+	}
+	return cfg, nil
+}
+
+// parseMix parses "sameset=4,set=3,partition=2,batch=1". Omitted
+// scenarios get weight 0; at least one weight must be positive.
+func parseMix(s string) ([numScenarios]int, error) {
+	var w [numScenarios]int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return w, fmt.Errorf("-mix: want name=weight, got %q", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("-mix: bad weight in %q", part)
+		}
+		found := false
+		for id, sn := range scenarioNames {
+			if sn == strings.TrimSpace(name) {
+				w[id] = n
+				found = true
+				break
+			}
+		}
+		if !found {
+			return w, fmt.Errorf("-mix: unknown scenario %q (want sameset, set, partition, batch)", name)
+		}
+	}
+	// Validate the final weights, not a running total: a duplicate key
+	// ("sameset=4,sameset=0") can zero out what an earlier entry set.
+	total := 0
+	for _, n := range w {
+		total += n
+	}
+	if total == 0 {
+		return w, errors.New("-mix: at least one scenario needs a positive weight")
+	}
+	return w, nil
+}
+
+// ScenarioStats is one scenario's share of a report.
+type ScenarioStats struct {
+	Scenario string `json:"scenario"`
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+}
+
+// Report is the load-generation result.
+type Report struct {
+	Target        string          `json:"target"`
+	Workers       int             `json:"workers"`
+	Mix           string          `json:"mix"`
+	Seed          int64           `json:"seed"`
+	ElapsedMillis int64           `json:"elapsed_millis"`
+	Requests      uint64          `json:"requests"`
+	Errors        uint64          `json:"errors"`
+	ReqPerSec     float64         `json:"req_per_sec"`
+	P50Micros     int64           `json:"p50_micros"`
+	P95Micros     int64           `json:"p95_micros"`
+	P99Micros     int64           `json:"p99_micros"`
+	MaxMicros     int64           `json:"max_micros"`
+	Scenarios     []ScenarioStats `json:"scenarios"`
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	list, err := loadHosts(ctx, cfg.list)
+	if err != nil {
+		return err
+	}
+	gen, err := newGenerator(cfg, list)
+	if err != nil {
+		return err
+	}
+	rep, err := gen.Run(ctx)
+	if err != nil {
+		return err
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(rep)
+	} else {
+		rep.write(out)
+	}
+	if err != nil {
+		return err
+	}
+	// A broken target must fail the run (and the CI smoke), not just
+	// color a column: every error here is a non-2xx or a dead server.
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", rep.Errors, rep.Requests)
+	}
+	return nil
+}
+
+func (r Report) write(w io.Writer) {
+	fmt.Fprintf(w, "rws-loadgen: target=%s workers=%d mix=%s seed=%d\n", r.Target, r.Workers, r.Mix, r.Seed)
+	fmt.Fprintf(w, "  elapsed   %.2fs\n", float64(r.ElapsedMillis)/1000)
+	fmt.Fprintf(w, "  requests  %d (%.1f req/s)\n", r.Requests, r.ReqPerSec)
+	fmt.Fprintf(w, "  errors    %d\n", r.Errors)
+	fmt.Fprintf(w, "  latency   p50=%dµs p95=%dµs p99=%dµs max=%dµs\n",
+		r.P50Micros, r.P95Micros, r.P99Micros, r.MaxMicros)
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(w, "  %-9s %d requests, %d errors\n", s.Scenario, s.Requests, s.Errors)
+	}
+}
+
+// loadHosts resolves the host universe: the embedded snapshot, or any
+// list a Source can fetch (file path or http(s) URL).
+func loadHosts(ctx context.Context, spec string) (*core.List, error) {
+	if spec == "" {
+		return dataset.List()
+	}
+	list, _, err := source.Open(spec).Fetch(ctx)
+	return list, err
+}
+
+// generator runs the closed-loop workers.
+type generator struct {
+	cfg    config
+	hosts  []string   // every member host, sorted (deterministic)
+	groups [][]string // per-set member hosts, for related-pair picks
+	pick   []scenarioID
+	client *http.Client
+}
+
+func newGenerator(cfg config, list *core.List) (*generator, error) {
+	g := &generator{cfg: cfg}
+	for _, set := range list.Sets() {
+		sites := set.Sites()
+		g.hosts = append(g.hosts, sites...)
+		if len(sites) >= 2 {
+			g.groups = append(g.groups, sites)
+		}
+	}
+	if len(g.hosts) < 2 || len(g.groups) == 0 {
+		return nil, errors.New("list too small to generate load from")
+	}
+	sort.Strings(g.hosts)
+	// The weighted picker: an index slice sampled uniformly.
+	for id, w := range cfg.weights {
+		for i := 0; i < w; i++ {
+			g.pick = append(g.pick, scenarioID(id))
+		}
+	}
+	// Keep-alive pooling sized to the worker count, so a closed loop
+	// reuses one warm connection per worker instead of redialing.
+	g.client = &http.Client{
+		Timeout: cfg.timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.workers * 2,
+			MaxIdleConnsPerHost: cfg.workers * 2,
+			IdleConnTimeout:     90 * time.Second,
+			ForceAttemptHTTP2:   true,
+		},
+	}
+	return g, nil
+}
+
+// workerResult is one worker's tally.
+type workerResult struct {
+	latencies []time.Duration
+	requests  [numScenarios]uint64
+	errors    [numScenarios]uint64
+}
+
+// Run generates load for cfg.duration and aggregates the report.
+func (g *generator) Run(ctx context.Context) (Report, error) {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.duration)
+	defer cancel()
+	results := make([]workerResult, g.cfg.workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < g.cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = g.worker(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Target:        g.cfg.target,
+		Workers:       g.cfg.workers,
+		Mix:           g.cfg.mix,
+		Seed:          g.cfg.seed,
+		ElapsedMillis: elapsed.Milliseconds(),
+	}
+	var all []time.Duration
+	var scen [numScenarios]ScenarioStats
+	for id := range scen {
+		scen[id].Scenario = scenarioNames[id]
+	}
+	for _, res := range results {
+		all = append(all, res.latencies...)
+		for id := range scen {
+			scen[id].Requests += res.requests[id]
+			scen[id].Errors += res.errors[id]
+			rep.Requests += res.requests[id]
+			rep.Errors += res.errors[id]
+		}
+	}
+	for id := range scen {
+		if g.cfg.weights[id] > 0 {
+			rep.Scenarios = append(rep.Scenarios, scen[id])
+		}
+	}
+	if rep.Requests == 0 {
+		return rep, errors.New("no requests completed (is the target up?)")
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.ReqPerSec = float64(rep.Requests) / secs
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.P50Micros = percentile(all, 0.50).Microseconds()
+	rep.P95Micros = percentile(all, 0.95).Microseconds()
+	rep.P99Micros = percentile(all, 0.99).Microseconds()
+	rep.MaxMicros = all[len(all)-1].Microseconds()
+	return rep, nil
+}
+
+// percentile reads the p-quantile from an ascending-sorted slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// worker issues requests back-to-back until ctx expires. Each worker
+// seeds its own PRNG from (seed, worker id), so the request sequence is
+// deterministic per run regardless of scheduling.
+func (g *generator) worker(ctx context.Context, id int) workerResult {
+	rng := newWorkerRNG(g.cfg.seed, id)
+	var res workerResult
+	for ctx.Err() == nil {
+		sc := g.pick[rng.Intn(len(g.pick))]
+		start := time.Now()
+		ok := g.do(ctx, sc, rng)
+		if ctx.Err() != nil && !ok {
+			break // the deadline killed this request mid-flight; don't count it
+		}
+		res.requests[sc]++
+		res.latencies = append(res.latencies, time.Since(start))
+		if !ok {
+			res.errors[sc]++
+		}
+	}
+	return res
+}
+
+// newWorkerRNG seeds worker id's PRNG from the run seed, so the request
+// sequence is reproducible per (seed, worker) regardless of scheduling.
+func newWorkerRNG(seed int64, id int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(id)<<32))
+}
+
+// pair picks two distinct hosts: half the time two members of one set
+// (the related/precomputed path), half the time two uniform hosts
+// (almost always cross-set).
+func (g *generator) pair(rng *rand.Rand) (string, string) {
+	if rng.Intn(2) == 0 {
+		set := g.groups[rng.Intn(len(g.groups))]
+		i := rng.Intn(len(set))
+		j := rng.Intn(len(set) - 1)
+		if j >= i {
+			j++
+		}
+		return set[i], set[j]
+	}
+	i := rng.Intn(len(g.hosts))
+	j := rng.Intn(len(g.hosts) - 1)
+	if j >= i {
+		j++
+	}
+	return g.hosts[i], g.hosts[j]
+}
+
+// do issues one request and reports whether it completed with a 2xx.
+func (g *generator) do(ctx context.Context, sc scenarioID, rng *rand.Rand) bool {
+	var u string
+	switch sc {
+	case scSameSet:
+		a, b := g.pair(rng)
+		u = fmt.Sprintf("%s/v1/sameset?a=%s&b=%s", g.cfg.target, url.QueryEscape(a), url.QueryEscape(b))
+	case scSet:
+		u = fmt.Sprintf("%s/v1/set?site=%s", g.cfg.target, url.QueryEscape(g.hosts[rng.Intn(len(g.hosts))]))
+	case scPartition:
+		top, emb := g.pair(rng)
+		u = fmt.Sprintf("%s/v1/partition?top=%s&embedded=%s", g.cfg.target, url.QueryEscape(top), url.QueryEscape(emb))
+	case scBatch:
+		var sb strings.Builder
+		for i := 0; i < g.cfg.batch; i++ {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			a, b := g.pair(rng)
+			sb.WriteString(a)
+			sb.WriteByte(',')
+			sb.WriteString(b)
+		}
+		u = fmt.Sprintf("%s/v1/sameset?pairs=%s", g.cfg.target, url.QueryEscape(sb.String()))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false
+	}
+	// Drain so the connection returns to the keep-alive pool.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode < 300
+}

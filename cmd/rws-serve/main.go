@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	rws-serve [-addr :8080] [-list file] [-poll interval]
+//	rws-serve [-addr :8080] [-list file-or-url] [-poll interval]
 //
 // Without -list, the embedded reconstruction of the 26 March 2024
-// snapshot is served. With -list, SIGHUP re-reads the file and hot-swaps
-// the snapshot without dropping traffic; -poll additionally re-reads it
-// on a ticker, gated on mtime/size and the list content hash, logging
-// the diff of what changed. SIGINT/SIGTERM drain in-flight requests
-// before exiting.
+// snapshot is served. -list accepts a local JSON file path or an
+// http(s):// URL (the upstream related_website_sets.JSON). Either way
+// the list is hot-swapped without dropping traffic: SIGHUP forces a
+// re-read, and -poll re-checks on a ticker — a stat(2) gated on
+// mtime/size for files, a conditional GET (If-None-Match /
+// If-Modified-Since, answered 304 when unchanged) for URLs — with every
+// swap gated on the list content hash and logged with a diff summary.
+// SIGINT/SIGTERM drain in-flight requests before exiting.
 //
 // Endpoints:
 //
@@ -28,12 +31,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -41,6 +42,7 @@ import (
 	"rwskit/internal/core"
 	"rwskit/internal/dataset"
 	"rwskit/internal/serve"
+	"rwskit/internal/source"
 )
 
 func main() {
@@ -60,53 +62,41 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	if err != nil {
 		return err
 	}
-	// Stat the list file before reading it: if a writer lands between the
-	// stat and the load, the recorded mtime is older than the file's, so
-	// the next poll re-reads (the safe direction) instead of pairing the
-	// new mtime with the old content and skipping forever.
-	var preStat os.FileInfo
-	if cfg.listPath != "" {
-		preStat, _ = os.Stat(cfg.listPath)
-	}
-	list, err := loadList(cfg.listPath)
+	src, list, err := openList(ctx, cfg.list)
 	if err != nil {
 		return err
 	}
 	srv := serve.New(list)
 
-	// cancel releases the reload goroutine on every exit path, including
-	// a listener failure where ctx itself was never cancelled.
+	// cancel releases the watcher and signal goroutines on every exit
+	// path, including a listener failure where ctx was never cancelled.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var wg sync.WaitGroup
-	if cfg.listPath != "" {
-		rl := newReloader(cfg.listPath, srv.Snapshot().Hash(), preStat)
+	if src != nil {
+		w := source.NewWatcher(src, cfg.poll, list, func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "rws-serve: "+format+"\n", a...)
+		})
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)
-		var tick <-chan time.Time
-		var ticker *time.Ticker
-		if cfg.poll > 0 {
-			ticker = time.NewTicker(cfg.poll)
-			tick = ticker.C
-		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer signal.Stop(hup)
-			if ticker != nil {
-				defer ticker.Stop()
-			}
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				case <-hup:
-					rl.reload(srv, true, os.Stderr)
-				case <-tick:
-					rl.reload(srv, false, os.Stderr)
+					w.Refresh()
 				}
 			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx, srv.SwapDeliver(os.Stderr))
 		}()
 	}
 
@@ -138,6 +128,24 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	}
 }
 
+// openList resolves the -list flag: empty serves the embedded snapshot
+// (no source, no reloading), anything else opens a Source — file path or
+// http(s) URL — and performs the initial fetch through it, so the
+// source's freshness gates (stat, ETag/Last-Modified) are primed for the
+// watcher's conditional polls.
+func openList(ctx context.Context, spec string) (source.Source, *core.List, error) {
+	if spec == "" {
+		list, err := dataset.List()
+		return nil, list, err
+	}
+	src := source.Open(spec)
+	list, _, err := src.Fetch(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return src, list, nil
+}
+
 // newHTTPServer wraps a handler with the timeouts a public-facing
 // service needs (slow-header and idle connections must not pin
 // goroutines forever).
@@ -152,21 +160,21 @@ func newHTTPServer(handler http.Handler) *http.Server {
 }
 
 type config struct {
-	addr     string
-	listPath string
-	poll     time.Duration
+	addr string
+	list string
+	poll time.Duration
 }
 
 func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("rws-serve", flag.ContinueOnError)
 	a := fs.String("addr", ":8080", "listen address")
-	l := fs.String("list", "", "list JSON file (default: embedded snapshot; SIGHUP reloads)")
-	p := fs.Duration("poll", 0, "re-read -list on this interval (0 disables; mtime/hash gated)")
+	l := fs.String("list", "", "list JSON file or http(s) URL (default: embedded snapshot; SIGHUP reloads)")
+	p := fs.Duration("poll", 0, "re-check -list on this interval (0 disables; stat/conditional-GET gated)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	if fs.NArg() != 0 {
-		return config{}, fmt.Errorf("usage: rws-serve [-addr :8080] [-list file] [-poll interval]")
+		return config{}, fmt.Errorf("usage: rws-serve [-addr :8080] [-list file-or-url] [-poll interval]")
 	}
 	if *p > 0 && *l == "" {
 		return config{}, fmt.Errorf("-poll requires -list")
@@ -174,93 +182,5 @@ func parseFlags(args []string) (config, error) {
 	if *p < 0 {
 		return config{}, fmt.Errorf("-poll must be >= 0")
 	}
-	return config{addr: *a, listPath: *l, poll: *p}, nil
-}
-
-func loadList(path string) (*core.List, error) {
-	if path == "" {
-		return dataset.List()
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return core.ParseJSON(data)
-}
-
-// reloader re-reads a list file into a server's snapshot. Polls are gated
-// twice: on the file's (mtime, size), so an unchanged file costs one stat,
-// and on the list content hash, so a rewrite with identical content (or a
-// touch(1)) never swaps the snapshot. A SIGHUP forces the read but still
-// respects the hash gate.
-type reloader struct {
-	path  string
-	mtime time.Time
-	size  int64
-	hash  string
-}
-
-// newReloader seeds the stat gate from fi, the os.Stat taken BEFORE the
-// initial load (nil if it failed — the first poll then re-reads).
-func newReloader(path, hash string, fi os.FileInfo) *reloader {
-	rl := &reloader{path: path, hash: hash}
-	if fi != nil {
-		rl.mtime, rl.size = fi.ModTime(), fi.Size()
-	}
-	return rl
-}
-
-// reload performs one reload attempt, logging to logw. It reports whether
-// a new snapshot was swapped in.
-func (rl *reloader) reload(srv *serve.Server, force bool, logw io.Writer) bool {
-	fi, err := os.Stat(rl.path)
-	if err != nil {
-		fmt.Fprintf(logw, "rws-serve: stat %s failed, keeping current list: %v\n", rl.path, err)
-		return false
-	}
-	if !force && fi.ModTime().Equal(rl.mtime) && fi.Size() == rl.size {
-		return false
-	}
-	fresh, err := loadList(rl.path)
-	if err != nil {
-		fmt.Fprintf(logw, "rws-serve: reload failed, keeping current list: %v\n", err)
-		return false
-	}
-	rl.mtime, rl.size = fi.ModTime(), fi.Size()
-	h := fresh.Hash()
-	if h == rl.hash {
-		return false
-	}
-	diff := core.DiffLists(srv.List(), fresh)
-	srv.Swap(fresh)
-	rl.hash = h
-	fmt.Fprintf(logw, "rws-serve: reloaded %s (%d sets): %s\n", rl.path, fresh.NumSets(), diffSummary(diff))
-	return true
-}
-
-// diffSummary renders a core diff compactly for the reload log: counts
-// plus the first few names per category.
-func diffSummary(d core.Diff) string {
-	if d.Empty() {
-		return "no semantic changes"
-	}
-	var parts []string
-	add := func(label string, items []string) {
-		if len(items) == 0 {
-			return
-		}
-		const show = 3
-		names := items
-		suffix := ""
-		if len(names) > show {
-			names = names[:show]
-			suffix = ", ..."
-		}
-		parts = append(parts, fmt.Sprintf("%s %d (%s%s)", label, len(items), strings.Join(names, ", "), suffix))
-	}
-	add("+sets", d.AddedSets)
-	add("-sets", d.RemovedSets)
-	add("+members", d.AddedMembers)
-	add("-members", d.RemovedMembers)
-	return strings.Join(parts, ", ")
+	return config{addr: *a, list: *l, poll: *p}, nil
 }

@@ -5,9 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
-	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -19,7 +20,7 @@ func TestParseFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.addr != ":9999" || cfg.listPath != "x.json" || cfg.poll != 30*time.Second {
+	if cfg.addr != ":9999" || cfg.list != "x.json" || cfg.poll != 30*time.Second {
 		t.Errorf("parseFlags = %+v", cfg)
 	}
 	if _, err := parseFlags([]string{"extra-arg"}); err == nil {
@@ -33,26 +34,42 @@ func TestParseFlags(t *testing.T) {
 	}
 }
 
-func TestLoadListEmbeddedAndFile(t *testing.T) {
-	list, err := loadList("")
+func TestOpenListEmbeddedFileAndURL(t *testing.T) {
+	ctx := context.Background()
+	src, list, err := openList(ctx, "")
 	if err != nil {
 		t.Fatal(err)
+	}
+	if src != nil {
+		t.Error("embedded snapshot should have no source")
 	}
 	if list.NumSets() != 41 {
 		t.Errorf("embedded snapshot has %d sets, want 41", list.NumSets())
 	}
 
 	path := filepath.Join(t.TempDir(), "list.json")
-	os.WriteFile(path, []byte(`{"sets":[{"primary":"https://a.com","associatedSites":["https://b.com"]}]}`), 0o644)
-	list, err = loadList(path)
+	os.WriteFile(path, []byte(oneSetJSON), 0o644)
+	src, list, err = openList(ctx, path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if list.NumSets() != 1 || !list.SameSet("a.com", "b.com") {
-		t.Errorf("file list = %d sets", list.NumSets())
+	if src == nil || list.NumSets() != 1 || !list.SameSet("a.com", "b.com") {
+		t.Errorf("file list: src=%v, %d sets", src, list.NumSets())
 	}
 
-	if _, err := loadList(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, twoSetJSON)
+	}))
+	defer ts.Close()
+	src, list, err = openList(ctx, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src == nil || list.NumSets() != 2 {
+		t.Errorf("url list: src=%v, %d sets", src, list.NumSets())
+	}
+
+	if _, _, err := openList(ctx, filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("missing file should fail")
 	}
 }
@@ -63,82 +80,55 @@ const twoSetJSON = `{"sets":[
   {"primary":"https://c.com","associatedSites":["https://d.com"]}
 ]}`
 
-// TestReloader exercises the poll gates directly: mtime/size gate, hash
-// gate, forced reload, and the diff log line.
-func TestReloader(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "list.json")
-	if err := os.WriteFile(path, []byte(oneSetJSON), 0o644); err != nil {
-		t.Fatal(err)
+// startRun boots run() on a random port and returns the bound address
+// plus the error channel it will exit on.
+func startRun(t *testing.T, ctx context.Context, args []string) (string, chan error) {
+	t.Helper()
+	addrc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...),
+			func(addr string) { addrc <- addr })
+	}()
+	select {
+	case addr := <-addrc:
+		return addr, errc
+	case err := <-errc:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
 	}
-	list, err := loadList(path)
+	return "", nil
+}
+
+func numSets(t *testing.T, addr string) int {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/stats", addr))
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := serve.New(list)
-	fi, err := os.Stat(path)
-	if err != nil {
+	defer resp.Body.Close()
+	var body serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	rl := newReloader(path, srv.Snapshot().Hash(), fi)
+	return body.Sets
+}
 
-	var log strings.Builder
-	if rl.reload(srv, false, &log) {
-		t.Error("unchanged file should not swap")
-	}
-
-	// Same content rewritten with a future mtime: the stat gate opens, the
-	// hash gate must hold.
-	future := time.Now().Add(2 * time.Second)
-	if err := os.Chtimes(path, future, future); err != nil {
-		t.Fatal(err)
-	}
-	if rl.reload(srv, false, &log) {
-		t.Error("identical content should not swap, even with a new mtime")
-	}
-
-	// Real change: must swap and log the diff.
-	if err := os.WriteFile(path, []byte(twoSetJSON), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	future = future.Add(2 * time.Second)
-	if err := os.Chtimes(path, future, future); err != nil {
-		t.Fatal(err)
-	}
-	log.Reset()
-	if !rl.reload(srv, false, &log) {
-		t.Fatal("changed content should swap")
-	}
-	if srv.List().NumSets() != 2 {
-		t.Errorf("server has %d sets after reload, want 2", srv.List().NumSets())
-	}
-	if !strings.Contains(log.String(), "+sets 1 (c.com)") {
-		t.Errorf("reload log should summarise the diff, got %q", log.String())
-	}
-
-	// Forced reload (SIGHUP path) with no change: hash gate still holds.
-	if rl.reload(srv, true, &log) {
-		t.Error("forced reload of identical content should not swap")
-	}
-
-	// Parse failure keeps the current list.
-	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	log.Reset()
-	if rl.reload(srv, true, &log) {
-		t.Error("broken file should not swap")
-	}
-	if srv.List().NumSets() != 2 {
-		t.Error("broken file must keep the current snapshot")
-	}
-	if !strings.Contains(log.String(), "keeping current list") {
-		t.Errorf("broken reload should be logged, got %q", log.String())
+func waitForSets(t *testing.T, addr string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for numSets(t, addr) != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reached %d sets", want)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 
-// TestRunServesPollsAndShutsDown drives the full binary loop: start on a
-// random port, watch -poll pick up a list change, then cancel the context
-// and require a clean drain.
+// TestRunServesPollsAndShutsDown drives the full binary loop on a file
+// list: start on a random port, watch -poll pick up a list change, then
+// cancel the context and require a clean drain.
 func TestRunServesPollsAndShutsDown(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "list.json")
 	if err := os.WriteFile(path, []byte(oneSetJSON), 0o644); err != nil {
@@ -147,35 +137,8 @@ func TestRunServesPollsAndShutsDown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	addrc := make(chan string, 1)
-	errc := make(chan error, 1)
-	go func() {
-		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-list", path, "-poll", "10ms"},
-			func(addr string) { addrc <- addr })
-	}()
-
-	var addr string
-	select {
-	case addr = <-addrc:
-	case err := <-errc:
-		t.Fatalf("run exited early: %v", err)
-	case <-time.After(10 * time.Second):
-		t.Fatal("server never became ready")
-	}
-
-	numSets := func() int {
-		resp, err := http.Get(fmt.Sprintf("http://%s/v1/stats", addr))
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var body serve.StatsResponse
-		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-			t.Fatal(err)
-		}
-		return body.Sets
-	}
-	if n := numSets(); n != 1 {
+	addr, errc := startRun(t, ctx, []string{"-list", path, "-poll", "10ms"})
+	if n := numSets(t, addr); n != 1 {
 		t.Fatalf("initial sets = %d, want 1", n)
 	}
 
@@ -187,13 +150,70 @@ func TestRunServesPollsAndShutsDown(t *testing.T) {
 	if err := os.Chtimes(path, future, future); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for numSets() != 2 {
-		if time.Now().After(deadline) {
-			t.Fatal("poll loop never picked up the new list")
+	waitForSets(t, addr, 2)
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown, want nil", err)
 		}
-		time.Sleep(20 * time.Millisecond)
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancel")
 	}
+}
+
+// TestRunServesFromURL drives the full binary loop on an http:// list:
+// the initial fetch primes the ETag, unchanged polls are answered 304
+// and produce no swap, and publishing a new body under a new ETag swaps
+// the snapshot under live traffic.
+func TestRunServesFromURL(t *testing.T) {
+	var mu sync.Mutex
+	body, etag := oneSetJSON, `"v1"`
+	var hits, notModified int
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		hits++
+		if r.Header.Get("If-None-Match") == etag {
+			notModified++
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", etag)
+		fmt.Fprint(w, body)
+	}))
+	defer upstream.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, errc := startRun(t, ctx, []string{"-list", upstream.URL, "-poll", "10ms"})
+	if n := numSets(t, addr); n != 1 {
+		t.Fatalf("initial sets = %d, want 1", n)
+	}
+
+	// Let several polls land 304 before publishing the change.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		nm := notModified
+		mu.Unlock()
+		if nm >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("conditional polls never reached the upstream")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := numSets(t, addr); n != 1 {
+		t.Fatalf("sets changed to %d on 304 polls, want 1", n)
+	}
+
+	mu.Lock()
+	body, etag = twoSetJSON, `"v2"`
+	mu.Unlock()
+	waitForSets(t, addr, 2)
 
 	cancel()
 	select {

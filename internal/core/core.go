@@ -541,6 +541,33 @@ func (d Diff) Empty() bool {
 		len(d.AddedMembers) == 0 && len(d.RemovedMembers) == 0
 }
 
+// Summary renders the diff compactly for one log line: counts plus the
+// first few names per category.
+func (d Diff) Summary() string {
+	if d.Empty() {
+		return "no semantic changes"
+	}
+	var parts []string
+	add := func(label string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		const show = 3
+		names := items
+		suffix := ""
+		if len(names) > show {
+			names = names[:show]
+			suffix = ", ..."
+		}
+		parts = append(parts, fmt.Sprintf("%s %d (%s%s)", label, len(items), strings.Join(names, ", "), suffix))
+	}
+	add("+sets", d.AddedSets)
+	add("-sets", d.RemovedSets)
+	add("+members", d.AddedMembers)
+	add("-members", d.RemovedMembers)
+	return strings.Join(parts, ", ")
+}
+
 // DiffLists compares two list snapshots, keyed by set primary.
 func DiffLists(old, new *List) Diff {
 	var d Diff
@@ -607,12 +634,13 @@ func canonicalOrigin(s string) (string, error) {
 
 // CanonicalHost normalizes a site spelling to the canonical bare-host form
 // list lookups use: lowercased, scheme prefix ("https://" or "http://"),
-// ":port" suffix, trailing slash, and trailing root-label dot stripped,
-// whitespace trimmed on both sides of the prefix strip. All of
-// "example.com", "HTTPS://EXAMPLE.COM:443/", "http://example.com", and
-// "example.com." canonicalize to "example.com", so lookup functions answer
-// the same for every legitimate spelling of a host. List parsing
-// (canonicalOrigin) stays strict and is unaffected.
+// URL suffixes (path, ?query, #fragment), userinfo ("user:pass@"),
+// ":port" suffix, and trailing root-label dot stripped, whitespace
+// trimmed on both sides of the prefix strip. All of "example.com",
+// "HTTPS://EXAMPLE.COM:443/", "https://example.com/login?next=/#top",
+// "user@example.com", and "example.com." canonicalize to "example.com",
+// so lookup functions answer the same for every legitimate spelling of a
+// host. List parsing (canonicalOrigin) stays strict and is unaffected.
 func CanonicalHost(s string) string { return canonicalHost(s) }
 
 // canonicalHost is CanonicalHost; lookup functions call it directly.
@@ -621,7 +649,17 @@ func canonicalHost(s string) string {
 	s = strings.TrimPrefix(s, "https://")
 	s = strings.TrimPrefix(s, "http://")
 	s = strings.TrimSpace(s)
-	s = strings.TrimSuffix(s, "/")
+	// URL-shaped inputs: the authority ends at the first path, query, or
+	// fragment delimiter. Truncating here (rather than only trimming a
+	// trailing "/") is what keeps "example.com/login" from silently
+	// missing the index on every lookup.
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		s = s[:i]
+	}
+	// Anything left before an '@' is userinfo, not host.
+	if i := strings.LastIndexByte(s, '@'); i >= 0 {
+		s = s[i+1:]
+	}
 	if i := strings.LastIndexByte(s, ':'); i >= 0 && isPort(s[i+1:]) {
 		s = s[:i]
 	}

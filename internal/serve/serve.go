@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	"rwskit/internal/core"
+	"rwskit/internal/source"
 )
 
 // endpointID indexes the per-endpoint metrics table.
@@ -133,6 +135,17 @@ func (s *Server) Swap(list *core.List) {
 func (s *Server) SwapSnapshot(snap *Snapshot) {
 	s.snap.Store(snap)
 	s.swaps.Add(1)
+}
+
+// SwapDeliver returns a source.Watcher delivery callback that hot-swaps
+// the server's snapshot and logs the change to logw. The snapshot
+// precompute runs on the watcher goroutine, never on the request path.
+func (s *Server) SwapDeliver(logw io.Writer) func(source.Swap) {
+	return func(sw source.Swap) {
+		s.Swap(sw.List)
+		fmt.Fprintf(logw, "serve: swapped list from %s (%d sets, hash %.12s): %s\n",
+			sw.Meta.Location, sw.List.NumSets(), sw.Meta.Hash, sw.Diff.Summary())
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -259,18 +272,32 @@ func pairsParam(q url.Values, rawQuery string) string {
 }
 
 // parsePairs parses the pairs parameter: semicolon-separated a,b pairs.
+// Harmless sloppiness is tolerated — empty segments (a trailing or
+// doubled ';') are skipped and each side is space-trimmed — while a
+// genuinely malformed pair still reports its position and text.
 func parsePairs(raw string) ([][2]string, error) {
 	items := strings.Split(raw, ";")
-	if len(items) > maxBatchPairs {
-		return nil, fmt.Errorf("too many pairs: %d > %d", len(items), maxBatchPairs)
-	}
-	out := make([][2]string, 0, len(items))
+	// Cap the prealloc at the pair bound: a query of a million ';'s must
+	// not reserve a million entries before being rejected.
+	out := make([][2]string, 0, min(len(items), maxBatchPairs))
 	for i, item := range items {
+		if strings.TrimSpace(item) == "" {
+			continue
+		}
+		// The cap counts real pairs, not raw segments: exactly
+		// maxBatchPairs pairs plus a tolerated trailing ';' must parse.
+		if len(out) == maxBatchPairs {
+			return nil, fmt.Errorf("too many pairs: more than %d", maxBatchPairs)
+		}
 		a, b, ok := strings.Cut(item, ",")
+		a, b = strings.TrimSpace(a), strings.TrimSpace(b)
 		if !ok || a == "" || b == "" {
 			return nil, fmt.Errorf("pair %d: want \"a,b\", got %q", i, item)
 		}
 		out = append(out, [2]string{a, b})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pairs has no a,b entries")
 	}
 	return out, nil
 }

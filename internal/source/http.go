@@ -1,0 +1,210 @@
+package source
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"rwskit/internal/core"
+)
+
+// HTTPConfig tunes an HTTPSource. The zero value selects production
+// defaults; tests shrink the backoff to keep retries fast.
+type HTTPConfig struct {
+	// Client issues the requests. Defaults to a dedicated client with a
+	// 30s request timeout and keep-alive transport.
+	Client *http.Client
+	// MaxBody bounds the response body; a larger body fails the fetch
+	// rather than ballooning memory. Defaults to 64 MiB (the live RWS
+	// list is well under 1 MiB).
+	MaxBody int64
+	// Attempts is how many times a retryable failure (transport error,
+	// 5xx, 429) is tried before Fetch gives up. Defaults to 3.
+	Attempts int
+	// Backoff is the first retry delay; it doubles per attempt up to
+	// BackoffCap. Defaults to 500ms capped at 5s.
+	Backoff    time.Duration
+	BackoffCap time.Duration
+}
+
+func (c HTTPConfig) withDefaults() HTTPConfig {
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 64 << 20
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 500 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 5 * time.Second
+	}
+	return c
+}
+
+// HTTPSource follows a list published at an HTTP(S) URL — the upstream
+// related_website_sets.JSON — using conditional requests: after the
+// first 200, every poll carries If-None-Match (the stored ETag) and
+// If-Modified-Since (the stored Last-Modified), so an unchanged upstream
+// answers 304 with no body and Fetch reports ErrNotModified. Retryable
+// failures (transport errors, 5xx, 429) are retried with capped
+// exponential backoff; 4xx responses and oversized bodies fail
+// immediately. The content-hash gate backstops servers that emit fresh
+// validators for byte-identical content.
+type HTTPSource struct {
+	url string
+	cfg HTTPConfig
+
+	mu           sync.Mutex
+	etag         string
+	lastModified string
+	hash         string
+}
+
+// NewHTTPSource returns an HTTPSource polling url. No request is issued
+// until the first Fetch.
+func NewHTTPSource(url string, cfg HTTPConfig) *HTTPSource {
+	return &HTTPSource{url: url, cfg: cfg.withDefaults()}
+}
+
+// Location implements Source.
+func (h *HTTPSource) Location() string { return h.url }
+
+// Invalidate implements Source: the stored validators are dropped, so
+// the next Fetch is an unconditional GET.
+func (h *HTTPSource) Invalidate() {
+	h.mu.Lock()
+	h.etag, h.lastModified = "", ""
+	h.mu.Unlock()
+}
+
+// retryableError marks a failure worth another attempt.
+type retryableError struct{ err error }
+
+func (e retryableError) Error() string { return e.err.Error() }
+func (e retryableError) Unwrap() error { return e.err }
+
+// Fetch implements Source.
+func (h *HTTPSource) Fetch(ctx context.Context) (*core.List, Meta, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < h.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, backoffDelay(h.cfg.Backoff, h.cfg.BackoffCap, attempt-1)); err != nil {
+				return nil, Meta{}, err
+			}
+		}
+		list, meta, err := h.fetchOnce(ctx)
+		if err == nil {
+			return list, meta, nil
+		}
+		if _, retry := err.(retryableError); !retry || ctx.Err() != nil {
+			return nil, Meta{}, err
+		}
+		lastErr = err
+	}
+	return nil, Meta{}, fmt.Errorf("source: %s: giving up after %d attempts: %w", h.url, h.cfg.Attempts, lastErr)
+}
+
+// fetchOnce performs a single conditional GET. Callers hold h.mu.
+func (h *HTTPSource) fetchOnce(ctx context.Context) (*core.List, Meta, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.url, nil)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	req.Header.Set("Accept", "application/json")
+	if h.etag != "" {
+		req.Header.Set("If-None-Match", h.etag)
+	}
+	if h.lastModified != "" {
+		req.Header.Set("If-Modified-Since", h.lastModified)
+	}
+	resp, err := h.cfg.Client.Do(req)
+	if err != nil {
+		// A cancelled context is terminal, everything else at the
+		// transport layer is worth a retry.
+		if ctx.Err() != nil {
+			return nil, Meta{}, ctx.Err()
+		}
+		return nil, Meta{}, retryableError{err}
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+
+	switch {
+	case resp.StatusCode == http.StatusNotModified:
+		return nil, Meta{}, ErrNotModified
+	case resp.StatusCode == http.StatusOK:
+		// Fall through to the body read below.
+	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+		return nil, Meta{}, retryableError{fmt.Errorf("source: %s: upstream returned %s", h.url, resp.Status)}
+	default:
+		return nil, Meta{}, fmt.Errorf("source: %s: upstream returned %s", h.url, resp.Status)
+	}
+
+	if resp.ContentLength > h.cfg.MaxBody {
+		return nil, Meta{}, fmt.Errorf("source: %s: body of %d bytes exceeds limit %d", h.url, resp.ContentLength, h.cfg.MaxBody)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, h.cfg.MaxBody+1))
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, Meta{}, ctx.Err()
+		}
+		return nil, Meta{}, retryableError{fmt.Errorf("source: %s: reading body: %w", h.url, err)}
+	}
+	if int64(len(data)) > h.cfg.MaxBody {
+		return nil, Meta{}, fmt.Errorf("source: %s: body exceeds limit %d bytes", h.url, h.cfg.MaxBody)
+	}
+	list, err := core.ParseJSON(data)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("source: %s: %w", h.url, err)
+	}
+	h.etag = resp.Header.Get("ETag")
+	h.lastModified = resp.Header.Get("Last-Modified")
+	hash := list.Hash()
+	if hash == h.hash {
+		return nil, Meta{}, ErrNotModified
+	}
+	h.hash = hash
+	return list, Meta{
+		Location:     h.url,
+		Hash:         hash,
+		ETag:         h.etag,
+		LastModified: h.lastModified,
+	}, nil
+}
+
+// backoffDelay is the capped exponential retry delay before attempt
+// retry+1 (retry counts completed failed attempts, starting at 0).
+func backoffDelay(base, cap time.Duration, retry int) time.Duration {
+	d := base
+	for i := 0; i < retry && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// sleepCtx sleeps for d unless ctx is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,281 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// listServer is a scriptable upstream: it serves body under etag,
+// honouring If-None-Match with a 304, and counts what it saw.
+type listServer struct {
+	mu           sync.Mutex
+	body         string
+	etag         string
+	lastModified string
+	hits         int
+	conditional  int // requests carrying If-None-Match or If-Modified-Since
+	notModified  int // 304 responses served
+}
+
+func (u *listServer) set(body, etag string) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.body, u.etag = body, etag
+}
+
+func (u *listServer) counts() (hits, conditional, notModified int) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.hits, u.conditional, u.notModified
+}
+
+func (u *listServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.hits++
+	inm, ims := r.Header.Get("If-None-Match"), r.Header.Get("If-Modified-Since")
+	if inm != "" || ims != "" {
+		u.conditional++
+	}
+	if inm != "" && inm == u.etag {
+		u.notModified++
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if u.etag != "" {
+		w.Header().Set("ETag", u.etag)
+	}
+	if u.lastModified != "" {
+		w.Header().Set("Last-Modified", u.lastModified)
+	}
+	fmt.Fprint(w, u.body)
+}
+
+// fastHTTP returns an HTTPSource with test-speed retries.
+func fastHTTP(url string) *HTTPSource {
+	return NewHTTPSource(url, HTTPConfig{
+		Attempts:   3,
+		Backoff:    time.Millisecond,
+		BackoffCap: 2 * time.Millisecond,
+	})
+}
+
+// TestHTTPSourceConditionalSequence walks the canonical lifecycle:
+// 200 (unconditional) → 304 (conditional, unchanged) → 200 under a
+// changed ETag (new revision).
+func TestHTTPSourceConditionalSequence(t *testing.T) {
+	ctx := context.Background()
+	up := &listServer{body: oneSetJSON, etag: `"v1"`, lastModified: "Tue, 26 Mar 2024 00:00:00 GMT"}
+	ts := httptest.NewServer(up)
+	defer ts.Close()
+	src := fastHTTP(ts.URL)
+
+	list, meta, err := src.Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.NumSets() != 1 || meta.ETag != `"v1"` || meta.LastModified == "" || meta.Hash != list.Hash() {
+		t.Errorf("first fetch: %d sets, meta %+v", list.NumSets(), meta)
+	}
+	if _, conditional, _ := countsOf(up); conditional != 0 {
+		t.Error("first fetch must be unconditional")
+	}
+
+	// Unchanged upstream: the poll is conditional and lands a 304.
+	if _, _, err := src.Fetch(ctx); !errors.Is(err, ErrNotModified) {
+		t.Errorf("unchanged: err = %v, want ErrNotModified", err)
+	}
+	if _, conditional, notModified := countsOf(up); conditional != 1 || notModified != 1 {
+		t.Errorf("unchanged poll: conditional=%d notModified=%d, want 1/1", conditional, notModified)
+	}
+
+	// New revision under a new ETag.
+	up.set(twoSetJSON, `"v2"`)
+	list, meta, err = src.Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.NumSets() != 2 || meta.ETag != `"v2"` {
+		t.Errorf("changed: %d sets, meta %+v", list.NumSets(), meta)
+	}
+
+	// And the next poll is conditional against the NEW validator.
+	if _, _, err := src.Fetch(ctx); !errors.Is(err, ErrNotModified) {
+		t.Errorf("post-swap poll: err = %v, want ErrNotModified", err)
+	}
+}
+
+func countsOf(u *listServer) (int, int, int) { return u.counts() }
+
+// TestHTTPSourceHashGate: a server that re-serializes identical content
+// under a fresh ETag (no 304 ever) still must not report a change.
+func TestHTTPSourceHashGate(t *testing.T) {
+	ctx := context.Background()
+	up := &listServer{body: oneSetJSON, etag: `"v1"`}
+	ts := httptest.NewServer(up)
+	defer ts.Close()
+	src := fastHTTP(ts.URL)
+	if _, _, err := src.Fetch(ctx); err != nil {
+		t.Fatal(err)
+	}
+	up.set(reserializedOneSetJSON, `"v2"`)
+	if _, _, err := src.Fetch(ctx); !errors.Is(err, ErrNotModified) {
+		t.Errorf("identical semantics under new ETag: err = %v, want ErrNotModified", err)
+	}
+}
+
+// TestHTTPSourceInvalidate: dropping the validators makes the next fetch
+// unconditional, and the hash gate still holds.
+func TestHTTPSourceInvalidate(t *testing.T) {
+	ctx := context.Background()
+	up := &listServer{body: oneSetJSON, etag: `"v1"`}
+	ts := httptest.NewServer(up)
+	defer ts.Close()
+	src := fastHTTP(ts.URL)
+	if _, _, err := src.Fetch(ctx); err != nil {
+		t.Fatal(err)
+	}
+	src.Invalidate()
+	if _, _, err := src.Fetch(ctx); !errors.Is(err, ErrNotModified) {
+		t.Errorf("forced refetch of identical content: err = %v, want ErrNotModified", err)
+	}
+	if _, conditional, _ := countsOf(up); conditional != 0 {
+		t.Error("fetch after Invalidate must be unconditional")
+	}
+}
+
+// TestHTTPSourceRetries5xx: transient upstream failures are retried with
+// backoff until a 200 lands.
+func TestHTTPSourceRetries5xx(t *testing.T) {
+	ctx := context.Background()
+	var mu sync.Mutex
+	failures := 2
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failures > 0 {
+			failures--
+			http.Error(w, "upstream hiccup", http.StatusBadGateway)
+			return
+		}
+		fmt.Fprint(w, oneSetJSON)
+	}))
+	defer ts.Close()
+	list, _, err := fastHTTP(ts.URL).Fetch(ctx)
+	if err != nil {
+		t.Fatalf("fetch should survive 2 transient 5xx: %v", err)
+	}
+	if list.NumSets() != 1 {
+		t.Errorf("got %d sets", list.NumSets())
+	}
+}
+
+// TestHTTPSourceGivesUp: a persistently failing upstream exhausts the
+// attempt budget and reports the last failure.
+func TestHTTPSourceGivesUp(t *testing.T) {
+	ctx := context.Background()
+	var mu sync.Mutex
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	_, _, err := fastHTTP(ts.URL).Fetch(ctx)
+	if err == nil || !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Errorf("err = %v, want give-up after 3 attempts", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits != 3 {
+		t.Errorf("upstream saw %d attempts, want 3", hits)
+	}
+}
+
+// TestHTTPSourceNoRetryOn4xx: a client error is permanent — exactly one
+// request goes out.
+func TestHTTPSourceNoRetryOn4xx(t *testing.T) {
+	ctx := context.Background()
+	var mu sync.Mutex
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+	_, _, err := fastHTTP(ts.URL).Fetch(ctx)
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("err = %v, want a 404 failure", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits != 1 {
+		t.Errorf("upstream saw %d requests, want 1 (no retry on 4xx)", hits)
+	}
+}
+
+// TestHTTPSourceBodyLimit: a body over MaxBody fails rather than
+// ballooning memory, whether or not Content-Length announces it.
+func TestHTTPSourceBodyLimit(t *testing.T) {
+	ctx := context.Background()
+	big := `{"sets":[` + strings.Repeat(" ", 4096) + `]}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, big)
+	}))
+	defer ts.Close()
+	src := NewHTTPSource(ts.URL, HTTPConfig{MaxBody: 1024, Attempts: 1, Backoff: time.Millisecond})
+	_, _, err := src.Fetch(ctx)
+	if err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("err = %v, want a body-limit failure", err)
+	}
+}
+
+// TestHTTPSourceContextCancel: cancelling mid-fetch returns promptly
+// with the context's error instead of burning the retry budget.
+func TestHTTPSourceContextCancel(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := fastHTTP(ts.URL).Fetch(ctx)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Fetch did not return after cancel")
+	}
+}
+
+// TestBackoffDelay pins the capped-exponential schedule.
+func TestBackoffDelay(t *testing.T) {
+	base, cap := 100*time.Millisecond, 500*time.Millisecond
+	want := []time.Duration{100, 200, 400, 500, 500}
+	for retry, w := range want {
+		if got := backoffDelay(base, cap, retry); got != w*time.Millisecond {
+			t.Errorf("backoffDelay(retry=%d) = %v, want %v", retry, got, w*time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Watcher tests live in an external test package so they can drive a
+// real serve.Server (serve imports source; an internal test importing
+// serve back would cycle).
+package source_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rwskit/internal/serve"
+	"rwskit/internal/source"
+)
+
+const oneSetJSON = `{"sets":[{"primary":"https://a.com","associatedSites":["https://b.com"]}]}`
+const twoSetJSON = `{"sets":[
+  {"primary":"https://a.com","associatedSites":["https://b.com"]},
+  {"primary":"https://c.com","associatedSites":["https://d.com"]}
+]}`
+
+// TestWatcherDeliversFileSwaps: ticker-driven polling of a FileSource
+// delivers exactly the real changes, each with the right diff.
+func TestWatcherDeliversFileSwaps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "list.json")
+	if err := os.WriteFile(path, []byte(oneSetJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := source.NewFileSource(path)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	initial, _, err := src.Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := source.NewWatcher(src, 5*time.Millisecond, initial, nil)
+	swaps := make(chan source.Swap, 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx, func(sw source.Swap) { swaps <- sw })
+	}()
+
+	// Publish a change under a future mtime so the stat gate opens.
+	if err := os.WriteFile(path, []byte(twoSetJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case sw := <-swaps:
+		if sw.List.NumSets() != 2 || sw.Forced {
+			t.Errorf("swap = %d sets, forced=%v", sw.List.NumSets(), sw.Forced)
+		}
+		if sw.Diff.Summary() != "+sets 1 (c.com)" {
+			t.Errorf("diff summary = %q", sw.Diff.Summary())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watcher never delivered the change")
+	}
+
+	// No further changes: the watcher must stay silent.
+	select {
+	case sw := <-swaps:
+		t.Errorf("unexpected extra swap: %d sets", sw.List.NumSets())
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}
+
+// TestWatcherRefresh: with no ticker, only Refresh triggers fetches —
+// and a refresh of identical content delivers nothing (hash gate).
+func TestWatcherRefresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "list.json")
+	os.WriteFile(path, []byte(oneSetJSON), 0o644)
+	src := source.NewFileSource(path)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	initial, _, err := src.Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := source.NewWatcher(src, 0, initial, nil)
+	swaps := make(chan source.Swap, 16)
+	go w.Run(ctx, func(sw source.Swap) { swaps <- sw })
+
+	w.Refresh() // identical content: no delivery
+	select {
+	case sw := <-swaps:
+		t.Errorf("refresh of identical content delivered a swap: %d sets", sw.List.NumSets())
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Rewrite the content; Refresh must force the re-read even though the
+	// mtime may be within the same granule as the recorded one.
+	if err := os.WriteFile(path, []byte(twoSetJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w.Refresh()
+	select {
+	case sw := <-swaps:
+		if sw.List.NumSets() != 2 || !sw.Forced {
+			t.Errorf("swap = %d sets, forced=%v, want 2 sets forced", sw.List.NumSets(), sw.Forced)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("refresh never delivered the change")
+	}
+}
+
+// TestWatcherLogsFetchFailures: a failing poll keeps the current list
+// and reports through logf instead of delivering.
+func TestWatcherLogsFetchFailures(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "list.json")
+	os.WriteFile(path, []byte(oneSetJSON), 0o644)
+	src := source.NewFileSource(path)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	initial, _, err := src.Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var lines []string
+	w := source.NewWatcher(src, 0, initial, func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+	swaps := make(chan source.Swap, 16)
+	go w.Run(ctx, func(sw source.Swap) { swaps <- sw })
+
+	os.WriteFile(path, []byte("not json"), 0o644)
+	w.Refresh()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(lines)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("failed poll was never logged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	line := lines[0]
+	mu.Unlock()
+	if !strings.Contains(line, "keeping current list") {
+		t.Errorf("log line = %q", line)
+	}
+	select {
+	case sw := <-swaps:
+		t.Errorf("broken list delivered a swap: %d sets", sw.List.NumSets())
+	default:
+	}
+}
+
+// TestWatcherLogsClientTimeouts: an http.Client timeout error satisfies
+// errors.Is(err, context.DeadlineExceeded), but it means the upstream is
+// stale, not that the watcher is shutting down — it must be logged, not
+// swallowed.
+func TestWatcherLogsClientTimeouts(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	src := source.NewHTTPSource(ts.URL, source.HTTPConfig{
+		Client:   &http.Client{Timeout: 20 * time.Millisecond},
+		Attempts: 1,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var lines []string
+	w := source.NewWatcher(src, 0, nil, func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+	go w.Run(ctx, func(source.Swap) {})
+	w.Refresh()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(lines)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client-timeout poll failure was never logged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(lines[0], "keeping current list") {
+		t.Errorf("log line = %q", lines[0])
+	}
+}
+
+// TestWatcherSwapsUnderConcurrentQueries is the race test: a Watcher
+// hot-swaps a serve.Server's snapshot (through the same SwapDeliver hook
+// rws-serve wires) while query traffic hammers the HTTP endpoints. Run
+// with -race; every response must be coherent with one snapshot or the
+// other, and the final state must be the last published list.
+func TestWatcherSwapsUnderConcurrentQueries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "list.json")
+	if err := os.WriteFile(path, []byte(oneSetJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := source.NewFileSource(path)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	initial, _, err := src.Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(initial)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	w := source.NewWatcher(src, 0, initial, nil)
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		w.Run(ctx, srv.SwapDeliver(io.Discard))
+	}()
+
+	// Flip the published list as fast as the watcher will take it.
+	const flips = 40
+	flipDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < flips; i++ {
+			body := oneSetJSON
+			if i%2 == 0 {
+				body = twoSetJSON
+			}
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				flipDone <- err
+				return
+			}
+			w.Refresh()
+			time.Sleep(2 * time.Millisecond)
+		}
+		// Land on the two-set list so the final state is deterministic.
+		if err := os.WriteFile(path, []byte(twoSetJSON), 0o644); err != nil {
+			flipDone <- err
+			return
+		}
+		w.Refresh()
+		flipDone <- nil
+	}()
+
+	// Query traffic from several goroutines while the swaps land.
+	var qwg sync.WaitGroup
+	client := ts.Client()
+	for g := 0; g < 4; g++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for i := 0; i < 150; i++ {
+				resp, err := client.Get(ts.URL + "/v1/sameset?a=a.com&b=b.com")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var body serve.SameSetResponse
+				if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+					t.Error(err)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+				// a.com/b.com are related in BOTH revisions: any coherent
+				// snapshot answers true with primary a.com.
+				if resp.StatusCode != http.StatusOK || !body.SameSet || body.Primary != "a.com" {
+					t.Errorf("mid-swap response: status=%d body=%+v", resp.StatusCode, body)
+					return
+				}
+			}
+		}()
+	}
+	qwg.Wait()
+	if err := <-flipDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// The last published revision must win.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Snapshot().NumSets() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("final snapshot has %d sets, want 2", srv.Snapshot().NumSets())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case <-watcherDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher did not stop")
+	}
+}

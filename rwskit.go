@@ -39,6 +39,9 @@ package rwskit
 
 import (
 	"context"
+	"sort"
+	"strings"
+	"time"
 
 	"rwskit/internal/analysis"
 	"rwskit/internal/browser"
@@ -48,6 +51,7 @@ import (
 	"rwskit/internal/domain"
 	"rwskit/internal/psl"
 	"rwskit/internal/serve"
+	"rwskit/internal/source"
 	"rwskit/internal/validate"
 	"rwskit/internal/wellknown"
 )
@@ -234,6 +238,42 @@ type ServerSnapshot = serve.Snapshot
 // keeping the precompute off the serving path.
 func NewServerSnapshot(list *List) *ServerSnapshot { return serve.NewSnapshot(list) }
 
+// ListSource produces list revisions with change detection: Fetch returns
+// ErrListNotModified when the list is unchanged since the previous
+// successful Fetch. File and HTTP implementations ship today; see
+// OpenSource.
+type ListSource = source.Source
+
+// SourceMeta records the provenance of a fetched list revision (content
+// hash plus file stat or HTTP validators).
+type SourceMeta = source.Meta
+
+// SourceSwap is one list change delivered by a SourceWatcher: the new
+// list, its provenance, and a diff against the previous revision.
+type SourceSwap = source.Swap
+
+// SourceWatcher polls a ListSource on a ticker and delivers SourceSwaps;
+// Refresh forces an unconditional re-read (the SIGHUP path).
+type SourceWatcher = source.Watcher
+
+// ErrListNotModified is returned by ListSource.Fetch when the source's
+// content has not changed. It is the common case on a poll tick, not a
+// failure.
+var ErrListNotModified = source.ErrNotModified
+
+// OpenSource returns the ListSource for a list specifier: an http:// or
+// https:// URL polls upstream with conditional GETs (ETag /
+// If-Modified-Since), anything else reads a local file gated on
+// mtime/size. Both also gate on the list content hash.
+func OpenSource(spec string) ListSource { return source.Open(spec) }
+
+// NewSourceWatcher returns a SourceWatcher polling src every interval
+// (0: only Refresh triggers fetches), diffing the first swap against
+// initial. logf, if non-nil, receives fetch-failure log lines.
+func NewSourceWatcher(src ListSource, interval time.Duration, initial *List, logf func(format string, args ...any)) *SourceWatcher {
+	return source.NewWatcher(src, interval, initial, logf)
+}
+
 // Artifact is one regenerated table or figure.
 type Artifact = analysis.Artifact
 
@@ -251,19 +291,31 @@ func RunExperiments(ctx context.Context, seed int64) ([]*Artifact, error) {
 // RunExperiment runs a single experiment by ID ("table1" ... "figure9").
 func RunExperiment(ctx context.Context, seed int64, id string) (*Artifact, error) {
 	s := analysis.NewSession(analysis.Config{Seed: seed})
+	valid := make([]string, 0, len(analysis.All()))
 	for _, e := range analysis.All() {
 		if e.ID == id {
 			return e.Run(ctx, s)
 		}
+		valid = append(valid, e.ID)
 	}
-	return nil, &UnknownExperimentError{ID: id}
+	sort.Strings(valid)
+	return nil, &UnknownExperimentError{ID: id, Valid: valid}
 }
 
 // UnknownExperimentError reports a RunExperiment call with an ID that does
 // not match any experiment.
-type UnknownExperimentError struct{ ID string }
+type UnknownExperimentError struct {
+	ID string
+	// Valid lists every known experiment ID, sorted, so the message is
+	// self-diagnosing (`rws-analyze -only figure10` tells the caller what
+	// it could have asked for).
+	Valid []string
+}
 
 // Error implements error.
 func (e *UnknownExperimentError) Error() string {
-	return "rwskit: unknown experiment " + e.ID
+	if len(e.Valid) == 0 {
+		return "rwskit: unknown experiment " + e.ID
+	}
+	return "rwskit: unknown experiment " + e.ID + " (valid: " + strings.Join(e.Valid, ", ") + ")"
 }

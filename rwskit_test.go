@@ -2,9 +2,38 @@ package rwskit
 
 import (
 	"context"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestSourceFacade: the list-ingestion plane is reachable through the
+// public facade — OpenSource dispatches, Fetch gates on change, and the
+// watcher constructor wires a ListSource.
+func TestSourceFacade(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "list.json")
+	const body = `{"sets":[{"primary":"https://a.com","associatedSites":["https://b.com"]}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var src ListSource = OpenSource(path)
+	list, meta, err := src.Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.NumSets() != 1 || meta.Hash == "" || meta.Location != path {
+		t.Errorf("fetch = %d sets, meta %+v", list.NumSets(), meta)
+	}
+	if _, _, err := src.Fetch(ctx); !errors.Is(err, ErrListNotModified) {
+		t.Errorf("unchanged fetch: err = %v, want ErrListNotModified", err)
+	}
+	if w := NewSourceWatcher(src, 0, list, nil); w == nil {
+		t.Error("NewSourceWatcher returned nil")
+	}
+}
 
 func TestSnapshotQueries(t *testing.T) {
 	list, err := Snapshot()
@@ -116,6 +145,12 @@ func TestRunExperimentByID(t *testing.T) {
 		t.Error("unknown experiment should error")
 	} else if !strings.Contains(err.Error(), "nope") {
 		t.Errorf("error should name the ID: %v", err)
+	} else if msg := err.Error(); !strings.Contains(msg, "valid:") ||
+		!strings.Contains(msg, "figure3") || !strings.Contains(msg, "table1") {
+		// The message must be self-diagnosing: every valid ID, sorted.
+		t.Errorf("error should list the valid IDs: %v", err)
+	} else if f1 := strings.Index(msg, "figure1"); f1 > strings.Index(msg, "table1") {
+		t.Errorf("valid IDs should be sorted: %v", err)
 	}
 }
 
