@@ -16,6 +16,13 @@
 //	set        GET  /v1/set?site=
 //	partition  GET  /v1/partition?top=&embedded=
 //	batch      GET  /v1/sameset?pairs= (-batch pairs per request)
+//	asof       GET  /v1/sameset?a=&b=&as_of=   (time-travel reads)
+//	diff       GET  /v1/diff?from=&to=         (version-pair diffs)
+//
+// asof and diff (weight 0 unless named in -mix) exercise the version
+// store: the generator fetches /v1/versions from the target once at
+// startup and draws as_of instants and from/to hash pairs from the
+// retained versions, so they pair naturally with rws-serve -timeline.
 //
 // Hosts are drawn deterministically from the list (-list, default the
 // embedded snapshot) with a seeded PRNG per worker, so two runs with the
@@ -66,6 +73,8 @@ const (
 	scSet
 	scPartition
 	scBatch
+	scAsOf
+	scDiff
 	numScenarios
 )
 
@@ -74,6 +83,8 @@ var scenarioNames = [numScenarios]string{
 	scSet:       "set",
 	scPartition: "partition",
 	scBatch:     "batch",
+	scAsOf:      "asof",
+	scDiff:      "diff",
 }
 
 type config struct {
@@ -159,7 +170,7 @@ func parseMix(s string) ([numScenarios]int, error) {
 			}
 		}
 		if !found {
-			return w, fmt.Errorf("-mix: unknown scenario %q (want sameset, set, partition, batch)", name)
+			return w, fmt.Errorf("-mix: unknown scenario %q (want sameset, set, partition, batch, asof, diff)", name)
 		}
 	}
 	// Validate the final weights, not a running total: a duplicate key
@@ -209,6 +220,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	gen, err := newGenerator(cfg, list)
 	if err != nil {
+		return err
+	}
+	if err := gen.primeVersions(ctx); err != nil {
 		return err
 	}
 	rep, err := gen.Run(ctx)
@@ -262,6 +276,55 @@ type generator struct {
 	groups [][]string // per-set member hosts, for related-pair picks
 	pick   []scenarioID
 	client *http.Client
+
+	// hashes and asOfs are the target's retained versions, fetched once
+	// at startup when the mix includes a versioned scenario. Server
+	// order (oldest first) keeps runs deterministic per seed.
+	hashes []string
+	asOfs  []string
+}
+
+// wantsVersions reports whether the mix includes a scenario that needs
+// the target's version list.
+func (g *generator) wantsVersions() bool {
+	return g.cfg.weights[scAsOf] > 0 || g.cfg.weights[scDiff] > 0
+}
+
+// primeVersions fetches the target's retained versions for the asof and
+// diff scenarios. A mix without them skips the request entirely.
+func (g *generator) primeVersions(ctx context.Context) error {
+	if !g.wantsVersions() {
+		return nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.cfg.target+"/v1/versions", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("fetching %s/v1/versions for the asof/diff scenarios: %w", g.cfg.target, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetching %s/v1/versions: %s (asof/diff need a version-store rws-serve)", g.cfg.target, resp.Status)
+	}
+	var body struct {
+		Versions []struct {
+			Hash string    `json:"hash"`
+			AsOf time.Time `json:"as_of"`
+		} `json:"versions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("decoding /v1/versions: %w", err)
+	}
+	if len(body.Versions) == 0 {
+		return errors.New("target retains no versions; asof/diff scenarios have nothing to query")
+	}
+	for _, v := range body.Versions {
+		g.hashes = append(g.hashes, v.Hash)
+		g.asOfs = append(g.asOfs, v.AsOf.Format(time.RFC3339))
+	}
+	return nil
 }
 
 func newGenerator(cfg config, list *core.List) (*generator, error) {
@@ -443,6 +506,15 @@ func (g *generator) do(ctx context.Context, sc scenarioID, rng *rand.Rand) bool 
 			sb.WriteString(b)
 		}
 		u = fmt.Sprintf("%s/v1/sameset?pairs=%s", g.cfg.target, url.QueryEscape(sb.String()))
+	case scAsOf:
+		a, b := g.pair(rng)
+		asOf := g.asOfs[rng.Intn(len(g.asOfs))]
+		u = fmt.Sprintf("%s/v1/sameset?a=%s&b=%s&as_of=%s",
+			g.cfg.target, url.QueryEscape(a), url.QueryEscape(b), url.QueryEscape(asOf))
+	case scDiff:
+		from := g.hashes[rng.Intn(len(g.hashes))]
+		to := g.hashes[rng.Intn(len(g.hashes))]
+		u = fmt.Sprintf("%s/v1/diff?from=%s&to=%s", g.cfg.target, from[:12], to[:12])
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"rwskit/internal/core"
 	"rwskit/internal/dataset"
 	"rwskit/internal/serve"
 )
@@ -172,5 +173,73 @@ func TestDeterministicSelection(t *testing.T) {
 		if first[i] != second[i] {
 			t.Fatalf("pick %d differs: %q vs %q", i, first[i], second[i])
 		}
+	}
+}
+
+// timelineTarget serves a two-version store so the versioned scenarios
+// have something to time-travel over.
+func timelineTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	oldList, err := core.ParseJSON([]byte(`{"sets":[{"primary":"https://a.com","associatedSites":["https://b.com"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newList, err := dataset.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := serve.NewStore(4)
+	jan := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	st.Add(oldList, core.Version{Source: "timeline:2023-01", ObservedAt: jan, AsOf: jan})
+	mar := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	st.Add(newList, core.Version{Source: "timeline:2024-03", ObservedAt: mar, AsOf: mar})
+	ts := httptest.NewServer(serve.NewFromStore(st))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestVersionedMix drives the asof and diff scenarios against a live
+// version store: the generator must prime itself from /v1/versions and
+// complete the run error-free.
+func TestVersionedMix(t *testing.T) {
+	ts := timelineTarget(t)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", ts.URL, "-workers", "2", "-duration", "300ms", "-json",
+		"-mix", "sameset=2,asof=2,diff=1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output %q)", err, out.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors in the versioned mix: %+v", rep.Errors, rep)
+	}
+	byName := map[string]uint64{}
+	for _, s := range rep.Scenarios {
+		byName[s.Scenario] = s.Requests
+	}
+	if byName["asof"] == 0 || byName["diff"] == 0 {
+		t.Errorf("versioned scenarios never ran: %+v", rep.Scenarios)
+	}
+}
+
+// TestVersionedMixNeedsVersionPlane: asking for asof against a target
+// without /v1/versions (or an unreachable one) fails up front with a
+// useful message instead of a sea of per-request errors.
+func TestVersionedMixPrimeFailure(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", ts.URL, "-workers", "1", "-duration", "100ms", "-mix", "asof=1",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "/v1/versions") {
+		t.Errorf("err = %v, want a priming failure naming /v1/versions", err)
 	}
 }

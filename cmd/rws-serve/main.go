@@ -5,6 +5,7 @@
 // Usage:
 //
 //	rws-serve [-addr :8080] [-list file-or-url] [-poll interval]
+//	          [-timeline] [-retain N]
 //
 // Without -list, the embedded reconstruction of the 26 March 2024
 // snapshot is served. -list accepts a local JSON file path or an
@@ -16,6 +17,14 @@
 // swap gated on the list content hash and logged with a diff summary.
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 //
+// Superseded lists stay queryable: the server retains the last -retain
+// versions (plus the whole timeline under -timeline) and answers
+// version=/as_of= parameters, /v1/versions, and /v1/diff against them.
+// -timeline preloads the paper's full 2023-01→2024-03 monthly study
+// window at boot, so time-travel queries span the §4 longitudinal
+// analyses; the final month is the current version (and a -list source,
+// if given, installs on top of it).
+//
 // Endpoints:
 //
 //	GET  /healthz
@@ -25,6 +34,11 @@
 //	POST /v1/partition/batch
 //	GET  /v1/stats
 //	GET  /v1/metrics
+//	GET  /v1/versions
+//	GET  /v1/diff?from=SPEC&to=SPEC
+//
+// sameset, set, partition, and stats also accept version=HASHPREFIX or
+// as_of=TIME ("2023-04", "2023-04-26", or RFC 3339).
 package main
 
 import (
@@ -41,6 +55,7 @@ import (
 
 	"rwskit/internal/core"
 	"rwskit/internal/dataset"
+	"rwskit/internal/history"
 	"rwskit/internal/serve"
 	"rwskit/internal/source"
 )
@@ -62,11 +77,14 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	if err != nil {
 		return err
 	}
-	src, list, err := openList(ctx, cfg.list)
+	src, list, meta, err := openList(ctx, cfg.list)
 	if err != nil {
 		return err
 	}
-	srv := serve.New(list)
+	srv, err := newServer(cfg, list, meta)
+	if err != nil {
+		return err
+	}
 
 	// cancel releases the watcher and signal goroutines on every exit
 	// path, including a listener failure where ctx was never cancelled.
@@ -129,21 +147,77 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 }
 
 // openList resolves the -list flag: empty serves the embedded snapshot
-// (no source, no reloading), anything else opens a Source — file path or
-// http(s) URL — and performs the initial fetch through it, so the
-// source's freshness gates (stat, ETag/Last-Modified) are primed for the
-// watcher's conditional polls.
-func openList(ctx context.Context, spec string) (source.Source, *core.List, error) {
+// (no source, no reloading, zero Meta), anything else opens a Source —
+// file path or http(s) URL — and performs the initial fetch through it,
+// so the source's freshness gates (stat, ETag/Last-Modified) are primed
+// for the watcher's conditional polls and the boot version carries the
+// same provenance every later swap of the source will.
+func openList(ctx context.Context, spec string) (source.Source, *core.List, source.Meta, error) {
 	if spec == "" {
 		list, err := dataset.List()
-		return nil, list, err
+		return nil, list, source.Meta{}, err
 	}
 	src := source.Open(spec)
-	list, _, err := src.Fetch(ctx)
+	list, meta, err := src.Fetch(ctx)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, source.Meta{}, err
 	}
-	return src, list, nil
+	return src, list, meta, nil
+}
+
+// newServer builds the version store behind the server: optionally the
+// full monthly study-window timeline (-timeline), then the boot list as
+// the current version. With -timeline the capacity is widened to hold
+// every month plus headroom for live swaps, so preloaded history is not
+// immediately evicted by the poll loop.
+func newServer(cfg config, list *core.List, meta source.Meta) (*serve.Server, error) {
+	capacity := cfg.retain
+	var st *serve.Store
+	if cfg.timeline {
+		tl, err := history.Build()
+		if err != nil {
+			return nil, err
+		}
+		if capacity < len(tl.Snapshots)+1 {
+			capacity = len(tl.Snapshots) + 1
+		}
+		st = serve.NewStore(capacity)
+		boot := time.Now()
+		for _, snap := range tl.Snapshots {
+			asOf, err := time.Parse("2006-01", snap.Month)
+			if err != nil {
+				return nil, fmt.Errorf("timeline month %q: %w", snap.Month, err)
+			}
+			st.Add(snap.List, core.Version{
+				Source:     "timeline:" + snap.Month,
+				ObservedAt: boot,
+				AsOf:       asOf,
+			})
+		}
+		fmt.Fprintf(os.Stderr, "rws-serve: timeline preloaded %d monthly versions (%s..%s)\n",
+			st.Len(), tl.Snapshots[0].Month, tl.Final().Month)
+	} else {
+		st = serve.NewStore(capacity)
+	}
+	// The boot list's version: the source's own provenance (file mtime /
+	// Last-Modified as the as-of time, exactly what SwapDeliver files
+	// later revisions under), or the embedded snapshot's date. When the
+	// timeline's final month already carries this content (the embedded
+	// snapshot IS the final month), keep the timeline provenance instead
+	// of re-filing it under "embedded".
+	ver := meta.Version()
+	if cfg.list == "" {
+		ver.Source = "embedded"
+		ver.ObservedAt = time.Now()
+		ver.AsOf = ver.ObservedAt
+		if t, err := time.Parse("2006-01-02", dataset.SnapshotDate); err == nil {
+			ver.AsOf = t
+		}
+	}
+	if cur := st.Current(); cur == nil || cur.Hash() != list.Hash() {
+		st.Add(list, ver)
+	}
+	return serve.NewFromStore(st), nil
 }
 
 // newHTTPServer wraps a handler with the timeouts a public-facing
@@ -160,9 +234,11 @@ func newHTTPServer(handler http.Handler) *http.Server {
 }
 
 type config struct {
-	addr string
-	list string
-	poll time.Duration
+	addr     string
+	list     string
+	poll     time.Duration
+	timeline bool
+	retain   int
 }
 
 func parseFlags(args []string) (config, error) {
@@ -170,11 +246,13 @@ func parseFlags(args []string) (config, error) {
 	a := fs.String("addr", ":8080", "listen address")
 	l := fs.String("list", "", "list JSON file or http(s) URL (default: embedded snapshot; SIGHUP reloads)")
 	p := fs.Duration("poll", 0, "re-check -list on this interval (0 disables; stat/conditional-GET gated)")
+	tl := fs.Bool("timeline", false, "preload the 2023-01..2024-03 monthly snapshots for as_of/diff queries")
+	r := fs.Int("retain", serve.DefaultRetain, "list versions kept queryable (widened to fit -timeline)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	if fs.NArg() != 0 {
-		return config{}, fmt.Errorf("usage: rws-serve [-addr :8080] [-list file-or-url] [-poll interval]")
+		return config{}, fmt.Errorf("usage: rws-serve [-addr :8080] [-list file-or-url] [-poll interval] [-timeline] [-retain N]")
 	}
 	if *p > 0 && *l == "" {
 		return config{}, fmt.Errorf("-poll requires -list")
@@ -182,5 +260,8 @@ func parseFlags(args []string) (config, error) {
 	if *p < 0 {
 		return config{}, fmt.Errorf("-poll must be >= 0")
 	}
-	return config{addr: *a, list: *l, poll: *p}, nil
+	if *r < 1 {
+		return config{}, fmt.Errorf("-retain must be >= 1")
+	}
+	return config{addr: *a, list: *l, poll: *p, timeline: *tl, retain: *r}, nil
 }

@@ -36,7 +36,7 @@ func TestParseFlags(t *testing.T) {
 
 func TestOpenListEmbeddedFileAndURL(t *testing.T) {
 	ctx := context.Background()
-	src, list, err := openList(ctx, "")
+	src, list, _, err := openList(ctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,19 +49,24 @@ func TestOpenListEmbeddedFileAndURL(t *testing.T) {
 
 	path := filepath.Join(t.TempDir(), "list.json")
 	os.WriteFile(path, []byte(oneSetJSON), 0o644)
-	src, list, err = openList(ctx, path)
+	src, list, meta, err := openList(ctx, path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if src == nil || list.NumSets() != 1 || !list.SameSet("a.com", "b.com") {
 		t.Errorf("file list: src=%v, %d sets", src, list.NumSets())
 	}
+	// The boot version must carry the source's provenance — the file
+	// mtime as the as-of time, not the boot instant.
+	if v := meta.Version(); v.Source != path || !v.AsOf.Equal(meta.ModTime) {
+		t.Errorf("boot meta version = %+v", v)
+	}
 
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, twoSetJSON)
 	}))
 	defer ts.Close()
-	src, list, err = openList(ctx, ts.URL)
+	src, list, _, err = openList(ctx, ts.URL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +74,7 @@ func TestOpenListEmbeddedFileAndURL(t *testing.T) {
 		t.Errorf("url list: src=%v, %d sets", src, list.NumSets())
 	}
 
-	if _, _, err := openList(ctx, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+	if _, _, _, err := openList(ctx, filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("missing file should fail")
 	}
 }
@@ -220,6 +225,91 @@ func TestRunServesFromURL(t *testing.T) {
 	case err := <-errc:
 		if err != nil {
 			t.Fatalf("run returned %v on graceful shutdown, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}
+
+func TestParseFlagsTimelineAndRetain(t *testing.T) {
+	cfg, err := parseFlags([]string{"-timeline", "-retain", "20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.timeline || cfg.retain != 20 {
+		t.Errorf("parseFlags = %+v", cfg)
+	}
+	if cfg, err = parseFlags(nil); err != nil || cfg.timeline || cfg.retain != serve.DefaultRetain {
+		t.Errorf("defaults = %+v, %v", cfg, err)
+	}
+	if _, err := parseFlags([]string{"-retain", "0"}); err == nil {
+		t.Error("-retain 0 should be rejected")
+	}
+}
+
+// TestRunTimeline boots the full binary loop with -timeline and checks
+// the version plane end to end: every study-window month is retained,
+// as_of resolves to the right month, and /v1/diff spans the window.
+func TestRunTimeline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, errc := startRun(t, ctx, []string{"-timeline"})
+
+	getJSON := func(path string, into any) int {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		return resp.StatusCode
+	}
+
+	var vs serve.VersionsResponse
+	if code := getJSON("/v1/versions", &vs); code != http.StatusOK {
+		t.Fatalf("versions status %d", code)
+	}
+	// 15 months; the embedded boot list equals the final month, so the
+	// store dedupes it into the timeline's last version.
+	if vs.Retained != 15 {
+		t.Fatalf("retained = %d, want the 15-month window", vs.Retained)
+	}
+	if !vs.Versions[len(vs.Versions)-1].Current {
+		t.Error("the final month should be current")
+	}
+
+	// The current plane still serves the full snapshot.
+	if n := numSets(t, addr); n != 41 {
+		t.Errorf("current sets = %d, want 41", n)
+	}
+
+	// Time travel: January 2023 had only the first two sets.
+	var st serve.StatsResponse
+	if code := getJSON("/v1/stats?as_of=2023-01", &st); code != http.StatusOK {
+		t.Fatalf("as_of stats status %d", code)
+	}
+	if st.Sets != vs.Versions[0].Sets || st.SnapshotHash != vs.Versions[0].Hash {
+		t.Errorf("as_of=2023-01 stats = %d sets %.8s, want %d %.8s",
+			st.Sets, st.SnapshotHash, vs.Versions[0].Sets, vs.Versions[0].Hash)
+	}
+
+	// Diff across the whole window reports the growth.
+	var d serve.DiffResponse
+	if code := getJSON("/v1/diff?from=2023-01&to=current", &d); code != http.StatusOK {
+		t.Fatalf("diff status %d", code)
+	}
+	if d.Empty || len(d.AddedSets) != vs.Versions[len(vs.Versions)-1].Sets-vs.Versions[0].Sets {
+		t.Errorf("window diff = %+v", d)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown", err)
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("run did not return after cancel")

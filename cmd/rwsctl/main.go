@@ -7,19 +7,27 @@
 //	rwsctl find [-list file] SITE         which set does a site belong to?
 //	rwsctl validate SET.json              run the submission bot's structural checks
 //	rwsctl diff OLD.json NEW.json         member-level diff of two list snapshots
+//	rwsctl diff -server URL FROM TO       diff two versions held by a running rws-serve
+//	rwsctl versions -server URL           list the versions a running rws-serve retains
 //	rwsctl serve [-addr :8080] [-list file]  serve the list as the rws-serve HTTP API
 //
 // Without -list, the embedded reconstruction of the 26 March 2024 snapshot
-// is used.
+// is used. The -server verbs talk to rws-serve's version plane
+// (/v1/versions, /v1/diff); FROM and TO accept a version hash prefix, an
+// as-of time ("2023-04", "2023-04-26", RFC 3339), or "current", and
+// -json passes the server's JSON through verbatim.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
+	"strings"
 	"time"
 
 	"rwskit"
@@ -49,6 +57,8 @@ func run(args []string, out io.Writer) error {
 		return cmdValidate(rest, out)
 	case "diff":
 		return cmdDiff(rest, out)
+	case "versions":
+		return cmdVersions(rest, out)
 	case "serve":
 		return cmdServe(rest, out)
 	default:
@@ -204,11 +214,16 @@ var serveAndListen = func(addr string, handler http.Handler) error {
 
 func cmdDiff(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	server := fs.String("server", "", "rws-serve base URL: diff two retained versions instead of two files")
+	jsonOut := fs.Bool("json", false, "emit the diff as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: rwsctl diff OLD.json NEW.json")
+		return fmt.Errorf("usage: rwsctl diff [-server URL] [-json] <OLD.json NEW.json | FROM TO>")
+	}
+	if *server != "" {
+		return remoteDiff(*server, fs.Arg(0), fs.Arg(1), *jsonOut, out)
 	}
 	oldList, err := loadList(fs.Arg(0))
 	if err != nil {
@@ -219,21 +234,118 @@ func cmdDiff(args []string, out io.Writer) error {
 		return err
 	}
 	d := rwskit.DiffLists(oldList, newList)
-	if d.Empty() {
-		fmt.Fprintln(out, "no changes")
-		return nil
+	if *jsonOut {
+		return writeIndented(out, struct {
+			Empty          bool     `json:"empty"`
+			Summary        string   `json:"summary"`
+			AddedSets      []string `json:"added_sets,omitempty"`
+			RemovedSets    []string `json:"removed_sets,omitempty"`
+			AddedMembers   []string `json:"added_members,omitempty"`
+			RemovedMembers []string `json:"removed_members,omitempty"`
+		}{d.Empty(), d.Summary(), d.AddedSets, d.RemovedSets, d.AddedMembers, d.RemovedMembers})
 	}
-	for _, p := range d.AddedSets {
+	writeDiffLines(out, d.AddedSets, d.RemovedSets, d.AddedMembers, d.RemovedMembers)
+	return nil
+}
+
+// writeDiffLines renders a diff in the +/- line format both the file and
+// server diff verbs share. Empty diffs print "no changes".
+func writeDiffLines(out io.Writer, addedSets, removedSets, addedMembers, removedMembers []string) {
+	if len(addedSets)+len(removedSets)+len(addedMembers)+len(removedMembers) == 0 {
+		fmt.Fprintln(out, "no changes")
+		return
+	}
+	for _, p := range addedSets {
 		fmt.Fprintf(out, "+ set %s\n", p)
 	}
-	for _, p := range d.RemovedSets {
+	for _, p := range removedSets {
 		fmt.Fprintf(out, "- set %s\n", p)
 	}
-	for _, m := range d.AddedMembers {
+	for _, m := range addedMembers {
 		fmt.Fprintf(out, "+ member %s\n", m)
 	}
-	for _, m := range d.RemovedMembers {
+	for _, m := range removedMembers {
 		fmt.Fprintf(out, "- member %s\n", m)
+	}
+}
+
+func writeIndented(out io.Writer, v any) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// serverGET fetches path from an rws-serve instance. With raw set the
+// body is passed through to out verbatim (the -json contract); otherwise
+// it is decoded into into. Non-200 responses surface the server's JSON
+// error envelope.
+func serverGET(server, path string, raw bool, out io.Writer, into any) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(strings.TrimSuffix(server, "/") + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s", e.Error)
+		}
+		return fmt.Errorf("server returned %s for %s", resp.Status, path)
+	}
+	if raw {
+		_, err := io.Copy(out, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func remoteDiff(server, from, to string, jsonOut bool, out io.Writer) error {
+	path := "/v1/diff?from=" + url.QueryEscape(from) + "&to=" + url.QueryEscape(to)
+	if jsonOut {
+		return serverGET(server, path, true, out, nil)
+	}
+	var d serve.DiffResponse
+	if err := serverGET(server, path, false, nil, &d); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "from %.12s (%s, %d sets) to %.12s (%s, %d sets): %s\n",
+		d.From.Hash, d.From.AsOf.Format("2006-01-02"), d.From.Sets,
+		d.To.Hash, d.To.AsOf.Format("2006-01-02"), d.To.Sets, d.Summary)
+	if !d.Empty {
+		writeDiffLines(out, d.AddedSets, d.RemovedSets, d.AddedMembers, d.RemovedMembers)
+	}
+	return nil
+}
+
+func cmdVersions(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("versions", flag.ContinueOnError)
+	server := fs.String("server", "", "rws-serve base URL (required)")
+	jsonOut := fs.Bool("json", false, "emit the version list as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 || *server == "" {
+		return fmt.Errorf("usage: rwsctl versions -server URL [-json]")
+	}
+	if *jsonOut {
+		return serverGET(*server, "/v1/versions", true, out, nil)
+	}
+	var vs serve.VersionsResponse
+	if err := serverGET(*server, "/v1/versions", false, nil, &vs); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d of %d version slots in use\n", vs.Retained, vs.Capacity)
+	fmt.Fprintf(out, "%-12s  %-10s  %5s  %5s  %-7s  %s\n", "VERSION", "AS OF", "SETS", "SITES", "CURRENT", "SOURCE")
+	for _, v := range vs.Versions {
+		current := ""
+		if v.Current {
+			current = "*"
+		}
+		fmt.Fprintf(out, "%-12.12s  %-10s  %5d  %5d  %-7s  %s\n",
+			v.Hash, v.AsOf.Format("2006-01-02"), v.Sets, v.Sites, current, v.Source)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -8,6 +9,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"rwskit"
 )
 
 func TestStats(t *testing.T) {
@@ -150,5 +154,93 @@ func TestUsageErrors(t *testing.T) {
 		if err := run(args, &sb); err == nil {
 			t.Errorf("run(%v) should fail", args)
 		}
+	}
+}
+
+// timelineServer serves a small two-version store over httptest for the
+// -server verbs.
+func timelineServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	oldList, err := rwskit.ParseList([]byte(`{"sets":[{"primary":"https://a.com","associatedSites":["https://b.com"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newList, err := rwskit.ParseList([]byte(`{"sets":[{"primary":"https://a.com","associatedSites":["https://b.com","https://c.com"]},{"primary":"https://d.com"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rwskit.NewServerStore(4)
+	jan := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	st.Add(oldList, rwskit.Version{Source: "timeline:2023-01", ObservedAt: jan, AsOf: jan})
+	feb := time.Date(2023, 2, 1, 0, 0, 0, 0, time.UTC)
+	st.Add(newList, rwskit.Version{Source: "timeline:2023-02", ObservedAt: feb, AsOf: feb})
+	ts := httptest.NewServer(rwskit.NewServerFromStore(st))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestVersionsVerb(t *testing.T) {
+	ts := timelineServer(t)
+	var sb strings.Builder
+	if err := run([]string{"versions", "-server", ts.URL}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"2 of 4 version slots", "timeline:2023-01", "timeline:2023-02", "VERSION", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("versions output missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	if err := run([]string{"versions", "-server", ts.URL, "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Retained int `json:"retained"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &body); err != nil || body.Retained != 2 {
+		t.Errorf("-json output: %v, %s", err, sb.String())
+	}
+}
+
+func TestDiffVerbAgainstServer(t *testing.T) {
+	ts := timelineServer(t)
+	var sb strings.Builder
+	if err := run([]string{"diff", "-server", ts.URL, "2023-01", "current"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"+ set d.com", "+ member a.com:c.com", "2023-01-01"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Identical endpoints: "no changes".
+	sb.Reset()
+	if err := run([]string{"diff", "-server", ts.URL, "current", "current"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no semantic changes") {
+		t.Errorf("self-diff output:\n%s", sb.String())
+	}
+
+	// -json passes the server body through.
+	sb.Reset()
+	if err := run([]string{"diff", "-server", ts.URL, "-json", "2023-01", "current"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		AddedSets []string `json:"added_sets"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &body); err != nil || len(body.AddedSets) != 1 {
+		t.Errorf("-json diff: %v, %s", err, sb.String())
+	}
+
+	// Server-side resolution failures surface the server's error.
+	if err := run([]string{"diff", "-server", ts.URL, "2020-01", "current"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "no version") {
+		t.Errorf("unknown as-of: err = %v", err)
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"rwskit/internal/domain"
 )
@@ -523,6 +524,36 @@ func sortedStringKeys(m map[string]string) []string {
 	return keys
 }
 
+// Version identifies one list revision held by a version store: the
+// list's semantic content hash plus provenance — where the revision came
+// from, when this process obtained it, and the logical time the revision
+// describes. Two revisions with equal Hash carry the same sets regardless
+// of provenance; version stores key on Hash and file a re-added revision
+// under its latest provenance.
+type Version struct {
+	// Hash is the list's content hash (List.Hash).
+	Hash string
+	// Source identifies where the revision came from: a file path, a URL,
+	// "timeline:2023-04" for a bulk-loaded monthly snapshot, or a caller
+	// label such as "swap".
+	Source string
+	// ObservedAt is when this process obtained the revision.
+	ObservedAt time.Time
+	// AsOf is the logical time the revision describes — the upstream
+	// Last-Modified, the file mtime, or the month a historical snapshot
+	// materialises. Time-travel (as-of) queries resolve against it.
+	AsOf time.Time
+}
+
+// ID returns the short form of the version hash used in logs and CLI
+// tables.
+func (v Version) ID() string {
+	if len(v.Hash) <= 12 {
+		return v.Hash
+	}
+	return v.Hash[:12]
+}
+
 // Diff describes how a list changed between two snapshots.
 type Diff struct {
 	// AddedSets and RemovedSets identify sets (by primary) present in only
@@ -612,6 +643,81 @@ func DiffLists(old, new *List) Diff {
 	sort.Strings(d.AddedMembers)
 	sort.Strings(d.RemovedMembers)
 	return d
+}
+
+// ComposeDiffs combines a (old→mid) and b (mid→new) into the diff
+// old→new. Changes that cancel across the span disappear: a set added in
+// a and removed in b (or a member added then removed, and vice versa)
+// never existed in both endpoints, so the composed diff omits it.
+// Member-level changes inside a set that is added or removed over the
+// span are folded into the set-level entry, matching DiffLists, which
+// only reports member changes for sets present in both snapshots.
+//
+// One case is unrecoverable from the two diffs alone: a set removed in a
+// and re-added in b (or the reverse) exists in both endpoints, but its
+// old→new membership delta was lost with the intermediate list.
+// ComposeDiffs reports such a set as unchanged, which matches DiffLists
+// exactly when the set returned with identical membership. Callers that
+// retain the endpoint lists (a version store) should prefer DiffLists
+// between them; composition is for pipelines that only kept the
+// per-transition diffs, such as month-over-month churn rollups.
+func ComposeDiffs(a, b Diff) Diff {
+	var d Diff
+	addedA, removedA := toSet(a.AddedSets), toSet(a.RemovedSets)
+	addedB, removedB := toSet(b.AddedSets), toSet(b.RemovedSets)
+	// Net set-level changes: an add survives unless the later (or
+	// earlier) leg undoes it.
+	for p := range addedA {
+		if !removedB[p] {
+			d.AddedSets = append(d.AddedSets, p)
+		}
+	}
+	for p := range addedB {
+		if !removedA[p] {
+			d.AddedSets = append(d.AddedSets, p)
+		}
+	}
+	for p := range removedA {
+		if !addedB[p] {
+			d.RemovedSets = append(d.RemovedSets, p)
+		}
+	}
+	for p := range removedB {
+		if !addedA[p] {
+			d.RemovedSets = append(d.RemovedSets, p)
+		}
+	}
+	netAdded, netRemoved := toSet(d.AddedSets), toSet(d.RemovedSets)
+	// Member entries ("primary:site") survive unless cancelled by the
+	// other leg or absorbed into a set-level add/remove.
+	memberKept := func(entries []string, cancel map[string]bool) []string {
+		var out []string
+		for _, m := range entries {
+			primary, _, _ := strings.Cut(m, ":")
+			if cancel[m] || netAdded[primary] || netRemoved[primary] {
+				continue
+			}
+			out = append(out, m)
+		}
+		return out
+	}
+	addedMB, removedMB := toSet(b.AddedMembers), toSet(b.RemovedMembers)
+	addedMA, removedMA := toSet(a.AddedMembers), toSet(a.RemovedMembers)
+	d.AddedMembers = append(memberKept(a.AddedMembers, removedMB), memberKept(b.AddedMembers, removedMA)...)
+	d.RemovedMembers = append(memberKept(a.RemovedMembers, addedMB), memberKept(b.RemovedMembers, addedMA)...)
+	sort.Strings(d.AddedSets)
+	sort.Strings(d.RemovedSets)
+	sort.Strings(d.AddedMembers)
+	sort.Strings(d.RemovedMembers)
+	return d
+}
+
+func toSet(items []string) map[string]bool {
+	m := make(map[string]bool, len(items))
+	for _, s := range items {
+		m[s] = true
+	}
+	return m
 }
 
 func siteSet(s *Set) map[string]bool {

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -525,6 +526,107 @@ func TestQuickDiffSymmetry(t *testing.T) {
 	for i, s := range fwd.AddedSets {
 		if rev.RemovedSets[i] != s {
 			t.Errorf("added/removed mismatch at %d: %s vs %s", i, s, rev.RemovedSets[i])
+		}
+	}
+}
+
+func TestVersionID(t *testing.T) {
+	v := Version{Hash: "0123456789abcdef0123456789abcdef"}
+	if got := v.ID(); got != "0123456789ab" {
+		t.Errorf("ID() = %q, want the 12-char prefix", got)
+	}
+	short := Version{Hash: "abc"}
+	if got := short.ID(); got != "abc" {
+		t.Errorf("short ID() = %q, want the whole hash", got)
+	}
+}
+
+// TestDiffSummaryEdgeCases pins Summary's rendering at the edges: an
+// empty diff, a set-primary rename (which the primary-keyed diff reports
+// as one removed and one added set), and the ellipsis past three names.
+func TestDiffSummaryEdgeCases(t *testing.T) {
+	if got := (Diff{}).Summary(); got != "no semantic changes" {
+		t.Errorf("empty Summary = %q", got)
+	}
+
+	// A primary rename: same members, new primary. Keyed by primary,
+	// this is -set old, +set new — there is no "same set, renamed" state.
+	oldList := mustParse(t, `{"sets":[{"primary":"https://bild.de","associatedSites":["https://autobild.de"]}]}`)
+	newList := mustParse(t, `{"sets":[{"primary":"https://autobild.de","associatedSites":["https://bild.de"]}]}`)
+	d := DiffLists(oldList, newList)
+	if len(d.AddedSets) != 1 || d.AddedSets[0] != "autobild.de" ||
+		len(d.RemovedSets) != 1 || d.RemovedSets[0] != "bild.de" {
+		t.Fatalf("rename diff = %+v", d)
+	}
+	if len(d.AddedMembers) != 0 || len(d.RemovedMembers) != 0 {
+		t.Errorf("rename must not leak member-level entries: %+v", d)
+	}
+	got := d.Summary()
+	if !strings.Contains(got, "+sets 1 (autobild.de)") || !strings.Contains(got, "-sets 1 (bild.de)") {
+		t.Errorf("rename Summary = %q", got)
+	}
+
+	// More than three names in one category elides the tail.
+	many := Diff{AddedSets: []string{"a.com", "b.com", "c.com", "d.com", "e.com"}}
+	got = many.Summary()
+	if !strings.Contains(got, "+sets 5 (a.com, b.com, c.com, ...)") {
+		t.Errorf("elided Summary = %q", got)
+	}
+}
+
+// TestComposeDiffs: composing old→mid and mid→new must match DiffLists
+// old→new when no set is removed and re-added across the span —
+// including cancellation (changes undone by the second leg) and member
+// changes folded into set-level adds/removes.
+func TestComposeDiffs(t *testing.T) {
+	oldList := mustParse(t, `{"sets":[
+	  {"primary":"https://a.com","associatedSites":["https://a1.com"]},
+	  {"primary":"https://b.com","associatedSites":["https://b1.com"]},
+	  {"primary":"https://gone.com"}
+	]}`)
+	// mid: a.com gains a2 (kept) and atmp (dropped again), gone.com is
+	// removed, tmp.com appears (and will vanish again), c.com appears.
+	midList := mustParse(t, `{"sets":[
+	  {"primary":"https://a.com","associatedSites":["https://a1.com","https://a2.com","https://atmp.com"]},
+	  {"primary":"https://b.com","associatedSites":["https://b1.com"]},
+	  {"primary":"https://tmp.com"},
+	  {"primary":"https://c.com"}
+	]}`)
+	// new: atmp and tmp.com are gone, b.com loses b1, c.com gains c1.
+	newList := mustParse(t, `{"sets":[
+	  {"primary":"https://a.com","associatedSites":["https://a1.com","https://a2.com"]},
+	  {"primary":"https://b.com"},
+	  {"primary":"https://c.com","associatedSites":["https://c1.com"]}
+	]}`)
+
+	composed := ComposeDiffs(DiffLists(oldList, midList), DiffLists(midList, newList))
+	direct := DiffLists(oldList, newList)
+	if !reflect.DeepEqual(composed, direct) {
+		t.Errorf("ComposeDiffs = %+v, want DiffLists result %+v", composed, direct)
+	}
+	if composed.Empty() {
+		t.Error("composed diff should not be empty")
+	}
+}
+
+// TestComposeDiffsChain: folding the per-transition diffs of a growing
+// timeline (sets are only ever added, like the paper's study window)
+// must reproduce the endpoint-to-endpoint diff for every span length.
+func TestComposeDiffsChain(t *testing.T) {
+	revisions := []*List{
+		mustParse(t, `{"sets":[{"primary":"https://a.com"}]}`),
+		mustParse(t, `{"sets":[{"primary":"https://a.com","associatedSites":["https://a1.com"]}]}`),
+		mustParse(t, `{"sets":[{"primary":"https://a.com","associatedSites":["https://a1.com"]},{"primary":"https://b.com"}]}`),
+		mustParse(t, `{"sets":[{"primary":"https://a.com","associatedSites":["https://a1.com","https://a2.com"]},{"primary":"https://b.com","serviceSites":["https://b-cdn.com"],"rationaleBySite":{"https://b-cdn.com":"static assets"}}]}`),
+	}
+	for from := 0; from < len(revisions); from++ {
+		composed := Diff{}
+		for i := from + 1; i < len(revisions); i++ {
+			composed = ComposeDiffs(composed, DiffLists(revisions[i-1], revisions[i]))
+			direct := DiffLists(revisions[from], revisions[i])
+			if !reflect.DeepEqual(composed, direct) {
+				t.Errorf("span %d..%d: composed %+v, direct %+v", from, i, composed, direct)
+			}
 		}
 	}
 }

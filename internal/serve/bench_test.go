@@ -7,9 +7,12 @@ import (
 	neturl "net/url"
 	"strings"
 	"testing"
+	"time"
 
 	"rwskit/internal/browser"
+	"rwskit/internal/core"
 	"rwskit/internal/dataset"
+	"rwskit/internal/history"
 )
 
 // benchServer wires the embedded snapshot behind a real HTTP listener so
@@ -226,6 +229,67 @@ func BenchmarkSnapshotBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if snap := NewSnapshot(list); snap.NumSets() == 0 {
 			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// BenchmarkHandlerSameSetVersioned is the handler cost when the request
+// pins a version: one RLock'd prefix scan on top of the fast path.
+func BenchmarkHandlerSameSetVersioned(b *testing.B) {
+	list, err := dataset.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(list)
+	hash := s.Snapshot().Hash()
+	req := httptest.NewRequest(http.MethodGet, "/v1/sameset?a=bild.de&b=autobild.de&version="+hash[:12], nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatal(fmt.Errorf("status %d", rec.Code))
+		}
+	}
+}
+
+// BenchmarkStoreCurrent is the unversioned resolution cost — the atomic
+// load every request without version=/as_of= pays.
+func BenchmarkStoreCurrent(b *testing.B) {
+	list, err := dataset.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := NewStore(4)
+	st.Add(list, core.Version{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st.Current() == nil {
+			b.Fatal("nil current")
+		}
+	}
+}
+
+// BenchmarkStoreResolveAsOf is the time-travel resolution cost over a
+// full 15-version store (linear scan under RLock).
+func BenchmarkStoreResolveAsOf(b *testing.B) {
+	tl, err := history.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := NewStore(len(tl.Snapshots) + 1)
+	for _, snap := range tl.Snapshots {
+		asOf, _ := time.Parse("2006-01", snap.Month)
+		st.Add(snap.List, core.Version{Source: "timeline:" + snap.Month, ObservedAt: asOf, AsOf: asOf})
+	}
+	at, _ := parseAsOf("2023-07")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.AsOf(at); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -6,12 +6,15 @@
 // Queries are answered from a Snapshot — a precomputed query plane
 // (normalized host index, per-role membership tables, per-policy
 // partition-verdict table, composition stats) derived from a *core.List
-// once, at New/Swap time. The snapshot is held in an atomic pointer, so
-// it can be hot-swapped (e.g. on SIGHUP, on a -poll tick, or when
+// once, at New/Swap time. Snapshots live in a Store: a bounded version
+// store keyed by list content hash that retains the last N revisions, so
+// the list can be hot-swapped (e.g. on SIGHUP, on a -poll tick, or when
 // upstream publishes a new related_website_sets.JSON) without pausing
-// traffic: in-flight requests finish against the snapshot they started
-// with, new requests see the new one. Handlers allocate nothing shared
-// and take no locks on the read path; per-endpoint metrics are plain
+// traffic — in-flight requests finish against the snapshot they started
+// with, new requests see the new one — and superseded revisions stay
+// queryable. The current version is answered from a lock-free atomic
+// pointer, so the hot path costs what the single-snapshot server cost;
+// handlers allocate nothing shared; per-endpoint metrics are plain
 // atomics.
 //
 // Endpoints:
@@ -25,6 +28,15 @@
 //	POST /v1/partition/batch                        batch verdicts (JSON body)
 //	GET  /v1/stats                                  list composition + server counters
 //	GET  /v1/metrics                                per-endpoint request/latency/error counters
+//	GET  /v1/versions                               the retained list versions
+//	GET  /v1/diff?from=SPEC&to=SPEC                 member-level diff between two versions
+//
+// sameset, set, partition, and stats accept version=HASHPREFIX (pin the
+// query to one retained version) or as_of=TIME ("2023-04", "2023-04-26",
+// or RFC 3339: the version in force at that instant). The parameter is
+// resolved once per request to a snapshot; the precomputed tables then
+// answer exactly as for current-version queries. diff accepts either
+// spelling (plus "current") for from= and to=.
 //
 // Host parameters accept any legitimate spelling — scheme prefix, :port
 // suffix, trailing dot, mixed case — and are canonicalized before lookup.
@@ -59,6 +71,8 @@ const (
 	epPartitionBatch
 	epStats
 	epMetrics
+	epVersions
+	epDiff
 	epOther
 	numEndpoints
 )
@@ -71,6 +85,8 @@ var endpointNames = [numEndpoints]string{
 	epPartitionBatch: "/v1/partition/batch",
 	epStats:          "/v1/stats",
 	epMetrics:        "/v1/metrics",
+	epVersions:       "/v1/versions",
+	epDiff:           "/v1/diff",
 	epOther:          "other",
 }
 
@@ -89,20 +105,33 @@ const maxBatchPairs = 1000
 // maxBatchBody bounds the /v1/partition/batch request body.
 const maxBatchBody = 1 << 20
 
-// Server answers RWS queries against a hot-swappable precomputed snapshot.
+// Server answers RWS queries against a hot-swappable version store of
+// precomputed snapshots.
 type Server struct {
-	snap     atomic.Pointer[Snapshot]
+	store    *Store
 	requests atomic.Uint64
-	swaps    atomic.Uint64
 	metrics  [numEndpoints]endpointCounters
 	mux      *http.ServeMux
 }
 
 // New returns a server answering queries against list, precomputing the
-// query plane once up front.
+// query plane once up front. The backing store retains DefaultRetain
+// versions; use NewFromStore to choose the capacity or preload history.
 func New(list *core.List) *Server {
-	s := &Server{}
-	s.snap.Store(NewSnapshot(list))
+	st := NewStore(DefaultRetain)
+	st.Add(list, core.Version{Source: "boot", ObservedAt: time.Now(), AsOf: time.Now()})
+	return NewFromStore(st)
+}
+
+// NewFromStore returns a server answering queries from st, which must
+// hold at least one version (the current one). The caller keeps a
+// reference to st and may Add to it under traffic; rws-serve -timeline
+// preloads the monthly study-window snapshots this way.
+func NewFromStore(st *Store) *Server {
+	if st.Current() == nil {
+		panic("serve: NewFromStore requires a store with a current version")
+	}
+	s := &Server{store: st}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument(epHealthz, s.handleHealthz))
 	mux.HandleFunc("/v1/sameset", s.instrument(epSameSet, s.handleSameSet))
@@ -111,38 +140,53 @@ func New(list *core.List) *Server {
 	mux.HandleFunc("/v1/partition/batch", s.instrument(epPartitionBatch, s.handlePartitionBatch))
 	mux.HandleFunc("/v1/stats", s.instrument(epStats, s.handleStats))
 	mux.HandleFunc("/v1/metrics", s.instrument(epMetrics, s.handleMetrics))
+	mux.HandleFunc("/v1/versions", s.instrument(epVersions, s.handleVersions))
+	mux.HandleFunc("/v1/diff", s.instrument(epDiff, s.handleDiff))
 	mux.HandleFunc("/", s.instrument(epOther, s.handleNotFound))
 	s.mux = mux
 	return s
 }
 
-// Snapshot returns the precomputed plane currently serving queries.
-func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+// Store returns the version store backing the server.
+func (s *Server) Store() *Store { return s.store }
+
+// Snapshot returns the precomputed plane currently serving unversioned
+// queries.
+func (s *Server) Snapshot() *Snapshot { return s.store.Current() }
 
 // List returns the list behind the snapshot currently serving queries.
 func (s *Server) List() *core.List { return s.Snapshot().list }
 
-// Swap precomputes a fresh snapshot from list and atomically installs it.
-// Safe under traffic: requests already executing keep the snapshot they
-// loaded; subsequent requests see the new one. The precompute runs on the
-// caller, never on the request path.
+// Swap precomputes a fresh snapshot from list and atomically installs it
+// as the current version; the superseded version stays queryable until
+// evicted. Safe under traffic: requests already executing keep the
+// snapshot they loaded; subsequent requests see the new one. The
+// precompute runs on the caller, never on the request path.
 func (s *Server) Swap(list *core.List) {
-	s.SwapSnapshot(NewSnapshot(list))
+	s.store.Add(list, core.Version{Source: "swap", ObservedAt: time.Now(), AsOf: time.Now()})
 }
 
-// SwapSnapshot installs an already-built snapshot, for callers that want
-// to precompute off the serving goroutine entirely.
+// SwapSnapshot installs an already-built snapshot as the current
+// version, for callers that want to precompute off the serving goroutine
+// entirely.
 func (s *Server) SwapSnapshot(snap *Snapshot) {
-	s.snap.Store(snap)
-	s.swaps.Add(1)
+	s.store.AddSnapshot(snap, core.Version{Source: "swap", ObservedAt: time.Now(), AsOf: time.Now()})
 }
 
-// SwapDeliver returns a source.Watcher delivery callback that hot-swaps
-// the server's snapshot and logs the change to logw. The snapshot
-// precompute runs on the watcher goroutine, never on the request path.
+// SwapDeliver returns a source.Watcher delivery callback that installs
+// each delivered revision into the version store (Meta → Version) and
+// logs the change to logw. The snapshot precompute runs on the watcher
+// goroutine, never on the request path.
 func (s *Server) SwapDeliver(logw io.Writer) func(source.Swap) {
 	return func(sw source.Swap) {
-		s.Swap(sw.List)
+		ver := sw.Meta.Version()
+		if ver.ObservedAt.IsZero() {
+			ver.ObservedAt = time.Now()
+		}
+		if ver.AsOf.IsZero() {
+			ver.AsOf = ver.ObservedAt
+		}
+		s.store.Add(sw.List, ver)
 		fmt.Fprintf(logw, "serve: swapped list from %s (%d sets, hash %.12s): %s\n",
 			sw.Meta.Location, sw.List.NumSets(), sw.Meta.Hash, sw.Diff.Summary())
 	}
@@ -216,6 +260,51 @@ func requireGET(w http.ResponseWriter, r *http.Request) bool {
 		return false
 	}
 	return true
+}
+
+// writeResolveError maps a version-resolution failure to the JSON error
+// contract: unknown versions are 404 (the spec was well-formed, the
+// store just doesn't hold it), everything else is a 400.
+func writeResolveError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, ErrVersionNotFound) {
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// resolveSnap picks the snapshot a request is answered from: the current
+// version when neither version= nor as_of= is present (the lock-free
+// fast path), otherwise the named or as-of-resolved retained version.
+// On failure it writes the error response and returns nil.
+func (s *Server) resolveSnap(w http.ResponseWriter, q url.Values) *Snapshot {
+	version, asOf := q.Get("version"), q.Get("as_of")
+	switch {
+	case version == "" && asOf == "":
+		return s.store.Current()
+	case version != "" && asOf != "":
+		badRequest(w, "use either version= or as_of=, not both")
+		return nil
+	case version != "":
+		snap, _, err := s.store.ByHash(version)
+		if err != nil {
+			writeResolveError(w, err)
+			return nil
+		}
+		return snap
+	default:
+		t, ok := parseAsOf(asOf)
+		if !ok {
+			badRequest(w, "as_of %q: want 2006-01, 2006-01-02, or RFC 3339", asOf)
+			return nil
+		}
+		snap, _, err := s.store.AsOf(t)
+		if err != nil {
+			writeResolveError(w, err)
+			return nil
+		}
+		return snap
+	}
 }
 
 // handleNotFound keeps unmatched paths inside the JSON contract instead
@@ -307,7 +396,10 @@ func (s *Server) handleSameSet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	snap := s.Snapshot()
+	snap := s.resolveSnap(w, q)
+	if snap == nil {
+		return
+	}
 	if raw := pairsParam(q, r.URL.RawQuery); raw != "" {
 		if q.Get("a") != "" || q.Get("b") != "" {
 			badRequest(w, "use either pairs= or a=/b=, not both")
@@ -353,12 +445,17 @@ func (s *Server) handleSet(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
 		return
 	}
-	site := r.URL.Query().Get("site")
+	q := r.URL.Query()
+	site := q.Get("site")
 	if site == "" {
 		badRequest(w, "site query parameter is required")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.Snapshot().Set(site))
+	snap := s.resolveSnap(w, q)
+	if snap == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, snap.Set(site))
 }
 
 // PartitionResponse answers /v1/partition: the storage semantics a fresh
@@ -390,7 +487,11 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "both top and embedded query parameters are required")
 		return
 	}
-	resp, err := s.Snapshot().Partition(q.Get("policy"), top, embedded)
+	snap := s.resolveSnap(w, q)
+	if snap == nil {
+		return
+	}
+	resp, err := snap.Partition(q.Get("policy"), top, embedded)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
@@ -484,7 +585,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
 		return
 	}
-	snap := s.Snapshot()
+	snap := s.resolveSnap(w, r.URL.Query())
+	if snap == nil {
+		return
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Sets:            snap.stats.Sets,
 		Sites:           snap.numSites,
@@ -494,7 +598,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MeanAssociated:  snap.stats.MeanAssociatedPerSet,
 		SnapshotHash:    snap.hash,
 		Requests:        s.requests.Load(),
-		ListSwaps:       s.swaps.Load(),
+		ListSwaps:       s.store.Swaps(),
 	})
 }
 
@@ -511,10 +615,13 @@ type EndpointMetrics struct {
 
 // MetricsResponse answers /v1/metrics.
 type MetricsResponse struct {
-	Requests     uint64            `json:"requests_served"`
-	ListSwaps    uint64            `json:"list_swaps"`
-	SnapshotHash string            `json:"snapshot_hash"`
-	Endpoints    []EndpointMetrics `json:"endpoints"`
+	Requests     uint64 `json:"requests_served"`
+	ListSwaps    uint64 `json:"list_swaps"`
+	SnapshotHash string `json:"snapshot_hash"`
+	// VersionsRetained / VersionsCapacity is the version-store occupancy.
+	VersionsRetained int               `json:"versions_retained"`
+	VersionsCapacity int               `json:"versions_capacity"`
+	Endpoints        []EndpointMetrics `json:"endpoints"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -522,10 +629,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := MetricsResponse{
-		Requests:     s.requests.Load(),
-		ListSwaps:    s.swaps.Load(),
-		SnapshotHash: s.Snapshot().hash,
-		Endpoints:    make([]EndpointMetrics, 0, numEndpoints),
+		Requests:         s.requests.Load(),
+		ListSwaps:        s.store.Swaps(),
+		SnapshotHash:     s.Snapshot().hash,
+		VersionsRetained: s.store.Len(),
+		VersionsCapacity: s.store.Cap(),
+		Endpoints:        make([]EndpointMetrics, 0, numEndpoints),
 	}
 	for id := endpointID(0); id < numEndpoints; id++ {
 		m := &s.metrics[id]
@@ -541,4 +650,98 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		resp.Endpoints = append(resp.Endpoints, em)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// VersionResponse describes one retained version in /v1/versions and in
+// the from/to echo of /v1/diff.
+type VersionResponse struct {
+	Hash       string    `json:"hash"`
+	Source     string    `json:"source"`
+	ObservedAt time.Time `json:"observed_at"`
+	AsOf       time.Time `json:"as_of"`
+	Sets       int       `json:"sets"`
+	Sites      int       `json:"sites"`
+	Current    bool      `json:"current,omitempty"`
+}
+
+// VersionsResponse answers /v1/versions, oldest version first.
+type VersionsResponse struct {
+	Retained int               `json:"retained"`
+	Capacity int               `json:"capacity"`
+	Versions []VersionResponse `json:"versions"`
+}
+
+func versionResponse(vi VersionInfo) VersionResponse {
+	return VersionResponse{
+		Hash:       vi.Version.Hash,
+		Source:     vi.Version.Source,
+		ObservedAt: vi.Version.ObservedAt,
+		AsOf:       vi.Version.AsOf,
+		Sets:       vi.Sets,
+		Sites:      vi.Sites,
+		Current:    vi.Current,
+	}
+}
+
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	infos := s.store.Versions()
+	resp := VersionsResponse{
+		Retained: len(infos),
+		Capacity: s.store.Cap(),
+		Versions: make([]VersionResponse, 0, len(infos)),
+	}
+	for _, vi := range infos {
+		resp.Versions = append(resp.Versions, versionResponse(vi))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// DiffResponse answers /v1/diff: the member-level changes from one
+// retained version to another, exactly core.DiffLists over the two
+// retained lists.
+type DiffResponse struct {
+	From           VersionResponse `json:"from"`
+	To             VersionResponse `json:"to"`
+	Empty          bool            `json:"empty"`
+	Summary        string          `json:"summary"`
+	AddedSets      []string        `json:"added_sets,omitempty"`
+	RemovedSets    []string        `json:"removed_sets,omitempty"`
+	AddedMembers   []string        `json:"added_members,omitempty"`
+	RemovedMembers []string        `json:"removed_members,omitempty"`
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	from, to := q.Get("from"), q.Get("to")
+	if from == "" || to == "" {
+		badRequest(w, "both from and to query parameters are required (a version hash prefix, an as-of time, or \"current\")")
+		return
+	}
+	fromSnap, fromVer, err := s.store.Resolve(from)
+	if err != nil {
+		writeResolveError(w, fmt.Errorf("from: %w", err))
+		return
+	}
+	toSnap, toVer, err := s.store.Resolve(to)
+	if err != nil {
+		writeResolveError(w, fmt.Errorf("to: %w", err))
+		return
+	}
+	d := core.DiffLists(fromSnap.list, toSnap.list)
+	writeJSON(w, http.StatusOK, DiffResponse{
+		From:           versionResponse(VersionInfo{Version: fromVer, Sets: fromSnap.NumSets(), Sites: fromSnap.NumSites()}),
+		To:             versionResponse(VersionInfo{Version: toVer, Sets: toSnap.NumSets(), Sites: toSnap.NumSites()}),
+		Empty:          d.Empty(),
+		Summary:        d.Summary(),
+		AddedSets:      d.AddedSets,
+		RemovedSets:    d.RemovedSets,
+		AddedMembers:   d.AddedMembers,
+		RemovedMembers: d.RemovedMembers,
+	})
 }

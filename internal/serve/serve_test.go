@@ -6,11 +6,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"rwskit/internal/core"
 	"rwskit/internal/dataset"
+	"rwskit/internal/history"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -373,4 +376,285 @@ func TestConcurrentQueriesDuringSwaps(t *testing.T) {
 		}
 	}
 	<-done
+}
+
+// newTimelineServer serves the full monthly study window from a version
+// store, the -timeline boot shape.
+func newTimelineServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	tl, err := history.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore(len(tl.Snapshots) + 1)
+	for _, snap := range tl.Snapshots {
+		asOf, err := time.Parse("2006-01", snap.Month)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Add(snap.List, core.Version{Source: "timeline:" + snap.Month, ObservedAt: asOf, AsOf: asOf})
+	}
+	s := NewFromStore(st)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestVersionsEndpoint(t *testing.T) {
+	s, ts := newTimelineServer(t)
+	var body VersionsResponse
+	if code := getJSON(t, ts.URL+"/v1/versions", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body.Retained != 15 || len(body.Versions) != 15 {
+		t.Fatalf("retained = %d versions = %d, want the 15-month window", body.Retained, len(body.Versions))
+	}
+	if body.Capacity != s.Store().Cap() {
+		t.Errorf("capacity = %d, want %d", body.Capacity, s.Store().Cap())
+	}
+	for i, v := range body.Versions {
+		if v.Sets == 0 || v.Hash == "" || !strings.HasPrefix(v.Source, "timeline:") {
+			t.Errorf("version %d = %+v", i, v)
+		}
+		if i > 0 && v.AsOf.Before(body.Versions[i-1].AsOf) {
+			t.Errorf("versions out of order at %d", i)
+		}
+		if v.Current != (i == len(body.Versions)-1) {
+			t.Errorf("version %d current = %v", i, v.Current)
+		}
+	}
+	last := body.Versions[len(body.Versions)-1]
+	if last.Sets != 41 {
+		t.Errorf("final month has %d sets, want the 41-set snapshot", last.Sets)
+	}
+}
+
+// TestDiffEndpointMatchesDiffLists is the acceptance property: /v1/diff
+// between ANY two served versions must match core.DiffLists exactly.
+func TestDiffEndpointMatchesDiffLists(t *testing.T) {
+	s, ts := newTimelineServer(t)
+	infos := s.Store().Versions()
+	lists := make(map[string]*core.List, len(infos))
+	for _, vi := range infos {
+		snap, _, err := s.Store().ByHash(vi.Version.Hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lists[vi.Version.Hash] = snap.List()
+	}
+	for _, from := range infos {
+		for _, to := range infos {
+			var body DiffResponse
+			u := fmt.Sprintf("%s/v1/diff?from=%s&to=%s", ts.URL, from.Version.Hash[:12], to.Version.Hash[:12])
+			if code := getJSON(t, u, &body); code != http.StatusOK {
+				t.Fatalf("%s: status %d", u, code)
+			}
+			want := core.DiffLists(lists[from.Version.Hash], lists[to.Version.Hash])
+			got := core.Diff{
+				AddedSets:      body.AddedSets,
+				RemovedSets:    body.RemovedSets,
+				AddedMembers:   body.AddedMembers,
+				RemovedMembers: body.RemovedMembers,
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("diff(%s, %s) = %+v, want %+v", from.Version.ID(), to.Version.ID(), got, want)
+			}
+			if body.Empty != want.Empty() || body.Summary != want.Summary() {
+				t.Errorf("diff(%s, %s) empty/summary mismatch", from.Version.ID(), to.Version.ID())
+			}
+			if body.From.Hash != from.Version.Hash || body.To.Hash != to.Version.Hash {
+				t.Errorf("diff echo = %s→%s, want %s→%s", body.From.Hash, body.To.Hash, from.Version.Hash, to.Version.Hash)
+			}
+		}
+	}
+}
+
+// TestDiffEndpointSpellings: from/to accept as-of times and "current",
+// not just hash prefixes.
+func TestDiffEndpointSpellings(t *testing.T) {
+	_, ts := newTimelineServer(t)
+	var body DiffResponse
+	u := ts.URL + "/v1/diff?from=2023-01&to=current"
+	if code := getJSON(t, u, &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body.Empty || len(body.AddedSets) == 0 {
+		t.Errorf("2023-01 → current should add sets: %+v", body)
+	}
+	if body.From.Source != "timeline:2023-01" {
+		t.Errorf("from = %+v, want the 2023-01 version", body.From)
+	}
+}
+
+// TestAsOfQueries: the same query answered against different months
+// must reflect the list as it stood then.
+func TestAsOfQueries(t *testing.T) {
+	s, ts := newTimelineServer(t)
+	// Find a set that joined the list mid-window, with at least two
+	// members, so its relatedness flips over time.
+	infos := s.Store().Versions()
+	first, _, err := s.Store().ByHash(infos[0].Version.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _, err := s.Store().ByHash(infos[len(infos)-1].Version.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b string
+	for _, set := range final.List().Sets() {
+		if _, _, ok := first.List().FindSet(set.Primary); ok {
+			continue
+		}
+		if sites := set.Sites(); len(sites) >= 2 {
+			a, b = sites[0], sites[1]
+			break
+		}
+	}
+	if a == "" {
+		t.Fatal("no late-joining multi-member set in the timeline")
+	}
+
+	sameSetAt := func(asOf string) bool {
+		t.Helper()
+		var body SameSetResponse
+		u := fmt.Sprintf("%s/v1/sameset?a=%s&b=%s&as_of=%s", ts.URL, a, b, asOf)
+		if code := getJSON(t, u, &body); code != http.StatusOK {
+			t.Fatalf("%s: status %d", u, code)
+		}
+		return body.SameSet
+	}
+	if sameSetAt("2023-01") {
+		t.Errorf("%s and %s should be unrelated at the window start", a, b)
+	}
+	if !sameSetAt("2024-03") {
+		t.Errorf("%s and %s should be related by the window end", a, b)
+	}
+
+	// set and stats follow the same resolution.
+	var sr SetResponse
+	u := fmt.Sprintf("%s/v1/set?site=%s&as_of=2023-01", ts.URL, a)
+	if code := getJSON(t, u, &sr); code != http.StatusOK || sr.Found {
+		t.Errorf("set as of 2023-01 = %+v (status %d), want not found", sr, code)
+	}
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats?as_of=2023-01", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Sets != first.NumSets() || st.SnapshotHash != first.Hash() {
+		t.Errorf("stats as of 2023-01 = %d sets hash %.8s, want %d / %.8s",
+			st.Sets, st.SnapshotHash, first.NumSets(), first.Hash())
+	}
+}
+
+// TestVersionPinnedQueries: version=HASHPREFIX pins sameset, partition,
+// and stats to one retained version.
+func TestVersionPinnedQueries(t *testing.T) {
+	s, ts := newTimelineServer(t)
+	infos := s.Store().Versions()
+	firstHash := infos[0].Version.Hash
+	var st StatsResponse
+	u := fmt.Sprintf("%s/v1/stats?version=%s", ts.URL, firstHash[:12])
+	if code := getJSON(t, u, &st); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if st.SnapshotHash != firstHash {
+		t.Errorf("pinned stats hash = %.8s, want %.8s", st.SnapshotHash, firstHash)
+	}
+	var pr PartitionResponse
+	u = fmt.Sprintf("%s/v1/partition?top=bild.de&embedded=autobild.de&version=%s", ts.URL, firstHash[:12])
+	if code := getJSON(t, u, &pr); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+}
+
+func TestVersionResolutionErrors(t *testing.T) {
+	_, ts := newTimelineServer(t)
+	for path, wantStatus := range map[string]int{
+		"/v1/sameset?a=x&b=y&version=ffffffffffff":       http.StatusNotFound,
+		"/v1/sameset?a=x&b=y&as_of=2022-01":              http.StatusNotFound,
+		"/v1/sameset?a=x&b=y&as_of=bogus":                http.StatusBadRequest,
+		"/v1/sameset?a=x&b=y&version=zzz":                http.StatusBadRequest,
+		"/v1/sameset?a=x&b=y&version=abcd&as_of=2023-02": http.StatusBadRequest,
+		"/v1/diff?from=2023-01":                          http.StatusBadRequest,
+		"/v1/diff?from=2022-01&to=current":               http.StatusNotFound,
+		"/v1/stats?version=ff":                           http.StatusBadRequest,
+	} {
+		var body struct {
+			Error string `json:"error"`
+		}
+		if code := getJSON(t, ts.URL+path, &body); code != wantStatus {
+			t.Errorf("%s: status %d, want %d", path, code, wantStatus)
+		}
+		if body.Error == "" {
+			t.Errorf("%s: empty error body", path)
+		}
+	}
+}
+
+// TestMetricsOccupancy: /v1/metrics reports the version-store occupancy
+// and the current snapshot hash.
+func TestMetricsOccupancy(t *testing.T) {
+	s, ts := newTestServer(t)
+	var body MetricsResponse
+	if code := getJSON(t, ts.URL+"/v1/metrics", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body.VersionsRetained != 1 || body.VersionsCapacity != DefaultRetain {
+		t.Errorf("occupancy = %d/%d, want 1/%d", body.VersionsRetained, body.VersionsCapacity, DefaultRetain)
+	}
+	if body.SnapshotHash != s.Snapshot().Hash() || body.ListSwaps != 0 {
+		t.Errorf("metrics = hash %.8s swaps %d", body.SnapshotHash, body.ListSwaps)
+	}
+
+	// A swap retains the superseded version and bumps the counters.
+	replacement, err := core.ParseJSON([]byte(`{"sets":[{
+	  "primary": "https://example.com",
+	  "associatedSites": ["https://example-blog.com"],
+	  "rationaleBySite": {"https://example-blog.com": "same brand"}
+	}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Swap(replacement)
+	body = MetricsResponse{}
+	if code := getJSON(t, ts.URL+"/v1/metrics", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body.VersionsRetained != 2 || body.ListSwaps != 1 {
+		t.Errorf("after swap: occupancy %d, swaps %d, want 2 and 1", body.VersionsRetained, body.ListSwaps)
+	}
+}
+
+// TestSupersededVersionStaysQueryable: after a Swap, the previous
+// version still answers when pinned, while unversioned traffic sees the
+// new list — the store's whole reason to exist.
+func TestSupersededVersionStaysQueryable(t *testing.T) {
+	s, ts := newTestServer(t)
+	oldHash := s.Snapshot().Hash()
+	replacement, err := core.ParseJSON([]byte(`{"sets":[{
+	  "primary": "https://example.com",
+	  "associatedSites": ["https://example-blog.com"],
+	  "rationaleBySite": {"https://example-blog.com": "same brand"}
+	}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Swap(replacement)
+
+	var cur SameSetResponse
+	if code := getJSON(t, ts.URL+"/v1/sameset?a=bild.de&b=autobild.de", &cur); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if cur.SameSet {
+		t.Error("unversioned query should see the new list")
+	}
+	var old SameSetResponse
+	u := fmt.Sprintf("%s/v1/sameset?a=bild.de&b=autobild.de&version=%s", ts.URL, oldHash[:12])
+	if code := getJSON(t, u, &old); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !old.SameSet || old.Primary != "bild.de" {
+		t.Errorf("pinned query against the superseded version = %+v, want related", old)
+	}
 }

@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rwskit/internal/core"
+)
+
+// DefaultRetain is the number of versions a store keeps when the caller
+// does not choose a capacity.
+const DefaultRetain = 8
+
+// ErrVersionNotFound reports a version spec that resolves to no retained
+// version (evicted, never served, or an as-of instant before the first
+// retained version).
+var ErrVersionNotFound = errors.New("serve: no such version")
+
+// storeEntry pairs one retained snapshot with its version descriptor.
+type storeEntry struct {
+	ver  core.Version
+	snap *Snapshot
+}
+
+// VersionInfo describes one retained version for listings.
+type VersionInfo struct {
+	Version core.Version
+	Sets    int
+	Sites   int
+	Current bool
+}
+
+// Store is a bounded, concurrency-safe version store for snapshots: it
+// retains the last N distinct list revisions keyed by content hash, so
+// the serve plane can answer about any retained version — point-in-time
+// (as-of) lookups, version-pinned queries, and diffs between arbitrary
+// retained versions — not just the latest.
+//
+// The current version stays on a lock-free atomic pointer, so the hot
+// path (every request without version=/as_of=) costs exactly what the
+// single-snapshot server cost: one atomic load. The mutex guards only
+// the version index, which is touched by swaps and by explicitly
+// versioned requests.
+type Store struct {
+	cur   atomic.Pointer[Snapshot]
+	swaps atomic.Uint64
+
+	mu      sync.RWMutex
+	entries []*storeEntry // insertion order, oldest first
+	byHash  map[string]*storeEntry
+	cap     int
+}
+
+// NewStore returns an empty store retaining up to capacity versions
+// (capacity < 1 selects DefaultRetain). The store serves no queries
+// until the first Add.
+func NewStore(capacity int) *Store {
+	if capacity < 1 {
+		capacity = DefaultRetain
+	}
+	return &Store{byHash: make(map[string]*storeEntry, capacity), cap: capacity}
+}
+
+// Current returns the snapshot answering unversioned queries. Lock-free;
+// this is the request fast path. Nil only before the first Add.
+func (st *Store) Current() *Snapshot { return st.cur.Load() }
+
+// Cap returns the maximum number of versions retained.
+func (st *Store) Cap() int { return st.cap }
+
+// Len returns the number of versions currently retained.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.entries)
+}
+
+// Swaps returns how many times the current version changed after the
+// initial install.
+func (st *Store) Swaps() uint64 { return st.swaps.Load() }
+
+// Add precomputes a snapshot for list and installs it as the current
+// version. The precompute runs on the caller, never on the request path.
+func (st *Store) Add(list *core.List, ver core.Version) *Snapshot {
+	snap := NewSnapshot(list)
+	st.AddSnapshot(snap, ver)
+	return snap
+}
+
+// AddSnapshot installs an already-built snapshot as the current version,
+// for callers that precompute off the swap path. Versions are keyed by
+// content hash: re-adding a retained hash adopts the caller's snapshot
+// instance and version descriptor in the existing slot instead of
+// duplicating it, so a poller flapping between two revisions occupies
+// two slots, not the whole store. Re-filing under the latest provenance
+// keeps as-of resolution consistent with the current plane: after a
+// flap back to old content, AsOf(now) answers with the version
+// unversioned requests are served from, at the cost of the revision's
+// earlier as-of point (a bounded content-keyed store cannot represent
+// re-install intervals). When the store is full, the oldest non-current
+// version is evicted.
+func (st *Store) AddSnapshot(snap *Snapshot, ver core.Version) {
+	ver.Hash = snap.hash
+	st.mu.Lock()
+	e, ok := st.byHash[snap.hash]
+	if ok {
+		e.snap = snap
+		e.ver = ver
+	} else {
+		e = &storeEntry{ver: ver, snap: snap}
+		st.entries = append(st.entries, e)
+		st.byHash[snap.hash] = e
+	}
+	prev := st.cur.Load()
+	st.cur.Store(snap)
+	st.evictLocked()
+	st.mu.Unlock()
+	if prev != nil && prev.hash != snap.hash {
+		st.swaps.Add(1)
+	}
+}
+
+// evictLocked drops the oldest non-current versions until the store is
+// within capacity. Callers hold st.mu; the current version is never
+// evicted, so capacity 1 degenerates to the single-snapshot plane.
+func (st *Store) evictLocked() {
+	cur := st.cur.Load()
+	for len(st.entries) > st.cap {
+		evicted := false
+		for i, e := range st.entries {
+			if e.snap == cur {
+				continue
+			}
+			delete(st.byHash, e.ver.Hash)
+			st.entries = append(st.entries[:i], st.entries[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// currentLocked returns the current snapshot together with its version
+// descriptor as one consistent pair. Callers hold st.mu (read or write);
+// AddSnapshot publishes the pointer inside the write lock, so a single
+// locked read cannot observe a snapshot from one swap and a descriptor
+// from another.
+func (st *Store) currentLocked() (*Snapshot, core.Version, bool) {
+	cur := st.cur.Load()
+	if cur == nil {
+		return nil, core.Version{}, false
+	}
+	e, ok := st.byHash[cur.hash]
+	if !ok {
+		return nil, core.Version{}, false
+	}
+	return cur, e.ver, true
+}
+
+// CurrentVersion returns the current snapshot's version descriptor.
+func (st *Store) CurrentVersion() (core.Version, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	_, ver, ok := st.currentLocked()
+	return ver, ok
+}
+
+// Versions lists the retained versions, oldest first.
+func (st *Store) Versions() []VersionInfo {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	cur := st.cur.Load()
+	out := make([]VersionInfo, 0, len(st.entries))
+	for _, e := range st.entries {
+		out = append(out, VersionInfo{
+			Version: e.ver,
+			Sets:    e.snap.NumSets(),
+			Sites:   e.snap.NumSites(),
+			Current: e.snap == cur,
+		})
+	}
+	return out
+}
+
+// ByHash resolves a version by content-hash prefix (case-sensitive hex,
+// at least 4 characters, or the full hash). "current" and "" resolve to
+// the current version. An ambiguous prefix is an error naming the
+// candidates; an unknown one wraps ErrVersionNotFound.
+func (st *Store) ByHash(spec string) (*Snapshot, core.Version, error) {
+	if spec == "" || spec == "current" {
+		st.mu.RLock()
+		snap, ver, ok := st.currentLocked()
+		st.mu.RUnlock()
+		if !ok {
+			return nil, core.Version{}, fmt.Errorf("%w: store is empty", ErrVersionNotFound)
+		}
+		return snap, ver, nil
+	}
+	if len(spec) < 4 {
+		return nil, core.Version{}, fmt.Errorf("version %q too short: want at least 4 hash characters", spec)
+	}
+	if !isHexLower(spec) {
+		return nil, core.Version{}, fmt.Errorf("version %q is not a hex hash prefix", spec)
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var found *storeEntry
+	for _, e := range st.entries {
+		if len(spec) <= len(e.ver.Hash) && e.ver.Hash[:len(spec)] == spec {
+			if found != nil {
+				return nil, core.Version{}, fmt.Errorf("version %q is ambiguous (%s and %s)", spec, found.ver.ID(), e.ver.ID())
+			}
+			found = e
+		}
+	}
+	if found == nil {
+		return nil, core.Version{}, fmt.Errorf("%w: %s", ErrVersionNotFound, spec)
+	}
+	return found.snap, found.ver, nil
+}
+
+// AsOf resolves the version in force at t: the retained version with the
+// greatest AsOf not after t (insertion order breaks ties). An instant
+// before every retained version wraps ErrVersionNotFound.
+func (st *Store) AsOf(t time.Time) (*Snapshot, core.Version, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var found *storeEntry
+	for _, e := range st.entries {
+		if e.ver.AsOf.After(t) {
+			continue
+		}
+		if found == nil || !e.ver.AsOf.Before(found.ver.AsOf) {
+			found = e
+		}
+	}
+	if found == nil {
+		return nil, core.Version{}, fmt.Errorf("%w: no version as of %s", ErrVersionNotFound, t.Format(time.RFC3339))
+	}
+	return found.snap, found.ver, nil
+}
+
+// Resolve resolves a version spec of any spelling: "" or "current", an
+// as-of instant ("2023-04", "2023-04-26", or RFC 3339), or a version
+// hash prefix. The diff endpoint and CLI accept this form so "diff
+// 2023-01 current" works without copying hashes around.
+func (st *Store) Resolve(spec string) (*Snapshot, core.Version, error) {
+	if t, ok := parseAsOf(spec); ok {
+		return st.AsOf(t)
+	}
+	return st.ByHash(spec)
+}
+
+// parseAsOf parses the accepted as-of spellings: a month ("2023-04",
+// meaning the start of that month), a date ("2023-04-26"), or a full
+// RFC 3339 instant.
+func parseAsOf(s string) (time.Time, bool) {
+	for _, layout := range []string{"2006-01", "2006-01-02", time.RFC3339} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// isHexLower reports whether s is entirely lowercase hex, the alphabet
+// of list content hashes.
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

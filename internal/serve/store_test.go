@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rwskit/internal/core"
+)
+
+// listWithPrimary builds a one-set list whose content (and hence hash)
+// is unique per name.
+func listWithPrimary(t *testing.T, name string) *core.List {
+	t.Helper()
+	list, err := core.ParseJSON([]byte(fmt.Sprintf(
+		`{"sets":[{"primary":"https://%s.com","associatedSites":["https://%s-blog.com"],"rationaleBySite":{"https://%s-blog.com":"same brand"}}]}`,
+		name, name, name)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return list
+}
+
+func monthVersion(month string) core.Version {
+	t, _ := time.Parse("2006-01", month)
+	return core.Version{Source: "test:" + month, ObservedAt: t, AsOf: t}
+}
+
+func TestStoreAddCurrentAndSwaps(t *testing.T) {
+	st := NewStore(4)
+	if st.Current() != nil || st.Len() != 0 {
+		t.Fatal("fresh store should be empty")
+	}
+	a := st.Add(listWithPrimary(t, "alpha"), monthVersion("2023-01"))
+	if st.Current() != a || st.Swaps() != 0 {
+		t.Errorf("after first Add: current=%p swaps=%d, want the snapshot and 0 swaps", st.Current(), st.Swaps())
+	}
+	b := st.Add(listWithPrimary(t, "beta"), monthVersion("2023-02"))
+	if st.Current() != b || st.Swaps() != 1 || st.Len() != 2 {
+		t.Errorf("after second Add: swaps=%d len=%d", st.Swaps(), st.Len())
+	}
+	ver, ok := st.CurrentVersion()
+	if !ok || ver.Hash != b.Hash() || ver.Source != "test:2023-02" {
+		t.Errorf("CurrentVersion = %+v, %v", ver, ok)
+	}
+}
+
+// TestStoreDedupByHash: re-adding a retained content hash must not grow
+// the store, must not count a swap when it is already current, and must
+// re-file the revision under its latest provenance so as-of resolution
+// stays consistent with the current plane.
+func TestStoreDedupByHash(t *testing.T) {
+	st := NewStore(4)
+	list := listWithPrimary(t, "alpha")
+	st.Add(list, monthVersion("2023-01"))
+	st.Add(list, monthVersion("2023-06"))
+	if st.Len() != 1 {
+		t.Errorf("len = %d after re-adding the same content, want 1", st.Len())
+	}
+	if st.Swaps() != 0 {
+		t.Errorf("swaps = %d for an identical re-add, want 0", st.Swaps())
+	}
+	ver, _ := st.CurrentVersion()
+	if ver.Source != "test:2023-06" || ver.Hash == "" {
+		t.Errorf("provenance = %+v, want the latest source with the hash filled in", ver)
+	}
+	// Flapping back to older content re-installs the retained entry
+	// under the flap's provenance: AsOf(now) must agree with the
+	// unversioned plane, not resolve to the superseded middle version.
+	other := listWithPrimary(t, "beta")
+	st.Add(other, monthVersion("2023-02"))
+	st.Add(list, monthVersion("2023-03"))
+	if st.Len() != 2 || st.Swaps() != 2 {
+		t.Errorf("after flapping: len=%d swaps=%d, want 2/2", st.Len(), st.Swaps())
+	}
+	now, _ := parseAsOf("2023-12")
+	snap, ver, err := st.AsOf(now)
+	if err != nil || snap != st.Current() || ver.Source != "test:2023-03" {
+		t.Errorf("AsOf(now) after flap = %+v, %v, want the current (re-added) version", ver, err)
+	}
+}
+
+// TestStoreEviction: over capacity, the oldest non-current version goes;
+// the current version is never evicted, even when it is the oldest.
+func TestStoreEviction(t *testing.T) {
+	st := NewStore(3)
+	hashes := make([]string, 0, 5)
+	for i, name := range []string{"a", "b", "c", "d", "e"} {
+		snap := st.Add(listWithPrimary(t, name), monthVersion(fmt.Sprintf("2023-%02d", i+1)))
+		hashes = append(hashes, snap.Hash())
+	}
+	if st.Len() != 3 {
+		t.Fatalf("len = %d, want capacity 3", st.Len())
+	}
+	for _, h := range hashes[:2] {
+		if _, _, err := st.ByHash(h); !errors.Is(err, ErrVersionNotFound) {
+			t.Errorf("evicted version %.8s: err = %v, want ErrVersionNotFound", h, err)
+		}
+	}
+	for _, h := range hashes[2:] {
+		if _, _, err := st.ByHash(h); err != nil {
+			t.Errorf("retained version %.8s: %v", h, err)
+		}
+	}
+
+	// Re-installing the oldest retained version as current does not
+	// refresh its age: once superseded again, it is still the first to
+	// go. Eviction order is insertion order, not recency of currency.
+	cur, _, err := st.ByHash(hashes[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddSnapshot(cur, monthVersion("2023-08"))
+	if st.Current() != cur || st.Len() != 3 {
+		t.Fatalf("re-install: current=%p len=%d", st.Current(), st.Len())
+	}
+	st.Add(listWithPrimary(t, "f"), monthVersion("2023-09"))
+	if _, _, err := st.ByHash(hashes[2]); !errors.Is(err, ErrVersionNotFound) {
+		t.Errorf("superseded oldest version should be evicted first: %v", err)
+	}
+
+	// Capacity 1 degenerates to the single-snapshot plane.
+	one := NewStore(1)
+	one.Add(listWithPrimary(t, "x"), monthVersion("2023-01"))
+	one.Add(listWithPrimary(t, "y"), monthVersion("2023-02"))
+	if one.Len() != 1 || one.Current().NumSets() != 1 {
+		t.Errorf("capacity-1 store: len=%d", one.Len())
+	}
+}
+
+func TestStoreByHashResolution(t *testing.T) {
+	st := NewStore(4)
+	snap := st.Add(listWithPrimary(t, "alpha"), monthVersion("2023-01"))
+	full := snap.Hash()
+
+	for _, spec := range []string{full, full[:12], full[:4], "", "current"} {
+		got, ver, err := st.ByHash(spec)
+		if err != nil || got != snap || ver.Hash != full {
+			t.Errorf("ByHash(%q) = %p, %+v, %v", spec, got, ver, err)
+		}
+	}
+	if _, _, err := st.ByHash("abc"); err == nil {
+		t.Error("3-char prefix should be rejected as too short")
+	}
+	if _, _, err := st.ByHash("ABCDEF"); err == nil {
+		t.Error("non-lowercase-hex spec should be rejected")
+	}
+	if _, _, err := st.ByHash("0000deadbeef"); !errors.Is(err, ErrVersionNotFound) {
+		t.Errorf("unknown prefix: err = %v, want ErrVersionNotFound", err)
+	}
+}
+
+// TestStoreByHashAmbiguous fabricates two entries sharing a 4-char
+// prefix (real hashes almost never collide that early) to pin the
+// ambiguity error.
+func TestStoreByHashAmbiguous(t *testing.T) {
+	st := NewStore(4)
+	for _, h := range []string{"deadbeef0000", "deadbeef1111"} {
+		e := &storeEntry{ver: core.Version{Hash: h}, snap: &Snapshot{hash: h}}
+		st.entries = append(st.entries, e)
+		st.byHash[h] = e
+	}
+	st.cur.Store(st.entries[0].snap)
+	if _, _, err := st.ByHash("deadbeef"); err == nil || errors.Is(err, ErrVersionNotFound) {
+		t.Errorf("ambiguous prefix: err = %v, want an ambiguity error", err)
+	}
+	if _, _, err := st.ByHash("deadbeef1111"); err != nil {
+		t.Errorf("full hash must disambiguate: %v", err)
+	}
+}
+
+func TestStoreAsOf(t *testing.T) {
+	st := NewStore(4)
+	jan := st.Add(listWithPrimary(t, "january"), monthVersion("2023-01"))
+	mar := st.Add(listWithPrimary(t, "march"), monthVersion("2023-03"))
+
+	for _, tc := range []struct {
+		spec string
+		want *Snapshot
+	}{
+		{"2023-01", jan},
+		{"2023-02", jan},              // between versions: latest not after t
+		{"2023-02-15", jan},           // date spelling
+		{"2023-03", mar},              // exact boundary: AsOf <= t
+		{"2024-01", mar},              // after the last version
+		{"2023-03-01T00:00:00Z", mar}, // RFC 3339 spelling
+	} {
+		at, ok := parseAsOf(tc.spec)
+		if !ok {
+			t.Fatalf("parseAsOf(%q) failed", tc.spec)
+		}
+		got, _, err := st.AsOf(at)
+		if err != nil || got != tc.want {
+			t.Errorf("AsOf(%s) = %p, %v, want %p", tc.spec, got, err, tc.want)
+		}
+	}
+	early, _ := parseAsOf("2022-12")
+	if _, _, err := st.AsOf(early); !errors.Is(err, ErrVersionNotFound) {
+		t.Errorf("pre-history as-of: err = %v, want ErrVersionNotFound", err)
+	}
+	if _, ok := parseAsOf("not-a-time"); ok {
+		t.Error("parseAsOf should reject junk")
+	}
+}
+
+// TestStoreResolveSpellings: Resolve auto-detects hash prefixes, as-of
+// times, and "current".
+func TestStoreResolveSpellings(t *testing.T) {
+	st := NewStore(4)
+	jan := st.Add(listWithPrimary(t, "january"), monthVersion("2023-01"))
+	mar := st.Add(listWithPrimary(t, "march"), monthVersion("2023-03"))
+	for spec, want := range map[string]*Snapshot{
+		"2023-01":       jan,
+		"2023-02-01":    jan,
+		jan.Hash()[:16]: jan,
+		"current":       mar,
+		mar.Hash():      mar,
+	} {
+		got, _, err := st.Resolve(spec)
+		if err != nil || got != want {
+			t.Errorf("Resolve(%q) = %p, %v, want %p", spec, got, err, want)
+		}
+	}
+}
+
+// TestStoreConcurrentAddAndResolve hammers Add, Current, and the
+// versioned resolvers from many goroutines (run with -race).
+func TestStoreConcurrentAddAndResolve(t *testing.T) {
+	st := NewStore(4)
+	lists := []*core.List{
+		listWithPrimary(t, "alpha"),
+		listWithPrimary(t, "beta"),
+		listWithPrimary(t, "gamma"),
+	}
+	snaps := make([]*Snapshot, len(lists))
+	for i, l := range lists {
+		snaps[i] = NewSnapshot(l)
+	}
+	st.AddSnapshot(snaps[0], monthVersion("2023-01"))
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			st.AddSnapshot(snaps[i%len(snaps)], monthVersion("2023-02"))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			if st.Current() == nil {
+				t.Error("Current went nil under swaps")
+				return
+			}
+			st.Versions()
+			st.Resolve("current")
+		}
+	}()
+	wg.Wait()
+	if st.Len() > st.Cap() {
+		t.Errorf("len %d exceeds capacity %d", st.Len(), st.Cap())
+	}
+}

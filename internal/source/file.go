@@ -76,9 +76,10 @@ func (f *FileSource) Fetch(ctx context.Context) (*core.List, Meta, error) {
 	}
 	f.hash = h
 	return list, Meta{
-		Location: f.path,
-		Hash:     h,
-		ModTime:  fi.ModTime(),
-		Size:     fi.Size(),
+		Location:  f.path,
+		Hash:      h,
+		FetchedAt: time.Now(),
+		ModTime:   fi.ModTime(),
+		Size:      fi.Size(),
 	}, nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,6 +30,12 @@ type HTTPConfig struct {
 	// BackoffCap. Defaults to 500ms capped at 5s.
 	Backoff    time.Duration
 	BackoffCap time.Duration
+	// RetryAfterCap bounds how long a Retry-After header on a 429/503 is
+	// honoured for: the server-requested delay replaces the exponential
+	// schedule up to this cap, so a hostile or misconfigured upstream
+	// cannot pin a Fetch (and the watcher goroutine behind it) for an
+	// hour. Defaults to 30s.
+	RetryAfterCap time.Duration
 }
 
 func (c HTTPConfig) withDefaults() HTTPConfig {
@@ -46,6 +54,9 @@ func (c HTTPConfig) withDefaults() HTTPConfig {
 	if c.BackoffCap <= 0 {
 		c.BackoffCap = 5 * time.Second
 	}
+	if c.RetryAfterCap <= 0 {
+		c.RetryAfterCap = 30 * time.Second
+	}
 	return c
 }
 
@@ -62,6 +73,12 @@ type HTTPSource struct {
 	url string
 	cfg HTTPConfig
 
+	// now and sleep are the clock; tests substitute them so the
+	// Retry-After and backoff schedules can be asserted without waiting
+	// them out.
+	now   func() time.Time
+	sleep func(context.Context, time.Duration) error
+
 	mu           sync.Mutex
 	etag         string
 	lastModified string
@@ -71,7 +88,7 @@ type HTTPSource struct {
 // NewHTTPSource returns an HTTPSource polling url. No request is issued
 // until the first Fetch.
 func NewHTTPSource(url string, cfg HTTPConfig) *HTTPSource {
-	return &HTTPSource{url: url, cfg: cfg.withDefaults()}
+	return &HTTPSource{url: url, cfg: cfg.withDefaults(), now: time.Now, sleep: sleepCtx}
 }
 
 // Location implements Source.
@@ -85,20 +102,31 @@ func (h *HTTPSource) Invalidate() {
 	h.mu.Unlock()
 }
 
-// retryableError marks a failure worth another attempt.
-type retryableError struct{ err error }
+// retryableError marks a failure worth another attempt. retryAfter
+// carries the server-requested delay when the response named one
+// (Retry-After on a 429/503).
+type retryableError struct {
+	err           error
+	retryAfter    time.Duration
+	hasRetryAfter bool
+}
 
 func (e retryableError) Error() string { return e.err.Error() }
 func (e retryableError) Unwrap() error { return e.err }
 
-// Fetch implements Source.
+// Fetch implements Source. Retry delays follow the capped-exponential
+// schedule, except that a 429/503 carrying a Retry-After header is
+// retried when the server asked (bounded by RetryAfterCap) — hammering
+// an upstream that said "back off for 7s" at the 500ms schedule is how
+// pollers get banned.
 func (h *HTTPSource) Fetch(ctx context.Context) (*core.List, Meta, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var lastErr error
+	var delay time.Duration
 	for attempt := 0; attempt < h.cfg.Attempts; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, backoffDelay(h.cfg.Backoff, h.cfg.BackoffCap, attempt-1)); err != nil {
+			if err := h.sleep(ctx, delay); err != nil {
 				return nil, Meta{}, err
 			}
 		}
@@ -106,8 +134,14 @@ func (h *HTTPSource) Fetch(ctx context.Context) (*core.List, Meta, error) {
 		if err == nil {
 			return list, meta, nil
 		}
-		if _, retry := err.(retryableError); !retry || ctx.Err() != nil {
+		re, retry := err.(retryableError)
+		if !retry || ctx.Err() != nil {
 			return nil, Meta{}, err
+		}
+		if re.hasRetryAfter {
+			delay = min(re.retryAfter, h.cfg.RetryAfterCap)
+		} else {
+			delay = backoffDelay(h.cfg.Backoff, h.cfg.BackoffCap, attempt)
 		}
 		lastErr = err
 	}
@@ -134,7 +168,7 @@ func (h *HTTPSource) fetchOnce(ctx context.Context) (*core.List, Meta, error) {
 		if ctx.Err() != nil {
 			return nil, Meta{}, ctx.Err()
 		}
-		return nil, Meta{}, retryableError{err}
+		return nil, Meta{}, retryableError{err: err}
 	}
 	defer func() {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
@@ -147,7 +181,14 @@ func (h *HTTPSource) fetchOnce(ctx context.Context) (*core.List, Meta, error) {
 	case resp.StatusCode == http.StatusOK:
 		// Fall through to the body read below.
 	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
-		return nil, Meta{}, retryableError{fmt.Errorf("source: %s: upstream returned %s", h.url, resp.Status)}
+		re := retryableError{err: fmt.Errorf("source: %s: upstream returned %s", h.url, resp.Status)}
+		// 429 and 503 are the statuses Retry-After is defined for; an
+		// upstream that names its own recovery time knows better than our
+		// exponential guess.
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			re.retryAfter, re.hasRetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), h.now())
+		}
+		return nil, Meta{}, re
 	default:
 		return nil, Meta{}, fmt.Errorf("source: %s: upstream returned %s", h.url, resp.Status)
 	}
@@ -160,7 +201,7 @@ func (h *HTTPSource) fetchOnce(ctx context.Context) (*core.List, Meta, error) {
 		if ctx.Err() != nil {
 			return nil, Meta{}, ctx.Err()
 		}
-		return nil, Meta{}, retryableError{fmt.Errorf("source: %s: reading body: %w", h.url, err)}
+		return nil, Meta{}, retryableError{err: fmt.Errorf("source: %s: reading body: %w", h.url, err)}
 	}
 	if int64(len(data)) > h.cfg.MaxBody {
 		return nil, Meta{}, fmt.Errorf("source: %s: body exceeds limit %d bytes", h.url, h.cfg.MaxBody)
@@ -179,9 +220,33 @@ func (h *HTTPSource) fetchOnce(ctx context.Context) (*core.List, Meta, error) {
 	return list, Meta{
 		Location:     h.url,
 		Hash:         hash,
+		FetchedAt:    h.now(),
 		ETag:         h.etag,
 		LastModified: h.lastModified,
 	}, nil
+}
+
+// parseRetryAfter parses a Retry-After header value: delta-seconds or an
+// HTTP-date (relative to now). A missing, malformed, or negative value
+// reports false and the caller falls back to the exponential schedule.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
 }
 
 // backoffDelay is the capped exponential retry delay before attempt

@@ -279,3 +279,169 @@ func TestBackoffDelay(t *testing.T) {
 		}
 	}
 }
+
+// fakeClock records requested sleeps instead of taking them, and serves
+// a fixed now for HTTP-date arithmetic.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func (c *fakeClock) Now() time.Time { return c.now }
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.mu.Lock()
+	c.sleeps = append(c.sleeps, d)
+	c.mu.Unlock()
+	return ctx.Err()
+}
+
+func (c *fakeClock) recorded() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+// withFakeClock rewires a source's clock so retry schedules can be
+// asserted without waiting them out.
+func withFakeClock(src *HTTPSource, c *fakeClock) *HTTPSource {
+	src.now = c.Now
+	src.sleep = c.Sleep
+	return src
+}
+
+// retryAfterUpstream fails n times with status and a Retry-After header,
+// then serves the list.
+func retryAfterUpstream(t *testing.T, status int, retryAfter string, failures int) *httptest.Server {
+	t.Helper()
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failures > 0 {
+			failures--
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, "backing off", status)
+			return
+		}
+		fmt.Fprint(w, oneSetJSON)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestHTTPSourceHonorsRetryAfterSeconds: a 429 naming Retry-After must
+// be retried on the server's schedule, not the capped-exponential one.
+func TestHTTPSourceHonorsRetryAfterSeconds(t *testing.T) {
+	ts := retryAfterUpstream(t, http.StatusTooManyRequests, "7", 2)
+	clock := &fakeClock{now: time.Now()}
+	src := withFakeClock(NewHTTPSource(ts.URL, HTTPConfig{
+		Attempts:   3,
+		Backoff:    time.Millisecond,
+		BackoffCap: 2 * time.Millisecond,
+	}), clock)
+	list, _, err := src.Fetch(context.Background())
+	if err != nil || list.NumSets() != 1 {
+		t.Fatalf("fetch: %v", err)
+	}
+	want := []time.Duration{7 * time.Second, 7 * time.Second}
+	got := clock.recorded()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("sleeps = %v, want %v (the server's schedule, not backoff)", got, want)
+	}
+}
+
+// TestHTTPSourceRetryAfterHTTPDate: the HTTP-date form is honoured
+// relative to the source's clock.
+func TestHTTPSourceRetryAfterHTTPDate(t *testing.T) {
+	now := time.Date(2024, 3, 26, 12, 0, 0, 0, time.UTC)
+	ts := retryAfterUpstream(t, http.StatusServiceUnavailable, now.Add(9*time.Second).Format(http.TimeFormat), 1)
+	clock := &fakeClock{now: now}
+	src := withFakeClock(NewHTTPSource(ts.URL, HTTPConfig{
+		Attempts: 2,
+		Backoff:  time.Millisecond,
+	}), clock)
+	if _, _, err := src.Fetch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := clock.recorded()
+	if len(got) != 1 || got[0] != 9*time.Second {
+		t.Errorf("sleeps = %v, want [9s]", got)
+	}
+}
+
+// TestHTTPSourceRetryAfterCapped: a hostile Retry-After cannot pin the
+// fetch loop past RetryAfterCap.
+func TestHTTPSourceRetryAfterCapped(t *testing.T) {
+	ts := retryAfterUpstream(t, http.StatusTooManyRequests, "3600", 1)
+	clock := &fakeClock{now: time.Now()}
+	src := withFakeClock(NewHTTPSource(ts.URL, HTTPConfig{
+		Attempts:      2,
+		Backoff:       time.Millisecond,
+		RetryAfterCap: 4 * time.Second,
+	}), clock)
+	if _, _, err := src.Fetch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := clock.recorded()
+	if len(got) != 1 || got[0] != 4*time.Second {
+		t.Errorf("sleeps = %v, want the 4s cap", got)
+	}
+}
+
+// TestHTTPSourceRetryAfterAbsentFallsBack: without the header (or with a
+// malformed one) the capped-exponential schedule still applies — and a
+// 502, for which Retry-After is not defined, ignores the header.
+func TestHTTPSourceRetryAfterAbsentFallsBack(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		status     int
+		retryAfter string
+	}{
+		{"absent", http.StatusTooManyRequests, ""},
+		{"malformed", http.StatusServiceUnavailable, "soon"},
+		{"undefined-status", http.StatusBadGateway, "7"},
+	} {
+		ts := retryAfterUpstream(t, tc.status, tc.retryAfter, 2)
+		clock := &fakeClock{now: time.Now()}
+		src := withFakeClock(NewHTTPSource(ts.URL, HTTPConfig{
+			Attempts:   3,
+			Backoff:    100 * time.Millisecond,
+			BackoffCap: 150 * time.Millisecond,
+		}), clock)
+		if _, _, err := src.Fetch(context.Background()); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := clock.recorded()
+		want := []time.Duration{100 * time.Millisecond, 150 * time.Millisecond}
+		if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("%s: sleeps = %v, want the backoff schedule %v", tc.name, got, want)
+		}
+	}
+}
+
+// TestParseRetryAfter pins the header grammar.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2024, 3, 26, 12, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"0", 0, true},
+		{" 12 ", 12 * time.Second, true},
+		{"-5", 0, false},
+		{"soon", 0, false},
+		{now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second, true},
+		{now.Add(-30 * time.Second).Format(http.TimeFormat), 0, true}, // past date: retry now
+	} {
+		got, ok := parseRetryAfter(tc.in, now)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = %v, %v, want %v, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}

@@ -22,6 +22,7 @@ package source
 import (
 	"context"
 	"errors"
+	"net/http"
 	"strings"
 	"time"
 
@@ -40,6 +41,9 @@ type Meta struct {
 	// Hash is the list's semantic content hash (core.List.Hash).
 	Hash string
 
+	// FetchedAt is when the revision was obtained.
+	FetchedAt time.Time
+
 	// ETag and LastModified are the HTTP validators the revision was
 	// served with (empty for file sources).
 	ETag         string
@@ -49,6 +53,29 @@ type Meta struct {
 	// (zero for HTTP sources).
 	ModTime time.Time
 	Size    int64
+}
+
+// Version derives the core.Version descriptor a version store files this
+// revision under: the content hash, the source location, and the best
+// available logical (as-of) time — the file mtime, the parsed HTTP
+// Last-Modified, or the fetch time when the source offers nothing
+// better.
+func (m Meta) Version() core.Version {
+	asOf := m.FetchedAt
+	switch {
+	case !m.ModTime.IsZero():
+		asOf = m.ModTime
+	case m.LastModified != "":
+		if t, err := http.ParseTime(m.LastModified); err == nil {
+			asOf = t
+		}
+	}
+	return core.Version{
+		Hash:       m.Hash,
+		Source:     m.Location,
+		ObservedAt: m.FetchedAt,
+		AsOf:       asOf,
+	}
 }
 
 // Source produces list revisions with change detection. Implementations

@@ -138,3 +138,52 @@ func TestFileSourceStatBeforeRead(t *testing.T) {
 		t.Fatalf("fetch after write: %v", err)
 	}
 }
+
+// TestMetaVersion: the Version derivation prefers the file mtime, then
+// the parsed Last-Modified, then the fetch time as the as-of instant.
+func TestMetaVersion(t *testing.T) {
+	fetched := time.Date(2024, 3, 26, 12, 0, 0, 0, time.UTC)
+	mtime := time.Date(2024, 3, 20, 8, 0, 0, 0, time.UTC)
+
+	fileMeta := Meta{Location: "/tmp/list.json", Hash: "abc", FetchedAt: fetched, ModTime: mtime, Size: 42}
+	v := fileMeta.Version()
+	if v.Hash != "abc" || v.Source != "/tmp/list.json" || !v.ObservedAt.Equal(fetched) || !v.AsOf.Equal(mtime) {
+		t.Errorf("file Version = %+v", v)
+	}
+
+	httpMeta := Meta{
+		Location:     "https://example.com/list.json",
+		Hash:         "def",
+		FetchedAt:    fetched,
+		LastModified: "Tue, 26 Mar 2024 00:00:00 GMT",
+	}
+	v = httpMeta.Version()
+	want := time.Date(2024, 3, 26, 0, 0, 0, 0, time.UTC)
+	if !v.AsOf.Equal(want) || !v.ObservedAt.Equal(fetched) {
+		t.Errorf("http Version = %+v, want as-of %s", v, want)
+	}
+
+	// Unparseable Last-Modified (or none at all): fall back to FetchedAt.
+	httpMeta.LastModified = "not-a-date"
+	if v = httpMeta.Version(); !v.AsOf.Equal(fetched) {
+		t.Errorf("fallback AsOf = %s, want the fetch time", v.AsOf)
+	}
+}
+
+// TestFileSourceMetaFetchedAt: real fetches stamp FetchedAt so version
+// stores get a usable observed-at time.
+func TestFileSourceMetaFetchedAt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "list.json")
+	os.WriteFile(path, []byte(oneSetJSON), 0o644)
+	before := time.Now()
+	_, meta, err := NewFileSource(path).Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.FetchedAt.Before(before) || meta.FetchedAt.After(time.Now()) {
+		t.Errorf("FetchedAt = %s, want between the call and now", meta.FetchedAt)
+	}
+	if v := meta.Version(); !v.AsOf.Equal(meta.ModTime) {
+		t.Errorf("file Version AsOf = %s, want the mtime %s", v.AsOf, meta.ModTime)
+	}
+}

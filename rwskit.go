@@ -95,6 +95,15 @@ type Diff = core.Diff
 // DiffLists compares two list snapshots by set primary.
 func DiffLists(old, new *List) Diff { return core.DiffLists(old, new) }
 
+// ComposeDiffs combines the diffs old→mid and mid→new into old→new,
+// cancelling changes that were undone across the span. See
+// core.ComposeDiffs for the one caveat (a set removed and re-added).
+func ComposeDiffs(a, b Diff) Diff { return core.ComposeDiffs(a, b) }
+
+// Version identifies one list revision held by a version store: content
+// hash plus provenance (source, observed-at, as-of time).
+type Version = core.Version
+
 // CanonicalHost normalizes a site spelling to the canonical bare-host
 // form list lookups use: lowercased, scheme prefix, ":port" suffix,
 // trailing slash, and trailing root-label dot stripped. All of
@@ -237,6 +246,25 @@ type ServerSnapshot = serve.Snapshot
 // installing it in a server; Server.SwapSnapshot installs a prebuilt one,
 // keeping the precompute off the serving path.
 func NewServerSnapshot(list *List) *ServerSnapshot { return serve.NewSnapshot(list) }
+
+// ServerStore is a bounded version store of precomputed snapshots: the
+// current version serves the lock-free fast path, superseded versions
+// stay queryable by hash or as-of time, and diffs between any two
+// retained versions are exact DiffLists results.
+type ServerStore = serve.Store
+
+// ServerVersionInfo describes one retained version in a store listing.
+type ServerVersionInfo = serve.VersionInfo
+
+// NewServerStore returns an empty version store retaining up to capacity
+// versions (capacity < 1 selects serve.DefaultRetain). Add at least one
+// version before serving from it.
+func NewServerStore(capacity int) *ServerStore { return serve.NewStore(capacity) }
+
+// NewServerFromStore returns a Server answering queries from st, which
+// must already hold a current version. Use it to preload history (e.g.
+// the monthly study-window snapshots) before taking traffic.
+func NewServerFromStore(st *ServerStore) *Server { return serve.NewFromStore(st) }
 
 // ListSource produces list revisions with change detection: Fetch returns
 // ErrListNotModified when the list is unchanged since the previous

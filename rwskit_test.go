@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestSourceFacade: the list-ingestion plane is reachable through the
@@ -226,5 +227,53 @@ func TestServerSnapshotFacade(t *testing.T) {
 	resp := snap.SameSet("https://bild.de:443", "autobild.de")
 	if !resp.SameSet || resp.Primary != "bild.de" {
 		t.Errorf("snapshot SameSet = %+v", resp)
+	}
+}
+
+// TestServerStoreFacade: the version-store surface — preloading
+// versions, time-travel resolution, and serving from a store — works
+// through the public facade.
+func TestServerStoreFacade(t *testing.T) {
+	oldList, err := ParseList([]byte(`{"sets":[{"primary":"https://a.com","associatedSites":["https://b.com"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newList, err := Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewServerStore(4)
+	jan := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	st.Add(oldList, Version{Source: "timeline:2023-01", ObservedAt: jan, AsOf: jan})
+	mar := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	st.Add(newList, Version{Source: "timeline:2024-03", ObservedAt: mar, AsOf: mar})
+
+	if st.Len() != 2 || st.Cap() != 4 {
+		t.Errorf("store = %d/%d", st.Len(), st.Cap())
+	}
+	srv := NewServerFromStore(st)
+	if srv.Snapshot().NumSets() != newList.NumSets() {
+		t.Errorf("current = %d sets", srv.Snapshot().NumSets())
+	}
+	snap, ver, err := st.Resolve("2023-06")
+	if err != nil || snap.NumSets() != 1 || ver.Source != "timeline:2023-01" {
+		t.Errorf("Resolve(2023-06) = %d sets, %+v, %v", snap.NumSets(), ver, err)
+	}
+	infos := st.Versions()
+	if len(infos) != 2 || !infos[1].Current {
+		t.Errorf("Versions = %+v", infos)
+	}
+}
+
+// TestComposeDiffsFacade: composing the two legs of a three-revision
+// history matches the direct diff.
+func TestComposeDiffsFacade(t *testing.T) {
+	v1, _ := ParseList([]byte(`{"sets":[{"primary":"https://a.com"}]}`))
+	v2, _ := ParseList([]byte(`{"sets":[{"primary":"https://a.com"},{"primary":"https://b.com"}]}`))
+	v3, _ := ParseList([]byte(`{"sets":[{"primary":"https://a.com"},{"primary":"https://b.com"},{"primary":"https://c.com"}]}`))
+	composed := ComposeDiffs(DiffLists(v1, v2), DiffLists(v2, v3))
+	direct := DiffLists(v1, v3)
+	if len(composed.AddedSets) != 2 || composed.Summary() != direct.Summary() {
+		t.Errorf("composed = %+v, direct = %+v", composed, direct)
 	}
 }
