@@ -1,0 +1,345 @@
+// Command rws-benchgate is the CI benchmark-regression gate: it parses
+// two `go test -bench` text outputs (a committed baseline and the
+// current run), reduces each benchmark's samples to one ns/op statistic,
+// and fails when a gated benchmark regressed past the threshold.
+//
+// Usage:
+//
+//	rws-benchgate -current BENCH.txt [-baseline BASELINE.txt]
+//	              [-threshold 1.25] [-match REGEX] [-min-ns 50]
+//	              [-stat min|median] [-write-json BENCH.json]
+//
+// The inputs are plain `go test -bench` output (any -count; a
+// benchmark's repeated samples are reduced with -stat before comparing,
+// which is what makes a 5-count run meaningfully comparable). The
+// default statistic is min: scheduler and cache interference only ever
+// add time, so the fastest of N runs is the least-disturbed measurement
+// — medians of short (-benchtime=100x) runs on a busy box routinely
+// swing 2x while the min stays put. -match selects which benchmarks gate the
+// build; everything else is reported but cannot fail it. A gated
+// benchmark that vanishes from the current run fails the build too, so a
+// deleted or renamed hot-path benchmark cannot silently disarm its gate.
+// When the baseline's cpu: header names different hardware than the
+// current run's, the gate demotes itself to an informational report
+// (hardware deltas would drown the threshold); -ignore-cpu overrides.
+// -min-ns guards
+// against gating on timings below the timer's resolution: a benchmark
+// whose baseline median is under the floor (e.g. a sub-nanosecond atomic
+// load measured with -benchtime=100x) is reported but never fails.
+// Without -baseline the gate only parses and reports the current run —
+// the bootstrap path CI uses until a baseline is committed.
+//
+// -write-json emits the parsed current run as JSON (the BENCH_5.json
+// artifact), so later tooling can diff runs without re-parsing text.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rws-benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	baseline  string
+	current   string
+	threshold float64
+	match     *regexp.Regexp
+	minNs     float64
+	stat      string
+	ignoreCPU bool
+	writeJSON string
+}
+
+// reduce collapses one benchmark's samples with the configured
+// statistic.
+func (c config) reduce(samples []float64) float64 {
+	if c.stat == "median" {
+		return median(samples)
+	}
+	return minOf(samples)
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("rws-benchgate", flag.ContinueOnError)
+	baseline := fs.String("baseline", "", "baseline `go test -bench` output (optional: without it, only report)")
+	current := fs.String("current", "", "current `go test -bench` output (required)")
+	threshold := fs.Float64("threshold", 1.25, "fail when current/baseline median exceeds this ratio")
+	match := fs.String("match", ".*", "regexp choosing the benchmarks that gate the build")
+	minNs := fs.Float64("min-ns", 50, "skip gating benchmarks whose reduced baseline ns/op is below this floor")
+	stat := fs.String("stat", "min", "statistic reducing repeated samples: min (noise-robust) or median")
+	ignoreCPU := fs.Bool("ignore-cpu", false, "gate even when the baseline's cpu: header differs from the current run's")
+	writeJSON := fs.String("write-json", "", "write the parsed current run as JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if *current == "" || fs.NArg() != 0 {
+		return config{}, fmt.Errorf("usage: rws-benchgate -current FILE [-baseline FILE] [-threshold R] [-match RE] [-min-ns N] [-stat min|median] [-write-json FILE]")
+	}
+	if *threshold <= 1 {
+		return config{}, fmt.Errorf("-threshold must be > 1, got %g", *threshold)
+	}
+	if *stat != "min" && *stat != "median" {
+		return config{}, fmt.Errorf("-stat must be min or median, got %q", *stat)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		return config{}, fmt.Errorf("-match: %v", err)
+	}
+	return config{
+		baseline: *baseline, current: *current, threshold: *threshold,
+		match: re, minNs: *minNs, stat: *stat, ignoreCPU: *ignoreCPU, writeJSON: *writeJSON,
+	}, nil
+}
+
+// benchLine matches one result line of `go test -bench` output:
+// name(-GOMAXPROCS), iteration count, ns/op. Trailing -benchmem columns
+// are ignored.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// benchRun is one parsed `go test -bench` output: per-benchmark ns/op
+// samples plus the cpu: header, which identifies the hardware the
+// numbers were taken on.
+type benchRun struct {
+	samples map[string][]float64
+	cpu     string
+}
+
+// parseBench reads `go test -bench` text and collects every sample's
+// ns/op per benchmark name (GOMAXPROCS suffix stripped, so baselines
+// survive a runner core-count change) plus the cpu: header.
+func parseBench(r io.Reader) (benchRun, error) {
+	out := benchRun{samples: make(map[string][]float64)}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			out.cpu = strings.TrimSpace(cpu)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return benchRun{}, fmt.Errorf("parsing %q: %v", line, err)
+		}
+		out.samples[m[1]] = append(out.samples[m[1]], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return benchRun{}, err
+	}
+	if len(out.samples) == 0 {
+		return benchRun{}, fmt.Errorf("no benchmark result lines found")
+	}
+	return out, nil
+}
+
+// median reduces one benchmark's samples; with an even count it takes
+// the mean of the middle pair. The input is copied, not reordered.
+func median(samples []float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// minOf returns the smallest sample — the least-interfered run.
+func minOf(samples []float64) float64 {
+	m := samples[0]
+	for _, s := range samples[1:] {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// row is one benchmark's comparison.
+type row struct {
+	name    string
+	baseNs  float64
+	curNs   float64
+	verdict string // "ok", "REGRESSED", "MISSING", "skipped (below floor)", "new"
+}
+
+// compare builds the per-benchmark verdict table. A gated row fails the
+// build when it regressed past the threshold — or when it vanished from
+// the current run entirely, because a deleted or renamed hot-path
+// benchmark would otherwise silently disarm its gate. The two failure
+// kinds are reported separately: regressions are timing comparisons
+// (only meaningful on the baseline's hardware), while a missing gated
+// benchmark is a structural failure independent of where the run
+// happened. New benchmarks and ungated disappearances are
+// informational.
+func compare(base, cur map[string][]float64, cfg config) (rows []row, regressed, missing bool) {
+	names := make(map[string]bool, len(base)+len(cur))
+	for n := range base {
+		names[n] = true
+	}
+	for n := range cur {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	for _, name := range ordered {
+		r := row{name: name}
+		bs, hasBase := base[name]
+		cs, hasCur := cur[name]
+		switch {
+		case !hasBase:
+			r.curNs = cfg.reduce(cs)
+			r.verdict = "new"
+		case !hasCur:
+			r.baseNs = cfg.reduce(bs)
+			if cfg.match.MatchString(name) {
+				r.verdict = "MISSING (gated benchmark vanished)"
+				missing = true
+			} else {
+				r.verdict = "missing"
+			}
+		default:
+			r.baseNs, r.curNs = cfg.reduce(bs), cfg.reduce(cs)
+			switch {
+			case !cfg.match.MatchString(name):
+				r.verdict = "ok (not gated)"
+			case r.baseNs < cfg.minNs:
+				r.verdict = fmt.Sprintf("skipped (baseline below %gns floor)", cfg.minNs)
+			default:
+				if r.curNs > r.baseNs*cfg.threshold {
+					r.verdict = "REGRESSED"
+					regressed = true
+				} else {
+					r.verdict = "ok"
+				}
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows, regressed, missing
+}
+
+// jsonResult is one benchmark in the -write-json artifact.
+type jsonResult struct {
+	Name       string    `json:"name"`
+	Samples    []float64 `json:"samples_ns_op"`
+	MinNsOp    float64   `json:"min_ns_op"`
+	MedianNsOp float64   `json:"median_ns_op"`
+}
+
+func writeJSONFile(path string, cur map[string][]float64) error {
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	results := make([]jsonResult, 0, len(names))
+	for _, n := range names {
+		results = append(results, jsonResult{Name: n, Samples: cur[n], MinNsOp: minOf(cur[n]), MedianNsOp: median(cur[n])})
+	}
+	body, err := json.MarshalIndent(struct {
+		Benchmarks []jsonResult `json:"benchmarks"`
+	}{results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(body, '\n'), 0o644)
+}
+
+func parseFile(path string) (benchRun, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return benchRun{}, err
+	}
+	defer f.Close()
+	out, err := parseBench(f)
+	if err != nil {
+		return benchRun{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	cur, err := parseFile(cfg.current)
+	if err != nil {
+		return err
+	}
+	if cfg.writeJSON != "" {
+		if err := writeJSONFile(cfg.writeJSON, cur.samples); err != nil {
+			return err
+		}
+	}
+	if cfg.baseline == "" {
+		fmt.Fprintf(out, "rws-benchgate: no baseline; parsed %d benchmarks from %s (commit a baseline to enable the gate)\n",
+			len(cur.samples), cfg.current)
+		names := make([]string, 0, len(cur.samples))
+		for n := range cur.samples {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(out, "  %-40s %12.1f ns/op (%s of %d)\n", n, cfg.reduce(cur.samples[n]), cfg.stat, len(cur.samples[n]))
+		}
+		return nil
+	}
+	base, err := parseFile(cfg.baseline)
+	if err != nil {
+		return err
+	}
+	// Cross-hardware guard: a ratio threshold only means something when
+	// both runs came off the same silicon. A baseline recorded on a
+	// different CPU model demotes the gate to an informational report
+	// instead of flapping CI with hardware deltas (-ignore-cpu overrides
+	// for runners that report cosmetically different strings).
+	sameCPU := cfg.ignoreCPU || base.cpu == "" || cur.cpu == "" || base.cpu == cur.cpu
+	rows, regressed, missing := compare(base.samples, cur.samples, cfg)
+	fmt.Fprintf(out, "rws-benchgate: threshold %.2fx, gate %s\n", cfg.threshold, cfg.match)
+	fmt.Fprintf(out, "%-40s %14s %14s %8s  %s\n", "BENCHMARK", "BASE ns/op", "CURRENT ns/op", "DELTA", "VERDICT")
+	for _, r := range rows {
+		delta := "-"
+		if r.baseNs > 0 && r.curNs > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(r.curNs-r.baseNs)/r.baseNs)
+		}
+		fmt.Fprintf(out, "%-40s %14.1f %14.1f %8s  %s\n", r.name, r.baseNs, r.curNs, delta, r.verdict)
+	}
+	// A vanished gated benchmark is a structural failure, not a timing
+	// one: it fails the build regardless of what hardware the run landed
+	// on — demoting it with the threshold would let a rename disarm the
+	// gate on every non-reference machine.
+	if missing {
+		return fmt.Errorf("gated benchmark missing from the current run (renamed or deleted hot-path benchmark disarms its gate)")
+	}
+	if !sameCPU {
+		fmt.Fprintf(out, "rws-benchgate: baseline cpu %q != current cpu %q: hardware deltas would drown the %.2fx threshold, gate demoted to informational (regenerate the baseline on this machine, or pass -ignore-cpu)\n",
+			base.cpu, cur.cpu, cfg.threshold)
+		return nil
+	}
+	if regressed {
+		return fmt.Errorf("benchmark regression past %.2fx on the gated hot paths", cfg.threshold)
+	}
+	return nil
+}

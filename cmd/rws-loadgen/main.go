@@ -18,11 +18,13 @@
 //	batch      GET  /v1/sameset?pairs= (-batch pairs per request)
 //	asof       GET  /v1/sameset?a=&b=&as_of=   (time-travel reads)
 //	diff       GET  /v1/diff?from=&to=         (version-pair diffs)
+//	churn      GET  /v1/churn?from=&to=        (version-chain churn rollups)
 //
-// asof and diff (weight 0 unless named in -mix) exercise the version
-// store: the generator fetches /v1/versions from the target once at
-// startup and draws as_of instants and from/to hash pairs from the
-// retained versions, so they pair naturally with rws-serve -timeline.
+// asof, diff, and churn (weight 0 unless named in -mix) exercise the
+// version store: the generator fetches /v1/versions from the target once
+// at startup and draws as_of instants and from/to hash pairs from the
+// retained versions (churn draws them in as-of order), so they pair
+// naturally with rws-serve -timeline.
 //
 // Hosts are drawn deterministically from the list (-list, default the
 // embedded snapshot) with a seeded PRNG per worker, so two runs with the
@@ -75,6 +77,7 @@ const (
 	scBatch
 	scAsOf
 	scDiff
+	scChurn
 	numScenarios
 )
 
@@ -85,6 +88,7 @@ var scenarioNames = [numScenarios]string{
 	scBatch:     "batch",
 	scAsOf:      "asof",
 	scDiff:      "diff",
+	scChurn:     "churn",
 }
 
 type config struct {
@@ -170,7 +174,7 @@ func parseMix(s string) ([numScenarios]int, error) {
 			}
 		}
 		if !found {
-			return w, fmt.Errorf("-mix: unknown scenario %q (want sameset, set, partition, batch, asof, diff)", name)
+			return w, fmt.Errorf("-mix: unknown scenario %q (want sameset, set, partition, batch, asof, diff, churn)", name)
 		}
 	}
 	// Validate the final weights, not a running total: a duplicate key
@@ -287,7 +291,7 @@ type generator struct {
 // wantsVersions reports whether the mix includes a scenario that needs
 // the target's version list.
 func (g *generator) wantsVersions() bool {
-	return g.cfg.weights[scAsOf] > 0 || g.cfg.weights[scDiff] > 0
+	return g.cfg.weights[scAsOf] > 0 || g.cfg.weights[scDiff] > 0 || g.cfg.weights[scChurn] > 0
 }
 
 // primeVersions fetches the target's retained versions for the asof and
@@ -318,8 +322,13 @@ func (g *generator) primeVersions(ctx context.Context) error {
 		return fmt.Errorf("decoding /v1/versions: %w", err)
 	}
 	if len(body.Versions) == 0 {
-		return errors.New("target retains no versions; asof/diff scenarios have nothing to query")
+		return errors.New("target retains no versions; asof/diff/churn scenarios have nothing to query")
 	}
+	// Order by as-of time so the churn scenario can draw from/to pairs
+	// the server's chain walk accepts (from must not be newer than to).
+	sort.SliceStable(body.Versions, func(i, j int) bool {
+		return body.Versions[i].AsOf.Before(body.Versions[j].AsOf)
+	})
 	for _, v := range body.Versions {
 		g.hashes = append(g.hashes, v.Hash)
 		g.asOfs = append(g.asOfs, v.AsOf.Format(time.RFC3339))
@@ -515,6 +524,14 @@ func (g *generator) do(ctx context.Context, sc scenarioID, rng *rand.Rand) bool 
 		from := g.hashes[rng.Intn(len(g.hashes))]
 		to := g.hashes[rng.Intn(len(g.hashes))]
 		u = fmt.Sprintf("%s/v1/diff?from=%s&to=%s", g.cfg.target, from[:12], to[:12])
+	case scChurn:
+		// Draw an ordered (from, to) pair: the churn chain rejects a from
+		// newer than to.
+		i, j := rng.Intn(len(g.hashes)), rng.Intn(len(g.hashes))
+		if i > j {
+			i, j = j, i
+		}
+		u = fmt.Sprintf("%s/v1/churn?from=%s&to=%s", g.cfg.target, g.hashes[i][:12], g.hashes[j][:12])
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {

@@ -243,3 +243,32 @@ func TestVersionedMixPrimeFailure(t *testing.T) {
 		t.Errorf("err = %v, want a priming failure naming /v1/versions", err)
 	}
 }
+
+// TestChurnMix drives the churn scenario against a live version store:
+// ordered (from, to) pairs drawn from /v1/versions must complete the
+// run error-free.
+func TestChurnMix(t *testing.T) {
+	ts := timelineTarget(t)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", ts.URL, "-workers", "2", "-duration", "300ms", "-json",
+		"-mix", "sameset=2,diff=1,churn=1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output %q)", err, out.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors in the churn mix: %+v", rep.Errors, rep)
+	}
+	byName := map[string]uint64{}
+	for _, s := range rep.Scenarios {
+		byName[s.Scenario] = s.Requests
+	}
+	if byName["churn"] == 0 {
+		t.Errorf("churn scenario never ran: %+v", rep.Scenarios)
+	}
+}

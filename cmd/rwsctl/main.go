@@ -9,6 +9,7 @@
 //	rwsctl diff OLD.json NEW.json         member-level diff of two list snapshots
 //	rwsctl diff -server URL FROM TO       diff two versions held by a running rws-serve
 //	rwsctl versions -server URL           list the versions a running rws-serve retains
+//	rwsctl churn -server URL [FROM [TO]]  churn rollup over the retained version chain
 //	rwsctl serve [-addr :8080] [-list file]  serve the list as the rws-serve HTTP API
 //
 // Without -list, the embedded reconstruction of the 26 March 2024 snapshot
@@ -43,7 +44,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rwsctl <stats|related|find|validate|diff|serve> [args]")
+		return fmt.Errorf("usage: rwsctl <stats|related|find|validate|diff|versions|churn|serve> [args]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -59,6 +60,8 @@ func run(args []string, out io.Writer) error {
 		return cmdDiff(rest, out)
 	case "versions":
 		return cmdVersions(rest, out)
+	case "churn":
+		return cmdChurn(rest, out)
 	case "serve":
 		return cmdServe(rest, out)
 	default:
@@ -316,6 +319,82 @@ func remoteDiff(server, from, to string, jsonOut bool, out io.Writer) error {
 		d.To.Hash, d.To.AsOf.Format("2006-01-02"), d.To.Sets, d.Summary)
 	if !d.Empty {
 		writeDiffLines(out, d.AddedSets, d.RemovedSets, d.AddedMembers, d.RemovedMembers)
+	}
+	return nil
+}
+
+func cmdChurn(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("churn", flag.ContinueOnError)
+	server := fs.String("server", "", "rws-serve base URL (required)")
+	granularity := fs.String("granularity", "step", "rollup granularity: step, month, or total")
+	top := fs.Int("top", 10, "most-volatile sets to rank (0 disables the table)")
+	jsonOut := fs.Bool("json", false, "emit the churn report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" || fs.NArg() > 2 {
+		return fmt.Errorf("usage: rwsctl churn -server URL [-granularity step|month|total] [-top N] [-json] [FROM [TO]]")
+	}
+	params := url.Values{}
+	params.Set("granularity", *granularity)
+	params.Set("top", fmt.Sprint(*top))
+	if fs.NArg() >= 1 {
+		params.Set("from", fs.Arg(0))
+	}
+	if fs.NArg() == 2 {
+		params.Set("to", fs.Arg(1))
+	}
+	path := "/v1/churn?" + params.Encode()
+	if *jsonOut {
+		return serverGET(*server, path, true, out, nil)
+	}
+	var c serve.ChurnResponse
+	if err := serverGET(*server, path, false, nil, &c); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "churn %.12s (%s) → %.12s (%s): %d versions, granularity %s\n",
+		c.From.Hash, c.From.AsOf.Format("2006-01-02"),
+		c.To.Hash, c.To.AsOf.Format("2006-01-02"), c.Versions, c.Granularity)
+	if len(c.Steps) > 0 {
+		fmt.Fprintf(out, "%-8s  %5s  %5s  %5s  %5s  %5s  %s\n",
+			"STEP", "+SETS", "-SETS", "~SETS", "+MEM", "-MEM", "RENAMES")
+		for _, s := range c.Steps {
+			renames := ""
+			for i, rn := range s.Renames {
+				if i > 0 {
+					renames += ", "
+				}
+				renames += rn.From + "→" + rn.To
+			}
+			fmt.Fprintf(out, "%-8s  %5d  %5d  %5d  %5d  %5d  %s\n",
+				s.Label, s.SetsAdded, s.SetsRemoved, s.SetsMutated,
+				s.MembersAdded, s.MembersRemoved, renames)
+		}
+	}
+	fmt.Fprintf(out, "cumulative: %s\n", c.Cumulative.Summary)
+	fmt.Fprintf(out, "sets churned %d (born %d, died %d, renamed %d), members churned %d\n",
+		c.SetsChurned, c.SetsBorn, c.SetsDied, c.SetsRenamed, c.MembersChurned)
+	if len(c.TopVolatile) > 0 {
+		fmt.Fprintf(out, "most volatile sets:\n")
+		fmt.Fprintf(out, "  %-28s  %10s  %9s  %11s  %s\n",
+			"PRIMARY", "VOLATILITY", "MUTATIONS", "MEMBER-CHURN", "LIFECYCLE")
+		for _, lc := range c.TopVolatile {
+			var events []string
+			if lc.Born {
+				events = append(events, "born")
+			}
+			if lc.Died {
+				events = append(events, "died")
+			}
+			if lc.RenamedFrom != "" {
+				events = append(events, "renamed from "+lc.RenamedFrom)
+			}
+			if lc.RenamedTo != "" {
+				events = append(events, "renamed to "+lc.RenamedTo)
+			}
+			fmt.Fprintf(out, "  %-28s  %10d  %9d  %11d  %s\n",
+				lc.Primary, lc.Volatility, lc.Mutations, lc.MemberChurn, strings.Join(events, ", "))
+		}
 	}
 	return nil
 }

@@ -244,3 +244,45 @@ func TestDiffVerbAgainstServer(t *testing.T) {
 		t.Errorf("unknown as-of: err = %v", err)
 	}
 }
+
+func TestChurnVerb(t *testing.T) {
+	ts := timelineServer(t)
+	var sb strings.Builder
+	if err := run([]string{"churn", "-server", ts.URL}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"2 versions", "granularity step", "STEP", "+SETS", "cumulative:", "sets churned", "most volatile sets", "d.com"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("churn output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Explicit endpoints and -json pass-through.
+	sb.Reset()
+	if err := run([]string{"churn", "-server", ts.URL, "-json", "2023-01", "current"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Steps []struct {
+			SetsAdded int `json:"sets_added"`
+		} `json:"steps"`
+		SetsChurned int `json:"sets_churned"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &body); err != nil {
+		t.Fatalf("-json churn: %v, %s", err, sb.String())
+	}
+	if len(body.Steps) != 1 || body.Steps[0].SetsAdded != 1 || body.SetsChurned != 2 {
+		t.Errorf("-json churn = %+v, want one step adding d.com and churning 2 sets", body)
+	}
+
+	// Server-side failures surface the server's error.
+	if err := run([]string{"churn", "-server", ts.URL, "2020-01"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "no version") {
+		t.Errorf("unknown from: err = %v", err)
+	}
+	// Usage errors.
+	if err := run([]string{"churn"}, &sb); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("missing -server: err = %v", err)
+	}
+}

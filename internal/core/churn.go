@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the churn model behind the paper's longitudinal analysis
+// (§4, 2023-01→2024-03): which sets and members appear, disappear, and
+// mutate as the list evolves. A ChurnReport digests a chronological
+// chain of list snapshots into per-step and cumulative add/remove/mutate
+// counts, per-set lifecycles (born, died, renamed), and a volatility
+// ranking, with the cumulative span diff built by folding ComposeDiffs
+// over the per-step diffs.
+
+// Rename pairs a set that left the list with the set that replaced it in
+// the same transition: the two primaries differ but the memberships
+// overlap enough that the step reads as a rename (the paper's ccTLD- and
+// rebrand-style transitions), not an unrelated death and birth.
+type Rename struct {
+	From string // primary before the step
+	To   string // primary after the step
+}
+
+// ChurnStep summarises one transition of a churn chain.
+type ChurnStep struct {
+	// SetsAdded and SetsRemoved count whole sets appearing in or leaving
+	// the list across the step (renames count under both).
+	SetsAdded   int
+	SetsRemoved int
+	// SetsMutated counts sets present at both ends of the step whose
+	// membership changed.
+	SetsMutated int
+	// MembersAdded and MembersRemoved count member-level changes inside
+	// sets present at both ends of the step.
+	MembersAdded   int
+	MembersRemoved int
+	// Renames pairs removed sets with the added sets that carried most of
+	// their membership forward under a new primary.
+	Renames []Rename
+	// Diff is the underlying member-level diff for the step.
+	Diff Diff
+}
+
+// SetLifecycle tracks one set primary across a churn window.
+type SetLifecycle struct {
+	Primary string
+	// Births and Deaths count the steps in which the set appeared and
+	// disappeared; both can exceed 1 when a set flaps.
+	Births int
+	Deaths int
+	// Born and Died are the window-level states: absent from the first
+	// snapshot, and absent from the last.
+	Born bool
+	Died bool
+	// RenamedFrom and RenamedTo record rename lineage when a step's
+	// membership overlap pairs this primary with another.
+	RenamedFrom string
+	RenamedTo   string
+	// Mutations counts the steps in which the set's membership changed;
+	// MemberChurn totals the member additions and removals across them.
+	Mutations   int
+	MemberChurn int
+	// Volatility ranks how restless the set was over the window:
+	// MemberChurn + Mutations + Births + Deaths.
+	Volatility int
+}
+
+// ChurnReport is the digest Churn produces over a snapshot chain.
+type ChurnReport struct {
+	// Steps holds one entry per adjacent transition, in chain order.
+	Steps []ChurnStep
+	// Cumulative is the whole-window diff, built by folding ComposeDiffs
+	// over the per-step diffs (not by re-diffing the endpoints, so the
+	// report stays consistent with the steps it presents).
+	Cumulative Diff
+	// SetsChurned counts the distinct primaries any step touched — added,
+	// removed, or membership-mutated.
+	SetsChurned int
+	// MembersChurned counts the distinct "primary:site" member entries
+	// any step added or removed.
+	MembersChurned int
+	// SetsBorn, SetsDied, and SetsRenamed count window-level lifecycle
+	// outcomes across the churned sets.
+	SetsBorn    int
+	SetsDied    int
+	SetsRenamed int
+	// Lifecycles holds one entry per churned set, most volatile first
+	// (ties broken by primary).
+	Lifecycles []SetLifecycle
+}
+
+// TopVolatile returns the k most volatile lifecycles (all of them when
+// k is negative or exceeds the churned-set count).
+func (r ChurnReport) TopVolatile(k int) []SetLifecycle {
+	if k < 0 || k > len(r.Lifecycles) {
+		k = len(r.Lifecycles)
+	}
+	return r.Lifecycles[:k]
+}
+
+// renameOverlapNum / renameOverlapDen encode the rename threshold: a
+// removed and an added set pair up when they share at least half of the
+// smaller membership.
+const (
+	renameOverlapNum = 1
+	renameOverlapDen = 2
+)
+
+// Churn digests a chronological chain of list snapshots. adjacent, when
+// non-nil, must hold DiffLists(lists[i], lists[i+1]) at index i — callers
+// with a memoized diff plane (the serve layer's version store) pass it to
+// skip recomputation; nil computes the diffs here. The chain must hold at
+// least one snapshot; a single snapshot yields a report with no steps.
+func Churn(lists []*List, adjacent []Diff) (ChurnReport, error) {
+	if len(lists) == 0 {
+		return ChurnReport{}, fmt.Errorf("core: churn needs at least one snapshot")
+	}
+	if adjacent == nil {
+		adjacent = make([]Diff, len(lists)-1)
+		for i := range adjacent {
+			adjacent[i] = DiffLists(lists[i], lists[i+1])
+		}
+	}
+	if len(adjacent) != len(lists)-1 {
+		return ChurnReport{}, fmt.Errorf("core: churn got %d adjacent diffs for %d snapshots, want %d",
+			len(adjacent), len(lists), len(lists)-1)
+	}
+
+	var r ChurnReport
+	life := make(map[string]*SetLifecycle)
+	touch := func(primary string) *SetLifecycle {
+		lc, ok := life[primary]
+		if !ok {
+			lc = &SetLifecycle{Primary: primary}
+			life[primary] = lc
+		}
+		return lc
+	}
+	members := make(map[string]bool)
+	for i, d := range adjacent {
+		step := ChurnStep{
+			Diff:           d,
+			SetsAdded:      len(d.AddedSets),
+			SetsRemoved:    len(d.RemovedSets),
+			MembersAdded:   len(d.AddedMembers),
+			MembersRemoved: len(d.RemovedMembers),
+			Renames:        detectRenames(lists[i], lists[i+1], d),
+		}
+		mutated := make(map[string]bool)
+		for _, entries := range [][]string{d.AddedMembers, d.RemovedMembers} {
+			for _, m := range entries {
+				members[m] = true
+				primary, _, _ := strings.Cut(m, ":")
+				mutated[primary] = true
+				touch(primary).MemberChurn++
+			}
+		}
+		step.SetsMutated = len(mutated)
+		for p := range mutated {
+			touch(p).Mutations++
+		}
+		for _, p := range d.AddedSets {
+			touch(p).Births++
+		}
+		for _, p := range d.RemovedSets {
+			touch(p).Deaths++
+		}
+		for _, rn := range step.Renames {
+			touch(rn.From).RenamedTo = rn.To
+			touch(rn.To).RenamedFrom = rn.From
+		}
+		r.Steps = append(r.Steps, step)
+		r.Cumulative = ComposeDiffs(r.Cumulative, d)
+	}
+
+	first, last := primarySet(lists[0]), primarySet(lists[len(lists)-1])
+	for p, lc := range life {
+		lc.Born, lc.Died = !first[p], !last[p]
+		lc.Volatility = lc.MemberChurn + lc.Mutations + lc.Births + lc.Deaths
+		if lc.Born {
+			r.SetsBorn++
+		}
+		if lc.Died {
+			r.SetsDied++
+		}
+		if lc.RenamedFrom != "" || lc.RenamedTo != "" {
+			r.SetsRenamed++
+		}
+	}
+	r.SetsChurned = len(life)
+	r.MembersChurned = len(members)
+	r.Lifecycles = make([]SetLifecycle, 0, len(life))
+	for _, lc := range life {
+		r.Lifecycles = append(r.Lifecycles, *lc)
+	}
+	sort.Slice(r.Lifecycles, func(i, j int) bool {
+		a, b := r.Lifecycles[i], r.Lifecycles[j]
+		if a.Volatility != b.Volatility {
+			return a.Volatility > b.Volatility
+		}
+		return a.Primary < b.Primary
+	})
+	return r, nil
+}
+
+// detectRenames pairs each set removed in a step with the added set that
+// inherited the most of its membership, when the overlap covers at least
+// half of the smaller set. Pairing is greedy best-overlap-first, each
+// added set consumed once, so a step removing two near-identical sets
+// cannot claim the same successor twice.
+func detectRenames(old, new *List, d Diff) []Rename {
+	if len(d.RemovedSets) == 0 || len(d.AddedSets) == 0 {
+		return nil
+	}
+	// Only the removed and added sets matter: look each up by primary (a
+	// primary is itself a member site) instead of materialising site sets
+	// for the whole list on every step.
+	oldSites := make(map[string]map[string]bool, len(d.RemovedSets))
+	for _, p := range d.RemovedSets {
+		if s, _, ok := old.FindSet(p); ok {
+			oldSites[p] = siteSet(s)
+		}
+	}
+	newSites := make(map[string]map[string]bool, len(d.AddedSets))
+	for _, p := range d.AddedSets {
+		if s, _, ok := new.FindSet(p); ok {
+			newSites[p] = siteSet(s)
+		}
+	}
+	type candidate struct {
+		from, to string
+		overlap  int
+	}
+	var cands []candidate
+	for _, from := range d.RemovedSets {
+		fs := oldSites[from]
+		for _, to := range d.AddedSets {
+			ts := newSites[to]
+			overlap := 0
+			for site := range fs {
+				if ts[site] {
+					overlap++
+				}
+			}
+			smaller := len(fs)
+			if len(ts) < smaller {
+				smaller = len(ts)
+			}
+			if smaller > 0 && overlap*renameOverlapDen >= smaller*renameOverlapNum {
+				cands = append(cands, candidate{from: from, to: to, overlap: overlap})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].overlap != cands[j].overlap {
+			return cands[i].overlap > cands[j].overlap
+		}
+		if cands[i].from != cands[j].from {
+			return cands[i].from < cands[j].from
+		}
+		return cands[i].to < cands[j].to
+	})
+	usedFrom, usedTo := make(map[string]bool), make(map[string]bool)
+	var out []Rename
+	for _, c := range cands {
+		if usedFrom[c.from] || usedTo[c.to] {
+			continue
+		}
+		usedFrom[c.from], usedTo[c.to] = true, true
+		out = append(out, Rename{From: c.from, To: c.to})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}
+
+// primarySet returns the set primaries of a list as a membership map.
+func primarySet(l *List) map[string]bool {
+	m := make(map[string]bool, l.NumSets())
+	for _, s := range l.Sets() {
+		m[s.Primary] = true
+	}
+	return m
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// churnChain builds the canonical test chain: a.com mutates, tmp.com
+// flaps in and out, bild.de is renamed to newbild.de, c.com is born.
+func churnChain(t *testing.T) []*List {
+	t.Helper()
+	return []*List{
+		mustParse(t, `{"sets":[
+		  {"primary":"https://a.com","associatedSites":["https://a1.com"]},
+		  {"primary":"https://bild.de","associatedSites":["https://autobild.de","https://computerbild.de"]}
+		]}`),
+		// a.com gains a2, tmp.com appears.
+		mustParse(t, `{"sets":[
+		  {"primary":"https://a.com","associatedSites":["https://a1.com","https://a2.com"]},
+		  {"primary":"https://bild.de","associatedSites":["https://autobild.de","https://computerbild.de"]},
+		  {"primary":"https://tmp.com"}
+		]}`),
+		// tmp.com vanishes again, bild.de renamed to newbild.de (same
+		// associates), c.com is born.
+		mustParse(t, `{"sets":[
+		  {"primary":"https://a.com","associatedSites":["https://a1.com","https://a2.com"]},
+		  {"primary":"https://newbild.de","associatedSites":["https://autobild.de","https://computerbild.de"]},
+		  {"primary":"https://c.com"}
+		]}`),
+	}
+}
+
+// TestChurnStepsMatchDiffLists is the core property: every step of a
+// churn report must carry exactly the DiffLists result for its adjacent
+// pair, whether the caller supplies precomputed diffs or not.
+func TestChurnStepsMatchDiffLists(t *testing.T) {
+	chain := churnChain(t)
+	adjacent := make([]Diff, len(chain)-1)
+	for i := range adjacent {
+		adjacent[i] = DiffLists(chain[i], chain[i+1])
+	}
+	for _, precomputed := range []bool{false, true} {
+		var arg []Diff
+		if precomputed {
+			arg = adjacent
+		}
+		rep, err := Churn(chain, arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Steps) != len(adjacent) {
+			t.Fatalf("precomputed=%v: %d steps, want %d", precomputed, len(rep.Steps), len(adjacent))
+		}
+		for i, step := range rep.Steps {
+			want := adjacent[i]
+			if !reflect.DeepEqual(step.Diff, want) {
+				t.Errorf("step %d diff = %+v, want %+v", i, step.Diff, want)
+			}
+			if step.SetsAdded != len(want.AddedSets) || step.SetsRemoved != len(want.RemovedSets) ||
+				step.MembersAdded != len(want.AddedMembers) || step.MembersRemoved != len(want.RemovedMembers) {
+				t.Errorf("step %d counts = %+v", i, step)
+			}
+		}
+		// The cumulative diff is the ComposeDiffs fold; on this chain (no
+		// set removed and re-added) it equals the direct endpoint diff.
+		direct := DiffLists(chain[0], chain[len(chain)-1])
+		if !reflect.DeepEqual(rep.Cumulative, direct) {
+			t.Errorf("cumulative = %+v, want %+v", rep.Cumulative, direct)
+		}
+	}
+}
+
+func TestChurnLifecycles(t *testing.T) {
+	rep, err := Churn(churnChain(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPrimary := make(map[string]SetLifecycle, len(rep.Lifecycles))
+	for _, lc := range rep.Lifecycles {
+		byPrimary[lc.Primary] = lc
+	}
+
+	// tmp.com flapped: born and died inside the window.
+	tmp := byPrimary["tmp.com"]
+	if !tmp.Born || !tmp.Died || tmp.Births != 1 || tmp.Deaths != 1 {
+		t.Errorf("tmp.com lifecycle = %+v, want born and died once each", tmp)
+	}
+	// bild.de was renamed, not killed-and-unrelated: lineage recorded on
+	// both ends.
+	if got := byPrimary["bild.de"]; got.RenamedTo != "newbild.de" || !got.Died {
+		t.Errorf("bild.de lifecycle = %+v, want renamed to newbild.de", got)
+	}
+	if got := byPrimary["newbild.de"]; got.RenamedFrom != "bild.de" || !got.Born {
+		t.Errorf("newbild.de lifecycle = %+v, want renamed from bild.de", got)
+	}
+	// a.com only mutated.
+	a := byPrimary["a.com"]
+	if a.Born || a.Died || a.Mutations != 1 || a.MemberChurn != 1 {
+		t.Errorf("a.com lifecycle = %+v, want one mutation", a)
+	}
+	// c.com was born and survives.
+	if got := byPrimary["c.com"]; !got.Born || got.Died {
+		t.Errorf("c.com lifecycle = %+v, want born and alive", got)
+	}
+
+	if rep.SetsChurned != 5 {
+		t.Errorf("SetsChurned = %d, want 5 (a, bild, newbild, tmp, c)", rep.SetsChurned)
+	}
+	if rep.MembersChurned != 1 {
+		t.Errorf("MembersChurned = %d, want 1 (a.com:a2.com)", rep.MembersChurned)
+	}
+	if rep.SetsBorn != 3 || rep.SetsDied != 2 || rep.SetsRenamed != 2 {
+		t.Errorf("born/died/renamed = %d/%d/%d, want 3/2/2", rep.SetsBorn, rep.SetsDied, rep.SetsRenamed)
+	}
+
+	// Lifecycles are ordered most volatile first.
+	for i := 1; i < len(rep.Lifecycles); i++ {
+		if rep.Lifecycles[i].Volatility > rep.Lifecycles[i-1].Volatility {
+			t.Errorf("lifecycles out of volatility order at %d", i)
+		}
+	}
+	if top := rep.TopVolatile(2); len(top) != 2 {
+		t.Errorf("TopVolatile(2) returned %d entries", len(top))
+	}
+	if all := rep.TopVolatile(-1); len(all) != len(rep.Lifecycles) {
+		t.Errorf("TopVolatile(-1) returned %d entries, want all", len(all))
+	}
+}
+
+// TestChurnRenameThreshold: a removed/added pair sharing less than half
+// of the smaller membership is a death plus an unrelated birth, not a
+// rename; a same-step pair sharing the membership wholesale is.
+func TestChurnRenameThreshold(t *testing.T) {
+	chain := []*List{
+		mustParse(t, `{"sets":[{"primary":"https://old.com","associatedSites":["https://x.com","https://y.com","https://z.com"]}]}`),
+		mustParse(t, `{"sets":[{"primary":"https://new.com","associatedSites":["https://q.com","https://r.com","https://z.com"]}]}`),
+	}
+	rep, err := Churn(chain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlap is 1 of 4 sites — below the half threshold.
+	if len(rep.Steps[0].Renames) != 0 || rep.SetsRenamed != 0 {
+		t.Errorf("low-overlap transition misread as rename: %+v", rep.Steps[0].Renames)
+	}
+
+	chain[1] = mustParse(t, `{"sets":[{"primary":"https://new.com","associatedSites":["https://x.com","https://y.com","https://z.com"]}]}`)
+	rep, err = Churn(chain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rename{{From: "old.com", To: "new.com"}}
+	if !reflect.DeepEqual(rep.Steps[0].Renames, want) {
+		t.Errorf("renames = %+v, want %+v", rep.Steps[0].Renames, want)
+	}
+}
+
+// TestChurnGreedyRenamePairing: two removed near-identical sets cannot
+// both claim the same successor.
+func TestChurnGreedyRenamePairing(t *testing.T) {
+	chain := []*List{
+		mustParse(t, `{"sets":[
+		  {"primary":"https://one.com","associatedSites":["https://s1.com","https://s2.com"]},
+		  {"primary":"https://two.com","associatedSites":["https://t1.com"]}
+		]}`),
+		// heir.com inherits all of one.com's associates and two.com's only
+		// associate: both removed sets clear the overlap threshold, but
+		// only the higher-overlap one.com may claim the successor.
+		mustParse(t, `{"sets":[
+		  {"primary":"https://heir.com","associatedSites":["https://s1.com","https://s2.com","https://t1.com"]}
+		]}`),
+	}
+	rep, err := Churn(chain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renames := rep.Steps[0].Renames
+	if len(renames) != 1 || renames[0].To != "heir.com" {
+		t.Fatalf("renames = %+v, want exactly one pairing onto heir.com", renames)
+	}
+	if renames[0].From != "one.com" {
+		t.Errorf("rename from = %s, want the higher-overlap one.com", renames[0].From)
+	}
+}
+
+func TestChurnDegenerateChains(t *testing.T) {
+	if _, err := Churn(nil, nil); err == nil {
+		t.Error("empty chain should error")
+	}
+	single := []*List{mustParse(t, `{"sets":[{"primary":"https://a.com"}]}`)}
+	rep, err := Churn(single, nil)
+	if err != nil || len(rep.Steps) != 0 || rep.SetsChurned != 0 {
+		t.Errorf("single-snapshot churn = %+v, %v, want an empty report", rep, err)
+	}
+	if _, err := Churn(churnChain(t), []Diff{{}}); err == nil {
+		t.Error("mismatched adjacent length should error")
+	}
+}
+
+func TestDiffInverse(t *testing.T) {
+	chain := churnChain(t)
+	a, b := chain[0], chain[2]
+	if got, want := DiffLists(a, b).Inverse(), DiffLists(b, a); !reflect.DeepEqual(got, want) {
+		t.Errorf("Inverse = %+v, want %+v", got, want)
+	}
+	if !(Diff{}).Inverse().Empty() {
+		t.Error("inverse of the empty diff should be empty")
+	}
+}

@@ -572,6 +572,20 @@ func (d Diff) Empty() bool {
 		len(d.AddedMembers) == 0 && len(d.RemovedMembers) == 0
 }
 
+// Inverse returns the reverse diff (new→old): adds and removes swap
+// roles. DiffLists is symmetric this way — member entries are only
+// reported for sets present in both snapshots — so
+// DiffLists(b, a) == DiffLists(a, b).Inverse(). The slices are shared
+// with the receiver; diffs are treated as immutable.
+func (d Diff) Inverse() Diff {
+	return Diff{
+		AddedSets:      d.RemovedSets,
+		RemovedSets:    d.AddedSets,
+		AddedMembers:   d.RemovedMembers,
+		RemovedMembers: d.AddedMembers,
+	}
+}
+
 // Summary renders the diff compactly for one log line: counts plus the
 // first few names per category.
 func (d Diff) Summary() string {

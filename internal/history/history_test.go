@@ -1,8 +1,10 @@
 package history
 
 import (
+	"reflect"
 	"testing"
 
+	"rwskit/internal/core"
 	"rwskit/internal/dataset"
 	"rwskit/internal/forcepoint"
 )
@@ -139,5 +141,80 @@ func BenchmarkTimelineBuild(b *testing.B) {
 		if _, err := Build(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestComposeDiffsOverStudyWindow is the real-timeline composition
+// property behind the churn plane: folding core.ComposeDiffs over the
+// 14 adjacent monthly diffs must reproduce the direct
+// core.DiffLists(2023-01, 2024-03) result — and the same must hold for
+// every sub-span of the window, so a churn walk starting at any retained
+// month composes to the exact endpoint diff. (Rename and cancellation
+// edge cases, which the additive study window cannot exhibit, are pinned
+// by the synthetic chains in internal/core's ComposeDiffs and Churn
+// tests.)
+func TestComposeDiffsOverStudyWindow(t *testing.T) {
+	tl := buildTimeline(t)
+	diffs := tl.Diffs()
+	if len(diffs) != len(tl.Snapshots)-1 {
+		t.Fatalf("diffs = %d for %d snapshots", len(diffs), len(tl.Snapshots))
+	}
+	for from := 0; from < len(tl.Snapshots); from++ {
+		composed := core.Diff{}
+		for i := from + 1; i < len(tl.Snapshots); i++ {
+			composed = core.ComposeDiffs(composed, diffs[i-1])
+			direct := core.DiffLists(tl.Snapshots[from].List, tl.Snapshots[i].List)
+			if !reflect.DeepEqual(composed, direct) {
+				t.Fatalf("span %s..%s: composed %s, direct %s",
+					tl.Snapshots[from].Month, tl.Snapshots[i].Month,
+					composed.Summary(), direct.Summary())
+			}
+		}
+	}
+
+	// The whole-window composition in numbers: 39 sets and the member
+	// growth of the paper's study window, with nothing removed.
+	whole := core.Diff{}
+	for _, d := range diffs {
+		whole = core.ComposeDiffs(whole, d)
+	}
+	if len(whole.AddedSets) != 39 || len(whole.RemovedSets) != 0 {
+		t.Errorf("whole-window composition: +%d/-%d sets, want +39/-0",
+			len(whole.AddedSets), len(whole.RemovedSets))
+	}
+}
+
+// TestChurnOverStudyWindow digests the real timeline with core.Churn:
+// step counts must agree with Diffs(), and the window-level lifecycle
+// totals must reflect the additive growth of the study window.
+func TestChurnOverStudyWindow(t *testing.T) {
+	tl := buildTimeline(t)
+	lists := make([]*core.List, len(tl.Snapshots))
+	for i, snap := range tl.Snapshots {
+		lists[i] = snap.List
+	}
+	rep, err := core.Churn(lists, tl.Diffs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != 14 {
+		t.Fatalf("steps = %d, want 14", len(rep.Steps))
+	}
+	born := 0
+	for _, step := range rep.Steps {
+		born += step.SetsAdded
+	}
+	if born != 39 || rep.SetsBorn != 39 || rep.SetsDied != 0 || rep.SetsRenamed != 0 {
+		t.Errorf("study window lifecycle: born %d/%d died %d renamed %d, want 39/39/0/0",
+			born, rep.SetsBorn, rep.SetsDied, rep.SetsRenamed)
+	}
+	// The study window grows by whole sets: no set present at both ends
+	// of a month ever changed membership, so member-level churn is zero
+	// (TestDiffsAreAdditive pins the same shape on the raw diffs).
+	if rep.SetsChurned != 39 || rep.MembersChurned != 0 {
+		t.Errorf("churn totals: sets %d members %d, want 39 and 0", rep.SetsChurned, rep.MembersChurned)
+	}
+	if len(rep.Lifecycles) != rep.SetsChurned {
+		t.Errorf("lifecycles = %d, want %d", len(rep.Lifecycles), rep.SetsChurned)
 	}
 }

@@ -293,3 +293,91 @@ func BenchmarkStoreResolveAsOf(b *testing.B) {
 		}
 	}
 }
+
+// timelineBenchStore builds the 15-version study-window store the diff
+// and churn benchmarks run against.
+func timelineBenchStore(b *testing.B) *Store {
+	b.Helper()
+	tl, err := history.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := NewStore(len(tl.Snapshots) + 1)
+	for _, snap := range tl.Snapshots {
+		asOf, _ := time.Parse("2006-01", snap.Month)
+		st.Add(snap.List, core.Version{Source: "timeline:" + snap.Month, ObservedAt: asOf, AsOf: asOf})
+	}
+	return st
+}
+
+// BenchmarkStoreDiffCached is the memoized diff plane's steady state:
+// every iteration after the first is a cache hit on the whole-window
+// pair. This is what a /v1/diff request pays once the cache is warm.
+func BenchmarkStoreDiffCached(b *testing.B) {
+	st := timelineBenchStore(b)
+	infos := st.Versions()
+	from, _, _ := st.ByHash(infos[0].Version.Hash)
+	to, _, _ := st.ByHash(infos[len(infos)-1].Version.Hash)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := st.Diff(from, to); d.Empty() {
+			b.Fatal("window diff should not be empty")
+		}
+	}
+}
+
+// BenchmarkDiffListsUncached is the recompute the cache replaces: a full
+// core.DiffLists between the window endpoints on every call — what every
+// /v1/diff request paid before the memoized plane.
+func BenchmarkDiffListsUncached(b *testing.B) {
+	st := timelineBenchStore(b)
+	infos := st.Versions()
+	from, _, _ := st.ByHash(infos[0].Version.Hash)
+	to, _, _ := st.ByHash(infos[len(infos)-1].Version.Hash)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := core.DiffLists(from.List(), to.List()); d.Empty() {
+			b.Fatal("window diff should not be empty")
+		}
+	}
+}
+
+// BenchmarkHandlerDiff is the handler-level /v1/diff cost on the warm
+// cache — resolution, memoized lookup, and JSON encoding.
+func BenchmarkHandlerDiff(b *testing.B) {
+	st := timelineBenchStore(b)
+	s := NewFromStore(st)
+	infos := st.Versions()
+	u := fmt.Sprintf("/v1/diff?from=%s&to=%s",
+		infos[0].Version.Hash[:12], infos[len(infos)-1].Version.Hash[:12])
+	req := httptest.NewRequest(http.MethodGet, u, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatal(fmt.Errorf("status %d", rec.Code))
+		}
+	}
+}
+
+// BenchmarkHandlerChurn walks the whole 15-version chain per request —
+// 14 adjacent diffs (all cache hits after the preload), the churn
+// digest, and the JSON encode.
+func BenchmarkHandlerChurn(b *testing.B) {
+	st := timelineBenchStore(b)
+	s := NewFromStore(st)
+	req := httptest.NewRequest(http.MethodGet, "/v1/churn?from=2023-01&to=current", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatal(fmt.Errorf("status %d", rec.Code))
+		}
+	}
+}

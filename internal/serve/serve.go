@@ -30,6 +30,7 @@
 //	GET  /v1/metrics                                per-endpoint request/latency/error counters
 //	GET  /v1/versions                               the retained list versions
 //	GET  /v1/diff?from=SPEC&to=SPEC                 member-level diff between two versions
+//	GET  /v1/churn?from=SPEC&to=SPEC&granularity=G  churn rollup over the version chain
 //
 // sameset, set, partition, and stats accept version=HASHPREFIX (pin the
 // query to one retained version) or as_of=TIME ("2023-04", "2023-04-26",
@@ -73,6 +74,7 @@ const (
 	epMetrics
 	epVersions
 	epDiff
+	epChurn
 	epOther
 	numEndpoints
 )
@@ -87,6 +89,7 @@ var endpointNames = [numEndpoints]string{
 	epMetrics:        "/v1/metrics",
 	epVersions:       "/v1/versions",
 	epDiff:           "/v1/diff",
+	epChurn:          "/v1/churn",
 	epOther:          "other",
 }
 
@@ -142,6 +145,7 @@ func NewFromStore(st *Store) *Server {
 	mux.HandleFunc("/v1/metrics", s.instrument(epMetrics, s.handleMetrics))
 	mux.HandleFunc("/v1/versions", s.instrument(epVersions, s.handleVersions))
 	mux.HandleFunc("/v1/diff", s.instrument(epDiff, s.handleDiff))
+	mux.HandleFunc("/v1/churn", s.instrument(epChurn, s.handleChurn))
 	mux.HandleFunc("/", s.instrument(epOther, s.handleNotFound))
 	s.mux = mux
 	return s
@@ -276,8 +280,18 @@ func writeResolveError(w http.ResponseWriter, err error) {
 // resolveSnap picks the snapshot a request is answered from: the current
 // version when neither version= nor as_of= is present (the lock-free
 // fast path), otherwise the named or as-of-resolved retained version.
-// On failure it writes the error response and returns nil.
+// On failure it writes the error response and returns nil. Successful
+// resolution counts one per-version hit (a lock-free atomic add on the
+// snapshot, surfaced in /v1/metrics).
 func (s *Server) resolveSnap(w http.ResponseWriter, q url.Values) *Snapshot {
+	snap := s.resolveSnapInner(w, q)
+	if snap != nil {
+		snap.requests.Add(1)
+	}
+	return snap
+}
+
+func (s *Server) resolveSnapInner(w http.ResponseWriter, q url.Values) *Snapshot {
 	version, asOf := q.Get("version"), q.Get("as_of")
 	switch {
 	case version == "" && asOf == "":
@@ -613,6 +627,29 @@ type EndpointMetrics struct {
 	MeanLatencyMicros float64 `json:"mean_latency_micros"`
 }
 
+// DiffCacheMetrics reports the memoized diff plane's counters in a
+// /v1/metrics response.
+type DiffCacheMetrics struct {
+	Capacity int    `json:"capacity"`
+	Entries  int    `json:"entries"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	// Evictions counts LRU capacity evictions; Invalidations counts
+	// entries dropped because a version they referenced left the store.
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// VersionHits reports one retained version's request count in a
+// /v1/metrics response.
+type VersionHits struct {
+	Hash     string    `json:"hash"`
+	Source   string    `json:"source"`
+	AsOf     time.Time `json:"as_of"`
+	Requests uint64    `json:"requests"`
+	Current  bool      `json:"current,omitempty"`
+}
+
 // MetricsResponse answers /v1/metrics.
 type MetricsResponse struct {
 	Requests     uint64 `json:"requests_served"`
@@ -621,6 +658,8 @@ type MetricsResponse struct {
 	// VersionsRetained / VersionsCapacity is the version-store occupancy.
 	VersionsRetained int               `json:"versions_retained"`
 	VersionsCapacity int               `json:"versions_capacity"`
+	DiffCache        DiffCacheMetrics  `json:"diff_cache"`
+	VersionHits      []VersionHits     `json:"version_hits"`
 	Endpoints        []EndpointMetrics `json:"endpoints"`
 }
 
@@ -628,13 +667,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
 		return
 	}
+	dc := s.store.diffs.metrics()
+	infos := s.store.Versions()
 	resp := MetricsResponse{
 		Requests:         s.requests.Load(),
 		ListSwaps:        s.store.Swaps(),
 		SnapshotHash:     s.Snapshot().hash,
 		VersionsRetained: s.store.Len(),
 		VersionsCapacity: s.store.Cap(),
-		Endpoints:        make([]EndpointMetrics, 0, numEndpoints),
+		DiffCache: DiffCacheMetrics{
+			Capacity:      dc.capacity,
+			Entries:       dc.entries,
+			Hits:          dc.hits,
+			Misses:        dc.misses,
+			Evictions:     dc.evictions,
+			Invalidations: dc.invalidations,
+		},
+		VersionHits: make([]VersionHits, 0, len(infos)),
+		Endpoints:   make([]EndpointMetrics, 0, numEndpoints),
+	}
+	for _, vi := range infos {
+		resp.VersionHits = append(resp.VersionHits, VersionHits{
+			Hash:     vi.Version.Hash,
+			Source:   vi.Version.Source,
+			AsOf:     vi.Version.AsOf,
+			Requests: vi.Requests,
+			Current:  vi.Current,
+		})
 	}
 	for id := endpointID(0); id < numEndpoints; id++ {
 		m := &s.metrics[id]
@@ -733,7 +792,12 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		writeResolveError(w, fmt.Errorf("to: %w", err))
 		return
 	}
-	d := core.DiffLists(fromSnap.list, toSnap.list)
+	fromSnap.requests.Add(1)
+	toSnap.requests.Add(1)
+	// The diff plane is memoized: the first request per (from, to) hash
+	// pair computes DiffLists, every later one (and the swap-precomputed
+	// adjacent pairs) is a cache hit.
+	d := s.store.Diff(fromSnap, toSnap)
 	writeJSON(w, http.StatusOK, DiffResponse{
 		From:           versionResponse(VersionInfo{Version: fromVer, Sets: fromSnap.NumSets(), Sites: fromSnap.NumSites()}),
 		To:             versionResponse(VersionInfo{Version: toVer, Sets: toSnap.NumSets(), Sites: toSnap.NumSites()}),

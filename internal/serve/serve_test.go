@@ -658,3 +658,204 @@ func TestSupersededVersionStaysQueryable(t *testing.T) {
 		t.Errorf("pinned query against the superseded version = %+v, want related", old)
 	}
 }
+
+// TestChurnStepsMatchDiffLists is the churn acceptance property: every
+// step of /v1/churn over the full timeline must carry exactly the
+// DiffLists counts for its adjacent retained pair, and the cumulative
+// rollup must equal the ComposeDiffs fold (which, for the real study
+// window, also equals the direct endpoint diff).
+func TestChurnStepsMatchDiffLists(t *testing.T) {
+	s, ts := newTimelineServer(t)
+	infos := s.Store().Versions()
+	var body ChurnResponse
+	if code := getJSON(t, ts.URL+"/v1/churn?from=2023-01&to=current", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body.Versions != len(infos) || len(body.Steps) != len(infos)-1 {
+		t.Fatalf("churn covers %d versions / %d steps, want %d / %d",
+			body.Versions, len(body.Steps), len(infos), len(infos)-1)
+	}
+	composed := core.Diff{}
+	for i, step := range body.Steps {
+		fromSnap, _, err := s.Store().ByHash(infos[i].Version.Hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		toSnap, _, err := s.Store().ByHash(infos[i+1].Version.Hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.DiffLists(fromSnap.List(), toSnap.List())
+		if step.SetsAdded != len(want.AddedSets) || step.SetsRemoved != len(want.RemovedSets) ||
+			step.MembersAdded != len(want.AddedMembers) || step.MembersRemoved != len(want.RemovedMembers) {
+			t.Errorf("step %d counts = %+v, want DiffLists %+v", i, step, want)
+		}
+		if step.Summary != want.Summary() {
+			t.Errorf("step %d summary = %q, want %q", i, step.Summary, want.Summary())
+		}
+		if step.From.Hash != infos[i].Version.Hash || step.To.Hash != infos[i+1].Version.Hash {
+			t.Errorf("step %d endpoints = %.8s→%.8s, want %.8s→%.8s",
+				i, step.From.Hash, step.To.Hash, infos[i].Version.Hash, infos[i+1].Version.Hash)
+		}
+		composed = core.ComposeDiffs(composed, want)
+	}
+	if body.Cumulative.SetsAdded != len(composed.AddedSets) ||
+		body.Cumulative.SetsRemoved != len(composed.RemovedSets) ||
+		body.Cumulative.MembersAdded != len(composed.AddedMembers) ||
+		body.Cumulative.MembersRemoved != len(composed.RemovedMembers) {
+		t.Errorf("cumulative = %+v, want composed %+v", body.Cumulative, composed)
+	}
+	if body.SetsChurned == 0 || body.SetsBorn == 0 {
+		t.Errorf("study window churn should be non-trivial: %+v", body)
+	}
+	if len(body.TopVolatile) == 0 || body.TopVolatile[0].Volatility == 0 {
+		t.Errorf("top_volatile should rank restless sets: %+v", body.TopVolatile)
+	}
+	for i := 1; i < len(body.TopVolatile); i++ {
+		if body.TopVolatile[i].Volatility > body.TopVolatile[i-1].Volatility {
+			t.Errorf("top_volatile out of order at %d", i)
+		}
+	}
+}
+
+// TestChurnDefaultsAndGranularity: a bare /v1/churn covers the whole
+// retained window; granularity=total collapses it to one step; month
+// equals step on the monthly timeline; top= bounds the ranking.
+func TestChurnDefaultsAndGranularity(t *testing.T) {
+	s, ts := newTimelineServer(t)
+	n := len(s.Store().Versions())
+
+	var bare ChurnResponse
+	if code := getJSON(t, ts.URL+"/v1/churn", &bare); code != http.StatusOK {
+		t.Fatalf("bare churn status %d", code)
+	}
+	if bare.Versions != n || len(bare.Steps) != n-1 || bare.Granularity != "step" {
+		t.Errorf("bare churn = %d versions / %d steps (%s), want the whole window",
+			bare.Versions, len(bare.Steps), bare.Granularity)
+	}
+
+	var month ChurnResponse
+	if code := getJSON(t, ts.URL+"/v1/churn?granularity=month", &month); code != http.StatusOK {
+		t.Fatalf("month churn status %d", code)
+	}
+	if len(month.Steps) != len(bare.Steps) {
+		t.Errorf("monthly timeline: month steps = %d, want %d (same as step)", len(month.Steps), len(bare.Steps))
+	}
+
+	var total ChurnResponse
+	if code := getJSON(t, ts.URL+"/v1/churn?granularity=total&top=3", &total); code != http.StatusOK {
+		t.Fatalf("total churn status %d", code)
+	}
+	if len(total.Steps) != 1 || total.Versions != 2 {
+		t.Errorf("total churn = %d steps over %d versions, want 1 over 2", len(total.Steps), total.Versions)
+	}
+	if len(total.TopVolatile) > 3 {
+		t.Errorf("top=3 returned %d lifecycles", len(total.TopVolatile))
+	}
+	// The total step spans the window, so its counts equal the direct
+	// endpoint diff.
+	if total.Steps[0].SetsAdded != total.Cumulative.SetsAdded ||
+		total.Steps[0].MembersAdded != total.Cumulative.MembersAdded {
+		t.Errorf("total step %+v disagrees with cumulative %+v", total.Steps[0], total.Cumulative)
+	}
+
+	// from == to: a valid, empty window.
+	var self ChurnResponse
+	if code := getJSON(t, ts.URL+"/v1/churn?from=current&to=current", &self); code != http.StatusOK {
+		t.Fatalf("self churn status %d", code)
+	}
+	if len(self.Steps) != 0 || self.SetsChurned != 0 {
+		t.Errorf("self churn = %+v, want empty", self)
+	}
+}
+
+func TestChurnErrors(t *testing.T) {
+	_, ts := newTimelineServer(t)
+	for path, wantStatus := range map[string]int{
+		"/v1/churn?from=2022-01":            http.StatusNotFound, // before the window
+		"/v1/churn?from=current&to=2023-01": http.StatusBadRequest,
+		"/v1/churn?granularity=hourly":      http.StatusBadRequest,
+		"/v1/churn?top=-1":                  http.StatusBadRequest,
+		"/v1/churn?top=101":                 http.StatusBadRequest,
+		"/v1/churn?from=zzz":                http.StatusBadRequest,
+	} {
+		var body struct {
+			Error string `json:"error"`
+		}
+		if code := getJSON(t, ts.URL+path, &body); code != wantStatus {
+			t.Errorf("%s: status %d, want %d", path, code, wantStatus)
+		}
+		if body.Error == "" {
+			t.Errorf("%s: empty error body", path)
+		}
+	}
+}
+
+// TestMetricsDiffCacheAndVersionHits: the cache counters and per-version
+// hit counts must be observable through /v1/metrics.
+func TestMetricsDiffCacheAndVersionHits(t *testing.T) {
+	s, ts := newTimelineServer(t)
+	infos := s.Store().Versions()
+	first, last := infos[0].Version.Hash, infos[len(infos)-1].Version.Hash
+
+	var m0 MetricsResponse
+	if code := getJSON(t, ts.URL+"/v1/metrics", &m0); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	// The timeline preload precomputed every adjacent pair (both
+	// directions) at Add time.
+	if want := 2 * (len(infos) - 1); m0.DiffCache.Entries != want {
+		t.Errorf("diff cache entries = %d, want %d swap-precomputed adjacents", m0.DiffCache.Entries, want)
+	}
+	if m0.DiffCache.Capacity == 0 {
+		t.Error("diff cache capacity missing from metrics")
+	}
+
+	// An adjacent diff is a pure hit; a distant pair misses then hits.
+	adjacentURL := fmt.Sprintf("%s/v1/diff?from=%s&to=%s", ts.URL, infos[0].Version.Hash[:12], infos[1].Version.Hash[:12])
+	distantURL := fmt.Sprintf("%s/v1/diff?from=%s&to=%s", ts.URL, first[:12], last[:12])
+	var d DiffResponse
+	if code := getJSON(t, adjacentURL, &d); code != http.StatusOK {
+		t.Fatalf("adjacent diff status %d", code)
+	}
+	var m1 MetricsResponse
+	getJSON(t, ts.URL+"/v1/metrics", &m1)
+	if m1.DiffCache.Hits != m0.DiffCache.Hits+1 || m1.DiffCache.Misses != m0.DiffCache.Misses {
+		t.Errorf("adjacent diff: hits %d→%d misses %d→%d, want one hit and no miss",
+			m0.DiffCache.Hits, m1.DiffCache.Hits, m0.DiffCache.Misses, m1.DiffCache.Misses)
+	}
+	if code := getJSON(t, distantURL, &d); code != http.StatusOK {
+		t.Fatalf("distant diff status %d", code)
+	}
+	if code := getJSON(t, distantURL, &d); code != http.StatusOK {
+		t.Fatalf("distant diff status %d", code)
+	}
+	var m2 MetricsResponse
+	getJSON(t, ts.URL+"/v1/metrics", &m2)
+	if m2.DiffCache.Misses != m1.DiffCache.Misses+1 || m2.DiffCache.Hits != m1.DiffCache.Hits+1 {
+		t.Errorf("distant pair: hits %d→%d misses %d→%d, want one miss then one hit",
+			m1.DiffCache.Hits, m2.DiffCache.Hits, m1.DiffCache.Misses, m2.DiffCache.Misses)
+	}
+
+	// Per-version hits: pin a version, then find its counter.
+	var ss SameSetResponse
+	u := fmt.Sprintf("%s/v1/sameset?a=bild.de&b=autobild.de&version=%s", ts.URL, first[:12])
+	if code := getJSON(t, u, &ss); code != http.StatusOK {
+		t.Fatalf("pinned sameset status %d", code)
+	}
+	var m3 MetricsResponse
+	getJSON(t, ts.URL+"/v1/metrics", &m3)
+	if len(m3.VersionHits) != len(infos) {
+		t.Fatalf("version_hits has %d entries, want %d", len(m3.VersionHits), len(infos))
+	}
+	byHash := make(map[string]VersionHits)
+	for _, vh := range m3.VersionHits {
+		byHash[vh.Hash] = vh
+	}
+	if vh := byHash[first]; vh.Requests < 3 { // two diff froms + the pinned sameset
+		t.Errorf("first version hits = %d, want >= 3", vh.Requests)
+	}
+	if vh := byHash[last]; !vh.Current {
+		t.Errorf("last version should be flagged current: %+v", vh)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"rwskit/internal/browser"
 	"rwskit/internal/core"
@@ -77,12 +78,18 @@ const numRoles = 4
 //     instead of a browser build + visit + embed per request,
 //   - the list's content hash.
 //
-// A Snapshot is never mutated after NewSnapshot returns, so any number of
-// request goroutines may read it without locks; Server.Swap installs a
-// fresh one atomically.
+// A Snapshot's query plane is never mutated after NewSnapshot returns,
+// so any number of request goroutines may read it without locks;
+// Server.Swap installs a fresh one atomically. The one mutable field is
+// the atomic requests counter, which feeds the per-version hit metrics.
 type Snapshot struct {
 	list *core.List
 	hash string
+
+	// requests counts the queries resolved to this snapshot under any
+	// version spelling (current, version=, as_of=, diff/churn endpoints).
+	// Metrics-only; incremented lock-free on the request path.
+	requests atomic.Uint64
 
 	hosts   map[string]hostEntry
 	members map[*core.Set][]SetMember

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,16 @@ type VersionInfo struct {
 	Sets    int
 	Sites   int
 	Current bool
+	// Requests counts the queries resolved to this version so far (any
+	// spelling: current, version=, as_of=, diff/churn endpoints).
+	Requests uint64
+}
+
+// ChainEntry is one link of a version chain walk: a retained snapshot
+// paired with its descriptor, in as-of order.
+type ChainEntry struct {
+	Version core.Version
+	Snap    *Snapshot
 }
 
 // Store is a bounded, concurrency-safe version store for snapshots: it
@@ -52,6 +63,11 @@ type Store struct {
 	entries []*storeEntry // insertion order, oldest first
 	byHash  map[string]*storeEntry
 	cap     int
+
+	// diffs memoizes DiffLists results between retained versions, keyed
+	// by (fromHash, toHash). It has its own lock; the order is always
+	// st.mu → diffs.mu, never the reverse.
+	diffs *diffCache
 }
 
 // NewStore returns an empty store retaining up to capacity versions
@@ -61,7 +77,11 @@ func NewStore(capacity int) *Store {
 	if capacity < 1 {
 		capacity = DefaultRetain
 	}
-	return &Store{byHash: make(map[string]*storeEntry, capacity), cap: capacity}
+	return &Store{
+		byHash: make(map[string]*storeEntry, capacity),
+		cap:    capacity,
+		diffs:  newDiffCache(diffCacheCap(capacity)),
+	}
 }
 
 // Current returns the snapshot answering unversioned queries. Lock-free;
@@ -107,6 +127,12 @@ func (st *Store) AddSnapshot(snap *Snapshot, ver core.Version) {
 	st.mu.Lock()
 	e, ok := st.byHash[snap.hash]
 	if ok {
+		if e.snap != snap {
+			// Adopting a fresh snapshot instance for a retained hash:
+			// carry the hit counter over so per-version metrics survive a
+			// re-add.
+			snap.requests.Add(e.snap.requests.Load())
+		}
 		e.snap = snap
 		e.ver = ver
 	} else {
@@ -120,6 +146,17 @@ func (st *Store) AddSnapshot(snap *Snapshot, ver core.Version) {
 	st.mu.Unlock()
 	if prev != nil && prev.hash != snap.hash {
 		st.swaps.Add(1)
+		// Swap-time adjacent-pair precompute: the superseded→current diff
+		// (and its inverse) is the pair the watcher log, /v1/diff, and
+		// churn walks ask for first. Computed here on the swap caller,
+		// never on the request path, and skipped when a flapping source
+		// already left the pair warm — or when prev itself was evicted by
+		// this very Add (a retain-1 store supersedes and evicts in one
+		// motion; memoDiff would discard the result anyway). memoDiff
+		// still guards against an eviction racing in after this check.
+		if !st.diffs.peek(prev.hash, snap.hash) && st.retained(prev.hash) {
+			st.memoDiff(prev, snap, core.DiffLists(prev.list, snap.list))
+		}
 	}
 }
 
@@ -136,6 +173,10 @@ func (st *Store) evictLocked() {
 			}
 			delete(st.byHash, e.ver.Hash)
 			st.entries = append(st.entries[:i], st.entries[i+1:]...)
+			// Drop every memoized diff touching the evicted version: no
+			// retained version can request it any more, and the cache must
+			// not pin memory for hashes the store no longer serves.
+			st.diffs.removeHash(e.ver.Hash)
 			evicted = true
 			break
 		}
@@ -143,6 +184,111 @@ func (st *Store) evictLocked() {
 			return
 		}
 	}
+}
+
+// Diff returns the member-level diff from one retained snapshot to
+// another, memoized by content-hash pair: the first request per pair
+// computes core.DiffLists, every later one is a cache hit. Identical
+// endpoints short-circuit to the empty diff without touching the cache.
+func (st *Store) Diff(from, to *Snapshot) core.Diff {
+	if from.hash == to.hash {
+		return core.Diff{}
+	}
+	if d, ok := st.diffs.get(from.hash, to.hash); ok {
+		return d
+	}
+	d := core.DiffLists(from.list, to.list)
+	st.memoDiff(from, to, d)
+	return d
+}
+
+// retained reports whether a version with this content hash is
+// currently in the store.
+func (st *Store) retained(hash string) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	_, ok := st.byHash[hash]
+	return ok
+}
+
+// memoDiff caches d (and its inverse — the reverse pair costs nothing
+// extra) for a from→to snapshot pair, but only while both endpoints are
+// still retained: inserting an entry for an evicted hash would leak it
+// past invalidation, since removeHash has already run. The membership
+// check and the insert happen under the store read lock, and eviction
+// removes entries under the write lock, so the check cannot race the
+// invalidation sweep.
+func (st *Store) memoDiff(from, to *Snapshot, d core.Diff) {
+	st.mu.RLock()
+	_, fok := st.byHash[from.hash]
+	_, tok := st.byHash[to.hash]
+	if fok && tok {
+		st.diffs.put(from.hash, to.hash, d)
+		st.diffs.put(to.hash, from.hash, d.Inverse())
+	}
+	st.mu.RUnlock()
+}
+
+// Chain returns the retained versions from one version to another,
+// inclusive, ordered by as-of time (insertion order breaks ties) — the
+// walk the churn plane composes diffs over. A zero-hash from means "the
+// oldest retained version" and a zero-hash to means "the current
+// version", both resolved under the same lock as the walk, so a caller
+// defaulting its endpoints can never lose them to a concurrent eviction
+// between resolve and walk. A named endpoint having been evicted wraps
+// ErrVersionNotFound; a from newer than to is an ordering error the
+// handler maps to a 400.
+func (st *Store) Chain(from, to core.Version) ([]ChainEntry, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if len(st.entries) == 0 {
+		return nil, fmt.Errorf("%w: store is empty", ErrVersionNotFound)
+	}
+	if from.Hash != "" {
+		if _, ok := st.byHash[from.Hash]; !ok {
+			return nil, fmt.Errorf("%w: from version %s was evicted", ErrVersionNotFound, from.ID())
+		}
+	}
+	if to.Hash != "" {
+		if _, ok := st.byHash[to.Hash]; !ok {
+			return nil, fmt.Errorf("%w: to version %s was evicted", ErrVersionNotFound, to.ID())
+		}
+	}
+	cur := st.cur.Load()
+	ordered := make([]ChainEntry, 0, len(st.entries))
+	for _, e := range st.entries {
+		ordered = append(ordered, ChainEntry{Version: e.ver, Snap: e.snap})
+	}
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].Version.AsOf.Before(ordered[j].Version.AsOf)
+	})
+	fromIdx, toIdx := -1, -1
+	if from.Hash == "" {
+		fromIdx = 0
+	}
+	for i, ce := range ordered {
+		if from.Hash != "" && ce.Version.Hash == from.Hash {
+			fromIdx = i
+		}
+		if to.Hash != "" && ce.Version.Hash == to.Hash {
+			toIdx = i
+		}
+		if to.Hash == "" && ce.Snap == cur {
+			toIdx = i
+		}
+	}
+	if fromIdx < 0 || toIdx < 0 {
+		// Unreachable for named hashes (checked above) and for defaults
+		// (the current snapshot is always retained); fail closed rather
+		// than panic if that invariant ever breaks.
+		return nil, fmt.Errorf("%w: chain endpoint not retained", ErrVersionNotFound)
+	}
+	if fromIdx > toIdx {
+		fromVer, toVer := ordered[fromIdx].Version, ordered[toIdx].Version
+		return nil, fmt.Errorf("from version %s (as of %s) is newer than to version %s (as of %s)",
+			fromVer.ID(), fromVer.AsOf.Format("2006-01-02"), toVer.ID(), toVer.AsOf.Format("2006-01-02"))
+	}
+	return ordered[fromIdx : toIdx+1], nil
 }
 
 // currentLocked returns the current snapshot together with its version
@@ -178,10 +324,11 @@ func (st *Store) Versions() []VersionInfo {
 	out := make([]VersionInfo, 0, len(st.entries))
 	for _, e := range st.entries {
 		out = append(out, VersionInfo{
-			Version: e.ver,
-			Sets:    e.snap.NumSets(),
-			Sites:   e.snap.NumSites(),
-			Current: e.snap == cur,
+			Version:  e.ver,
+			Sets:     e.snap.NumSets(),
+			Sites:    e.snap.NumSites(),
+			Current:  e.snap == cur,
+			Requests: e.snap.requests.Load(),
 		})
 	}
 	return out

@@ -1,8 +1,12 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -262,5 +266,240 @@ func TestStoreConcurrentAddAndResolve(t *testing.T) {
 	wg.Wait()
 	if st.Len() > st.Cap() {
 		t.Errorf("len %d exceeds capacity %d", st.Len(), st.Cap())
+	}
+}
+
+// TestStoreDiffMemoization: the first Diff per (from, to) pair computes
+// and caches; repeats are hits; the inverse pair is pre-seeded; identical
+// endpoints short-circuit without touching the cache.
+func TestStoreDiffMemoization(t *testing.T) {
+	st := NewStore(4)
+	a := st.Add(listWithPrimary(t, "alpha"), monthVersion("2023-01"))
+	b := NewSnapshot(listWithPrimary(t, "beta"))
+
+	// b is not retained yet: the diff computes but must not be cached
+	// (an unretained hash could never be invalidated).
+	d := st.Diff(a, b)
+	if d.Empty() {
+		t.Fatal("alpha→beta diff should not be empty")
+	}
+	if n := st.diffs.len(); n != 0 {
+		t.Errorf("cache holds %d entries for an unretained endpoint, want 0", n)
+	}
+
+	st.AddSnapshot(b, monthVersion("2023-02"))
+	// The swap precomputed the adjacent pair in both directions.
+	if n := st.diffs.len(); n != 2 {
+		t.Errorf("cache holds %d entries after the swap precompute, want 2", n)
+	}
+	misses := st.diffs.misses.Load()
+	if got := st.Diff(a, b); !reflect.DeepEqual(got, d) {
+		t.Errorf("memoized diff = %+v, want %+v", got, d)
+	}
+	if got := st.Diff(b, a); !reflect.DeepEqual(got, d.Inverse()) {
+		t.Errorf("inverse diff = %+v, want %+v", got, d.Inverse())
+	}
+	if st.diffs.misses.Load() != misses || st.diffs.hits.Load() < 2 {
+		t.Errorf("hits=%d misses=%d after warm reads, want hits and no new misses",
+			st.diffs.hits.Load(), st.diffs.misses.Load())
+	}
+	if got := st.Diff(a, a); !got.Empty() {
+		t.Errorf("same-endpoint diff = %+v, want empty", got)
+	}
+}
+
+// TestStoreDiffCacheInvalidationOnEvict: evicting a version must drop
+// every cached diff that touches its hash.
+func TestStoreDiffCacheInvalidationOnEvict(t *testing.T) {
+	st := NewStore(3)
+	snaps := make([]*Snapshot, 0, 4)
+	for i, name := range []string{"a", "b", "c"} {
+		snaps = append(snaps, st.Add(listWithPrimary(t, name), monthVersion(fmt.Sprintf("2023-%02d", i+1))))
+	}
+	// Fill the cache with every ordered pair.
+	for _, from := range snaps {
+		for _, to := range snaps {
+			if from != to {
+				st.Diff(from, to)
+			}
+		}
+	}
+	if n := st.diffs.len(); n != 6 {
+		t.Fatalf("cache holds %d entries, want all 6 ordered pairs", n)
+	}
+	evictedHash := snaps[0].Hash()
+	st.Add(listWithPrimary(t, "d"), monthVersion("2023-04")) // evicts "a"
+	for _, k := range st.diffs.keys() {
+		if k.from == evictedHash || k.to == evictedHash {
+			t.Errorf("cache still holds %v after evicting %.8s", k, evictedHash)
+		}
+	}
+	if st.diffs.invalidations.Load() == 0 {
+		t.Error("invalidation counter did not move")
+	}
+	// The evicted version itself must answer a clean not-found.
+	if _, _, err := st.ByHash(evictedHash); !errors.Is(err, ErrVersionNotFound) {
+		t.Errorf("evicted version resolution: %v, want ErrVersionNotFound", err)
+	}
+}
+
+// TestDiffCacheLRU: past capacity the least recently used entry goes
+// first; a get refreshes recency.
+func TestDiffCacheLRU(t *testing.T) {
+	c := newDiffCache(2)
+	c.put("aaaa", "bbbb", core.Diff{AddedSets: []string{"a"}})
+	c.put("cccc", "dddd", core.Diff{AddedSets: []string{"c"}})
+	if _, ok := c.get("aaaa", "bbbb"); !ok { // refresh (aaaa,bbbb)
+		t.Fatal("warm entry missing")
+	}
+	c.put("eeee", "ffff", core.Diff{AddedSets: []string{"e"}}) // evicts (cccc,dddd)
+	if _, ok := c.get("cccc", "dddd"); ok {
+		t.Error("LRU entry survived past capacity")
+	}
+	if _, ok := c.get("aaaa", "bbbb"); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if c.evictions.Load() != 1 {
+		t.Errorf("evictions = %d, want 1", c.evictions.Load())
+	}
+	m := c.metrics()
+	if m.entries != 2 || m.capacity != 2 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+// TestStoreChain: the chain walk returns the as-of-ordered inclusive
+// span, rejects inverted endpoints, and reports evicted endpoints as
+// not-found.
+func TestStoreChain(t *testing.T) {
+	st := NewStore(4)
+	var vers []core.Version
+	for i, name := range []string{"a", "b", "c"} {
+		st.Add(listWithPrimary(t, name), monthVersion(fmt.Sprintf("2023-%02d", i+1)))
+		ver, _ := st.CurrentVersion()
+		vers = append(vers, ver)
+	}
+	chain, err := st.Chain(vers[0], vers[2])
+	if err != nil || len(chain) != 3 {
+		t.Fatalf("Chain = %d entries, %v, want 3", len(chain), err)
+	}
+	for i, ce := range chain {
+		if ce.Version.Hash != vers[i].Hash {
+			t.Errorf("chain[%d] = %.8s, want %.8s", i, ce.Version.Hash, vers[i].Hash)
+		}
+	}
+	if chain, err = st.Chain(vers[1], vers[1]); err != nil || len(chain) != 1 {
+		t.Errorf("self chain = %d entries, %v, want 1", len(chain), err)
+	}
+	if _, err = st.Chain(vers[2], vers[0]); err == nil || errors.Is(err, ErrVersionNotFound) {
+		t.Errorf("inverted chain: err = %v, want an ordering error", err)
+	}
+	gone := vers[0]
+	st.Add(listWithPrimary(t, "d"), monthVersion("2023-04"))
+	st.Add(listWithPrimary(t, "e"), monthVersion("2023-05")) // evicts "a"
+	if _, err = st.Chain(gone, vers[2]); !errors.Is(err, ErrVersionNotFound) {
+		t.Errorf("chain from evicted version: err = %v, want ErrVersionNotFound", err)
+	}
+}
+
+// TestDiffAcrossEvictionUnderTraffic is the regression test for the
+// eviction bugfix: hammer /v1/diff (and /v1/churn) with every hash ever
+// served while a writer churns the store far past its capacity. Every
+// response must be a 200 or a clean 404 JSON envelope — never a 500,
+// never a non-JSON body — and afterwards the diff cache must reference
+// only retained hashes.
+func TestDiffAcrossEvictionUnderTraffic(t *testing.T) {
+	st := NewStore(3)
+	st.Add(listWithPrimary(t, "seed"), monthVersion("2022-12"))
+	s := NewFromStore(st)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	// Prebuild the revisions so every reader knows every hash that will
+	// ever be served — including the ones the writer has already evicted.
+	const revisions = 12
+	snaps := make([]*Snapshot, revisions)
+	hashes := make([]string, revisions)
+	for i := range snaps {
+		snaps[i] = NewSnapshot(listWithPrimary(t, fmt.Sprintf("churn%02d", i)))
+		hashes[i] = snaps[i].Hash()
+	}
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		base, _ := time.Parse("2006-01", "2023-01")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				st.AddSnapshot(snaps[i%revisions], core.Version{
+					Source: "flap", ObservedAt: base, AsOf: base.AddDate(0, 0, i),
+				})
+			}
+		}
+	}()
+
+	var readers sync.WaitGroup
+	client := ts.Client()
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for i := 0; i < 50; i++ {
+				from := hashes[(r+i)%revisions]
+				for _, u := range []string{
+					fmt.Sprintf("%s/v1/diff?from=%s&to=current", ts.URL, from[:12]),
+					fmt.Sprintf("%s/v1/churn?from=%s&to=current", ts.URL, from[:12]),
+				} {
+					resp, err := client.Get(u)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var body struct {
+						Error string `json:"error"`
+					}
+					if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+						t.Errorf("non-JSON response (status %d): %v", resp.StatusCode, err)
+						resp.Body.Close()
+						return
+					}
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+					// 404: the version was evicted mid-request. 400: the
+					// churn chain transiently inverted (a flapping hash is
+					// re-filed under a newer as-of). Both must carry the
+					// JSON error envelope; anything else — above all a 500
+					// — is the regression.
+					case http.StatusNotFound, http.StatusBadRequest:
+						if body.Error == "" {
+							t.Errorf("%s: status %d without an error envelope", u, resp.StatusCode)
+						}
+					default:
+						t.Errorf("%s: status %d (error %q)", u, resp.StatusCode, body.Error)
+					}
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+
+	// Hygiene: after the dust settles the cache may reference only
+	// retained hashes.
+	retained := make(map[string]bool)
+	for _, vi := range st.Versions() {
+		retained[vi.Version.Hash] = true
+	}
+	for _, k := range st.diffs.keys() {
+		if !retained[k.from] || !retained[k.to] {
+			t.Errorf("diff cache references unretained pair %v", k)
+		}
 	}
 }

@@ -100,6 +100,25 @@ func DiffLists(old, new *List) Diff { return core.DiffLists(old, new) }
 // core.ComposeDiffs for the one caveat (a set removed and re-added).
 func ComposeDiffs(a, b Diff) Diff { return core.ComposeDiffs(a, b) }
 
+// ChurnReport digests a chronological chain of list snapshots: per-step
+// and cumulative add/remove/mutate counts, per-set lifecycles (born,
+// died, renamed), and a volatility ranking. rws-serve's /v1/churn
+// endpoint serves the same digest over its retained version chain.
+type ChurnReport = core.ChurnReport
+
+// ChurnStep is one transition of a ChurnReport.
+type ChurnStep = core.ChurnStep
+
+// SetLifecycle tracks one set primary across a churn window.
+type SetLifecycle = core.SetLifecycle
+
+// Churn builds a ChurnReport over a chronological snapshot chain.
+// adjacent, when non-nil, must hold DiffLists(lists[i], lists[i+1]) at
+// index i (callers with precomputed diffs pass them; nil recomputes).
+func Churn(lists []*List, adjacent []Diff) (ChurnReport, error) {
+	return core.Churn(lists, adjacent)
+}
+
 // Version identifies one list revision held by a version store: content
 // hash plus provenance (source, observed-at, as-of time).
 type Version = core.Version

@@ -277,3 +277,21 @@ func TestComposeDiffsFacade(t *testing.T) {
 		t.Errorf("composed = %+v, direct = %+v", composed, direct)
 	}
 }
+
+// TestChurnFacade: the churn digest over a three-revision history
+// reports the step counts, cumulative rollup, and lifecycles.
+func TestChurnFacade(t *testing.T) {
+	v1, _ := ParseList([]byte(`{"sets":[{"primary":"https://a.com"}]}`))
+	v2, _ := ParseList([]byte(`{"sets":[{"primary":"https://a.com"},{"primary":"https://b.com"}]}`))
+	v3, _ := ParseList([]byte(`{"sets":[{"primary":"https://a.com"},{"primary":"https://c.com"}]}`))
+	rep, err := Churn([]*List{v1, v2, v3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != 2 || rep.SetsChurned != 2 || rep.SetsBorn != 2 || rep.SetsDied != 1 {
+		t.Errorf("churn = %+v, want 2 steps, 2 churned (b, c), 2 born, 1 died", rep)
+	}
+	if top := rep.TopVolatile(1); len(top) != 1 || top[0].Volatility == 0 {
+		t.Errorf("TopVolatile = %+v", top)
+	}
+}
