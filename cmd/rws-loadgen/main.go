@@ -8,7 +8,8 @@
 //
 //	rws-loadgen -target http://host:port [-workers 8] [-duration 10s]
 //	            [-mix sameset=4,set=3,partition=2,batch=1] [-seed 1]
-//	            [-list file-or-url] [-batch 8] [-json]
+//	            [-list file-or-url | -amplify N [-amplify-seed S]]
+//	            [-batch 8] [-json]
 //
 // Scenarios:
 //
@@ -53,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"rwskit/internal/amplify"
 	"rwskit/internal/core"
 	"rwskit/internal/dataset"
 	"rwskit/internal/source"
@@ -92,16 +94,18 @@ var scenarioNames = [numScenarios]string{
 }
 
 type config struct {
-	target   string
-	workers  int
-	duration time.Duration
-	weights  [numScenarios]int
-	mix      string
-	seed     int64
-	list     string
-	batch    int
-	timeout  time.Duration
-	jsonOut  bool
+	target      string
+	workers     int
+	duration    time.Duration
+	weights     [numScenarios]int
+	mix         string
+	seed        int64
+	list        string
+	amplify     int
+	amplifySeed int64
+	batch       int
+	timeout     time.Duration
+	jsonOut     bool
 }
 
 func parseFlags(args []string) (config, error) {
@@ -112,6 +116,8 @@ func parseFlags(args []string) (config, error) {
 	mix := fs.String("mix", "sameset=4,set=3,partition=2,batch=1", "scenario weights")
 	seed := fs.Int64("seed", 1, "PRNG seed for deterministic host selection")
 	list := fs.String("list", "", "draw hosts from this list file or URL (default: embedded snapshot)")
+	amp := fs.Int("amplify", 0, "draw hosts from a synthetic amplified list of N sets (pair with rws-serve -amplify)")
+	ampSeed := fs.Int64("amplify-seed", 1, "seed for -amplify (must match the server's)")
 	batch := fs.Int("batch", 8, "pairs per batch request")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
@@ -124,6 +130,7 @@ func parseFlags(args []string) (config, error) {
 	cfg := config{
 		target: strings.TrimSuffix(*target, "/"), workers: *workers,
 		duration: *duration, mix: *mix, seed: *seed, list: *list,
+		amplify: *amp, amplifySeed: *ampSeed,
 		batch: *batch, timeout: *timeout, jsonOut: *jsonOut,
 	}
 	if cfg.target == "" {
@@ -140,6 +147,12 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.batch < 1 || cfg.batch > 500 {
 		return config{}, errors.New("-batch must be in [1, 500]")
+	}
+	if cfg.amplify < 0 {
+		return config{}, errors.New("-amplify must be >= 0")
+	}
+	if cfg.amplify > 0 && cfg.list != "" {
+		return config{}, errors.New("-amplify excludes -list")
 	}
 	var err error
 	if cfg.weights, err = parseMix(*mix); err != nil {
@@ -218,7 +231,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	list, err := loadHosts(ctx, cfg.list)
+	list, err := loadHosts(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -263,13 +276,18 @@ func (r Report) write(w io.Writer) {
 	}
 }
 
-// loadHosts resolves the host universe: the embedded snapshot, or any
-// list a Source can fetch (file path or http(s) URL).
-func loadHosts(ctx context.Context, spec string) (*core.List, error) {
-	if spec == "" {
+// loadHosts resolves the host universe: an amplified synthetic list
+// (-amplify, matching a server booted with the same rws-serve -amplify
+// parameters), the embedded snapshot, or any list a Source can fetch
+// (file path or http(s) URL).
+func loadHosts(ctx context.Context, cfg config) (*core.List, error) {
+	if cfg.amplify > 0 {
+		return amplify.Generate(amplify.Config{Sets: cfg.amplify, Seed: cfg.amplifySeed})
+	}
+	if cfg.list == "" {
 		return dataset.List()
 	}
-	list, _, err := source.Open(spec).Fetch(ctx)
+	list, _, err := source.Open(cfg.list).Fetch(ctx)
 	return list, err
 }
 

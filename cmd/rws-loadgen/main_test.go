@@ -272,3 +272,35 @@ func TestChurnMix(t *testing.T) {
 		t.Errorf("churn scenario never ran: %+v", rep.Scenarios)
 	}
 }
+
+func TestParseFlagsAmplify(t *testing.T) {
+	cfg, err := parseFlags([]string{"-target", "http://x", "-amplify", "2000", "-amplify-seed", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.amplify != 2000 || cfg.amplifySeed != 4 {
+		t.Errorf("parseFlags = %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-target", "http://x", "-amplify", "10", "-list", "x.json"}); err == nil {
+		t.Error("-amplify with -list should be rejected")
+	}
+}
+
+// TestAmplifiedHostUniverse proves the generator can draw its host
+// universe from an amplified list and that the same -amplify flags
+// reproduce the same universe (the property that makes scale-tier runs
+// comparable across machines).
+func TestAmplifiedHostUniverse(t *testing.T) {
+	ctx := context.Background()
+	a, err := loadHosts(ctx, config{amplify: 150, amplifySeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadHosts(ctx, config{amplify: 150, amplifySeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSets() != 150 || a.Hash() != b.Hash() {
+		t.Errorf("amplified universes differ: %d sets %.12s vs %.12s", a.NumSets(), a.Hash(), b.Hash())
+	}
+}

@@ -5,10 +5,17 @@
 // Usage:
 //
 //	rws-serve [-addr :8080] [-list file-or-url] [-poll interval]
-//	          [-timeline] [-retain N]
+//	          [-timeline] [-retain N] [-amplify N [-amplify-seed S]]
+//	          [-mem-budget BYTES]
 //
 // Without -list, the embedded reconstruction of the 26 March 2024
-// snapshot is served. -list accepts a local JSON file path or an
+// snapshot is served. -amplify N boots from a deterministic synthetic
+// list of N sets instead (rws-amplify's generator; -amplify-seed picks
+// the seed) — the scale-tier target for load and soak testing. -mem-budget
+// caps the estimated bytes of each snapshot's derived tables; over
+// budget the prebaked /v1/set slices are dropped first (reported in
+// /v1/metrics under snapshot_build), and a list that cannot fit even
+// degraded is rejected. -list accepts a local JSON file path or an
 // http(s):// URL (the upstream related_website_sets.JSON). Either way
 // the list is hot-swapped without dropping traffic: SIGHUP forces a
 // re-read, and -poll re-checks on a ticker — a stat(2) gated on
@@ -53,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"rwskit/internal/amplify"
 	"rwskit/internal/core"
 	"rwskit/internal/dataset"
 	"rwskit/internal/history"
@@ -77,7 +85,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	if err != nil {
 		return err
 	}
-	src, list, meta, err := openList(ctx, cfg.list)
+	src, list, meta, err := openList(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -146,18 +154,23 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	}
 }
 
-// openList resolves the -list flag: empty serves the embedded snapshot
-// (no source, no reloading, zero Meta), anything else opens a Source —
-// file path or http(s) URL — and performs the initial fetch through it,
-// so the source's freshness gates (stat, ETag/Last-Modified) are primed
-// for the watcher's conditional polls and the boot version carries the
-// same provenance every later swap of the source will.
-func openList(ctx context.Context, spec string) (source.Source, *core.List, source.Meta, error) {
-	if spec == "" {
+// openList resolves the boot list: -amplify generates a synthetic
+// scale-tier list (no source, no reloading), an empty -list serves the
+// embedded snapshot, and anything else opens a Source — file path or
+// http(s) URL — and performs the initial fetch through it, so the
+// source's freshness gates (stat, ETag/Last-Modified) are primed for the
+// watcher's conditional polls and the boot version carries the same
+// provenance every later swap of the source will.
+func openList(ctx context.Context, cfg config) (source.Source, *core.List, source.Meta, error) {
+	if cfg.amplify > 0 {
+		list, err := amplify.Generate(amplify.Config{Sets: cfg.amplify, Seed: cfg.amplifySeed})
+		return nil, list, source.Meta{}, err
+	}
+	if cfg.list == "" {
 		list, err := dataset.List()
 		return nil, list, source.Meta{}, err
 	}
-	src := source.Open(spec)
+	src := source.Open(cfg.list)
 	list, meta, err := src.Fetch(ctx)
 	if err != nil {
 		return nil, nil, source.Meta{}, err
@@ -172,6 +185,7 @@ func openList(ctx context.Context, spec string) (source.Source, *core.List, sour
 // immediately evicted by the poll loop.
 func newServer(cfg config, list *core.List, meta source.Meta) (*serve.Server, error) {
 	capacity := cfg.retain
+	opts := serve.SnapshotOptions{MemoryBudget: cfg.memBudget}
 	var st *serve.Store
 	if cfg.timeline {
 		tl, err := history.Build()
@@ -181,32 +195,39 @@ func newServer(cfg config, list *core.List, meta source.Meta) (*serve.Server, er
 		if capacity < len(tl.Snapshots)+1 {
 			capacity = len(tl.Snapshots) + 1
 		}
-		st = serve.NewStore(capacity)
+		st = serve.NewStoreWith(capacity, opts)
 		boot := time.Now()
 		for _, snap := range tl.Snapshots {
 			asOf, err := time.Parse("2006-01", snap.Month)
 			if err != nil {
 				return nil, fmt.Errorf("timeline month %q: %w", snap.Month, err)
 			}
-			st.Add(snap.List, core.Version{
+			if _, err := st.AddList(snap.List, core.Version{
 				Source:     "timeline:" + snap.Month,
 				ObservedAt: boot,
 				AsOf:       asOf,
-			})
+			}); err != nil {
+				return nil, fmt.Errorf("timeline month %s: %w", snap.Month, err)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "rws-serve: timeline preloaded %d monthly versions (%s..%s)\n",
 			st.Len(), tl.Snapshots[0].Month, tl.Final().Month)
 	} else {
-		st = serve.NewStore(capacity)
+		st = serve.NewStoreWith(capacity, opts)
 	}
 	// The boot list's version: the source's own provenance (file mtime /
 	// Last-Modified as the as-of time, exactly what SwapDeliver files
-	// later revisions under), or the embedded snapshot's date. When the
-	// timeline's final month already carries this content (the embedded
-	// snapshot IS the final month), keep the timeline provenance instead
-	// of re-filing it under "embedded".
+	// later revisions under), the amplifier's parameters, or the embedded
+	// snapshot's date. When the timeline's final month already carries
+	// this content (the embedded snapshot IS the final month), keep the
+	// timeline provenance instead of re-filing it under "embedded".
 	ver := meta.Version()
-	if cfg.list == "" {
+	switch {
+	case cfg.amplify > 0:
+		ver.Source = fmt.Sprintf("amplify:%d:seed=%d", cfg.amplify, cfg.amplifySeed)
+		ver.ObservedAt = time.Now()
+		ver.AsOf = ver.ObservedAt
+	case cfg.list == "":
 		ver.Source = "embedded"
 		ver.ObservedAt = time.Now()
 		ver.AsOf = ver.ObservedAt
@@ -215,7 +236,14 @@ func newServer(cfg config, list *core.List, meta source.Meta) (*serve.Server, er
 		}
 	}
 	if cur := st.Current(); cur == nil || cur.Hash() != list.Hash() {
-		st.Add(list, ver)
+		snap, err := st.AddList(list, ver)
+		if err != nil {
+			return nil, fmt.Errorf("boot list: %w", err)
+		}
+		if info := snap.BuildInfo(); info.PrebakedSetsDropped {
+			fmt.Fprintf(os.Stderr, "rws-serve: memory budget %d forced dropping prebaked set slices (estimated %d bytes retained)\n",
+				info.MemoryBudget, info.EstimatedBytes)
+		}
 	}
 	return serve.NewFromStore(st), nil
 }
@@ -234,11 +262,14 @@ func newHTTPServer(handler http.Handler) *http.Server {
 }
 
 type config struct {
-	addr     string
-	list     string
-	poll     time.Duration
-	timeline bool
-	retain   int
+	addr        string
+	list        string
+	poll        time.Duration
+	timeline    bool
+	retain      int
+	amplify     int
+	amplifySeed int64
+	memBudget   int64
 }
 
 func parseFlags(args []string) (config, error) {
@@ -248,11 +279,14 @@ func parseFlags(args []string) (config, error) {
 	p := fs.Duration("poll", 0, "re-check -list on this interval (0 disables; stat/conditional-GET gated)")
 	tl := fs.Bool("timeline", false, "preload the 2023-01..2024-03 monthly snapshots for as_of/diff queries")
 	r := fs.Int("retain", serve.DefaultRetain, "list versions kept queryable (widened to fit -timeline)")
+	amp := fs.Int("amplify", 0, "boot from a synthetic amplified list of N sets (scale testing; excludes -list/-timeline)")
+	ampSeed := fs.Int64("amplify-seed", 1, "seed for -amplify (same seed reproduces the same list)")
+	mb := fs.Int64("mem-budget", 0, "snapshot memory budget in bytes, 0 = unlimited (degrades before failing; see /v1/metrics)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	if fs.NArg() != 0 {
-		return config{}, fmt.Errorf("usage: rws-serve [-addr :8080] [-list file-or-url] [-poll interval] [-timeline] [-retain N]")
+		return config{}, fmt.Errorf("usage: rws-serve [-addr :8080] [-list file-or-url] [-poll interval] [-timeline] [-retain N] [-amplify N [-amplify-seed S]] [-mem-budget BYTES]")
 	}
 	if *p > 0 && *l == "" {
 		return config{}, fmt.Errorf("-poll requires -list")
@@ -263,5 +297,14 @@ func parseFlags(args []string) (config, error) {
 	if *r < 1 {
 		return config{}, fmt.Errorf("-retain must be >= 1")
 	}
-	return config{addr: *a, list: *l, poll: *p, timeline: *tl, retain: *r}, nil
+	if *amp < 0 {
+		return config{}, fmt.Errorf("-amplify must be >= 0")
+	}
+	if *amp > 0 && (*l != "" || *tl) {
+		return config{}, fmt.Errorf("-amplify excludes -list and -timeline")
+	}
+	if *mb < 0 {
+		return config{}, fmt.Errorf("-mem-budget must be >= 0")
+	}
+	return config{addr: *a, list: *l, poll: *p, timeline: *tl, retain: *r, amplify: *amp, amplifySeed: *ampSeed, memBudget: *mb}, nil
 }

@@ -36,7 +36,7 @@ func TestParseFlags(t *testing.T) {
 
 func TestOpenListEmbeddedFileAndURL(t *testing.T) {
 	ctx := context.Background()
-	src, list, _, err := openList(ctx, "")
+	src, list, _, err := openList(ctx, config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestOpenListEmbeddedFileAndURL(t *testing.T) {
 
 	path := filepath.Join(t.TempDir(), "list.json")
 	os.WriteFile(path, []byte(oneSetJSON), 0o644)
-	src, list, meta, err := openList(ctx, path)
+	src, list, meta, err := openList(ctx, config{list: path})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestOpenListEmbeddedFileAndURL(t *testing.T) {
 		fmt.Fprint(w, twoSetJSON)
 	}))
 	defer ts.Close()
-	src, list, _, err = openList(ctx, ts.URL)
+	src, list, _, err = openList(ctx, config{list: ts.URL})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestOpenListEmbeddedFileAndURL(t *testing.T) {
 		t.Errorf("url list: src=%v, %d sets", src, list.NumSets())
 	}
 
-	if _, _, _, err := openList(ctx, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+	if _, _, _, err := openList(ctx, config{list: filepath.Join(t.TempDir(), "missing.json")}); err == nil {
 		t.Error("missing file should fail")
 	}
 }
@@ -303,6 +303,77 @@ func TestRunTimeline(t *testing.T) {
 	}
 	if d.Empty || len(d.AddedSets) != vs.Versions[len(vs.Versions)-1].Sets-vs.Versions[0].Sets {
 		t.Errorf("window diff = %+v", d)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}
+
+func TestParseFlagsAmplify(t *testing.T) {
+	cfg, err := parseFlags([]string{"-amplify", "5000", "-amplify-seed", "7", "-mem-budget", "1000000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.amplify != 5000 || cfg.amplifySeed != 7 || cfg.memBudget != 1000000 {
+		t.Errorf("parseFlags = %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-amplify", "10", "-list", "x.json"}); err == nil {
+		t.Error("-amplify with -list should be rejected")
+	}
+	if _, err := parseFlags([]string{"-amplify", "10", "-timeline"}); err == nil {
+		t.Error("-amplify with -timeline should be rejected")
+	}
+	if _, err := parseFlags([]string{"-mem-budget", "-1"}); err == nil {
+		t.Error("negative -mem-budget should be rejected")
+	}
+}
+
+// TestRunAmplified boots the binary from a synthetic amplified list and
+// checks the scale plane end to end: the stats plane reports the
+// requested set count, the boot version carries amplify provenance, and
+// /v1/metrics exposes the snapshot build decisions.
+func TestRunAmplified(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, errc := startRun(t, ctx, []string{"-amplify", "800", "-amplify-seed", "3"})
+	if n := numSets(t, addr); n != 800 {
+		t.Fatalf("amplified sets = %d, want 800", n)
+	}
+
+	var vs serve.VersionsResponse
+	resp, err := http.Get("http://" + addr + "/v1/versions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(vs.Versions) != 1 || vs.Versions[0].Source != "amplify:800:seed=3" {
+		t.Errorf("versions = %+v, want one amplify:800:seed=3 version", vs.Versions)
+	}
+
+	var m serve.MetricsResponse
+	resp, err = http.Get("http://" + addr + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.SnapshotBuild.Shards < 1 || m.SnapshotBuild.EstimatedBytes <= 0 {
+		t.Errorf("snapshot_build = %+v", m.SnapshotBuild)
+	}
+	if m.SnapshotBuild.PrebakedSetsDropped {
+		t.Error("unbudgeted boot should keep prebaked set slices")
 	}
 
 	cancel()

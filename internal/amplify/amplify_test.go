@@ -1,0 +1,166 @@
+package amplify
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"rwskit/internal/core"
+	"rwskit/internal/psl"
+	"rwskit/internal/validate"
+)
+
+func mustGenerate(t testing.TB, cfg Config) *core.List {
+	t.Helper()
+	list, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate(%+v): %v", cfg, err)
+	}
+	return list
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	for _, sets := range []int{1, 50, 400} {
+		a := mustGenerate(t, Config{Sets: sets, Seed: 7})
+		b := mustGenerate(t, Config{Sets: sets, Seed: 7})
+		if a.Hash() != b.Hash() {
+			t.Errorf("sets=%d: same seed produced different hashes %.12s vs %.12s", sets, a.Hash(), b.Hash())
+		}
+		if a.NumSets() != sets {
+			t.Errorf("sets=%d: got %d sets", sets, a.NumSets())
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	hashes := map[string]int64{}
+	for _, seed := range []int64{1, 2, 3, 99} {
+		list := mustGenerate(t, Config{Sets: 200, Seed: seed})
+		h := list.Hash()
+		if prev, dup := hashes[h]; dup {
+			t.Errorf("seeds %d and %d produced the same hash %.12s", prev, seed, h)
+		}
+		hashes[h] = seed
+	}
+}
+
+// TestGenerateJSONRoundTrip proves the amplified list survives the
+// upstream schema: marshal → parse → identical semantic hash.
+func TestGenerateJSONRoundTrip(t *testing.T) {
+	list := mustGenerate(t, Config{Sets: 100, Seed: 3})
+	raw, err := list.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.ParseJSON(raw)
+	if err != nil {
+		t.Fatalf("re-parsing amplified JSON: %v", err)
+	}
+	if back.Hash() != list.Hash() {
+		t.Errorf("round-trip changed the hash: %.12s vs %.12s", back.Hash(), list.Hash())
+	}
+}
+
+// TestGeneratePassesValidation runs the structural submission checks —
+// eTLD+1 rules, ccTLD variant rules, rationale requirements, the
+// at-least-one-member rule — over every generated set, for several
+// seeds. The amplifier must never emit a set the GitHub bot would
+// reject structurally.
+func TestGeneratePassesValidation(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{1, 2, 3} {
+		list := mustGenerate(t, Config{Sets: 300, Seed: seed})
+		v := validate.New(psl.Default(), nil, nil)
+		for _, s := range list.Sets() {
+			rep := v.ValidateSet(ctx, s)
+			if !rep.Passed() {
+				t.Fatalf("seed %d: set %s failed validation: %v", seed, s.Primary, rep.Issues)
+			}
+		}
+	}
+}
+
+// TestGenerateCompositionTolerance holds an amplified list's aggregate
+// composition to the profile's expected values: subset-presence
+// fractions within ±0.05 absolute, mean associated per set within 15%
+// relative. At 5000 sets the sampling noise is well inside both bounds.
+func TestGenerateCompositionTolerance(t *testing.T) {
+	prof, err := DefaultProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prof.Stats()
+	list := mustGenerate(t, Config{Sets: 5000, Seed: 11})
+	got := list.Stats()
+
+	checkFrac := func(name string, got, want float64) {
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("%s = %.4f, want %.4f ± 0.05", name, got, want)
+		}
+	}
+	checkFrac("FracSetsWithAssociated", got.FracSetsWithAssociated(), want.FracSetsWithAssociated)
+	checkFrac("FracSetsWithService", got.FracSetsWithService(), want.FracSetsWithService)
+	checkFrac("FracSetsWithCCTLD", got.FracSetsWithCCTLD(), want.FracSetsWithCCTLD)
+	if want.MeanAssociatedPerSet > 0 {
+		rel := math.Abs(got.MeanAssociatedPerSet-want.MeanAssociatedPerSet) / want.MeanAssociatedPerSet
+		if rel > 0.15 {
+			t.Errorf("MeanAssociatedPerSet = %.3f, want %.3f ± 15%%", got.MeanAssociatedPerSet, want.MeanAssociatedPerSet)
+		}
+	}
+}
+
+// TestProfileOfEmbeddedShape sanity-checks the derived profile against
+// the paper's reported aggregates (the embedded snapshot is built to
+// reproduce them).
+func TestProfileOfEmbeddedShape(t *testing.T) {
+	prof, err := DefaultProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prof.Stats()
+	if st.FracSetsWithAssociated < 0.85 || st.FracSetsWithAssociated > 1.0 {
+		t.Errorf("FracSetsWithAssociated = %.3f, want ≈ 0.927", st.FracSetsWithAssociated)
+	}
+	if st.MeanAssociatedPerSet < 2.0 || st.MeanAssociatedPerSet > 3.2 {
+		t.Errorf("MeanAssociatedPerSet = %.3f, want ≈ 2.6", st.MeanAssociatedPerSet)
+	}
+	if prof.SameSLDFrac <= 0 || prof.SameSLDFrac > 0.25 {
+		t.Errorf("SameSLDFrac = %.3f, want ≈ 0.093", prof.SameSLDFrac)
+	}
+	if len(prof.Categories) != len(prof.AssociatedCounts) {
+		t.Errorf("categories (%d) and histogram (%d) lengths diverge", len(prof.Categories), len(prof.AssociatedCounts))
+	}
+}
+
+func TestRankingDeterministic(t *testing.T) {
+	list := mustGenerate(t, Config{Sets: 120, Seed: 5})
+	a, err := Ranking(list, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Ranking(list, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != list.NumSets() {
+		t.Fatalf("ranking has %d entries, want %d", a.Len(), list.NumSets())
+	}
+	ad, bd := a.Domains(), b.Domains()
+	for i := range ad {
+		if ad[i] != bd[i] {
+			t.Fatalf("rank %d differs: %s vs %s", i+1, ad[i], bd[i])
+		}
+	}
+	if _, ok := a.Rank(list.Sets()[0].Primary); !ok {
+		t.Errorf("first primary missing from ranking")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{Sets: 0, Seed: 1}); err == nil {
+		t.Error("Sets=0 should error")
+	}
+	if _, err := Generate(Config{Sets: 10, Seed: 1, Profile: &Profile{}}); err == nil {
+		t.Error("empty profile should error")
+	}
+}

@@ -764,7 +764,25 @@ func canonicalOrigin(s string) (string, error) {
 func CanonicalHost(s string) string { return canonicalHost(s) }
 
 // canonicalHost is CanonicalHost; lookup functions call it directly.
+// It runs the single-pass normalization to a fixpoint: one strip can
+// expose another strippable suffix ("example.com.." leaves one dot,
+// "a:80." leaves a port, "user @host" leaves a space), and iterating
+// until the string stops changing is what makes CanonicalHost idempotent
+// — the invariant the fuzz harness holds it to. Each pass only ever
+// shortens the string, so the loop terminates; legitimate spellings
+// converge on the first pass and pay one extra no-op pass.
 func canonicalHost(s string) string {
+	for {
+		next := canonicalHostPass(s)
+		if next == s {
+			return next
+		}
+		s = next
+	}
+}
+
+// canonicalHostPass is one normalization pass.
+func canonicalHostPass(s string) string {
 	s = strings.TrimSpace(strings.ToLower(s))
 	s = strings.TrimPrefix(s, "https://")
 	s = strings.TrimPrefix(s, "http://")

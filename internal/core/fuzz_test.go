@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCanonicalHost holds the host normalizer to its contract on
+// arbitrary input: it never panics, it is idempotent (canonicalizing a
+// canonical host is a no-op — the property the snapshot host index
+// depends on, since it stores canonical keys and canonicalizes queries),
+// and its output is always in canonical shape: lowercase, no surrounding
+// whitespace, no URL delimiters, no userinfo, no trailing root-label
+// dot. The seed corpus under testdata/fuzz pins the spellings earlier
+// PRs special-cased, plus the double-strip regressions ("example.com..",
+// "user @host", "a:80.") where a single normalization pass used to leave
+// non-canonical output.
+func FuzzCanonicalHost(f *testing.F) {
+	for _, seed := range []string{
+		"example.com",
+		"EXAMPLE.com:443",
+		"HTTPS://EXAMPLE.COM:443/",
+		"https://example.com/login?next=/#top",
+		"http://example.com",
+		"user@example.com",
+		"user:pass@example.com:8443/path",
+		"example.com.",
+		"  example.com  ",
+		"example.com..",
+		"user @host",
+		"a:80.",
+		"a .",
+		"xn--bcher-kva.example",
+		"[::1]:8080",
+		"",
+		":",
+		"@",
+		"https://",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c := CanonicalHost(s)
+		if again := CanonicalHost(c); again != c {
+			t.Fatalf("not idempotent: CanonicalHost(%q) = %q, but CanonicalHost(%q) = %q", s, c, c, again)
+		}
+		if lower := strings.ToLower(c); lower != c {
+			t.Errorf("CanonicalHost(%q) = %q is not lowercase", s, c)
+		}
+		if strings.TrimSpace(c) != c {
+			t.Errorf("CanonicalHost(%q) = %q has surrounding whitespace", s, c)
+		}
+		if strings.ContainsAny(c, "/?#") {
+			t.Errorf("CanonicalHost(%q) = %q contains a URL delimiter", s, c)
+		}
+		if strings.ContainsRune(c, '@') {
+			t.Errorf("CanonicalHost(%q) = %q contains userinfo", s, c)
+		}
+		if strings.HasSuffix(c, ".") {
+			t.Errorf("CanonicalHost(%q) = %q keeps a trailing dot", s, c)
+		}
+	})
+}
+
+// TestCanonicalHostDoubleStripRegressions pins the concrete inputs where
+// the single-pass normalizer used to stop one strip short; the fixpoint
+// loop must fully canonicalize them.
+func TestCanonicalHostDoubleStripRegressions(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"example.com..", "example.com"},
+		{"example.com...", "example.com"},
+		{"user @host", "host"},
+		{"a:80.", "a"},
+		{"a .", "a"},
+		{"HTTPS://EXAMPLE.COM:443/", "example.com"},
+	}
+	for _, c := range cases {
+		if got := CanonicalHost(c.in); got != c.want {
+			t.Errorf("CanonicalHost(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

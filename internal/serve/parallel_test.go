@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"rwskit/internal/amplify"
+	"rwskit/internal/core"
+	"rwskit/internal/dataset"
+)
+
+// equalSnapshots holds two snapshots to exact equality across every
+// public query surface and the precomputed verdict tables: host-index
+// answers for every member site (plus off-list probes), prebuilt /v1/set
+// slices, role tables, composition stats, and the full per-policy
+// sameSet/cross verdict tables.
+func equalSnapshots(t *testing.T, label string, got, want *Snapshot) {
+	t.Helper()
+	if got.Hash() != want.Hash() {
+		t.Fatalf("%s: hash %.12s != %.12s", label, got.Hash(), want.Hash())
+	}
+	if got.NumSets() != want.NumSets() || got.NumSites() != want.NumSites() {
+		t.Fatalf("%s: sizes (%d sets, %d sites) != (%d sets, %d sites)",
+			label, got.NumSets(), got.NumSites(), want.NumSets(), want.NumSites())
+	}
+	if got.stats != want.stats {
+		t.Errorf("%s: stats %+v != %+v", label, got.stats, want.stats)
+	}
+	for r := core.Role(0); int(r) < numRoles; r++ {
+		g, w := got.SitesByRole(r), want.SitesByRole(r)
+		if len(g) != len(w) {
+			t.Fatalf("%s: role %s table has %d entries, want %d", label, r, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s: role %s entry %d = %q, want %q", label, r, i, g[i], w[i])
+			}
+		}
+	}
+	// Verdict tables, cell by cell.
+	for pid := 0; pid < int(numPolicies); pid++ {
+		if got.cross[pid] != want.cross[pid] {
+			t.Errorf("%s: policy %d cross verdict %+v != %+v", label, pid, got.cross[pid], want.cross[pid])
+		}
+		for r1 := 0; r1 < numRoles; r1++ {
+			for r2 := 0; r2 < numRoles; r2++ {
+				if got.sameSet[pid][r1][r2] != want.sameSet[pid][r1][r2] {
+					t.Errorf("%s: policy %d sameSet[%s][%s] = %+v, want %+v", label, pid,
+						core.Role(r1), core.Role(r2), got.sameSet[pid][r1][r2], want.sameSet[pid][r1][r2])
+				}
+			}
+		}
+	}
+	// Every member site answers identically on the lookup surfaces.
+	for _, set := range want.List().Sets() {
+		for _, m := range set.Members() {
+			ge, gok := got.lookup(m.Site)
+			we, wok := want.lookup(m.Site)
+			if gok != wok || ge.role != we.role || ge.set.Primary != we.set.Primary {
+				t.Fatalf("%s: lookup(%q) = (%v, role %s, primary %s), want (%v, role %s, primary %s)",
+					label, m.Site, gok, ge.role, ge.set.Primary, wok, we.role, we.set.Primary)
+			}
+			gs, ws := got.Set(m.Site), want.Set(m.Site)
+			if gs.Found != ws.Found || gs.Role != ws.Role || gs.Primary != ws.Primary || len(gs.Members) != len(ws.Members) {
+				t.Fatalf("%s: Set(%q) = %+v, want %+v", label, m.Site, gs, ws)
+			}
+			for i := range gs.Members {
+				if gs.Members[i] != ws.Members[i] {
+					t.Fatalf("%s: Set(%q).Members[%d] = %+v, want %+v", label, m.Site, i, gs.Members[i], ws.Members[i])
+				}
+			}
+		}
+	}
+	// Partition answers on a cross-section of pairs: same-set, cross-set,
+	// same-host, and off-list, under every policy spelling.
+	sets := want.List().Sets()
+	probeA := sets[0].Members()
+	probeB := sets[len(sets)/2].Members()
+	pairs := [][2]string{
+		{probeA[0].Site, probeA[len(probeA)-1].Site},
+		{probeA[0].Site, probeB[0].Site},
+		{probeB[0].Site, probeB[0].Site},
+		{probeA[0].Site, "off-list.invalid"},
+		{"off-a.invalid", "off-b.invalid"},
+	}
+	for _, policy := range []string{"rws", "strict", "prompt", "legacy"} {
+		for _, p := range pairs {
+			gp, gerr := got.Partition(policy, p[0], p[1])
+			wp, werr := want.Partition(policy, p[0], p[1])
+			if (gerr != nil) != (werr != nil) || gp != wp {
+				t.Fatalf("%s: Partition(%s, %q, %q) = (%+v, %v), want (%+v, %v)",
+					label, policy, p[0], p[1], gp, gerr, wp, werr)
+			}
+			gss, wss := got.SameSet(p[0], p[1]), want.SameSet(p[0], p[1])
+			if gss != wss {
+				t.Fatalf("%s: SameSet(%q, %q) = %+v, want %+v", label, p[0], p[1], gss, wss)
+			}
+		}
+	}
+}
+
+// TestParallelSnapshotMatchesSerial is the tentpole's equivalence
+// property: sharded parallel construction produces a snapshot
+// semantically identical to the retained serial reference path — over
+// the embedded real list and randomized amplified lists, for several
+// seeds × shard counts. CI runs the package under -race, so this also
+// proves the phase-A/phase-B writes are race-free.
+func TestParallelSnapshotMatchesSerial(t *testing.T) {
+	lists := map[string]*core.List{}
+	embedded, err := dataset.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists["embedded"] = embedded
+	for _, seed := range []int64{1, 2, 3} {
+		list, err := amplify.Generate(amplify.Config{Sets: 300, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lists[fmt.Sprintf("amplified-seed%d", seed)] = list
+	}
+	tiny, err := amplify.Generate(amplify.Config{Sets: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists["tiny"] = tiny
+
+	for name, list := range lists {
+		serial, err := BuildSnapshot(list, SnapshotOptions{Serial: true})
+		if err != nil {
+			t.Fatalf("%s: serial build: %v", name, err)
+		}
+		if !serial.BuildInfo().Serial || serial.BuildInfo().Shards != 1 {
+			t.Fatalf("%s: serial BuildInfo = %+v", name, serial.BuildInfo())
+		}
+		for _, shards := range []int{1, 2, 3, 8} {
+			par, err := BuildSnapshot(list, SnapshotOptions{Shards: shards})
+			if err != nil {
+				t.Fatalf("%s/shards=%d: parallel build: %v", name, shards, err)
+			}
+			equalSnapshots(t, fmt.Sprintf("%s/shards=%d", name, shards), par, serial)
+		}
+	}
+}
+
+// TestNewSnapshotUsesParallelPath pins the default constructor to the
+// parallel path with GOMAXPROCS-derived shards.
+func TestNewSnapshotUsesParallelPath(t *testing.T) {
+	list, err := dataset.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewSnapshot(list).BuildInfo()
+	if info.Serial {
+		t.Error("NewSnapshot took the serial path")
+	}
+	if info.Shards < 1 {
+		t.Errorf("Shards = %d, want >= 1", info.Shards)
+	}
+	if info.EstimatedBytes <= 0 || info.BuildNanos <= 0 {
+		t.Errorf("BuildInfo not populated: %+v", info)
+	}
+}
+
+// TestMemoryBudgetDegradesThenFails drives the budget ladder: unlimited
+// keeps the prebaked slices; a budget between the degraded and full
+// footprint drops them (and /v1/set still answers, rebuilt on demand); a
+// budget below the degraded footprint errors.
+func TestMemoryBudgetDegradesThenFails(t *testing.T) {
+	list, err := amplify.Generate(amplify.Config{Sets: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := BuildSnapshot(list, SnapshotOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.BuildInfo().PrebakedSetsDropped {
+		t.Fatal("unlimited build dropped prebaked slices")
+	}
+	fullBytes := full.BuildInfo().EstimatedBytes
+
+	degraded, err := BuildSnapshot(list, SnapshotOptions{MemoryBudget: fullBytes - 1})
+	if err != nil {
+		t.Fatalf("budget just under full footprint should degrade, not fail: %v", err)
+	}
+	info := degraded.BuildInfo()
+	if !info.PrebakedSetsDropped {
+		t.Error("budget under full footprint did not drop prebaked slices")
+	}
+	if info.EstimatedBytes >= fullBytes {
+		t.Errorf("degraded estimate %d not below full %d", info.EstimatedBytes, fullBytes)
+	}
+	// The degraded snapshot still answers /v1/set identically.
+	site := list.Sets()[7].Primary
+	got, want := degraded.Set(site), full.Set(site)
+	if got.Found != want.Found || len(got.Members) != len(want.Members) {
+		t.Fatalf("degraded Set(%q) = %+v, want %+v", site, got, want)
+	}
+	for i := range got.Members {
+		if got.Members[i] != want.Members[i] {
+			t.Errorf("degraded Set(%q).Members[%d] = %+v, want %+v", site, i, got.Members[i], want.Members[i])
+		}
+	}
+
+	if _, err := BuildSnapshot(list, SnapshotOptions{MemoryBudget: info.EstimatedBytes - 1}); err == nil {
+		t.Error("budget under the degraded footprint should fail")
+	}
+}
+
+// TestStoreWithBudgetRejectsOversizedList proves AddList reports the
+// budget failure and leaves the previous current version serving.
+func TestStoreWithBudgetRejectsOversizedList(t *testing.T) {
+	small, err := amplify.Generate(amplify.Config{Sets: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := amplify.Generate(amplify.Config{Sets: 2000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallSnap, err := BuildSnapshot(small, SnapshotOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStoreWith(4, SnapshotOptions{MemoryBudget: smallSnap.BuildInfo().EstimatedBytes + 1024})
+	if _, err := st.AddList(small, core.Version{Source: "test"}); err != nil {
+		t.Fatalf("small list should fit: %v", err)
+	}
+	if _, err := st.AddList(big, core.Version{Source: "test"}); err == nil {
+		t.Fatal("2000-set list should blow a small-list budget")
+	}
+	if cur := st.Current(); cur == nil || cur.Hash() != small.Hash() {
+		t.Error("failed AddList disturbed the current version")
+	}
+	if st.Len() != 1 {
+		t.Errorf("store retains %d versions, want 1", st.Len())
+	}
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rwskit/internal/amplify"
+	"rwskit/internal/core"
+)
+
+// scaleBenchList memoizes the amplified lists across benchmark
+// iterations and -count reruns within one process, so the measured loop
+// is pure snapshot construction, not list generation.
+var scaleBenchLists = map[int]*core.List{}
+
+func scaleBenchList(b *testing.B, sets int) *core.List {
+	b.Helper()
+	if l, ok := scaleBenchLists[sets]; ok {
+		return l
+	}
+	l, err := amplify.Generate(amplify.Config{Sets: sets, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaleBenchLists[sets] = l
+	return l
+}
+
+var benchSink int
+
+// BenchmarkSnapshotBuildScale measures sharded parallel snapshot
+// construction at the scale tiers the amplifier targets — the number
+// the million-set serve plane stands on. Gated by rws-benchgate against
+// the committed baseline.
+func BenchmarkSnapshotBuildScale(b *testing.B) {
+	for _, tier := range []struct {
+		name string
+		sets int
+	}{
+		{"10k", 10_000},
+		{"100k", 100_000},
+	} {
+		b.Run(tier.name, func(b *testing.B) {
+			list := scaleBenchList(b, tier.sets)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap, err := BuildSnapshot(list, SnapshotOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = snap.NumSites()
+			}
+		})
+	}
+}
+
+// BenchmarkStoreSwapUnderTraffic measures the swap-side latency of
+// installing a prebuilt 10⁴-set snapshot while reader goroutines hammer
+// the current plane — the cost a poller pays per flap at scale, which
+// the serve contract requires to be precompute-free. Gated by
+// rws-benchgate against the committed baseline.
+func BenchmarkStoreSwapUnderTraffic(b *testing.B) {
+	b.Run("10k", func(b *testing.B) {
+		listA := scaleBenchList(b, 10_000)
+		listB, err := amplify.Generate(amplify.Config{Sets: 9_500, Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		snapA, err := BuildSnapshot(listA, SnapshotOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		snapB, err := BuildSnapshot(listB, SnapshotOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := NewStore(4)
+		base := time.Date(2024, 3, 26, 0, 0, 0, 0, time.UTC)
+		ver := func(i int) core.Version {
+			at := base.Add(time.Duration(i) * time.Hour)
+			return core.Version{Source: "bench", ObservedAt: at, AsOf: at}
+		}
+		// Warm both versions and the adjacent-diff cache in setup, so the
+		// measured loop is the steady-state flap: atomic install + version
+		// re-file, no first-swap 10⁴-set diff precompute.
+		st.AddSnapshot(snapB, ver(0))
+		st.AddSnapshot(snapA, ver(1))
+		st.AddSnapshot(snapB, ver(2))
+
+		var stop atomic.Bool
+		probe := listA.Sets()[0]
+		pa, pb := probe.Primary, probe.Members()[len(probe.Members())-1].Site
+		const readers = 4
+		done := make(chan struct{}, readers)
+		for r := 0; r < readers; r++ {
+			go func() {
+				defer func() { done <- struct{}{} }()
+				for !stop.Load() {
+					snap := st.Current()
+					resp := snap.SameSet(pa, pb)
+					_ = resp
+				}
+			}()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap := snapA
+			if i%2 == 0 {
+				snap = snapB
+			}
+			st.AddSnapshot(snap, ver(3+i))
+		}
+		b.StopTimer()
+		stop.Store(true)
+		for r := 0; r < readers; r++ {
+			<-done
+		}
+	})
+}

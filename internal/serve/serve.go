@@ -655,6 +655,10 @@ type MetricsResponse struct {
 	Requests     uint64 `json:"requests_served"`
 	ListSwaps    uint64 `json:"list_swaps"`
 	SnapshotHash string `json:"snapshot_hash"`
+	// SnapshotBuild reports how the current snapshot was constructed —
+	// shard count, build time, estimated footprint, and whether a memory
+	// budget forced the prebaked /v1/set slices to be dropped.
+	SnapshotBuild BuildInfo `json:"snapshot_build"`
 	// VersionsRetained / VersionsCapacity is the version-store occupancy.
 	VersionsRetained int               `json:"versions_retained"`
 	VersionsCapacity int               `json:"versions_capacity"`
@@ -673,6 +677,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Requests:         s.requests.Load(),
 		ListSwaps:        s.store.Swaps(),
 		SnapshotHash:     s.Snapshot().hash,
+		SnapshotBuild:    s.Snapshot().BuildInfo(),
 		VersionsRetained: s.store.Len(),
 		VersionsCapacity: s.store.Cap(),
 		DiffCache: DiffCacheMetrics{

@@ -2,8 +2,11 @@ package serve
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"rwskit/internal/browser"
 	"rwskit/internal/core"
@@ -57,28 +60,77 @@ type verdict struct {
 }
 
 // hostEntry is the precomputed membership record for one canonical host.
+// setIdx indexes the snapshot's set-order tables (members), so the entry
+// stays valid when the prebaked member slices are dropped under a memory
+// budget and must be keyed some other way.
 type hostEntry struct {
-	set  *core.Set
-	role core.Role
+	set    *core.Set
+	setIdx int32
+	role   core.Role
 }
 
 // numRoles sizes the verdict table's role axes (primary, associated,
 // service, cctld).
 const numRoles = 4
 
+// SnapshotOptions configures BuildSnapshot. The zero value reproduces
+// NewSnapshot: parallel construction across GOMAXPROCS shards with no
+// memory budget.
+type SnapshotOptions struct {
+	// Shards is the number of construction workers, and the number of
+	// shards the host index is split into. 0 means GOMAXPROCS. Ignored
+	// (forced to 1) when Serial is set.
+	Shards int
+	// MemoryBudget caps the estimated bytes of the snapshot's derived
+	// tables (host index, prebaked member slices, role tables). 0 means
+	// unlimited. When the estimate exceeds the budget, construction
+	// degrades before failing: the prebaked /v1/set member slices are
+	// dropped first (Set rebuilds a response's members on demand); if the
+	// remaining tables still exceed the budget, BuildSnapshot errors. The
+	// decision is recorded in BuildInfo and surfaced by /v1/metrics.
+	MemoryBudget int64
+	// Serial selects the retained single-threaded reference construction
+	// path. The parallel path is proven equivalent to it by property test
+	// (TestParallelSnapshotMatchesSerial); production callers never set it.
+	Serial bool
+}
+
+// BuildInfo records how a snapshot was constructed — the shard count, the
+// wall-clock build time, the memory estimate, and whether the memory
+// budget forced degradation. Exposed via /v1/metrics.
+type BuildInfo struct {
+	// Shards is the worker/shard count actually used.
+	Shards int `json:"shards"`
+	// Serial reports whether the reference serial path built the snapshot.
+	Serial bool `json:"serial,omitempty"`
+	// BuildNanos is the wall-clock construction time in nanoseconds.
+	BuildNanos int64 `json:"build_nanos"`
+	// EstimatedBytes is the estimated footprint of the derived tables
+	// after any degradation.
+	EstimatedBytes int64 `json:"estimated_bytes"`
+	// MemoryBudget echoes the configured budget (0 = unlimited).
+	MemoryBudget int64 `json:"memory_budget,omitempty"`
+	// PrebakedSetsDropped reports that the budget forced the prebaked
+	// /v1/set member slices to be dropped; Set rebuilds them per request.
+	PrebakedSetsDropped bool `json:"prebaked_sets_dropped,omitempty"`
+}
+
 // Snapshot is the precomputed, immutable query plane the server answers
-// from. New derives everything the hot path needs from a *core.List once:
+// from. BuildSnapshot derives everything the hot path needs from a
+// *core.List once:
 //
 //   - a normalized host index (every member keyed by canonical host),
+//     sharded so construction parallelises and lookups touch one shard,
 //   - per-role membership tables,
-//   - prebuilt /v1/set member slices per set,
+//   - prebuilt /v1/set member slices per set (unless a memory budget
+//     dropped them),
 //   - composition statistics,
 //   - a per-policy partition-verdict table over (topRole, embRole,
 //     sameSet), so /v1/partition for list members is a table lookup
 //     instead of a browser build + visit + embed per request,
 //   - the list's content hash.
 //
-// A Snapshot's query plane is never mutated after NewSnapshot returns,
+// A Snapshot's query plane is never mutated after construction returns,
 // so any number of request goroutines may read it without locks;
 // Server.Swap installs a fresh one atomically. The one mutable field is
 // the atomic requests counter, which feeds the per-version hit metrics.
@@ -91,12 +143,19 @@ type Snapshot struct {
 	// Metrics-only; incremented lock-free on the request path.
 	requests atomic.Uint64
 
-	hosts   map[string]hostEntry
-	members map[*core.Set][]SetMember
+	// sets is list.Sets(), the set-index space hostEntry.setIdx and
+	// members are keyed by.
+	sets       []*core.Set
+	hostShards []map[string]hostEntry
+	// members holds the prebaked /v1/set response slice per set index;
+	// nil as a whole when a memory budget dropped the table.
+	members [][]SetMember
 	byRole  [numRoles][]string
 
 	stats    core.CompositionStats
 	numSites int
+
+	info BuildInfo
 
 	policies [numPolicies]policyInfo
 	// sameSet holds the verdicts for same-set pairs, indexed by
@@ -109,28 +168,45 @@ type Snapshot struct {
 	cross   [numPolicies]verdict
 }
 
-// NewSnapshot precomputes the query plane for list.
+// NewSnapshot precomputes the query plane for list with default options.
 func NewSnapshot(list *core.List) *Snapshot {
+	s, err := BuildSnapshot(list, SnapshotOptions{})
+	if err != nil {
+		// Unreachable: construction can only fail under a MemoryBudget.
+		panic("serve: NewSnapshot: " + err.Error())
+	}
+	return s
+}
+
+// BuildSnapshot precomputes the query plane for list under opts.
+func BuildSnapshot(list *core.List, opts SnapshotOptions) (*Snapshot, error) {
+	start := time.Now()
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.Serial {
+		shards = 1
+	}
+	if n := list.NumSets(); shards > n && n > 0 {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
 	s := &Snapshot{
-		list:     list,
-		hash:     list.Hash(),
-		hosts:    make(map[string]hostEntry, list.NumSites()),
-		members:  make(map[*core.Set][]SetMember, list.NumSets()),
-		stats:    list.Stats(),
-		numSites: list.NumSites(),
-	}
-	for _, set := range list.Sets() {
-		ms := set.Members()
-		pre := make([]SetMember, len(ms))
-		for i, m := range ms {
-			pre[i] = SetMember{Site: m.Site, Role: m.Role.String(), AliasOf: m.AliasOf}
-			s.hosts[m.Site] = hostEntry{set: set, role: m.Role}
-			s.byRole[m.Role] = append(s.byRole[m.Role], m.Site)
-		}
-		s.members[set] = pre
-	}
-	for r := range s.byRole {
-		sort.Strings(s.byRole[r])
+		list:       list,
+		hash:       list.Hash(),
+		sets:       list.Sets(),
+		hostShards: make([]map[string]hostEntry, shards),
+		members:    make([][]SetMember, list.NumSets()),
+		stats:      list.Stats(),
+		numSites:   list.NumSites(),
+		info: BuildInfo{
+			Shards:       shards,
+			Serial:       opts.Serial,
+			MemoryBudget: opts.MemoryBudget,
+		},
 	}
 	s.policies = [numPolicies]policyInfo{
 		policyRWS:    {live: browser.RWSPolicy{List: list}},
@@ -142,14 +218,90 @@ func NewSnapshot(list *core.List) *Snapshot {
 		info := &s.policies[pid]
 		info.name = info.live.Name()
 		info.partitionByDefault = info.live.PartitionByDefault()
-		s.buildVerdicts(policyID(pid))
 	}
-	return s
+
+	var hostBytes, memberBytes int64
+	if opts.Serial {
+		hostBytes, memberBytes = s.buildSerial()
+	} else {
+		hostBytes, memberBytes = s.buildParallel(shards)
+	}
+
+	// The estimate covers the three big derived tables: the sharded host
+	// index (key bytes + entry/bucket overhead), the prebaked member
+	// slices (string bytes + struct + slice headers), and the role tables
+	// (one string header per member per table).
+	byRoleBytes := int64(s.numSites) * 16
+	estimated := hostBytes + memberBytes + byRoleBytes
+	if opts.MemoryBudget > 0 && estimated > opts.MemoryBudget {
+		s.members = nil
+		s.info.PrebakedSetsDropped = true
+		estimated -= memberBytes
+		if estimated > opts.MemoryBudget {
+			return nil, fmt.Errorf("serve: snapshot needs an estimated %d bytes even after dropping prebaked set slices; memory budget is %d", estimated, opts.MemoryBudget)
+		}
+	}
+	s.info.EstimatedBytes = estimated
+	s.info.BuildNanos = time.Since(start).Nanoseconds()
+	return s, nil
 }
 
-// buildVerdicts fills the partition-verdict tables for one policy by
-// running the fresh-profile simulation once per reachable cell.
-func (s *Snapshot) buildVerdicts(pid policyID) {
+// prebakeMembers builds the /v1/set response slice for one set, and is
+// also the on-demand fallback when a memory budget dropped the prebaked
+// table.
+func prebakeMembers(set *core.Set) []SetMember {
+	ms := set.Members()
+	pre := make([]SetMember, len(ms))
+	for i, m := range ms {
+		pre[i] = SetMember{Site: m.Site, Role: m.Role.String(), AliasOf: m.AliasOf}
+	}
+	return pre
+}
+
+// memberSliceBytes estimates the heap footprint of one prebaked slice:
+// string bytes plus ~48 per SetMember struct and 24 for the slice header.
+func memberSliceBytes(pre []SetMember) int64 {
+	b := int64(24)
+	for _, m := range pre {
+		b += int64(len(m.Site)+len(m.Role)+len(m.AliasOf)) + 48
+	}
+	return b
+}
+
+// buildSerial is the retained single-threaded reference construction
+// path: one pass over the sets in list order filling the (single-shard)
+// host index, member slices, and role tables, then the original
+// full-scan verdict builder per policy. The parallel path is held
+// equivalent to this one by property test.
+func (s *Snapshot) buildSerial() (hostBytes, memberBytes int64) {
+	hosts := make(map[string]hostEntry, s.numSites)
+	for i, set := range s.sets {
+		ms := set.Members()
+		pre := make([]SetMember, len(ms))
+		for j, m := range ms {
+			pre[j] = SetMember{Site: m.Site, Role: m.Role.String(), AliasOf: m.AliasOf}
+			hosts[m.Site] = hostEntry{set: set, setIdx: int32(i), role: m.Role}
+			s.byRole[m.Role] = append(s.byRole[m.Role], m.Site)
+			hostBytes += int64(len(m.Site)) + 64
+		}
+		s.members[i] = pre
+		memberBytes += memberSliceBytes(pre)
+	}
+	s.hostShards[0] = hosts
+	for r := range s.byRole {
+		sort.Strings(s.byRole[r])
+	}
+	for pid := range s.policies {
+		s.buildVerdictsSerial(policyID(pid))
+	}
+	return hostBytes, memberBytes
+}
+
+// buildVerdictsSerial fills the partition-verdict tables for one policy
+// by running the fresh-profile simulation once per reachable cell, using
+// the first member pair (in list order, then Members order) exhibiting
+// each (topRole, embRole) combination.
+func (s *Snapshot) buildVerdictsSerial(pid policyID) {
 	live := s.policies[pid].live
 	// Cross-set cell: any pair of hosts that are not in the same set —
 	// including off-list hosts — takes this verdict, because every policy
@@ -161,7 +313,7 @@ func (s *Snapshot) buildVerdicts(pid policyID) {
 	// Same-set cells: one live evaluation per (topRole, embRole)
 	// combination the list actually contains, using the first member pair
 	// that exhibits it.
-	for _, set := range s.list.Sets() {
+	for _, set := range s.sets {
 		ms := set.Members()
 		for _, top := range ms {
 			for _, emb := range ms {
@@ -179,6 +331,189 @@ func (s *Snapshot) buildVerdicts(pid policyID) {
 	}
 }
 
+// shardOf maps a canonical host to its shard with inline FNV-1a; cheap
+// enough that lookups pay one short hash before the map access.
+func shardOf(host string, n int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(host); i++ {
+		h ^= uint32(host[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// lookup resolves a canonical host against the sharded index.
+func (s *Snapshot) lookup(host string) (hostEntry, bool) {
+	e, ok := s.hostShards[shardOf(host, len(s.hostShards))][host]
+	return e, ok
+}
+
+// shardKV is one host-index entry routed to a shard during phase A.
+type shardKV struct {
+	host string
+	e    hostEntry
+}
+
+// repPair is a worker's first member pair exhibiting a (topRole, embRole)
+// combination: the candidate representative for that verdict cell.
+type repPair struct {
+	setIdx   int32
+	top, emb string
+	filled   bool
+}
+
+// workerOut is everything one phase-A worker produces from its
+// contiguous set range, merged deterministically in phase B.
+type workerOut struct {
+	perShard    [][]shardKV
+	byRole      [numRoles][]string
+	reps        [numRoles][numRoles]repPair
+	hostBytes   int64
+	memberBytes int64
+}
+
+// buildParallel partitions the sets across `shards` workers. Each worker
+// owns a contiguous set range: it prebakes member slices (written to
+// disjoint indices of s.members, race-free), routes host-index entries to
+// per-(worker,shard) buffers, accumulates worker-local role tables, and
+// records its first member pair per (topRole, embRole) combination. Phase
+// B then merges: per-shard maps are built in parallel with workers
+// applied in order, role tables are concatenated in worker order and
+// sorted (the sort makes the result order-insensitive anyway), and
+// verdict representatives are merged by taking the first worker's pair —
+// worker ranges are ordered, so that is exactly the globally-first pair
+// the serial path would have evaluated. Each verdict cell then gets one
+// fresh-profile evaluation per policy, identical to the serial result.
+func (s *Snapshot) buildParallel(shards int) (hostBytes, memberBytes int64) {
+	outs := make([]*workerOut, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		lo := w * len(s.sets) / shards
+		hi := (w + 1) * len(s.sets) / shards
+		out := &workerOut{perShard: make([][]shardKV, shards)}
+		outs[w] = out
+		wg.Add(1)
+		go func(lo, hi int, out *workerOut) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				set := s.sets[i]
+				ms := set.Members()
+				pre := make([]SetMember, len(ms))
+				var present [numRoles]bool
+				for j, m := range ms {
+					pre[j] = SetMember{Site: m.Site, Role: m.Role.String(), AliasOf: m.AliasOf}
+					sh := shardOf(m.Site, shards)
+					out.perShard[sh] = append(out.perShard[sh], shardKV{m.Site, hostEntry{set: set, setIdx: int32(i), role: m.Role}})
+					out.byRole[m.Role] = append(out.byRole[m.Role], m.Site)
+					out.hostBytes += int64(len(m.Site)) + 64
+					present[m.Role] = true
+				}
+				s.members[i] = pre
+				out.memberBytes += memberSliceBytes(pre)
+
+				// Representative scan, skipped when this set's role
+				// combinations are all already represented locally — after a
+				// handful of sets this prunes the O(members²) pass entirely.
+				novel := false
+				for r1 := 0; r1 < numRoles && !novel; r1++ {
+					for r2 := 0; r2 < numRoles; r2++ {
+						if present[r1] && present[r2] && !out.reps[r1][r2].filled {
+							novel = true
+							break
+						}
+					}
+				}
+				if !novel {
+					continue
+				}
+				for _, top := range ms {
+					for _, emb := range ms {
+						if top.Site == emb.Site {
+							continue
+						}
+						r := &out.reps[top.Role][emb.Role]
+						if !r.filled {
+							*r = repPair{setIdx: int32(i), top: top.Site, emb: emb.Site, filled: true}
+						}
+					}
+				}
+			}
+		}(lo, hi, out)
+	}
+	wg.Wait()
+
+	// Phase B: per-shard host maps, built in parallel, workers applied in
+	// order (entries are unique across sets anyway — NewList guarantees
+	// disjoint sets — so order only matters for determinism of iteration
+	// internals, not contents).
+	wg.Add(shards)
+	for sh := 0; sh < shards; sh++ {
+		go func(sh int) {
+			defer wg.Done()
+			n := 0
+			for _, out := range outs {
+				n += len(out.perShard[sh])
+			}
+			m := make(map[string]hostEntry, n)
+			for _, out := range outs {
+				for _, kv := range out.perShard[sh] {
+					m[kv.host] = kv.e
+				}
+			}
+			s.hostShards[sh] = m
+		}(sh)
+	}
+	wg.Wait()
+
+	for r := 0; r < numRoles; r++ {
+		n := 0
+		for _, out := range outs {
+			n += len(out.byRole[r])
+		}
+		merged := make([]string, 0, n)
+		for _, out := range outs {
+			merged = append(merged, out.byRole[r]...)
+		}
+		sort.Strings(merged)
+		s.byRole[r] = merged
+	}
+	for _, out := range outs {
+		hostBytes += out.hostBytes
+		memberBytes += out.memberBytes
+	}
+
+	// Merge verdict representatives: the first worker (in range order)
+	// holding a cell holds the globally-first pair for it.
+	var reps [numRoles][numRoles]repPair
+	for _, out := range outs {
+		for r1 := 0; r1 < numRoles; r1++ {
+			for r2 := 0; r2 < numRoles; r2++ {
+				if !reps[r1][r2].filled && out.reps[r1][r2].filled {
+					reps[r1][r2] = out.reps[r1][r2]
+				}
+			}
+		}
+	}
+	for pid := range s.policies {
+		live := s.policies[pid].live
+		v := browser.EvaluateFresh(live, "cross-top.invalid", "cross-embedded.invalid")
+		s.cross[pid] = verdict{decision: v.Decision, granted: v.Granted, filled: true}
+		for r1 := 0; r1 < numRoles; r1++ {
+			for r2 := 0; r2 < numRoles; r2++ {
+				if rep := reps[r1][r2]; rep.filled {
+					ev := browser.EvaluateFresh(live, rep.top, rep.emb)
+					s.sameSet[pid][r1][r2] = verdict{decision: ev.Decision, granted: ev.Granted, filled: true}
+				}
+			}
+		}
+	}
+	return hostBytes, memberBytes
+}
+
 // List returns the list the snapshot was derived from.
 func (s *Snapshot) List() *core.List { return s.list }
 
@@ -190,6 +525,9 @@ func (s *Snapshot) NumSets() int { return s.list.NumSets() }
 
 // NumSites returns the number of member sites in the snapshot.
 func (s *Snapshot) NumSites() int { return s.numSites }
+
+// BuildInfo reports how the snapshot was constructed.
+func (s *Snapshot) BuildInfo() BuildInfo { return s.info }
 
 // SitesByRole returns the canonical member hosts holding role, sorted.
 // The slice is shared; callers must not mutate it.
@@ -205,8 +543,8 @@ func (s *Snapshot) SitesByRole(role core.Role) []string {
 // mixed case); the response echoes them as given.
 func (s *Snapshot) SameSet(a, b string) SameSetResponse {
 	resp := SameSetResponse{A: a, B: b}
-	ea, aok := s.hosts[core.CanonicalHost(a)]
-	eb, bok := s.hosts[core.CanonicalHost(b)]
+	ea, aok := s.lookup(core.CanonicalHost(a))
+	eb, bok := s.lookup(core.CanonicalHost(b))
 	if aok && bok && ea.set == eb.set {
 		resp.SameSet = true
 		resp.Primary = ea.set.Primary
@@ -214,14 +552,19 @@ func (s *Snapshot) SameSet(a, b string) SameSetResponse {
 	return resp
 }
 
-// Set answers a set-lookup query from the prebuilt member tables.
+// Set answers a set-lookup query from the prebuilt member tables, or
+// rebuilds the member slice on demand when a memory budget dropped them.
 func (s *Snapshot) Set(site string) SetResponse {
 	resp := SetResponse{Site: site}
-	if e, ok := s.hosts[core.CanonicalHost(site)]; ok {
+	if e, ok := s.lookup(core.CanonicalHost(site)); ok {
 		resp.Found = true
 		resp.Role = e.role.String()
 		resp.Primary = e.set.Primary
-		resp.Members = s.members[e.set]
+		if s.members != nil {
+			resp.Members = s.members[e.setIdx]
+		} else {
+			resp.Members = prebakeMembers(e.set)
+		}
 	}
 	return resp
 }
@@ -238,8 +581,8 @@ func (s *Snapshot) Partition(policyName, top, embedded string) (PartitionRespons
 	}
 	info := &s.policies[pid]
 	ct, ce := core.CanonicalHost(top), core.CanonicalHost(embedded)
-	te, tok := s.hosts[ct]
-	ee, eok := s.hosts[ce]
+	te, tok := s.lookup(ct)
+	ee, eok := s.lookup(ce)
 	sameSet := tok && eok && te.set == ee.set
 
 	var v verdict

@@ -68,12 +68,23 @@ type Store struct {
 	// by (fromHash, toHash). It has its own lock; the order is always
 	// st.mu → diffs.mu, never the reverse.
 	diffs *diffCache
+
+	// opts configures how Add/AddList build snapshots (shard count,
+	// memory budget). Immutable after construction.
+	opts SnapshotOptions
 }
 
 // NewStore returns an empty store retaining up to capacity versions
 // (capacity < 1 selects DefaultRetain). The store serves no queries
 // until the first Add.
 func NewStore(capacity int) *Store {
+	return NewStoreWith(capacity, SnapshotOptions{})
+}
+
+// NewStoreWith is NewStore with explicit snapshot-construction options,
+// applied to every list the store precomputes (Add/AddList). Snapshots
+// installed directly via AddSnapshot are the caller's to configure.
+func NewStoreWith(capacity int, opts SnapshotOptions) *Store {
 	if capacity < 1 {
 		capacity = DefaultRetain
 	}
@@ -81,6 +92,7 @@ func NewStore(capacity int) *Store {
 		byHash: make(map[string]*storeEntry, capacity),
 		cap:    capacity,
 		diffs:  newDiffCache(diffCacheCap(capacity)),
+		opts:   opts,
 	}
 }
 
@@ -104,10 +116,26 @@ func (st *Store) Swaps() uint64 { return st.swaps.Load() }
 
 // Add precomputes a snapshot for list and installs it as the current
 // version. The precompute runs on the caller, never on the request path.
+// The result is nil only when the store was built with a MemoryBudget
+// and the list cannot fit even degraded; budgeted callers should prefer
+// AddList, which reports that error.
 func (st *Store) Add(list *core.List, ver core.Version) *Snapshot {
-	snap := NewSnapshot(list)
-	st.AddSnapshot(snap, ver)
+	snap, _ := st.AddList(list, ver)
 	return snap
+}
+
+// AddList precomputes a snapshot for list under the store's snapshot
+// options and installs it as the current version. The precompute runs on
+// the caller, never on the request path. Construction can only fail when
+// the store is configured with a MemoryBudget; on error nothing is
+// installed and the previous current version keeps serving.
+func (st *Store) AddList(list *core.List, ver core.Version) (*Snapshot, error) {
+	snap, err := BuildSnapshot(list, st.opts)
+	if err != nil {
+		return nil, err
+	}
+	st.AddSnapshot(snap, ver)
+	return snap, nil
 }
 
 // AddSnapshot installs an already-built snapshot as the current version,

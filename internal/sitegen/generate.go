@@ -3,6 +3,7 @@ package sitegen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"rwskit/internal/forcepoint"
@@ -115,6 +116,31 @@ var domainFragments = map[forcepoint.Category][][2]string{
 }
 
 var topSiteTLDs = []string{"com", "org", "net", "io", "co"}
+
+// FragmentPairs returns the category-flavoured (prefix, suffix) name
+// fragments used for synthetic domains in this category, falling back to
+// the Business fragments for categories without a dedicated vocabulary.
+// Generators outside this package (rws-amplify) reuse them so amplified
+// domains carry the same naming texture as the synthetic top sites. The
+// returned slice is shared; callers must not mutate it.
+func FragmentPairs(cat forcepoint.Category) [][2]string {
+	if frags := domainFragments[cat]; len(frags) > 0 {
+		return frags
+	}
+	return domainFragments[forcepoint.Business]
+}
+
+// FragmentCategories returns the categories with a dedicated fragment
+// vocabulary, sorted, so external generators can draw categories without
+// hardcoding the table's contents.
+func FragmentCategories() []forcepoint.Category {
+	out := make([]forcepoint.Category, 0, len(domainFragments))
+	for cat := range domainFragments {
+		out = append(out, cat)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // GenerateTopSites builds n independent synthetic top-sites across the
 // given categories (round-robin), returning the sites and a forcepoint DB

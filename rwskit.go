@@ -43,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"rwskit/internal/amplify"
 	"rwskit/internal/analysis"
 	"rwskit/internal/browser"
 	"rwskit/internal/core"
@@ -266,6 +267,23 @@ type ServerSnapshot = serve.Snapshot
 // keeping the precompute off the serving path.
 func NewServerSnapshot(list *List) *ServerSnapshot { return serve.NewSnapshot(list) }
 
+// SnapshotOptions configures BuildServerSnapshot: construction shard
+// count, a memory budget with graceful degradation, and the retained
+// serial reference path.
+type SnapshotOptions = serve.SnapshotOptions
+
+// SnapshotBuildInfo reports how a snapshot was constructed (shards,
+// build time, estimated footprint, budget decisions); also surfaced by
+// /v1/metrics as snapshot_build.
+type SnapshotBuildInfo = serve.BuildInfo
+
+// BuildServerSnapshot is NewServerSnapshot with explicit construction
+// options. It errors only when a MemoryBudget is set and the list's
+// derived tables cannot fit even after degrading.
+func BuildServerSnapshot(list *List, opts SnapshotOptions) (*ServerSnapshot, error) {
+	return serve.BuildSnapshot(list, opts)
+}
+
 // ServerStore is a bounded version store of precomputed snapshots: the
 // current version serves the lock-free fast path, superseded versions
 // stay queryable by hash or as-of time, and diffs between any two
@@ -279,6 +297,29 @@ type ServerVersionInfo = serve.VersionInfo
 // versions (capacity < 1 selects serve.DefaultRetain). Add at least one
 // version before serving from it.
 func NewServerStore(capacity int) *ServerStore { return serve.NewStore(capacity) }
+
+// NewServerStoreWith is NewServerStore with explicit snapshot
+// construction options applied to every list the store precomputes.
+func NewServerStoreWith(capacity int, opts SnapshotOptions) *ServerStore {
+	return serve.NewStoreWith(capacity, opts)
+}
+
+// AmplifyConfig configures AmplifyList: the set count, the seed, and an
+// optional composition profile (nil samples the embedded snapshot's
+// empirical distributions).
+type AmplifyConfig = amplify.Config
+
+// AmplifyProfile holds the empirical per-set fan-out distributions an
+// amplified list is sampled from; derive one from any list with
+// amplify.ProfileOf.
+type AmplifyProfile = amplify.Profile
+
+// AmplifyList generates a deterministic synthetic RWS list at the
+// configured scale (10⁴–10⁶ sets), shaped like the real list: every set
+// passes the structural submission checks and aggregate composition
+// matches the embedded snapshot's distributions within sampling noise.
+// The same config reproduces the same list bit-for-bit.
+func AmplifyList(cfg AmplifyConfig) (*List, error) { return amplify.Generate(cfg) }
 
 // NewServerFromStore returns a Server answering queries from st, which
 // must already hold a current version. Use it to preload history (e.g.
