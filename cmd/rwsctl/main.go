@@ -11,6 +11,7 @@
 //	rwsctl versions -server URL           list the versions a running rws-serve retains
 //	rwsctl churn -server URL [FROM [TO]]  churn rollup over the retained version chain
 //	rwsctl serve [-addr :8080] [-list file]  serve the list as the rws-serve HTTP API
+//	rwsctl lint [pattern ...]             run the in-tree invariant suite (cmd/rws-lint)
 //
 // Without -list, the embedded reconstruction of the 26 March 2024 snapshot
 // is used. The -server verbs talk to rws-serve's version plane
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"rwskit"
+	"rwskit/internal/lint"
 	"rwskit/internal/serve"
 )
 
@@ -44,7 +46,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rwsctl <stats|related|find|validate|diff|versions|churn|serve> [args]")
+		return fmt.Errorf("usage: rwsctl <stats|related|find|validate|diff|versions|churn|serve|lint> [args]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -64,9 +66,36 @@ func run(args []string, out io.Writer) error {
 		return cmdChurn(rest, out)
 	case "serve":
 		return cmdServe(rest, out)
+	case "lint":
+		return cmdLint(rest, out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// cmdLint is the passthrough verb for the in-tree invariant suite (see
+// cmd/rws-lint): it runs every analyzer over the enclosing module (or
+// the given patterns) and fails on any finding, so a checkout with only
+// rwsctl built still has the lint gate one verb away.
+func cmdLint(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	diags, err := lint.LintPatterns(cwd, args)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("%d lint finding(s)", len(diags))
+	}
+	return nil
 }
 
 func loadList(path string) (*rwskit.List, error) {

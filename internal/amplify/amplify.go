@@ -22,6 +22,13 @@
 // eTLD+1 members under the embedded PSL, ccTLD aliases that are genuine
 // variants of an in-set base, rationales on every associated and service
 // member).
+//
+// A (seed, scale) pair must always produce the identical list — the
+// property CI's amplifier-determinism gate diffs after the fact and
+// rws-lint's determinism analyzer enforces at the source level via the
+// directive below.
+//
+//rws:deterministic
 package amplify
 
 import (

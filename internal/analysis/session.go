@@ -10,6 +10,13 @@
 // singleflight lock: concurrent experiments that need the same
 // intermediate share one build, while experiments with disjoint needs
 // build their inputs in parallel.
+//
+// Rendered artifacts must be byte-identical run to run — the property
+// the CI artifact-regeneration diff checks after the fact and rws-lint's
+// determinism analyzer enforces at the source level via the directive
+// below.
+//
+//rws:deterministic
 package analysis
 
 import (

@@ -72,6 +72,8 @@ const (
 func (d Decision) Granted() bool { return d == GrantedAuto || d == GrantedByPrompt }
 
 // String names the decision.
+//
+//rws:hotpath
 func (d Decision) String() string {
 	switch d {
 	case Denied:
@@ -83,7 +85,9 @@ func (d Decision) String() string {
 	case DeniedByPrompt:
 		return "denied-by-prompt"
 	default:
-		return fmt.Sprintf("decision(%d)", int(d))
+		// Unreachable for the named decisions; rendering a rogue value is
+		// off the request path by definition.
+		return fmt.Sprintf("decision(%d)", int(d)) //rws:coldpath
 	}
 }
 

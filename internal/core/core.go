@@ -21,6 +21,12 @@
 // Deep submission validation (.well-known checks, eTLD+1 rules, Table 3's
 // bot errors) lives in rwskit/internal/validate; browser-side storage
 // semantics live in rwskit/internal/browser.
+//
+// Identical input lists must produce byte-identical stats, diffs, and
+// serializations (machine-checked by rws-lint's determinism analyzer via
+// the directive below).
+//
+//rws:deterministic
 package core
 
 import (
@@ -761,6 +767,8 @@ func canonicalOrigin(s string) (string, error) {
 // "user@example.com", and "example.com." canonicalize to "example.com",
 // so lookup functions answer the same for every legitimate spelling of a
 // host. List parsing (canonicalOrigin) stays strict and is unaffected.
+//
+//rws:hotpath
 func CanonicalHost(s string) string { return canonicalHost(s) }
 
 // canonicalHost is CanonicalHost; lookup functions call it directly.
@@ -771,6 +779,8 @@ func CanonicalHost(s string) string { return canonicalHost(s) }
 // — the invariant the fuzz harness holds it to. Each pass only ever
 // shortens the string, so the loop terminates; legitimate spellings
 // converge on the first pass and pay one extra no-op pass.
+//
+//rws:hotpath
 func canonicalHost(s string) string {
 	for {
 		next := canonicalHostPass(s)
@@ -782,6 +792,8 @@ func canonicalHost(s string) string {
 }
 
 // canonicalHostPass is one normalization pass.
+//
+//rws:hotpath
 func canonicalHostPass(s string) string {
 	s = strings.TrimSpace(strings.ToLower(s))
 	s = strings.TrimPrefix(s, "https://")
@@ -807,6 +819,8 @@ func canonicalHostPass(s string) string {
 
 // isPort reports whether s is a plausible port number, so ":443" is
 // stripped but an IPv6-ish or malformed suffix is left alone.
+//
+//rws:hotpath
 func isPort(s string) bool {
 	if len(s) == 0 || len(s) > 5 {
 		return false

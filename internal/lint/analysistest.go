@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// This file is the repo's stand-in for golang.org/x/tools'
+// analysistest (the toolchain ships no x/tools): fixture packages under
+// testdata/src annotate the lines where an analyzer must fire with
+//
+//	code() // want `regexp matching the diagnostic`
+//
+// and RunFixtureDirs checks the analyzer's findings against those
+// expectations exactly — every diagnostic must be wanted, every want
+// must be diagnosed. Multiple `// want` clauses on one line each match
+// one diagnostic.
+
+// wantRe matches one want clause anywhere in a comment, so an
+// expectation can share a line with the code (or even the annotation)
+// it constrains.
+var wantRe = regexp.MustCompile("// want (.*)$")
+
+// clauseRe pulls the individual backquoted or double-quoted regexps out
+// of a want clause.
+var clauseRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one `// want` clause: a diagnostic matching re must be
+// reported on (file, line).
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Fixture is the result of checking one analyzer against fixture
+// expectations: the unexpected diagnostics and the unmatched wants.
+type Fixture struct {
+	Unexpected []Diagnostic
+	Missing    []string
+}
+
+// Failed reports whether the fixture check found any divergence.
+func (f *Fixture) Failed() bool { return len(f.Unexpected) > 0 || len(f.Missing) > 0 }
+
+// Describe renders the divergences for a test failure message.
+func (f *Fixture) Describe() string {
+	out := ""
+	for _, d := range f.Unexpected {
+		out += fmt.Sprintf("unexpected diagnostic: %s\n", d)
+	}
+	for _, m := range f.Missing {
+		out += fmt.Sprintf("missing diagnostic: %s\n", m)
+	}
+	return out
+}
+
+// CheckFixtureDirs loads the fixture directories as one program, runs
+// the analyzer, and compares its findings against the `// want`
+// expectations in the fixture sources.
+func CheckFixtureDirs(modRoot string, dirs []string, az *Analyzer) (*Fixture, error) {
+	loader, err := NewLoader(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := loader.LoadDirs(dirs)
+	if err != nil {
+		return nil, err
+	}
+	diags := prog.Run([]*Analyzer{az})
+	wants, err := collectWants(prog)
+	if err != nil {
+		return nil, err
+	}
+	fx := &Fixture{}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			fx.Unexpected = append(fx.Unexpected, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			fx.Missing = append(fx.Missing, fmt.Sprintf("%s:%d: no diagnostic matching %s", w.file, w.line, w.re))
+		}
+	}
+	return fx, nil
+}
+
+// collectWants extracts every `// want` clause from the program's
+// comments.
+func collectWants(prog *Program) ([]*expectation, error) {
+	var wants []*expectation
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					clauses := clauseRe.FindAllString(m[1], -1)
+					if len(clauses) == 0 {
+						return nil, fmt.Errorf("%s:%d: want clause %q has no quoted regexp", pos.Filename, pos.Line, m[1])
+					}
+					for _, clause := range clauses {
+						pattern, err := unquoteClause(clause)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// unquoteClause strips the backquotes or interprets the double-quoted
+// escapes of one want clause.
+func unquoteClause(clause string) (string, error) {
+	if clause[0] == '`' {
+		return clause[1 : len(clause)-1], nil
+	}
+	return strconv.Unquote(clause)
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicPtr enforces the atomic-access contract the lock-free hot path
+// rests on: a field of a sync/atomic wrapper type (atomic.Pointer,
+// atomic.Uint64, ...) is only ever touched through its methods — never
+// copied, compared, or assigned around them — and a plain integer field
+// that is ever passed to a sync/atomic function (atomic.AddUint64(&s.n,
+// 1)) is never also read or written directly. Mixing one non-atomic
+// access into an otherwise-atomic field is exactly the torn-read shape
+// the Store's lock-free current pointer must never grow.
+var AtomicPtr = &Analyzer{
+	Name: "atomicptr",
+	Doc:  "atomic fields are accessed only atomically (methods on wrapper types, atomic.* on plain fields)",
+	Run:  runAtomicPtr,
+}
+
+func runAtomicPtr(pass *Pass) {
+	info := pass.Pkg.Info
+	// Pass 1: find plain (non-wrapper) fields used via sync/atomic
+	// functions — atomic.AddUint64(&x.f, 1) marks f as atomic-only.
+	legacyAtomic := make(map[types.Object]bool)
+	legacyUse := make(map[ast.Node]bool) // the &x.f nodes inside atomic calls, exempt in pass 2
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(info, call.Fun)
+			if fn == nil || pkgPathOf(fn) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := info.Uses[sel.Sel]; obj != nil {
+					if v, isVar := obj.(*types.Var); isVar && v.IsField() {
+						legacyAtomic[obj] = true
+						legacyUse[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Pass 2: every selection of an atomic wrapper field must be the
+	// receiver of a method call; every selection of a legacy-atomic
+	// field must be one of the &x.f-inside-atomic-call uses.
+	for _, file := range pass.Pkg.Files {
+		parents := parentMap(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			v, isVar := obj.(*types.Var)
+			if !isVar || !v.IsField() {
+				return true
+			}
+			if isAtomicWrapper(v.Type()) {
+				if !isMethodCallReceiver(parents, sel) {
+					pass.Reportf(sel.Sel.Pos(), "field %s (%s) used outside a method call: atomic wrapper fields are only touched through Load/Store/Add/Swap", v.Name(), v.Type())
+				}
+				return true
+			}
+			if legacyAtomic[obj] && !legacyUse[sel] {
+				pass.Reportf(sel.Sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package: direct access tears; use the atomic functions everywhere (or an atomic.%s wrapper)", v.Name(), wrapperFor(v.Type()))
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicWrapper reports whether t is one of sync/atomic's wrapper
+// struct types (Pointer[T], Value, Bool, the sized ints...).
+func isAtomicWrapper(t types.Type) bool {
+	n := namedOrPointee(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isMethodCallReceiver reports whether sel is the X of a further
+// selector that is itself the Fun of a call — x.f.Load(...). That is
+// the only legal use of an atomic wrapper field; address-taking,
+// copying, and comparison are all flagged.
+func isMethodCallReceiver(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	p, ok := parents[sel].(*ast.SelectorExpr)
+	if !ok || p.X != sel {
+		return false
+	}
+	call, ok := parents[p].(*ast.CallExpr)
+	return ok && call.Fun == p
+}
+
+// parentMap builds child→parent links for one file.
+func parentMap(file *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// wrapperFor suggests the typed wrapper for a legacy atomic field.
+func wrapperFor(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		}
+	}
+	return "Value"
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestAtomicPtr(t *testing.T) {
+	checkFixture(t, "atomicptr", AtomicPtr)
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	gotoken "go/token"
+	"go/types"
+)
+
+// Determinism enforces the `//rws:deterministic` package contract: the
+// amplifier, the analysis engine, and the core diff/churn code must
+// produce byte-identical output for identical input — the property the
+// CI amplifier-determinism diff checks after the fact, promoted to a
+// compile-time rule. Inside an opted-in package the analyzer bans:
+//
+//   - the global math/rand generator (rand.Intn, rand.Shuffle, ...):
+//     randomness must flow from an explicit seeded *rand.Rand
+//     (rand.New / rand.NewSource stay legal),
+//   - time.Now / time.Since (wall-clock values leak into artifacts),
+//   - ranging over a map while appending to an output slice declared
+//     outside the loop, unless that slice is sorted later in the same
+//     function or the range is annotated //rws:sorted (the audited
+//     "order restored downstream" exception).
+//
+// Test files are not loaded by the driver, so benchmarks and test
+// clocks stay unconstrained.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "//rws:deterministic packages avoid global rand, wall clocks, and unsorted map-order output",
+	Run:  runDeterminism,
+}
+
+// randConstructors are the math/rand functions that remain legal in
+// deterministic packages: they build explicitly-seeded generators
+// instead of consuming the global one.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(pass *Pass) {
+	if !pass.Pkg.HasDirective("deterministic") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterministicCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapOrderOutput(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := funcObj(pass.Pkg.Info, call.Fun)
+	if fn == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch path := pkgPathOf(fn); {
+	case (path == "math/rand" || path == "math/rand/v2") && !isMethod && !randConstructors[fn.Name()]:
+		pass.Reportf(call.Pos(), "deterministic package calls the global math/rand generator (%s): thread an explicit seeded *rand.Rand instead", fn.Name())
+	case qualifiedName(fn) == "time.Now" || qualifiedName(fn) == "time.Since":
+		pass.Reportf(call.Pos(), "deterministic package reads the wall clock (%s): timestamps must come from the input, not the run", qualifiedName(fn))
+	}
+}
+
+// checkMapOrderOutput finds RangeStmts over maps whose bodies append to
+// a slice declared outside the loop, and requires either a later sort
+// of that slice within the same function or an //rws:sorted escape on
+// the range line. Building a map or doing order-independent folds
+// (sums, counters) inside a map range stays legal.
+func checkMapOrderOutput(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.Types[rng.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.Escaped(rng.Pos(), "sorted") {
+			return true
+		}
+		// Collect append targets inside the body: v = append(v, ...).
+		targets := appendTargets(info, rng.Body)
+		for obj, pos := range targets {
+			if sortedAfter(info, fd.Body, rng.End(), obj) {
+				continue
+			}
+			pass.Reportf(pos, "appending to %s while ranging over a map: iteration order leaks into the output (sort %s afterwards, or annotate the range //rws:sorted if order is restored downstream)", obj.Name(), obj.Name())
+		}
+		return true
+	})
+}
+
+// appendTargets returns the objects assigned via append(...) inside a
+// range body — `v = append(v, ...)` and `x.f = append(x.f, ...)` —
+// with one representative position each. The target object is the
+// variable (or field) receiving the result, resolved through the type
+// info so selector spellings compare by identity.
+func appendTargets(info *types.Info, body *ast.BlockStmt) map[types.Object]gotoken.Pos {
+	out := make(map[types.Object]gotoken.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			if obj := exprObject(info, as.Lhs[i]); obj != nil {
+				if _, seen := out[obj]; !seen {
+					out[obj] = as.Pos()
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether, after pos inside body, obj is passed to
+// a sort.* / slices.Sort* call — the "collect under map order, then
+// sort" idiom that keeps output deterministic.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, pos gotoken.Pos, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := funcObj(info, call.Fun)
+		if fn == nil {
+			return true
+		}
+		if p := pkgPathOf(fn); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprObject(info, arg) == obj {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// exprObject resolves an identifier or field selection to its object.
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}

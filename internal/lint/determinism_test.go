@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	checkFixture(t, "determinism", Determinism)
+}

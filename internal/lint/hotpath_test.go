@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestHotPath(t *testing.T) {
+	checkFixture(t, "hotpath", HotPath)
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// JSONEnvelope enforces the `//rws:jsonapi` package contract: every
+// response the serve plane emits — success or failure — goes through
+// the JSON envelope helpers (writeJSON and friends), never http.Error,
+// a naked WriteHeader, a raw w.Write, or an fmt.Fprint straight onto
+// the ResponseWriter. One plain-text error in a JSON API breaks every
+// client that unmarshals the error body; the PR 2 404-envelope and PR 5
+// error-envelope work made the contract real, this analyzer keeps it.
+//
+// Functions annotated //rws:envelope are the envelope implementation
+// itself (writeJSON, the statusWriter middleware): raw writer access is
+// audited there and only there.
+var JSONEnvelope = &Analyzer{
+	Name: "jsonenvelope",
+	Doc:  "//rws:jsonapi handlers emit responses only through the envelope helpers",
+	Run:  runJSONEnvelope,
+}
+
+// envelopeBannedFuncs are net/http helpers that bypass the envelope.
+var envelopeBannedFuncs = map[string]string{
+	"net/http.Error":        "writes a text/plain error body",
+	"net/http.NotFound":     "writes a text/plain 404 body",
+	"net/http.Redirect":     "writes an html body outside the envelope",
+	"net/http.ServeFile":    "streams raw content outside the envelope",
+	"net/http.ServeContent": "streams raw content outside the envelope",
+}
+
+func runJSONEnvelope(pass *Pass) {
+	if !pass.Pkg.HasDirective("jsonapi") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok && pass.Prog.Ann.Envelope[fn] {
+				continue
+			}
+			checkEnvelopeBody(pass, fd)
+		}
+	}
+}
+
+func checkEnvelopeBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(info, call.Fun)
+		if fn == nil {
+			return true
+		}
+		if reason, banned := envelopeBannedFuncs[qualifiedName(fn)]; banned {
+			pass.Reportf(call.Pos(), "%s in a jsonapi package: %s; use the envelope helpers", qualifiedName(fn), reason)
+			return true
+		}
+		// Raw method calls on an http.ResponseWriter value: Write and
+		// WriteHeader bypass the envelope (Header() is fine — setting
+		// headers is not emitting a body).
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if isResponseWriter(info.Types[sel.X].Type) {
+				switch sel.Sel.Name {
+				case "Write":
+					pass.Reportf(call.Pos(), "raw ResponseWriter.Write in a jsonapi package: responses go through the envelope helpers (or annotate the function //rws:envelope if it IS the envelope)")
+				case "WriteHeader":
+					pass.Reportf(call.Pos(), "naked WriteHeader in a jsonapi package: status codes are set by the envelope helpers (or annotate the function //rws:envelope)")
+				}
+			}
+		}
+		// fmt.Fprint* / io.WriteString with a ResponseWriter destination
+		// is a raw write with extra steps.
+		switch qualifiedName(fn) {
+		case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln", "io.WriteString":
+			if len(call.Args) > 0 && isResponseWriter(info.Types[call.Args[0]].Type) {
+				pass.Reportf(call.Pos(), "%s straight onto a ResponseWriter in a jsonapi package: use the envelope helpers", qualifiedName(fn))
+			}
+		}
+		return true
+	})
+}
+
+// isResponseWriter reports whether t is exactly net/http.ResponseWriter
+// (the static type handler params and middleware fields carry).
+func isResponseWriter(t types.Type) bool {
+	n := namedOrPointee(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestJSONEnvelope(t *testing.T) {
+	checkFixture(t, "jsonenvelope", JSONEnvelope)
+}

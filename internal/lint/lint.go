@@ -1,0 +1,329 @@
+// Package lint is rwskit's in-tree static-analysis suite: a set of
+// analyzers that machine-check the serve plane's concurrency, hot-path,
+// determinism, and JSON-envelope contracts — the implicit invariants
+// behind every correctness incident the repo has had (the PR 5
+// diffCache race, the PR 6 CanonicalHost non-idempotence, the 0-alloc
+// partition path guarded only by benchmarks).
+//
+// The suite is built on nothing but the standard library (go/parser +
+// go/types); the container ships no golang.org/x/tools, so the package
+// carries a minimal equivalent of the go/analysis driver and an
+// analysistest-style fixture harness. The contracts themselves are
+// declared in the code under analysis with comment annotations:
+//
+//	// guarded by mu      on a struct field: accessed only while mu
+//	//                    (a sync.Mutex/RWMutex field of the same
+//	//                    struct) is held — or, when the guard names a
+//	//                    method instead, only from that method's
+//	//                    goroutine (confinement).
+//	//rws:locked mu       on a function: asserts the caller holds mu
+//	//                    (the *Locked helper convention).
+//	//rws:hotpath         on a function: zero-allocation request path —
+//	//                    no fmt/json/time.Now/sort, no map ranging, no
+//	//                    append, no locks, and module-internal calls
+//	//                    only to other hotpath functions.
+//	//rws:coldpath        on a call line inside a hotpath function: an
+//	//                    audited exit to the slow path.
+//	//rws:deterministic   in a package's comments: no global math/rand,
+//	//                    no time.Now, no map-range building an output
+//	//                    slice without a later sort.
+//	//rws:sorted          on a map-range line: the audited exception.
+//	//rws:jsonapi         in a package's comments: HTTP handlers emit
+//	//                    errors via the envelope helpers only.
+//	//rws:envelope        on a function: it IS the envelope plumbing;
+//	//                    raw ResponseWriter access is audited here.
+//
+// cmd/rws-lint is the multichecker driver; `rws-lint ./...` runs every
+// analyzer over the module and exits nonzero on findings.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one strictly type-checked package under analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// directives is the set of package-level rws directives
+	// (//rws:deterministic, //rws:jsonapi) found in any file's comments.
+	directives map[string]bool
+	// lineDirectives records //rws:* escape comments by file and line,
+	// for the same-line / preceding-line suppression lookup.
+	lineDirectives map[string]map[int][]string
+}
+
+// Program is the full analyzed tree plus the cross-package annotation
+// facts the analyzers share.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+	Ann  *Annotations
+}
+
+// Diagnostic is one finding, position already resolved.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Escaped reports whether the line holding pos — or the line directly
+// above it — carries the named //rws:* directive, the audited local
+// suppression mechanism.
+func (p *Pass) Escaped(pos token.Pos, directive string) bool {
+	position := p.Prog.Fset.Position(pos)
+	lines := p.Pkg.lineDirectives[position.Filename]
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, d := range lines[line] {
+			if d == directive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// All returns the full analyzer suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockGuard,
+		HotPath,
+		Determinism,
+		JSONEnvelope,
+		AtomicPtr,
+	}
+}
+
+// Run runs the analyzers over every package of the program and returns
+// the findings sorted by position.
+func (prog *Program) Run(analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, az := range analyzers {
+		for _, pkg := range prog.Pkgs {
+			pass := &Pass{Analyzer: az, Prog: prog, Pkg: pkg, diags: &diags}
+			az.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// directiveRe matches one //rws:* directive comment line, capturing the
+// directive name and its optional argument.
+var directiveRe = regexp.MustCompile(`^//rws:([a-z]+)(?:\s+(\S+))?\s*$`)
+
+// scanDirectives records the package-level and per-line directives of
+// every file.
+func (p *Package) scanDirectives(fset *token.FileSet) {
+	p.directives = make(map[string]bool)
+	p.lineDirectives = make(map[string]map[int][]string)
+	for _, f := range p.Files {
+		filename := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				name := m[1]
+				if m[2] != "" {
+					name = m[1] // argument-bearing directives keep the bare name for line lookup
+				}
+				switch m[1] {
+				case "deterministic", "jsonapi":
+					p.directives[m[1]] = true
+				}
+				lines := p.lineDirectives[filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					p.lineDirectives[filename] = lines
+				}
+				line := fset.Position(c.Pos()).Line
+				lines[line] = append(lines[line], name)
+			}
+		}
+	}
+}
+
+// HasDirective reports whether the package opted into a package-level
+// contract (deterministic, jsonapi).
+func (p *Package) HasDirective(name string) bool { return p.directives[name] }
+
+// exprKey renders an expression to a stable string, the key the
+// lockguard analyzer uses to match a lock call's receiver against a
+// field access's base (st.mu.Lock() ↔ st.entries; s.store.mu ↔
+// s.store.cap). Expressions that do not render to a simple base (calls,
+// index expressions) come out with their structure intact, which simply
+// means they never match — the conservative direction.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		return "*" + exprKey(e.X)
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[" + exprKey(e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return fmt.Sprintf("<%T@%d>", e, e.Pos())
+	}
+}
+
+// funcObj resolves a called expression to its *types.Func, or nil for
+// builtins, conversions, function-typed variables, and interface
+// methods that cannot be resolved statically.
+func funcObj(info *types.Info, fun ast.Expr) *types.Func {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.ParenExpr:
+		return funcObj(info, f.X)
+	case *ast.IndexExpr: // generic instantiation
+		return funcObj(info, f.X)
+	case *ast.IndexListExpr:
+		return funcObj(info, f.X)
+	}
+	return nil
+}
+
+// pkgPathOf returns the import path of a function's package, "" for
+// builtins and universe-scope functions.
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isMutexType reports whether t (after pointer indirection) is
+// sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// namedOrPointee unwraps pointers to the named type underneath, nil if
+// t is not (a pointer to) a named type.
+func namedOrPointee(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// receiverNamed returns the named type a method is declared on, nil for
+// plain functions.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOrPointee(sig.Recv().Type())
+}
+
+// enclosingFuncs returns, for one file, a lookup from any position to
+// the top-level FuncDecl containing it.
+func declAt(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// qualifiedName renders obj as pkgpath.Name or pkgpath.Recv.Name for
+// methods, the form the banned-call tables use.
+func qualifiedName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if n := namedOrPointee(sig.Recv().Type()); n != nil && n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// describePos is a short file:line rendering used inside messages.
+func (p *Pass) describePos(pos token.Pos) string {
+	position := p.Prog.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", position.Filename[strings.LastIndexByte(position.Filename, '/')+1:], position.Line)
+}

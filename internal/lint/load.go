@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks the module tree with nothing but the standard
+// library: module-internal imports resolve against the repository,
+// everything else against GOROOT/src. Dependencies are checked with
+// IgnoreFuncBodies and a permissive error handler (their exported shape
+// is all the analyzers need); the packages under analysis are checked
+// strictly, bodies and all. This exists because the toolchain ships no
+// golang.org/x/tools — the analyzers cannot lean on go/packages or
+// go/analysis, so the repo carries its own minimal equivalent.
+
+// Loader loads and type-checks packages for analysis.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string // absolute path of the module root (dir of go.mod)
+	ModPath string // module path from go.mod ("rwskit")
+
+	ctx  build.Context
+	deps map[string]*types.Package // permissively-checked dependency cache
+	pkgs map[string]*Package       // strictly-checked analysis targets, by import path
+}
+
+// modPathRe extracts the module path from the first module directive of
+// a go.mod file.
+var modPathRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// FindModuleRoot walks up from dir to the directory holding go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := modPathRe.FindSubmatch(mod)
+	if m == nil {
+		return nil, fmt.Errorf("lint: %s/go.mod has no module directive", root)
+	}
+	ctx := build.Default
+	// The pure-Go variants of every file set: the analyzers never need
+	// cgo bodies, and disabling cgo keeps GOROOT packages like net
+	// self-contained.
+	ctx.CgoEnabled = false
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		ModRoot: root,
+		ModPath: string(m[1]),
+		ctx:     ctx,
+		deps:    make(map[string]*types.Package),
+		pkgs:    make(map[string]*Package),
+	}, nil
+}
+
+// resolveDir maps an import path to the directory holding its source:
+// module paths resolve inside the repository, anything else under
+// GOROOT/src. The module has no external requirements (go.mod is
+// dependency-free), so there is no third case.
+func (l *Loader) resolveDir(path string) (string, error) {
+	if path == l.ModPath {
+		return l.ModRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, filepath.FromSlash(rest)), nil
+	}
+	dir := filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path))
+	if _, err := os.Stat(dir); err != nil {
+		return "", fmt.Errorf("lint: cannot resolve import %q (not in module %s, not in GOROOT)", path, l.ModPath)
+	}
+	return dir, nil
+}
+
+// Import implements types.Importer: analyzers' target packages pull
+// their dependencies through here.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if p, ok := l.deps[path]; ok {
+		return p, nil
+	}
+	// A module-internal dependency of an analysis target is itself
+	// loaded strictly, so cross-package annotation facts (hotpath
+	// callees in core, for instance) are available program-wide.
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		p, err := l.loadPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.loadDep(path)
+}
+
+// loadDep type-checks a non-module dependency permissively: function
+// bodies are skipped and soft errors (unused imports from the skipped
+// bodies, mostly) are swallowed. The exported declarations — all the
+// analyzers resolve against — come out intact.
+func (l *Loader) loadDep(path string) (*types.Package, error) {
+	dir, err := l.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: scanning %s: %w", dir, err)
+	}
+	files, err := l.parseFiles(dir, bp.GoFiles, 0)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Error:            func(error) {}, // permissive: exported shape is enough
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, nil)
+	if tpkg == nil {
+		return nil, fmt.Errorf("lint: type-checking dependency %s produced no package", path)
+	}
+	l.deps[path] = tpkg
+	return tpkg, nil
+}
+
+// loadPackage strictly type-checks one module package, retaining syntax
+// and type info for analysis.
+func (l *Loader) loadPackage(path string) (*Package, error) {
+	dir, err := l.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadPackageDir(path, dir)
+}
+
+// loadPackageDir is loadPackage with the directory already resolved;
+// fixture directories (which live under testdata, outside the module's
+// import space) load through it with a synthetic import path.
+func (l *Loader) loadPackageDir(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: scanning %s: %w", dir, err)
+	}
+	files, err := l.parseFiles(dir, bp.GoFiles, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, firstErr)
+	}
+	p := &Package{
+		Path:  path,
+		Name:  bp.Name,
+		Dir:   dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseFiles parses names (relative to dir) with the shared file set.
+func (l *Loader) parseFiles(dir string, names []string, mode parser.Mode) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ModulePackages discovers every package in the module: directories
+// under the root holding at least one buildable non-test .go file,
+// excluding testdata trees and hidden directories.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModRoot, func(dir string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(dir)
+		if dir != l.ModRoot && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") || base == "testdata") {
+			return filepath.SkipDir
+		}
+		if _, err := l.ctx.ImportDir(dir, 0); err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				return nil
+			}
+			// A directory that scans badly (e.g. two package clauses)
+			// should surface when loaded, not here.
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModRoot, dir)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.ModPath)
+		} else {
+			paths = append(paths, l.ModPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Load loads the named import paths strictly and returns the Program
+// over them (plus any module-internal dependencies pulled in along the
+// way, which are loaded strictly too and analyzed alongside).
+func (l *Loader) Load(paths []string) (*Program, error) {
+	for _, p := range paths {
+		if _, err := l.loadPackage(p); err != nil {
+			return nil, err
+		}
+	}
+	return l.program()
+}
+
+// LoadDirs loads plain directories (fixture packages under testdata,
+// typically) as analysis targets with synthetic import paths.
+func (l *Loader) LoadDirs(dirs []string) (*Program, error) {
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := l.loadPackageDir("fixture/"+filepath.Base(abs), abs); err != nil {
+			return nil, err
+		}
+	}
+	return l.program()
+}
+
+// program assembles the Program over every strictly-loaded package.
+func (l *Loader) program() (*Program, error) {
+	prog := &Program{Fset: l.Fset}
+	for _, p := range l.pkgs {
+		prog.Pkgs = append(prog.Pkgs, p)
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	for _, p := range prog.Pkgs {
+		p.scanDirectives(l.Fset)
+	}
+	prog.Ann = collectAnnotations(prog)
+	return prog, nil
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockGuard(t *testing.T) {
+	checkFixture(t, "lockguard", LockGuard)
+}

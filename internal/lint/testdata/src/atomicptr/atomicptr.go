@@ -1,0 +1,45 @@
+// Package atomicptr exercises the atomicptr analyzer: wrapper-typed
+// fields may only be method-call receivers, and plain fields touched
+// via sync/atomic functions anywhere must be touched that way
+// everywhere.
+package atomicptr
+
+import "sync/atomic"
+
+type counter struct {
+	hits   atomic.Uint64
+	ptr    atomic.Pointer[int]
+	legacy uint64
+	plain  int
+}
+
+func good(c *counter) uint64 {
+	c.hits.Add(1)
+	if p := c.ptr.Load(); p != nil {
+		return c.hits.Load() + uint64(*p)
+	}
+	return atomic.LoadUint64(&c.legacy)
+}
+
+func badCopy(c *counter) atomic.Uint64 {
+	return c.hits // want `field hits \(sync/atomic\.Uint64\) used outside a method call`
+}
+
+func badAddr(c *counter) *atomic.Uint64 {
+	return &c.hits // want `field hits \(sync/atomic\.Uint64\) used outside a method call`
+}
+
+func legacyGood(c *counter) uint64 {
+	atomic.AddUint64(&c.legacy, 1)
+	return atomic.LoadUint64(&c.legacy)
+}
+
+func legacyBad(c *counter) uint64 {
+	c.legacy++      // want `field legacy is accessed with sync/atomic elsewhere in this package`
+	return c.legacy // want `field legacy is accessed with sync/atomic elsewhere in this package`
+}
+
+func plainOK(c *counter) int {
+	c.plain++
+	return c.plain
+}

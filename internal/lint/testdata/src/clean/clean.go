@@ -1,0 +1,41 @@
+// Package clean is the driver test's all-green input: annotated code
+// that honors every contract, so rws-lint must exit zero on it.
+package clean
+
+import "sync"
+
+type cache struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (c *cache) Get(k string) (int, bool) {
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *cache) Put(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = map[string]int{}
+	}
+	c.m[k] = v
+}
+
+//rws:hotpath
+func Shard(k string, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	h := 0
+	for i := 0; i < len(k); i++ {
+		h = h*31 + int(k[i])
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h % n
+}

@@ -1,0 +1,59 @@
+// Package determinism exercises the determinism analyzer: the global
+// math/rand generator vs seeded constructors, wall-clock reads, and
+// map-range output with and without a restoring sort.
+//
+//rws:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func goodShuffle(r *rand.Rand, xs []int) {
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func badGlobal() int {
+	return rand.Intn(10) // want `calls the global math/rand generator \(Intn\)`
+}
+
+func badClock() int64 {
+	return time.Now().Unix() // want `reads the wall clock \(time\.Now\)`
+}
+
+func goodCollectSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func badMapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appending to out while ranging over a map: iteration order leaks into the output`
+	}
+	return out
+}
+
+func auditedSorted(m map[string]int) []string {
+	var out []string
+	for k := range m { //rws:sorted
+		out = append(out, k)
+	}
+	return out
+}
+
+func goodFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

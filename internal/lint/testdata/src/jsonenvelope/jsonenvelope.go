@@ -1,0 +1,43 @@
+// Package jsonenvelope exercises the jsonenvelope analyzer: raw
+// ResponseWriter access and the net/http text helpers are banned in a
+// jsonapi package, except inside //rws:envelope plumbing.
+//
+//rws:jsonapi
+package jsonenvelope
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// writeJSON is the envelope implementation itself: the one audited home
+// of raw writer access.
+//
+//rws:envelope
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Request-Id", "1") // setting headers is not emitting a body
+	writeJSON(w, http.StatusOK, map[string]string{"ok": "true"})
+}
+
+func badError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest) // want `net/http\.Error in a jsonapi package: writes a text/plain error body`
+}
+
+func badNotFound(w http.ResponseWriter, r *http.Request) {
+	http.NotFound(w, r) // want `net/http\.NotFound in a jsonapi package`
+}
+
+func badRaw(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusTeapot) // want `naked WriteHeader in a jsonapi package`
+	w.Write([]byte("hi"))            // want `raw ResponseWriter\.Write in a jsonapi package`
+	fmt.Fprintf(w, "x=%d", 1)        // want `fmt\.Fprintf straight onto a ResponseWriter`
+	io.WriteString(w, "bye")         // want `io\.WriteString straight onto a ResponseWriter`
+}

@@ -1,0 +1,19 @@
+// Package knownbad is the driver test's deliberately-broken input:
+// rws-lint must exit nonzero on it. No // want comments here — the
+// driver prints raw diagnostics, it does not run the fixture harness.
+package knownbad
+
+import (
+	"fmt"
+	"sync"
+)
+
+type box struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+func ReadBox(b *box) int { return b.v }
+
+//rws:hotpath
+func Format(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,90 @@
+// Package lockguard exercises the lockguard analyzer: guarded-field
+// access with and without the lock, the RLock-write distinction, the
+// //rws:locked caller-holds convention, goroutine confinement, and an
+// unresolvable guard annotation.
+package lockguard
+
+import "sync"
+
+type store struct {
+	mu      sync.RWMutex
+	entries []int          // guarded by mu
+	byK     map[string]int // guarded by mu
+	cap     int
+}
+
+func (s *store) goodLinear() int {
+	s.mu.RLock()
+	n := len(s.entries)
+	s.mu.RUnlock()
+	return n + s.cap
+}
+
+func (s *store) goodDefer(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = append(s.entries, 1)
+	delete(s.byK, k)
+}
+
+func (s *store) badRead() int {
+	return len(s.entries) // want `read of entries \(guarded by mu\) without holding s\.mu`
+}
+
+func (s *store) badAfterUnlock() int {
+	s.mu.RLock()
+	n := s.entries[0]
+	s.mu.RUnlock()
+	return n + s.entries[1] // want `read of entries \(guarded by mu\) without holding s\.mu`
+}
+
+func (s *store) badWriteUnderRLock() {
+	s.mu.RLock()
+	s.entries = nil // want `write to entries \(guarded by mu\) while holding only the read lock`
+	s.mu.RUnlock()
+}
+
+func (s *store) badDelete(k string) {
+	delete(s.byK, k) // want `write to byK \(guarded by mu\) without holding s\.mu`
+}
+
+func (s *store) badEscape() *[]int {
+	return &s.entries // want `write to entries \(guarded by mu\) without holding s\.mu`
+}
+
+// evictLocked asserts its caller holds mu, the *Locked convention.
+//
+//rws:locked mu
+func (s *store) evictLocked() {
+	s.entries = s.entries[:0]
+}
+
+func (s *store) callsLocked() {
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+type watcher struct {
+	cur int // guarded by Run
+}
+
+func (w *watcher) Run() {
+	w.cur = 1
+	w.poll()
+}
+
+// poll runs on Run's goroutine only.
+//
+//rws:locked Run
+func (w *watcher) poll() { w.cur++ }
+
+func (w *watcher) Peek() int {
+	return w.cur // want `cur is confined to Run: access it only from Run or a function annotated //rws:locked Run`
+}
+
+type badguard struct {
+	x int // guarded by nosuch // want `guard "nosuch" of field x is neither a sync\.Mutex/RWMutex field nor a method of the declaring type`
+}
+
+func useBadguard(b *badguard) int { return b.x }

@@ -57,8 +57,8 @@ type diffCacheMetrics struct {
 type diffCache struct {
 	mu  sync.Mutex
 	cap int
-	ll  *list.List // most recently used at front
-	byK map[diffKey]*list.Element
+	ll  *list.List                // guarded by mu; most recently used at front
+	byK map[diffKey]*list.Element // guarded by mu
 
 	hits          atomic.Uint64
 	misses        atomic.Uint64

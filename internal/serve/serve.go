@@ -41,6 +41,12 @@
 //
 // Host parameters accept any legitimate spelling — scheme prefix, :port
 // suffix, trailing dot, mixed case — and are canonicalized before lookup.
+//
+// The package is a JSON API end to end: every response body, success or
+// error, goes through the writeJSON envelope (machine-checked by
+// rws-lint's jsonenvelope analyzer via the directive below).
+//
+//rws:jsonapi
 package serve
 
 import (
@@ -209,6 +215,10 @@ type statusWriter struct {
 	status int
 }
 
+// WriteHeader records then forwards the status; as middleware plumbing
+// it is part of the envelope implementation.
+//
+//rws:envelope
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
@@ -239,6 +249,8 @@ type errorBody struct {
 // before any byte reaches the wire, so an encode failure surfaces as a
 // 500 JSON envelope instead of a truncated 200. Write errors after that
 // mean the client went away; there is nothing left to surface to it.
+//
+//rws:envelope
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	body, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {

@@ -28,6 +28,8 @@ const (
 // prompt-based policies are modelled with a declining user: the verdict
 // reports what happens with no user opt-in, which is the privacy-relevant
 // default the paper compares vendors on.
+//
+//rws:hotpath
 func policyFor(name string) (policyID, error) {
 	switch name {
 	case "", "rws", "chrome":
@@ -39,7 +41,8 @@ func policyFor(name string) (policyID, error) {
 	case "legacy", "unpartitioned":
 		return policyLegacy, nil
 	default:
-		return 0, fmt.Errorf("unknown policy %q (want rws, strict, prompt, or legacy)", name)
+		// Unknown-policy requests leave the hot path: a 400 may allocate.
+		return 0, fmt.Errorf("unknown policy %q (want rws, strict, prompt, or legacy)", name) //rws:coldpath
 	}
 }
 
@@ -333,6 +336,8 @@ func (s *Snapshot) buildVerdictsSerial(pid policyID) {
 
 // shardOf maps a canonical host to its shard with inline FNV-1a; cheap
 // enough that lookups pay one short hash before the map access.
+//
+//rws:hotpath
 func shardOf(host string, n int) int {
 	const (
 		offset32 = 2166136261
@@ -347,6 +352,8 @@ func shardOf(host string, n int) int {
 }
 
 // lookup resolves a canonical host against the sharded index.
+//
+//rws:hotpath
 func (s *Snapshot) lookup(host string) (hostEntry, bool) {
 	e, ok := s.hostShards[shardOf(host, len(s.hostShards))][host]
 	return e, ok
@@ -541,6 +548,8 @@ func (s *Snapshot) SitesByRole(role core.Role) []string {
 // SameSet answers a relatedness query against the precomputed host index.
 // Inputs may be any legitimate host spelling (scheme, port, trailing dot,
 // mixed case); the response echoes them as given.
+//
+//rws:hotpath
 func (s *Snapshot) SameSet(a, b string) SameSetResponse {
 	resp := SameSetResponse{A: a, B: b}
 	ea, aok := s.lookup(core.CanonicalHost(a))
@@ -574,6 +583,8 @@ func (s *Snapshot) Set(site string) SetResponse {
 // is trivially granted (same-site embedding never reaches the policy); any
 // query involving an off-list host falls back to the live fresh-profile
 // evaluation on the normalized hosts.
+//
+//rws:hotpath
 func (s *Snapshot) Partition(policyName, top, embedded string) (PartitionResponse, error) {
 	pid, err := policyFor(policyName)
 	if err != nil {
@@ -595,7 +606,9 @@ func (s *Snapshot) Partition(policyName, top, embedded string) (PartitionRespons
 		v = s.cross[pid]
 	}
 	if !v.filled {
-		ev := browser.EvaluateFresh(info.live, ct, ce)
+		// Off-list pairs fall off the precomputed plane to the live
+		// simulator; that exit is the audited slow path.
+		ev := browser.EvaluateFresh(info.live, ct, ce) //rws:coldpath
 		v = verdict{decision: ev.Decision, granted: ev.Granted, filled: true}
 	}
 	return PartitionResponse{

@@ -60,8 +60,8 @@ type Store struct {
 	swaps atomic.Uint64
 
 	mu      sync.RWMutex
-	entries []*storeEntry // insertion order, oldest first
-	byHash  map[string]*storeEntry
+	entries []*storeEntry          // guarded by mu; insertion order, oldest first
+	byHash  map[string]*storeEntry // guarded by mu
 	cap     int
 
 	// diffs memoizes DiffLists results between retained versions, keyed
@@ -98,6 +98,8 @@ func NewStoreWith(capacity int, opts SnapshotOptions) *Store {
 
 // Current returns the snapshot answering unversioned queries. Lock-free;
 // this is the request fast path. Nil only before the first Add.
+//
+//rws:hotpath
 func (st *Store) Current() *Snapshot { return st.cur.Load() }
 
 // Cap returns the maximum number of versions retained.
@@ -191,6 +193,8 @@ func (st *Store) AddSnapshot(snap *Snapshot, ver core.Version) {
 // evictLocked drops the oldest non-current versions until the store is
 // within capacity. Callers hold st.mu; the current version is never
 // evicted, so capacity 1 degenerates to the single-snapshot plane.
+//
+//rws:locked mu
 func (st *Store) evictLocked() {
 	cur := st.cur.Load()
 	for len(st.entries) > st.cap {
@@ -324,6 +328,8 @@ func (st *Store) Chain(from, to core.Version) ([]ChainEntry, error) {
 // AddSnapshot publishes the pointer inside the write lock, so a single
 // locked read cannot observe a snapshot from one swap and a descriptor
 // from another.
+//
+//rws:locked mu
 func (st *Store) currentLocked() (*Snapshot, core.Version, bool) {
 	cur := st.cur.Load()
 	if cur == nil {

@@ -19,10 +19,10 @@ type FileSource struct {
 	path string
 
 	mu      sync.Mutex
-	mtime   time.Time
-	size    int64
-	hash    string
-	statted bool // a successful read recorded mtime/size
+	mtime   time.Time // guarded by mu
+	size    int64     // guarded by mu
+	hash    string    // guarded by mu
+	statted bool      // guarded by mu; a successful read recorded mtime/size
 }
 
 // NewFileSource returns a FileSource reading path. No I/O happens until

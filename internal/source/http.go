@@ -80,9 +80,9 @@ type HTTPSource struct {
 	sleep func(context.Context, time.Duration) error
 
 	mu           sync.Mutex
-	etag         string
-	lastModified string
-	hash         string
+	etag         string // guarded by mu
+	lastModified string // guarded by mu
+	hash         string // guarded by mu
 }
 
 // NewHTTPSource returns an HTTPSource polling url. No request is issued
@@ -149,6 +149,8 @@ func (h *HTTPSource) Fetch(ctx context.Context) (*core.List, Meta, error) {
 }
 
 // fetchOnce performs a single conditional GET. Callers hold h.mu.
+//
+//rws:locked mu
 func (h *HTTPSource) fetchOnce(ctx context.Context) (*core.List, Meta, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.url, nil)
 	if err != nil {

@@ -31,7 +31,7 @@ type Watcher struct {
 	interval time.Duration
 	logf     func(format string, args ...any)
 	kick     chan struct{}
-	cur      *core.List
+	cur      *core.List // guarded by Run: confined to the polling goroutine
 }
 
 // NewWatcher returns a Watcher polling src every interval (0 disables
@@ -87,6 +87,9 @@ func (w *Watcher) Run(ctx context.Context, deliver func(Swap)) {
 }
 
 // poll performs one fetch and delivers the swap if the list changed.
+// Called only from Run's goroutine, where w.cur is confined.
+//
+//rws:locked Run
 func (w *Watcher) poll(ctx context.Context, deliver func(Swap), forced bool) {
 	list, meta, err := w.src.Fetch(ctx)
 	switch {
