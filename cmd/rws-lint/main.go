@@ -1,20 +1,26 @@
 // Command rws-lint is the repo's invariant multichecker: it runs the
 // internal/lint analyzer suite — lockguard, hotpath, determinism,
-// jsonenvelope, atomicptr — over the module and exits nonzero on any
-// finding. CI runs it as a hard gate; run it locally with:
+// jsonenvelope, atomicptr, plus the interprocedural lockorder,
+// goroleak, and ctxflow analyzers — over the module and exits nonzero
+// on any finding. CI runs it as a hard gate; run it locally with:
 //
 //	go run ./cmd/rws-lint ./...
 //
 // Usage:
 //
-//	rws-lint [-list] [pattern ...]
+//	rws-lint [-list] [-json] [-allocgate] [pattern ...]
 //
 // Patterns are "./..." (every package in the enclosing module, the
 // default), module import paths ("rwskit/internal/serve"), or plain
 // directories (./internal/serve, or a fixture directory under
-// testdata). The suite is pure standard library: no x/tools, no
-// network, no build cache beyond parsing GOROOT sources for type
-// information.
+// testdata). The default suite is pure standard library: no x/tools,
+// no network, no build cache beyond parsing GOROOT sources for type
+// information. -json emits the findings as a JSON array (file, line,
+// col, analyzer, message) instead of text. -allocgate runs the
+// compiler escape-analysis gate instead of the in-process analyzers:
+// it shells out to go build -gcflags=-m=2 and fails if any
+// //rws:hotpath or //rws:allocfree function heap-allocates (see
+// internal/lint/allocgate.go).
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load/type errors.
 package main
@@ -36,6 +42,8 @@ func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("rws-lint", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit the findings as a JSON array")
+	allocgate := fs.Bool("allocgate", false, "run the compiler escape-analysis gate instead of the in-process analyzers")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -43,6 +51,7 @@ func run(args []string, out, errw io.Writer) int {
 		for _, az := range lint.All() {
 			fmt.Fprintf(out, "%-12s %s\n", az.Name, az.Doc)
 		}
+		fmt.Fprintf(out, "%-12s %s\n", "allocgate", "(-allocgate) //rws:hotpath and //rws:allocfree functions are allocation-free per the compiler's own escape analysis")
 		return 0
 	}
 	patterns := fs.Args()
@@ -54,16 +63,30 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "rws-lint:", err)
 		return 2
 	}
-	diags, err := lint.LintPatterns(cwd, patterns)
+	var diags []lint.Diagnostic
+	if *allocgate {
+		diags, err = lint.AllocGatePatterns(cwd, patterns)
+	} else {
+		diags, err = lint.LintPatterns(cwd, patterns)
+	}
 	if err != nil {
 		fmt.Fprintln(errw, "rws-lint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(out, d)
+	if *jsonOut {
+		if err := lint.EncodeJSON(out, diags); err != nil {
+			fmt.Fprintln(errw, "rws-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(out, "rws-lint: %d finding(s)\n", len(diags))
+		if !*jsonOut {
+			fmt.Fprintf(out, "rws-lint: %d finding(s)\n", len(diags))
+		}
 		return 1
 	}
 	return 0

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -9,17 +10,65 @@ import (
 const fixtures = "../../internal/lint/testdata/src/"
 
 // TestKnownBadExitsNonzero is the driver-level gate proof: rws-lint on
-// a package with real violations must exit 1 and name the analyzers.
+// a package with real violations must exit 1 and name the analyzers —
+// including the interprocedural ones.
 func TestKnownBadExitsNonzero(t *testing.T) {
 	var out, errw bytes.Buffer
 	code := run([]string{fixtures + "knownbad"}, &out, &errw)
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
 	}
-	for _, az := range []string{"lockguard", "hotpath"} {
+	for _, az := range []string{"lockguard", "hotpath", "lockorder", "goroleak", "ctxflow"} {
 		if !strings.Contains(out.String(), az) {
 			t.Errorf("output missing a %s diagnostic:\n%s", az, out.String())
 		}
+	}
+}
+
+// TestKnownBadJSON proves -json emits a parseable array carrying the
+// same findings.
+func TestKnownBadJSON(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-json", fixtures + "knownbad"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, errw.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json produced an empty array for knownbad")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestAllocGateFlag runs the escape-analysis gate: knownbad's hotpath
+// Format heap-allocates (fmt.Sprintf boxes its argument), clean's
+// Shard does not.
+func TestAllocGateFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-allocgate", fixtures + "knownbad"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("-allocgate knownbad exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "allocgate") || !strings.Contains(out.String(), "Format") {
+		t.Errorf("-allocgate output missing the Format finding:\n%s", out.String())
+	}
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-allocgate", fixtures + "clean"}, &out, &errw); code != 0 {
+		t.Fatalf("-allocgate clean exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
 	}
 }
 
@@ -38,7 +87,7 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errw); code != 0 {
 		t.Fatalf("-list exit code = %d, want 0", code)
 	}
-	for _, az := range []string{"lockguard", "hotpath", "determinism", "jsonenvelope", "atomicptr"} {
+	for _, az := range []string{"lockguard", "hotpath", "determinism", "jsonenvelope", "atomicptr", "lockorder", "goroleak", "ctxflow", "allocgate"} {
 		if !strings.Contains(out.String(), az) {
 			t.Errorf("-list missing %s:\n%s", az, out.String())
 		}

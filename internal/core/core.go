@@ -821,6 +821,7 @@ func canonicalHostPass(s string) string {
 // stripped but an IPv6-ish or malformed suffix is left alone.
 //
 //rws:hotpath
+//rws:allocfree
 func isPort(s string) bool {
 	if len(s) == 0 || len(s) > 5 {
 		return false

@@ -39,10 +39,11 @@ type guardSpec struct {
 // facts (a hotpath callee in internal/core, say) resolve without
 // per-analyzer plumbing.
 type Annotations struct {
-	Hotpath  map[types.Object]bool
-	Locked   map[types.Object]string
-	Envelope map[types.Object]bool
-	Guarded  map[types.Object]guardSpec
+	Hotpath   map[types.Object]bool
+	AllocFree map[types.Object]bool
+	Locked    map[types.Object]string
+	Envelope  map[types.Object]bool
+	Guarded   map[types.Object]guardSpec
 }
 
 var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
@@ -51,10 +52,11 @@ var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
 // contract comments.
 func collectAnnotations(prog *Program) *Annotations {
 	ann := &Annotations{
-		Hotpath:  make(map[types.Object]bool),
-		Locked:   make(map[types.Object]string),
-		Envelope: make(map[types.Object]bool),
-		Guarded:  make(map[types.Object]guardSpec),
+		Hotpath:   make(map[types.Object]bool),
+		AllocFree: make(map[types.Object]bool),
+		Locked:    make(map[types.Object]string),
+		Envelope:  make(map[types.Object]bool),
+		Guarded:   make(map[types.Object]guardSpec),
 	}
 	for _, pkg := range prog.Pkgs {
 		for _, file := range pkg.Files {
@@ -86,13 +88,15 @@ func (ann *Annotations) collectFunc(pkg *Package, d *ast.FuncDecl) {
 		return
 	}
 	for _, c := range d.Doc.List {
-		m := directiveRe.FindStringSubmatch(c.Text)
+		m := directiveMatch(c.Text)
 		if m == nil {
 			continue
 		}
 		switch m[1] {
 		case "hotpath":
 			ann.Hotpath[obj] = true
+		case "allocfree":
+			ann.AllocFree[obj] = true
 		case "envelope":
 			ann.Envelope[obj] = true
 		case "locked":

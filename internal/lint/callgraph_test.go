@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+// TestCallGraphEdges checks the three edge disciplines on the ctxflow
+// fixture: exact static calls, over-approximated interface dispatch,
+// and the //rws:coldpath cut on dynamic edges.
+func TestCallGraphEdges(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loader.LoadDirs([]string{filepath.Join("testdata", "src", "ctxflow")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prog.CallGraph()
+	byName := func(name string) *types.Func {
+		for fn := range g.Decls {
+			if fn.Name() == name {
+				return fn
+			}
+		}
+		t.Fatalf("no declared function %q", name)
+		return nil
+	}
+	edge := func(from, to *types.Func) (Edge, bool) {
+		for _, e := range g.Edges[from] {
+			if e.Callee == to {
+				return e, true
+			}
+		}
+		return Edge{}, false
+	}
+
+	if e, ok := edge(byName("handle"), byName("helper")); !ok || e.Dynamic {
+		t.Errorf("handle -> helper: want an exact static edge, got ok=%v dynamic=%v", ok, e.Dynamic)
+	}
+	if e, ok := edge(byName("dispatch"), byName("refresh")); !ok || !e.Dynamic {
+		t.Errorf("dispatch -> refresh: want an over-approximated dynamic edge, got ok=%v dynamic=%v", ok, e.Dynamic)
+	}
+	if _, ok := edge(byName("slow"), byName("purge")); ok {
+		t.Error("slow -> purge: the //rws:coldpath line must cut the dynamic edge")
+	}
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestCtxFlowFixture(t *testing.T) {
+	checkFixture(t, "ctxflow", CtxFlow)
+}

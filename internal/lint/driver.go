@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,9 +14,19 @@ import (
 // module import path, or a plain directory), loads the matched packages
 // rooted at the module containing dir, and runs the full analyzer suite.
 func LintPatterns(dir string, patterns []string) ([]Diagnostic, error) {
-	loader, err := NewLoader(dir)
+	_, prog, err := resolveAndLoad(dir, patterns)
 	if err != nil {
 		return nil, err
+	}
+	return prog.Run(All()), nil
+}
+
+// resolveAndLoad is the pattern-resolution core shared by LintPatterns
+// and AllocGatePatterns.
+func resolveAndLoad(dir string, patterns []string) (*Loader, *Program, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, nil, err
 	}
 	var paths, dirs []string
 	for _, pat := range patterns {
@@ -22,7 +34,7 @@ func LintPatterns(dir string, patterns []string) ([]Diagnostic, error) {
 		case pat == "./...":
 			all, err := loader.ModulePackages()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			paths = append(paths, all...)
 		case strings.HasPrefix(pat, loader.ModPath):
@@ -32,10 +44,10 @@ func LintPatterns(dir string, patterns []string) ([]Diagnostic, error) {
 			// this way, as do ./relative spellings of module packages.
 			abs, err := filepath.Abs(pat)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if fi, err := os.Stat(abs); err != nil || !fi.IsDir() {
-				return nil, fmt.Errorf("pattern %q is neither ./..., a %s import path, nor a directory", pat, loader.ModPath)
+				return nil, nil, fmt.Errorf("pattern %q is neither ./..., a %s import path, nor a directory", pat, loader.ModPath)
 			}
 			if rel, err := filepath.Rel(loader.ModRoot, abs); err == nil && !strings.HasPrefix(rel, "..") && !strings.Contains(rel, "testdata") {
 				// Inside the module and importable: load under its real
@@ -53,16 +65,45 @@ func LintPatterns(dir string, patterns []string) ([]Diagnostic, error) {
 	var prog *Program
 	if len(paths) > 0 {
 		if prog, err = loader.Load(paths); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if len(dirs) > 0 {
 		if prog, err = loader.LoadDirs(dirs); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if prog == nil {
-		return nil, fmt.Errorf("no packages matched")
+		return nil, nil, fmt.Errorf("no packages matched")
 	}
-	return prog.Run(All()), nil
+	return loader, prog, nil
+}
+
+// JSONDiagnostic is the -json wire form of one finding: everything an
+// editor or CI annotator needs to place it.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// EncodeJSON writes diags as a JSON array — always an array, [] when
+// clean — for machine consumers (rwsctl lint -json, the GitHub Actions
+// problem-matcher feed).
+func EncodeJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestGoroLeakFixture(t *testing.T) {
+	checkFixture(t, "goroleak", GoroLeak)
+}

@@ -32,9 +32,29 @@
 //	//                    errors via the envelope helpers only.
 //	//rws:envelope        on a function: it IS the envelope plumbing;
 //	//                    raw ResponseWriter access is audited here.
+//	//rws:lockorder a<b   anywhere in a package's comments: the intended
+//	//                    global lock order — lock a is acquired before
+//	//                    lock b, never the reverse. Locks are named
+//	//                    pkg.Type.field.
+//	//rws:leakok reason   on a go-statement line: the goroutine is an
+//	//                    audited exception to the provable-termination
+//	//                    rule; the reason is mandatory.
+//	//rws:ctxok           on a call line: an audited context.Background/
+//	//                    TODO below a request handler.
+//	//rws:allocfree       on a function: the compiler must prove it free
+//	//                    of heap escapes AND inlinable — the strict form
+//	//                    of the hotpath zero-alloc contract, checked
+//	//                    against real escape-analysis output by the
+//	//                    allocgate pass (rws-lint -allocgate).
 //
 // cmd/rws-lint is the multichecker driver; `rws-lint ./...` runs every
-// analyzer over the module and exits nonzero on findings.
+// analyzer over the module and exits nonzero on findings. On top of the
+// per-package analyzers, the suite carries an interprocedural layer: a
+// whole-module call graph (CallGraph) with static dispatch resolved
+// exactly and interface/function-value calls over-approximated, feeding
+// the lockorder deadlock detector and the ctxflow reachability check,
+// plus the allocgate pass that parses the compiler's own escape
+// analysis (go build -gcflags=-m=2) instead of re-deriving it.
 package lint
 
 import (
@@ -61,7 +81,23 @@ type Package struct {
 	directives map[string]bool
 	// lineDirectives records //rws:* escape comments by file and line,
 	// for the same-line / preceding-line suppression lookup.
-	lineDirectives map[string]map[int][]string
+	lineDirectives map[string]map[int][]lineDirective
+	// lockOrders are the //rws:lockorder a<b declarations found in this
+	// package's comments, in source order.
+	lockOrders []lockOrderDecl
+}
+
+// lineDirective is one //rws:* comment resolved to its line: the bare
+// directive name plus its argument text ("" when none).
+type lineDirective struct {
+	name string
+	arg  string
+}
+
+// lockOrderDecl is one //rws:lockorder declaration, unparsed.
+type lockOrderDecl struct {
+	Spec string
+	Pos  token.Pos
 }
 
 // Program is the full analyzed tree plus the cross-package annotation
@@ -70,6 +106,10 @@ type Program struct {
 	Fset *token.FileSet
 	Pkgs []*Package
 	Ann  *Annotations
+
+	// cg is the lazily built whole-module call graph (see callgraph.go);
+	// analyzers run sequentially, so no lock is needed.
+	cg *CallGraph
 }
 
 // Diagnostic is one finding, position already resolved.
@@ -111,19 +151,36 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // above it — carries the named //rws:* directive, the audited local
 // suppression mechanism.
 func (p *Pass) Escaped(pos token.Pos, directive string) bool {
-	position := p.Prog.Fset.Position(pos)
-	lines := p.Pkg.lineDirectives[position.Filename]
+	_, ok := p.Pkg.escapedArg(p.Prog.Fset, pos, directive)
+	return ok
+}
+
+// EscapedArg is Escaped returning the directive's argument text as well
+// (the //rws:leakok reason, say). ok distinguishes a bare directive from
+// no directive at all.
+func (p *Pass) EscapedArg(pos token.Pos, directive string) (arg string, ok bool) {
+	return p.Pkg.escapedArg(p.Prog.Fset, pos, directive)
+}
+
+func (p *Package) escapedArg(fset *token.FileSet, pos token.Pos, directive string) (string, bool) {
+	position := fset.Position(pos)
+	lines := p.lineDirectives[position.Filename]
 	for _, line := range []int{position.Line, position.Line - 1} {
 		for _, d := range lines[line] {
-			if d == directive {
-				return true
+			if d.name == directive {
+				return d.arg, true
 			}
 		}
 	}
-	return false
+	return "", false
 }
 
-// All returns the full analyzer suite, in reporting order.
+// All returns the full analyzer suite, in reporting order. The first
+// five are the PR 7 single-function analyzers; lockorder, goroleak, and
+// ctxflow are the interprocedural layer built on the call graph. The
+// allocgate pass is not listed here — it shells out to the Go compiler
+// and runs through AllocGatePatterns (rws-lint -allocgate) instead of
+// the pure in-process driver.
 func All() []*Analyzer {
 	return []*Analyzer{
 		LockGuard,
@@ -131,6 +188,9 @@ func All() []*Analyzer {
 		Determinism,
 		JSONEnvelope,
 		AtomicPtr,
+		LockOrder,
+		GoroLeak,
+		CtxFlow,
 	}
 }
 
@@ -161,37 +221,46 @@ func (prog *Program) Run(analyzers []*Analyzer) []Diagnostic {
 }
 
 // directiveRe matches one //rws:* directive comment line, capturing the
-// directive name and its optional argument.
-var directiveRe = regexp.MustCompile(`^//rws:([a-z]+)(?:\s+(\S+))?\s*$`)
+// directive name and its optional argument (which may be several words:
+// a //rws:leakok reason, a //rws:lockorder chain).
+var directiveRe = regexp.MustCompile(`^//rws:([a-z]+)(?:\s+(.+?))?\s*$`)
+
+// directiveMatch matches one comment against directiveRe, first cutting
+// any trailing `// want` clause so fixture expectations can share the
+// directive's own line without leaking into a multi-word argument.
+func directiveMatch(text string) []string {
+	if i := strings.Index(text, "// want "); i > 0 {
+		text = strings.TrimRight(text[:i], " \t")
+	}
+	return directiveRe.FindStringSubmatch(text)
+}
 
 // scanDirectives records the package-level and per-line directives of
 // every file.
 func (p *Package) scanDirectives(fset *token.FileSet) {
 	p.directives = make(map[string]bool)
-	p.lineDirectives = make(map[string]map[int][]string)
+	p.lineDirectives = make(map[string]map[int][]lineDirective)
 	for _, f := range p.Files {
 		filename := fset.Position(f.Pos()).Filename
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := directiveRe.FindStringSubmatch(c.Text)
+				m := directiveMatch(c.Text)
 				if m == nil {
 					continue
-				}
-				name := m[1]
-				if m[2] != "" {
-					name = m[1] // argument-bearing directives keep the bare name for line lookup
 				}
 				switch m[1] {
 				case "deterministic", "jsonapi":
 					p.directives[m[1]] = true
+				case "lockorder":
+					p.lockOrders = append(p.lockOrders, lockOrderDecl{Spec: m[2], Pos: c.Pos()})
 				}
 				lines := p.lineDirectives[filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]lineDirective)
 					p.lineDirectives[filename] = lines
 				}
 				line := fset.Position(c.Pos()).Line
-				lines[line] = append(lines[line], name)
+				lines[line] = append(lines[line], lineDirective{name: m[1], arg: m[2]})
 			}
 		}
 	}

@@ -1,0 +1,524 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module-wide lock-acquisition graph — an edge
+// A → B wherever lock B is acquired while A is held, directly or
+// through any call chain the call graph admits — and reports every
+// cycle as a potential deadlock. Locks are identified at type
+// granularity as pkg.Type.field (serve.Store.mu), the level at which a
+// global order is meaningful; //rws:lockorder a<b declarations state
+// the intended order, and an observed inversion names the edge that
+// breaks it even before the reverse edge exists to close a cycle.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "the module's lock-acquisition graph is acyclic and matches the declared //rws:lockorder order",
+	Run:  runLockOrder,
+}
+
+// lockID names one lock at type granularity: pkgbase.Type.field.
+type lockID string
+
+// lockAcq is one acquisition: which lock, where.
+type lockAcq struct {
+	id  lockID
+	pos token.Pos
+}
+
+// lockGraph is the observed acquired-while-held relation, keeping the
+// first witness position per edge.
+type lockGraph struct {
+	edges map[lockID]map[lockID]token.Pos
+}
+
+func (g *lockGraph) add(from, to lockID, pos token.Pos) {
+	if g.edges == nil {
+		g.edges = make(map[lockID]map[lockID]token.Pos)
+	}
+	m := g.edges[from]
+	if m == nil {
+		m = make(map[lockID]token.Pos)
+		g.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = pos
+	}
+}
+
+func runLockOrder(pass *Pass) {
+	prog := pass.Prog
+	// Whole-program analysis: run once, on the first package's pass.
+	if len(prog.Pkgs) == 0 || pass.Pkg != prog.Pkgs[0] {
+		return
+	}
+	g := prog.CallGraph()
+
+	// Pass 1: linear scan of every function — direct acquisitions,
+	// direct held-while-acquired edges, and the call sites reached with
+	// locks held.
+	order := &lockGraph{}
+	direct := make(map[*types.Func][]lockAcq)
+	type callSite struct {
+		held   []lockID
+		callee *types.Func
+		pos    token.Pos
+	}
+	var sites []callSite
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sc := &orderScanner{
+					pass:  pass,
+					pkg:   pkg,
+					graph: g,
+					fn:    fn,
+					held:  make(map[string]lockAcq),
+					order: order,
+				}
+				sc.seedLockedEntry(fd, fn)
+				sc.stmts(fd.Body.List)
+				direct[fn] = sc.acquires
+				for _, cs := range sc.sites {
+					sites = append(sites, callSite{held: cs.held, callee: cs.callee, pos: cs.pos})
+				}
+			}
+		}
+	}
+
+	// Pass 2: fixpoint over the call graph — the full set of locks each
+	// function may acquire, transitively.
+	acquires := make(map[*types.Func]map[lockID]bool)
+	for fn, acqs := range direct {
+		set := make(map[lockID]bool)
+		for _, a := range acqs {
+			set[a.id] = true
+		}
+		acquires[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range direct {
+			set := acquires[fn]
+			for _, e := range g.Edges[fn] {
+				for id := range acquires[e.Callee] {
+					if !set[id] {
+						set[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: edges induced by calls made with locks held — anything the
+	// callee may transitively acquire is acquired under the held locks.
+	for _, cs := range sites {
+		for id := range acquires[cs.callee] {
+			for _, h := range cs.held {
+				order.add(h, id, cs.pos)
+			}
+		}
+	}
+
+	declared, declaredOK := collectDeclaredOrder(pass)
+	if declaredOK {
+		reportOrderViolations(pass, order, declared)
+	}
+	reportCycles(pass, order)
+}
+
+// orderScanner walks one function body in source order, the same linear
+// discipline as lockguard: a lock is held from its Lock call to its
+// Unlock (deferred unlocks hold to function end).
+type orderScanner struct {
+	pass  *Pass
+	pkg   *Package
+	graph *CallGraph
+	fn    *types.Func
+	// held maps the syntactic base key ("st.mu") to the acquisition, so
+	// release matches the same expression that locked.
+	held map[string]lockAcq
+	// entry marks base keys held at entry (//rws:locked): edge sources,
+	// but not acquisitions of this function.
+	entry map[string]bool
+	// acquires collects this function's direct acquisitions.
+	acquires []lockAcq
+	// sites collects calls made while at least one lock is held.
+	sites []struct {
+		held   []lockID
+		callee *types.Func
+		pos    token.Pos
+	}
+	order *lockGraph
+}
+
+// seedLockedEntry marks the //rws:locked guard as held for the whole
+// body when the guard resolves to a mutex field of the receiver type.
+func (s *orderScanner) seedLockedEntry(fd *ast.FuncDecl, fn *types.Func) {
+	s.entry = make(map[string]bool)
+	guard := s.pass.Prog.Ann.Locked[fn]
+	if guard == "" {
+		return
+	}
+	recv := receiverNamed(fn)
+	if recv == nil || !hasMutexField(recv, guard) {
+		return
+	}
+	base := "<recv>"
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		base = fd.Recv.List[0].Names[0].Name
+	}
+	key := base + "." + guard
+	s.held[key] = lockAcq{id: lockIDOf(recv, guard), pos: fd.Pos()}
+	s.entry[key] = true
+}
+
+// hasMutexField reports whether named's struct declares a mutex field
+// of the given name.
+func hasMutexField(named *types.Named, field string) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			return isMutexType(st.Field(i).Type())
+		}
+	}
+	return false
+}
+
+// lockIDOf renders the type-granular lock name: pkgbase.Type.field.
+func lockIDOf(owner *types.Named, field string) lockID {
+	path := owner.Obj().Pkg().Path()
+	base := path[strings.LastIndexByte(path, '/')+1:]
+	return lockID(base + "." + owner.Obj().Name() + "." + field)
+}
+
+func (s *orderScanner) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+func (s *orderScanner) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		s.stmts(st.List)
+	case *ast.ExprStmt:
+		s.expr(st.X, false)
+	case *ast.DeferStmt:
+		s.expr(st.Call, true)
+	case *ast.GoStmt:
+		// The goroutine body is scanned with the spawn-point lock state,
+		// the same approximation lockguard makes.
+		s.expr(st.Call, false)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			s.expr(rhs, false)
+		}
+		for _, lhs := range st.Lhs {
+			s.expr(lhs, false)
+		}
+	case *ast.IncDecStmt:
+		s.expr(st.X, false)
+	case *ast.IfStmt:
+		s.stmt(st.Init)
+		s.expr(st.Cond, false)
+		s.stmt(st.Body)
+		s.stmt(st.Else)
+	case *ast.ForStmt:
+		s.stmt(st.Init)
+		if st.Cond != nil {
+			s.expr(st.Cond, false)
+		}
+		s.stmt(st.Post)
+		s.stmt(st.Body)
+	case *ast.RangeStmt:
+		s.expr(st.X, false)
+		s.stmt(st.Body)
+	case *ast.SwitchStmt:
+		s.stmt(st.Init)
+		if st.Tag != nil {
+			s.expr(st.Tag, false)
+		}
+		s.stmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		s.stmt(st.Init)
+		s.stmt(st.Assign)
+		s.stmt(st.Body)
+	case *ast.SelectStmt:
+		s.stmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			s.expr(e, false)
+		}
+		s.stmts(st.Body)
+	case *ast.CommClause:
+		s.stmt(st.Comm)
+		s.stmts(st.Body)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e, false)
+		}
+	case *ast.SendStmt:
+		s.expr(st.Chan, false)
+		s.expr(st.Value, false)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	case *ast.DeclStmt:
+		s.expr(st, false)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		s.expr(st, false)
+	}
+}
+
+// expr visits every call inside n in pre-order: mutex Lock/Unlock calls
+// update the held state, everything else resolvable through the call
+// graph becomes a call site under the current held set.
+func (s *orderScanner) expr(n ast.Node, deferred bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if s.lockCall(call, deferred) {
+			return false
+		}
+		if len(s.held) > 0 {
+			callees, _ := s.graph.CalleesAt(s.pass.Prog, s.pkg, call)
+			if len(callees) > 0 {
+				held := s.heldIDs()
+				for _, callee := range callees {
+					s.sites = append(s.sites, struct {
+						held   []lockID
+						callee *types.Func
+						pos    token.Pos
+					}{held: held, callee: callee, pos: call.Pos()})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// heldIDs snapshots the currently held lock identities.
+func (s *orderScanner) heldIDs() []lockID {
+	out := make([]lockID, 0, len(s.held))
+	for _, a := range s.held {
+		out = append(out, a.id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// lockCall recognizes <base>.<field>.Lock/RLock/Unlock/RUnlock and
+// updates the held state, recording acquisition edges and direct
+// self-deadlocks along the way. Returns true for any mutex method call,
+// identified or not, so it is never treated as an ordinary call site.
+func (s *orderScanner) lockCall(call *ast.CallExpr, deferred bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := s.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || !isMutexType(sig.Recv().Type()) {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return false
+	}
+	// The receiver must be a field selection (<base>.<field>) to have a
+	// type-granular identity; a bare local mutex stays anonymous.
+	recv, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return true
+	}
+	owner := namedOrPointee(s.pkg.Info.TypeOf(recv.X))
+	if owner == nil || owner.Obj().Pkg() == nil {
+		return true
+	}
+	key := exprKey(recv.X) + "." + recv.Sel.Name
+	id := lockIDOf(owner, recv.Sel.Name)
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		if prev, ok := s.held[key]; ok && !deferred {
+			s.pass.Reportf(call.Pos(), "acquires %s while already holding it (acquired at %s): guaranteed self-deadlock", prev.id, s.pass.describePos(prev.pos))
+			return true
+		}
+		for _, h := range s.heldIDs() {
+			s.order.add(h, id, call.Pos())
+		}
+		s.acquires = append(s.acquires, lockAcq{id: id, pos: call.Pos()})
+		s.held[key] = lockAcq{id: id, pos: call.Pos()}
+	case "Unlock", "RUnlock":
+		if !deferred && !s.entry[key] {
+			delete(s.held, key)
+		}
+	}
+	return true
+}
+
+// collectDeclaredOrder parses every //rws:lockorder declaration into a
+// transitively closed before-relation. Returns ok=false only when no
+// well-formed declaration exists (violation checking is skipped, cycle
+// detection still runs).
+func collectDeclaredOrder(pass *Pass) (map[lockID]map[lockID]token.Pos, bool) {
+	prog := pass.Prog
+	before := make(map[lockID]map[lockID]token.Pos)
+	addDecl := func(a, b lockID, pos token.Pos) {
+		m := before[a]
+		if m == nil {
+			m = make(map[lockID]token.Pos)
+			before[a] = m
+		}
+		if _, ok := m[b]; !ok {
+			m[b] = pos
+		}
+	}
+	any := false
+	for _, pkg := range prog.Pkgs {
+		for _, d := range pkg.lockOrders {
+			names := strings.Split(d.Spec, "<")
+			ok := len(names) >= 2
+			for i, n := range names {
+				names[i] = strings.TrimSpace(n)
+				if names[i] == "" || strings.ContainsAny(names[i], " \t") {
+					ok = false
+				}
+			}
+			if !ok {
+				pass.Reportf(d.Pos, "malformed //rws:lockorder %q: want a chain like serve.Store.mu<serve.diffCache.mu", d.Spec)
+				continue
+			}
+			any = true
+			for i := 0; i+1 < len(names); i++ {
+				addDecl(lockID(names[i]), lockID(names[i+1]), d.Pos)
+			}
+		}
+	}
+	if !any {
+		return nil, false
+	}
+	// Transitive closure, then contradiction check: a<b and b<a declared
+	// (possibly through chains) is an error in the declarations.
+	for changed := true; changed; {
+		changed = false
+		for a, m := range before {
+			for b := range m {
+				for c, pos := range before[b] {
+					if _, ok := before[a][c]; !ok {
+						addDecl(a, c, pos)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for a, m := range before {
+		for b, pos := range m {
+			if _, rev := before[b][a]; rev && a < b {
+				pass.Reportf(pos, "//rws:lockorder declarations conflict: both %s < %s and %s < %s are declared", a, b, b, a)
+			}
+		}
+	}
+	return before, true
+}
+
+// reportOrderViolations flags every observed edge that inverts the
+// declared order, naming the breaking acquisition.
+func reportOrderViolations(pass *Pass, order *lockGraph, before map[lockID]map[lockID]token.Pos) {
+	for _, from := range sortedLockIDs(order.edges) {
+		tos := order.edges[from]
+		for _, to := range sortedLockIDKeys(tos) {
+			if _, declared := before[to][from]; declared {
+				pass.Reportf(tos[to], "acquires %s while holding %s: violates declared lock order %s < %s", to, from, to, from)
+			}
+		}
+	}
+}
+
+// reportCycles runs a DFS over the observed graph and reports each
+// cycle once, at the edge that closes it.
+func reportCycles(pass *Pass, order *lockGraph) {
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := make(map[lockID]int)
+	var path []lockID
+	var visit func(id lockID)
+	visit = func(id lockID) {
+		color[id] = gray
+		path = append(path, id)
+		for _, to := range sortedLockIDKeys(order.edges[id]) {
+			switch color[to] {
+			case white:
+				visit(to)
+			case gray:
+				// Back edge id → to closes a cycle through the gray path.
+				start := 0
+				for i, p := range path {
+					if p == to {
+						start = i
+						break
+					}
+				}
+				cycle := append(append([]lockID{}, path[start:]...), to)
+				parts := make([]string, len(cycle))
+				for i, c := range cycle {
+					parts[i] = string(c)
+				}
+				pass.Reportf(order.edges[id][to], "lock-order cycle (potential deadlock): %s", strings.Join(parts, " -> "))
+			}
+		}
+		path = path[:len(path)-1]
+		color[id] = black
+	}
+	for _, id := range sortedLockIDs(order.edges) {
+		if color[id] == white {
+			visit(id)
+		}
+	}
+}
+
+func sortedLockIDs(m map[lockID]map[lockID]token.Pos) []lockID {
+	out := make([]lockID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedLockIDKeys(m map[lockID]token.Pos) []lockID {
+	out := make([]lockID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "lockorder", LockOrder)
+}

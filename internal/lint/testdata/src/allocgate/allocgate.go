@@ -1,0 +1,31 @@
+// Package allocgate is the compiler-escape-analysis fixture, checked
+// through AllocGatePatterns (which shells out to go build -gcflags=-m=2)
+// rather than the in-process driver — so no // want comments here; the
+// test asserts the findings programmatically.
+package allocgate
+
+//rws:allocfree
+func Clean(xs []int, i int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[i%len(xs)]
+}
+
+//rws:allocfree
+func Escapes(n int) *int {
+	return &n // the compiler moves n to the heap
+}
+
+//rws:hotpath
+func HotEscapes(n int) []int {
+	return make([]int, n) // non-constant size: escapes to heap
+}
+
+//rws:hotpath
+func HotCold(n int) []int {
+	if n > 64 {
+		return make([]int, n) //rws:coldpath
+	}
+	return nil
+}

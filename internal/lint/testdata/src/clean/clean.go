@@ -1,8 +1,13 @@
 // Package clean is the driver test's all-green input: annotated code
 // that honors every contract, so rws-lint must exit zero on it.
+//
+//rws:lockorder clean.registry.mu<clean.cache.mu
 package clean
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 type cache struct {
 	mu sync.RWMutex
@@ -23,6 +28,34 @@ func (c *cache) Put(k string, v int) {
 		c.m = map[string]int{}
 	}
 	c.m[k] = v
+}
+
+type registry struct {
+	mu     sync.Mutex
+	caches []*cache // guarded by mu
+}
+
+// Refresh acquires in the declared order: registry.mu before cache.mu.
+func (r *registry) Refresh(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.caches {
+		c.Put(k, v)
+	}
+}
+
+// Watch's goroutine terminates on context cancellation.
+func Watch(ctx context.Context, tick <-chan struct{}, f func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+				f()
+			}
+		}
+	}()
 }
 
 //rws:hotpath

@@ -1,0 +1,61 @@
+// Package ctxflow exercises the ctxflow analyzer: fresh root contexts
+// minted below request handlers, the //rws:ctxok escape, interface
+// dispatch over-approximation, and the //rws:coldpath reachability cut.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	_ = context.TODO() // want `context\.TODO\(\) in handler handle: thread the request context`
+	helper()
+}
+
+func helper() {
+	_ = context.Background() // want `context\.Background\(\) in helper \(reachable from handler handle\)`
+}
+
+func okEscape(w http.ResponseWriter, r *http.Request) {
+	_ = context.Background() //rws:ctxok
+}
+
+// unreachable is never called from a handler: minting a root context
+// here is fine (a main-style entry point).
+func unreachable() {
+	_ = context.Background()
+}
+
+type store interface{ refresh() }
+
+type diskStore struct{}
+
+// refresh is only ever called through the store interface; the
+// over-approximated dispatch edge still reaches it from dispatch.
+func (diskStore) refresh() {
+	_ = context.Background() // want `context\.Background\(\) in refresh \(reachable from handler dispatch\)`
+}
+
+type cold interface{ purge() }
+
+type coldImpl struct{}
+
+// purge is reachable only through a //rws:coldpath call line, which
+// cuts the dynamic edge: no finding here.
+func (coldImpl) purge() {
+	_ = context.Background()
+}
+
+type server struct {
+	s store
+	c cold
+}
+
+func (sv *server) dispatch(w http.ResponseWriter, r *http.Request) {
+	sv.s.refresh()
+}
+
+func (sv *server) slow(w http.ResponseWriter, r *http.Request) {
+	sv.c.purge() //rws:coldpath
+}

@@ -1,0 +1,93 @@
+// Package goroleak exercises the goroleak analyzer: goroutines without
+// a provable termination path, each accepted evidence kind (context,
+// WaitGroup, bounded body, leakok with reason), and the one-level
+// callee body scan.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func leaky() {
+	go func() { // want `goroutine has no provable termination path`
+		for {
+		}
+	}()
+}
+
+func leakyChan(ch chan int) {
+	go func() { // want `goroutine has no provable termination path`
+		for range ch {
+		}
+	}()
+}
+
+func leakySelect() {
+	go func() { // want `goroutine has no provable termination path`
+		select {}
+	}()
+}
+
+func okCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func okCtxPassed(ctx context.Context, work func(context.Context)) {
+	go func() {
+		work(ctx)
+	}()
+}
+
+func okWg(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func okBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+func okCtxArg(ctx context.Context) {
+	go pump(ctx)
+}
+
+func pump(ctx context.Context) { <-ctx.Done() }
+
+type worker struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+// start's goroutine proves termination one call level deep: loop
+// signals the WaitGroup.
+func (w *worker) start() {
+	go w.loop()
+}
+
+func (w *worker) loop() {
+	defer w.wg.Done()
+	for range w.ch {
+	}
+}
+
+func okLeakok() {
+	go func() { //rws:leakok process-lifetime metrics pump, dies with the process
+		for {
+		}
+	}()
+}
+
+func badLeakok() {
+	go func() { //rws:leakok // want `//rws:leakok needs a reason`
+		for {
+		}
+	}()
+}

@@ -4,7 +4,9 @@
 package knownbad
 
 import (
+	"context"
 	"fmt"
+	"net/http"
 	"sync"
 )
 
@@ -17,3 +19,34 @@ func ReadBox(b *box) int { return b.v }
 
 //rws:hotpath
 func Format(v int) string { return fmt.Sprintf("%d", v) }
+
+type left struct{ mu sync.Mutex }
+type right struct{ mu sync.Mutex }
+
+// LockLR and LockRL together close a lock-order cycle.
+func LockLR(l *left, r *right) {
+	l.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	l.mu.Unlock()
+}
+
+func LockRL(l *left, r *right) {
+	r.mu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// Spin leaks a goroutine with no termination path.
+func Spin() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+// Handle mints a root context below a request handler.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	_ = context.Background()
+}

@@ -20,6 +20,8 @@ const (
 // diffCacheCap sizes the diff cache for a store retaining n versions:
 // the full ordered-pair surface (n²) so a loadgen sweep over every
 // (from, to) combination fits without thrash, clamped to sane bounds.
+//
+//rws:allocfree
 func diffCacheCap(n int) int {
 	c := n * n
 	if c < diffCacheFloor {
@@ -47,6 +49,7 @@ type diffCacheMetrics struct {
 	misses        uint64
 	evictions     uint64
 	invalidations uint64
+	computes      uint64
 }
 
 // diffCache is a bounded LRU of core.DiffLists results keyed by
@@ -64,6 +67,7 @@ type diffCache struct {
 	misses        atomic.Uint64
 	evictions     atomic.Uint64 // LRU capacity evictions
 	invalidations atomic.Uint64 // entries dropped because a version was evicted
+	computes      atomic.Uint64 // real core.DiffLists runs feeding the cache
 }
 
 // diffItem is one LRU slot.
@@ -186,5 +190,6 @@ func (c *diffCache) metrics() diffCacheMetrics {
 		misses:        c.misses.Load(),
 		evictions:     c.evictions.Load(),
 		invalidations: c.invalidations.Load(),
+		computes:      c.computes.Load(),
 	}
 }

@@ -650,6 +650,10 @@ type DiffCacheMetrics struct {
 	// entries dropped because a version they referenced left the store.
 	Evictions     uint64 `json:"evictions"`
 	Invalidations uint64 `json:"invalidations"`
+	// Computes counts real core.DiffLists runs feeding the cache; with
+	// singleflight it stays at one per cold pair no matter how many
+	// concurrent requests raced for it.
+	Computes uint64 `json:"computes"`
 }
 
 // VersionHits reports one retained version's request count in a
@@ -699,6 +703,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Misses:        dc.misses,
 			Evictions:     dc.evictions,
 			Invalidations: dc.invalidations,
+			Computes:      dc.computes,
 		},
 		VersionHits: make([]VersionHits, 0, len(infos)),
 		Endpoints:   make([]EndpointMetrics, 0, numEndpoints),

@@ -338,6 +338,7 @@ func (s *Snapshot) buildVerdictsSerial(pid policyID) {
 // enough that lookups pay one short hash before the map access.
 //
 //rws:hotpath
+//rws:allocfree
 func shardOf(host string, n int) int {
 	const (
 		offset32 = 2166136261
@@ -354,6 +355,7 @@ func shardOf(host string, n int) int {
 // lookup resolves a canonical host against the sharded index.
 //
 //rws:hotpath
+//rws:allocfree
 func (s *Snapshot) lookup(host string) (hostEntry, bool) {
 	e, ok := s.hostShards[shardOf(host, len(s.hostShards))][host]
 	return e, ok

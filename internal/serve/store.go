@@ -66,8 +66,17 @@ type Store struct {
 
 	// diffs memoizes DiffLists results between retained versions, keyed
 	// by (fromHash, toHash). It has its own lock; the order is always
-	// st.mu → diffs.mu, never the reverse.
+	// st.mu → diffs.mu, never the reverse — declared for rws-lint below.
+	//
+	//rws:lockorder serve.Store.mu<serve.diffCache.mu
 	diffs *diffCache
+
+	// flightMu guards flights, the singleflight table that collapses
+	// concurrent Diff misses for the same (from, to) pair into one
+	// core.DiffLists run. It is a leaf lock: held only around map
+	// bookkeeping, never while computing a diff or taking any other lock.
+	flightMu sync.Mutex
+	flights  map[diffKey]*diffFlight // guarded by flightMu
 
 	// opts configures how Add/AddList build snapshots (shard count,
 	// memory budget). Immutable after construction.
@@ -89,17 +98,27 @@ func NewStoreWith(capacity int, opts SnapshotOptions) *Store {
 		capacity = DefaultRetain
 	}
 	return &Store{
-		byHash: make(map[string]*storeEntry, capacity),
-		cap:    capacity,
-		diffs:  newDiffCache(diffCacheCap(capacity)),
-		opts:   opts,
+		byHash:  make(map[string]*storeEntry, capacity),
+		cap:     capacity,
+		diffs:   newDiffCache(diffCacheCap(capacity)),
+		flights: make(map[diffKey]*diffFlight),
+		opts:    opts,
 	}
+}
+
+// diffFlight is one in-progress Diff computation: the winner closes done
+// after storing d, so waiters reading d after <-done are ordered by the
+// channel-close happens-before edge.
+type diffFlight struct {
+	done chan struct{}
+	d    core.Diff
 }
 
 // Current returns the snapshot answering unversioned queries. Lock-free;
 // this is the request fast path. Nil only before the first Add.
 //
 //rws:hotpath
+//rws:allocfree
 func (st *Store) Current() *Snapshot { return st.cur.Load() }
 
 // Cap returns the maximum number of versions retained.
@@ -185,6 +204,7 @@ func (st *Store) AddSnapshot(snap *Snapshot, ver core.Version) {
 		// motion; memoDiff would discard the result anyway). memoDiff
 		// still guards against an eviction racing in after this check.
 		if !st.diffs.peek(prev.hash, snap.hash) && st.retained(prev.hash) {
+			st.diffs.computes.Add(1)
 			st.memoDiff(prev, snap, core.DiffLists(prev.list, snap.list))
 		}
 	}
@@ -222,6 +242,13 @@ func (st *Store) evictLocked() {
 // another, memoized by content-hash pair: the first request per pair
 // computes core.DiffLists, every later one is a cache hit. Identical
 // endpoints short-circuit to the empty diff without touching the cache.
+//
+// Concurrent misses for the same pair are singleflighted: one caller
+// computes, the rest wait on the flight and share the result, so a
+// thundering herd on a cold pair costs one DiffLists run instead of N.
+// The flight entry is removed before done is closed, so a post-close
+// caller either hits the cache (the usual case) or recomputes — never
+// reads a stale flight.
 func (st *Store) Diff(from, to *Snapshot) core.Diff {
 	if from.hash == to.hash {
 		return core.Diff{}
@@ -229,9 +256,31 @@ func (st *Store) Diff(from, to *Snapshot) core.Diff {
 	if d, ok := st.diffs.get(from.hash, to.hash); ok {
 		return d
 	}
-	d := core.DiffLists(from.list, to.list)
-	st.memoDiff(from, to, d)
-	return d
+	k := diffKey{from: from.hash, to: to.hash}
+	// Straight-line locked region (the shape lockguard verifies): look up
+	// or register the flight, then branch outside the lock.
+	st.flightMu.Lock()
+	f, waiting := st.flights[k]
+	if !waiting {
+		f = &diffFlight{done: make(chan struct{})}
+		st.flights[k] = f
+	}
+	st.flightMu.Unlock()
+	if waiting {
+		<-f.done
+		return f.d
+	}
+
+	// Winner: compute and memoize outside flightMu, then retire the
+	// flight before releasing the waiters.
+	st.diffs.computes.Add(1)
+	f.d = core.DiffLists(from.list, to.list)
+	st.memoDiff(from, to, f.d)
+	st.flightMu.Lock()
+	delete(st.flights, k)
+	st.flightMu.Unlock()
+	close(f.done)
+	return f.d
 }
 
 // retained reports whether a version with this content hash is
@@ -451,6 +500,8 @@ func parseAsOf(s string) (time.Time, bool) {
 
 // isHexLower reports whether s is entirely lowercase hex, the alphabet
 // of list content hashes.
+//
+//rws:allocfree
 func isHexLower(s string) bool {
 	for i := 0; i < len(s); i++ {
 		c := s[i]

@@ -503,3 +503,55 @@ func TestDiffAcrossEvictionUnderTraffic(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreDiffSingleflight: N concurrent Diff calls for the same cold
+// pair must run core.DiffLists exactly once — the rest wait on the
+// flight and share the winner's result. Run under -race this is also
+// the happens-before proof for the flight handoff. The pair is
+// deliberately non-adjacent (a→c) so the swap-time precompute cannot
+// warm it first.
+func TestStoreDiffSingleflight(t *testing.T) {
+	st := NewStore(4)
+	a := st.Add(listWithPrimary(t, "alpha"), monthVersion("2023-01"))
+	st.Add(listWithPrimary(t, "beta"), monthVersion("2023-02"))
+	c := st.Add(listWithPrimary(t, "gamma"), monthVersion("2023-03"))
+	if _, ok := st.diffs.get(a.Hash(), c.Hash()); ok {
+		t.Fatal("a→c pair is already warm; the test needs a cold pair")
+	}
+	before := st.diffs.computes.Load()
+
+	const callers = 32
+	start := make(chan struct{})
+	results := make([]core.Diff, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i] = st.Diff(a, c)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := st.diffs.computes.Load() - before; got != 1 {
+		t.Errorf("%d concurrent misses ran DiffLists %d times, want 1", callers, got)
+	}
+	want := core.DiffLists(a.list, c.list)
+	for i, d := range results {
+		if !reflect.DeepEqual(d, want) {
+			t.Errorf("caller %d got diff %+v, want %+v", i, d, want)
+		}
+	}
+	// The flight table must be empty afterwards and the pair warm.
+	st.flightMu.Lock()
+	inflight := len(st.flights)
+	st.flightMu.Unlock()
+	if inflight != 0 {
+		t.Errorf("%d flights still registered after all callers returned", inflight)
+	}
+	if _, ok := st.diffs.get(a.Hash(), c.Hash()); !ok {
+		t.Error("a→c pair is not cached after the singleflight compute")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -327,5 +328,65 @@ func TestWatcherSwapsUnderConcurrentQueries(t *testing.T) {
 	case <-watcherDone:
 	case <-time.After(5 * time.Second):
 		t.Fatal("watcher did not stop")
+	}
+}
+
+// TestWatcherRunExitsOnCancelMidFetch: cancelling the watcher context
+// while a fetch is blocked on a slow upstream must abort the request
+// and return from Run without leaking a goroutine. The goroleak
+// analyzer proves Run's goroutine observes its context; this is the
+// end-to-end counterpart, counting real goroutines across a shutdown
+// that lands mid-fetch.
+func TestWatcherRunExitsOnCancelMidFetch(t *testing.T) {
+	fetchStarted := make(chan struct{}, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case fetchStarted <- struct{}{}:
+		default:
+		}
+		// Hold the response until the client gives up: the abort must
+		// come from the watcher's context, not from the server side.
+		<-r.Context().Done()
+	}))
+	defer ts.Close()
+
+	client := &http.Client{}
+	src := source.NewHTTPSource(ts.URL, source.HTTPConfig{Client: client, Attempts: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	base := runtime.NumGoroutine()
+	w := source.NewWatcher(src, 0, nil, func(string, ...any) {})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx, func(source.Swap) {})
+	}()
+	w.Refresh()
+
+	select {
+	case <-fetchStarted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("fetch never reached the test server")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel mid-fetch")
+	}
+
+	// Every goroutine the watcher (and its aborted fetch) started must
+	// wind down; the transport's read/write loops take a moment to
+	// notice the closed connection, so poll with a deadline.
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine count stuck at %d, want <= %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
