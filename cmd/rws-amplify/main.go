@@ -149,6 +149,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "estimated_bytes      %d\n", info.EstimatedBytes)
 		fmt.Fprintf(stdout, "memory_budget        %d\n", info.MemoryBudget)
 		fmt.Fprintf(stdout, "prebaked_set_dropped %v\n", info.PrebakedSetsDropped)
+		fmt.Fprintf(stdout, "snapshot_tier        %s\n", info.Tier)
 		fmt.Fprintf(stdout, "heap_delta_bytes     %d\n", int64(after.HeapAlloc)-int64(before.HeapAlloc))
 		return nil
 	}

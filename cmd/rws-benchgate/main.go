@@ -8,6 +8,7 @@
 //	rws-benchgate -current BENCH.txt [-baseline BASELINE.txt]
 //	              [-threshold 1.25] [-match REGEX] [-min-ns 50]
 //	              [-stat min|median] [-write-json BENCH.json]
+//	              [-assert-zero-alloc REGEX]
 //
 // The inputs are plain `go test -bench` output (any -count; a
 // benchmark's repeated samples are reduced with -stat before comparing,
@@ -29,8 +30,16 @@
 // Without -baseline the gate only parses and reports the current run —
 // the bootstrap path CI uses until a baseline is committed.
 //
-// -write-json emits the parsed current run as JSON (the BENCH_5.json
+// -write-json emits the parsed current run as JSON (the BENCH_9.json
 // artifact), so later tooling can diff runs without re-parsing text.
+//
+// -assert-zero-alloc REGEX asserts that every current-run sample of
+// every benchmark matching REGEX reports 0 allocs/op (the runs must use
+// -benchmem). Unlike the timing gate it is hardware-independent, so it
+// fails the build even when the cpu guard demotes the ratio comparison
+// — and it fails when no matching benchmark carries an allocs/op
+// column, so a renamed benchmark or a dropped -benchmem flag cannot
+// silently disarm the assertion.
 package main
 
 import (
@@ -62,6 +71,7 @@ type config struct {
 	stat      string
 	ignoreCPU bool
 	writeJSON string
+	zeroAlloc *regexp.Regexp
 }
 
 // reduce collapses one benchmark's samples with the configured
@@ -83,6 +93,7 @@ func parseFlags(args []string) (config, error) {
 	stat := fs.String("stat", "min", "statistic reducing repeated samples: min (noise-robust) or median")
 	ignoreCPU := fs.Bool("ignore-cpu", false, "gate even when the baseline's cpu: header differs from the current run's")
 	writeJSON := fs.String("write-json", "", "write the parsed current run as JSON to this path")
+	zeroAlloc := fs.String("assert-zero-alloc", "", "regexp of benchmarks that must report 0 allocs/op in the current run")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -99,22 +110,32 @@ func parseFlags(args []string) (config, error) {
 	if err != nil {
 		return config{}, fmt.Errorf("-match: %v", err)
 	}
-	return config{
+	cfg := config{
 		baseline: *baseline, current: *current, threshold: *threshold,
 		match: re, minNs: *minNs, stat: *stat, ignoreCPU: *ignoreCPU, writeJSON: *writeJSON,
-	}, nil
+	}
+	if *zeroAlloc != "" {
+		if cfg.zeroAlloc, err = regexp.Compile(*zeroAlloc); err != nil {
+			return config{}, fmt.Errorf("-assert-zero-alloc: %v", err)
+		}
+	}
+	return cfg, nil
 }
 
 // benchLine matches one result line of `go test -bench` output:
-// name(-GOMAXPROCS), iteration count, ns/op. Trailing -benchmem columns
-// are ignored.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+// name(-GOMAXPROCS), iteration count, ns/op. The trailing -benchmem
+// allocs/op column, when present, feeds -assert-zero-alloc.
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+	allocsCol = regexp.MustCompile(`\s(\d+) allocs/op`)
+)
 
 // benchRun is one parsed `go test -bench` output: per-benchmark ns/op
-// samples plus the cpu: header, which identifies the hardware the
-// numbers were taken on.
+// samples (and allocs/op where -benchmem reported them) plus the cpu:
+// header, which identifies the hardware the numbers were taken on.
 type benchRun struct {
 	samples map[string][]float64
+	allocs  map[string][]int64
 	cpu     string
 }
 
@@ -122,7 +143,7 @@ type benchRun struct {
 // ns/op per benchmark name (GOMAXPROCS suffix stripped, so baselines
 // survive a runner core-count change) plus the cpu: header.
 func parseBench(r io.Reader) (benchRun, error) {
-	out := benchRun{samples: make(map[string][]float64)}
+	out := benchRun{samples: make(map[string][]float64), allocs: make(map[string][]int64)}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
@@ -139,6 +160,13 @@ func parseBench(r io.Reader) (benchRun, error) {
 			return benchRun{}, fmt.Errorf("parsing %q: %v", line, err)
 		}
 		out.samples[m[1]] = append(out.samples[m[1]], ns)
+		if a := allocsCol.FindStringSubmatch(line); a != nil {
+			n, err := strconv.ParseInt(a[1], 10, 64)
+			if err != nil {
+				return benchRun{}, fmt.Errorf("parsing %q: %v", line, err)
+			}
+			out.allocs[m[1]] = append(out.allocs[m[1]], n)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return benchRun{}, err
@@ -266,6 +294,47 @@ func writeJSONFile(path string, cur map[string][]float64) error {
 	return os.WriteFile(path, append(body, '\n'), 0o644)
 }
 
+// assertZeroAlloc enforces -assert-zero-alloc against the current run.
+// Every sample of every matching benchmark must report 0 allocs/op, and
+// at least one matching benchmark must carry the column at all — a run
+// without -benchmem (or with the benchmarks renamed away) fails rather
+// than passing vacuously.
+func assertZeroAlloc(cur benchRun, re *regexp.Regexp, out io.Writer) error {
+	names := make([]string, 0, len(cur.samples))
+	for n := range cur.samples {
+		if re.MatchString(n) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("-assert-zero-alloc %v matched no benchmarks in the current run", re)
+	}
+	checked := 0
+	var dirty []string
+	for _, n := range names {
+		allocs, ok := cur.allocs[n]
+		if !ok {
+			continue
+		}
+		checked++
+		for _, a := range allocs {
+			if a != 0 {
+				dirty = append(dirty, fmt.Sprintf("%s: %d allocs/op", n, a))
+				break
+			}
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("-assert-zero-alloc %v: no matching benchmark reports an allocs/op column (run with -benchmem)", re)
+	}
+	if len(dirty) > 0 {
+		return fmt.Errorf("allocations on asserted zero-alloc benchmarks: %s", strings.Join(dirty, "; "))
+	}
+	fmt.Fprintf(out, "rws-benchgate: %d benchmarks matching %v hold 0 allocs/op\n", checked, re)
+	return nil
+}
+
 func parseFile(path string) (benchRun, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -290,6 +359,13 @@ func run(args []string, out io.Writer) error {
 	}
 	if cfg.writeJSON != "" {
 		if err := writeJSONFile(cfg.writeJSON, cur.samples); err != nil {
+			return err
+		}
+	}
+	// The zero-alloc assertion is hardware-independent: it runs (and can
+	// fail) before the baseline/cpu logic can demote anything.
+	if cfg.zeroAlloc != nil {
+		if err := assertZeroAlloc(cur, cfg.zeroAlloc, out); err != nil {
 			return err
 		}
 	}

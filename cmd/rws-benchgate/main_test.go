@@ -221,3 +221,52 @@ func TestFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// allocText is a -benchmem run: two clean zero-alloc benchmarks, one
+// allocating one, and one without the allocs/op column at all.
+const allocText = `goos: linux
+pkg: rwskit/internal/serve
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHandlerSameSetPrebaked-2   	 1425738	       836.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHandlerSameSetPrebaked-2   	 1425738	       839.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHandlerStatsPrebaked-2     	 3065910	       391.4 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHandlerSameSet-2           	  600000	      1998.0 ns/op	    1008 B/op	       8 allocs/op
+BenchmarkStoreDiffCached-2          	  100000	       800.0 ns/op
+PASS
+`
+
+func TestAssertZeroAlloc(t *testing.T) {
+	cur := writeFile(t, "cur.txt", allocText)
+	// Clean benchmarks pass and are reported.
+	var sb strings.Builder
+	if err := run([]string{"-current", cur, "-assert-zero-alloc", "Prebaked$"}, &sb); err != nil {
+		t.Fatalf("clean assertion failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "hold 0 allocs/op") {
+		t.Errorf("assertion not reported:\n%s", sb.String())
+	}
+	// An allocating benchmark in the asserted set fails and is named.
+	err := run([]string{"-current", cur, "-assert-zero-alloc", "BenchmarkHandler"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkHandlerSameSet: 8 allocs/op") {
+		t.Errorf("allocating benchmark not caught: %v", err)
+	}
+	// No matching benchmark: the assertion must fail, not pass vacuously.
+	if err := run([]string{"-current", cur, "-assert-zero-alloc", "NoSuchBenchmark"}, &sb); err == nil {
+		t.Error("vacuous match should fail")
+	}
+	// Matching benchmarks without an allocs/op column (no -benchmem):
+	// also a failure, the data the assertion needs is absent.
+	if err := run([]string{"-current", cur, "-assert-zero-alloc", "StoreDiffCached"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "-benchmem") {
+		t.Errorf("column-free assertion: err = %v, want a -benchmem hint", err)
+	}
+	// Bad regexp is a flag error.
+	if _, err := parseFlags([]string{"-current", "x", "-assert-zero-alloc", "("}); err == nil {
+		t.Error("bad -assert-zero-alloc regexp should fail")
+	}
+	// The assertion composes with a baseline comparison and runs first.
+	base := writeFile(t, "base.txt", allocText)
+	if err := run([]string{"-current", cur, "-baseline", base, "-assert-zero-alloc", "Prebaked$"}, &sb); err != nil {
+		t.Fatalf("assertion + gate: %v\n%s", err, sb.String())
+	}
+}

@@ -1,15 +1,29 @@
-// Command rws-loadgen is a closed-loop, keep-alive load generator for
-// rws-serve: N workers issue queries back-to-back over pooled
-// connections, so the measured numbers reflect the server's query plane
-// rather than TCP dial latency (PR 2's loopback benchmarks were
-// dial-dominated; this is the ROADMAP's fix).
+// Command rws-loadgen is a keep-alive load generator for rws-serve
+// with two modes:
+//
+//   - Closed loop (default): N workers issue queries back-to-back over
+//     pooled connections, so the measured numbers reflect the server's
+//     query plane rather than TCP dial latency (PR 2's loopback
+//     benchmarks were dial-dominated; this is the ROADMAP's fix).
+//   - Open loop (-rate or -sweep): requests launch on a rate-driven
+//     arrival schedule (Poisson by default, -arrival fixed for even
+//     spacing) that does not wait for completions, and latency is
+//     measured from each request's intended send time — the wrk2-style
+//     correction for coordinated omission. -sweep steps the offered
+//     rate through a list of stages and reports the latency-under-load
+//     curve plus the knee (the highest sustained rate).
+//
+// -fast swaps net/http for a minimal built-in HTTP/1.1 client (plain
+// http targets only), removing ~30µs/request of client-side overhead so
+// a single small load box can saturate the prebaked serving plane.
 //
 // Usage:
 //
 //	rws-loadgen -target http://host:port [-workers 8] [-duration 10s]
 //	            [-mix sameset=4,set=3,partition=2,batch=1] [-seed 1]
 //	            [-list file-or-url | -amplify N [-amplify-seed S]]
-//	            [-batch 8] [-json]
+//	            [-rate R | -sweep r1,r2,...] [-arrival poisson|fixed]
+//	            [-fast] [-batch 8] [-json]
 //
 // Scenarios:
 //
@@ -106,6 +120,10 @@ type config struct {
 	batch       int
 	timeout     time.Duration
 	jsonOut     bool
+	rate        float64
+	arrival     string
+	sweepRates  []float64
+	fast        bool
 }
 
 func parseFlags(args []string) (config, error) {
@@ -121,6 +139,10 @@ func parseFlags(args []string) (config, error) {
 	batch := fs.Int("batch", 8, "pairs per batch request")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	rate := fs.Float64("rate", 0, "open-loop offered rate in req/s across all workers (0 = closed loop)")
+	arrival := fs.String("arrival", "poisson", "open-loop arrival process: poisson or fixed")
+	sweep := fs.String("sweep", "", "comma-separated offered rates to sweep (req/s), one -duration stage each; implies open loop")
+	fast := fs.Bool("fast", false, "use the minimal built-in HTTP/1.1 client (plain http targets only)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -132,6 +154,7 @@ func parseFlags(args []string) (config, error) {
 		duration: *duration, mix: *mix, seed: *seed, list: *list,
 		amplify: *amp, amplifySeed: *ampSeed,
 		batch: *batch, timeout: *timeout, jsonOut: *jsonOut,
+		rate: *rate, arrival: *arrival, fast: *fast,
 	}
 	if cfg.target == "" {
 		return config{}, errors.New("-target is required")
@@ -154,11 +177,50 @@ func parseFlags(args []string) (config, error) {
 	if cfg.amplify > 0 && cfg.list != "" {
 		return config{}, errors.New("-amplify excludes -list")
 	}
+	if cfg.arrival != "poisson" && cfg.arrival != "fixed" {
+		return config{}, errors.New("-arrival must be poisson or fixed")
+	}
+	if cfg.rate < 0 {
+		return config{}, errors.New("-rate must be >= 0")
+	}
+	if *sweep != "" {
+		if cfg.rate > 0 {
+			return config{}, errors.New("-sweep excludes -rate (the sweep sets its own rates)")
+		}
+		var err error
+		if cfg.sweepRates, err = parseSweep(*sweep); err != nil {
+			return config{}, err
+		}
+	}
 	var err error
 	if cfg.weights, err = parseMix(*mix); err != nil {
 		return config{}, err
 	}
 	return cfg, nil
+}
+
+// parseSweep parses "-sweep 5000,10000,20000" into ascending offered
+// rates. Ascending order is required: the knee scan walks up the curve.
+func parseSweep(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("-sweep: bad rate %q (want a positive req/s number)", part)
+		}
+		if len(rates) > 0 && r <= rates[len(rates)-1] {
+			return nil, fmt.Errorf("-sweep: rates must be strictly ascending (%g after %g)", r, rates[len(rates)-1])
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, errors.New("-sweep: no rates given")
+	}
+	return rates, nil
 }
 
 // parseMix parses "sameset=4,set=3,partition=2,batch=1". Omitted
@@ -209,19 +271,26 @@ type ScenarioStats struct {
 	Errors   uint64 `json:"errors"`
 }
 
-// Report is the load-generation result.
+// Report is the load-generation result. Mode "closed" measures
+// per-request service latency; mode "open" measures latency from each
+// request's intended send time at the offered rate.
 type Report struct {
 	Target        string          `json:"target"`
 	Workers       int             `json:"workers"`
 	Mix           string          `json:"mix"`
 	Seed          int64           `json:"seed"`
+	Mode          string          `json:"mode"`
+	Arrival       string          `json:"arrival,omitempty"`
+	OfferedRate   float64         `json:"offered_rate,omitempty"`
 	ElapsedMillis int64           `json:"elapsed_millis"`
 	Requests      uint64          `json:"requests"`
 	Errors        uint64          `json:"errors"`
 	ReqPerSec     float64         `json:"req_per_sec"`
 	P50Micros     int64           `json:"p50_micros"`
+	P90Micros     int64           `json:"p90_micros"`
 	P95Micros     int64           `json:"p95_micros"`
 	P99Micros     int64           `json:"p99_micros"`
+	P999Micros    int64           `json:"p999_micros"`
 	MaxMicros     int64           `json:"max_micros"`
 	Scenarios     []ScenarioStats `json:"scenarios"`
 }
@@ -242,7 +311,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := gen.primeVersions(ctx); err != nil {
 		return err
 	}
-	rep, err := gen.Run(ctx)
+	if len(cfg.sweepRates) > 0 {
+		// Progress lines go to the report writer only in text mode, so
+		// -json output stays a single parseable document.
+		var progress io.Writer
+		if !cfg.jsonOut {
+			progress = out
+		}
+		swp, err := gen.runSweep(ctx, progress)
+		if err != nil {
+			return err
+		}
+		if cfg.jsonOut {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(swp)
+		}
+		swp.write(out)
+		return nil
+	}
+	var rep Report
+	if cfg.rate > 0 {
+		rep, err = gen.runOpen(ctx, cfg.rate)
+	} else {
+		rep, err = gen.Run(ctx)
+	}
 	if err != nil {
 		return err
 	}
@@ -265,12 +358,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 }
 
 func (r Report) write(w io.Writer) {
-	fmt.Fprintf(w, "rws-loadgen: target=%s workers=%d mix=%s seed=%d\n", r.Target, r.Workers, r.Mix, r.Seed)
+	fmt.Fprintf(w, "rws-loadgen: target=%s workers=%d mix=%s seed=%d mode=%s\n", r.Target, r.Workers, r.Mix, r.Seed, r.Mode)
+	if r.Mode == "open" {
+		fmt.Fprintf(w, "  offered   %.0f req/s (%s arrivals)\n", r.OfferedRate, r.Arrival)
+	}
 	fmt.Fprintf(w, "  elapsed   %.2fs\n", float64(r.ElapsedMillis)/1000)
 	fmt.Fprintf(w, "  requests  %d (%.1f req/s)\n", r.Requests, r.ReqPerSec)
 	fmt.Fprintf(w, "  errors    %d\n", r.Errors)
-	fmt.Fprintf(w, "  latency   p50=%dµs p95=%dµs p99=%dµs max=%dµs\n",
-		r.P50Micros, r.P95Micros, r.P99Micros, r.MaxMicros)
+	fmt.Fprintf(w, "  latency   p50=%dµs p90=%dµs p95=%dµs p99=%dµs p99.9=%dµs max=%dµs\n",
+		r.P50Micros, r.P90Micros, r.P95Micros, r.P99Micros, r.P999Micros, r.MaxMicros)
 	for _, s := range r.Scenarios {
 		fmt.Fprintf(w, "  %-9s %d requests, %d errors\n", s.Scenario, s.Requests, s.Errors)
 	}
@@ -298,6 +394,11 @@ type generator struct {
 	groups [][]string // per-set member hosts, for related-pair picks
 	pick   []scenarioID
 	client *http.Client
+
+	// fastAddr/fastHost are set when -fast is on: each worker dials its
+	// own persistent HTTP/1.1 connection to fastAddr.
+	fastAddr string
+	fastHost string
 
 	// hashes and asOfs are the target's retained versions, fetched once
 	// at startup when the mix includes a versioned scenario. Server
@@ -384,7 +485,22 @@ func newGenerator(cfg config, list *core.List) (*generator, error) {
 			ForceAttemptHTTP2:   true,
 		},
 	}
+	if cfg.fast {
+		var err error
+		if g.fastAddr, g.fastHost, err = fastTarget(cfg.target); err != nil {
+			return nil, err
+		}
+	}
 	return g, nil
+}
+
+// newWorkerClient returns a worker-private fast client, or nil when the
+// run uses net/http.
+func (g *generator) newWorkerClient() *fastClient {
+	if !g.cfg.fast {
+		return nil
+	}
+	return newFastClient(g.fastAddr, g.fastHost, g.cfg.timeout)
 }
 
 // workerResult is one worker's tally.
@@ -416,6 +532,7 @@ func (g *generator) Run(ctx context.Context) (Report, error) {
 		Workers:       g.cfg.workers,
 		Mix:           g.cfg.mix,
 		Seed:          g.cfg.seed,
+		Mode:          "closed",
 		ElapsedMillis: elapsed.Milliseconds(),
 	}
 	var all []time.Duration
@@ -445,8 +562,10 @@ func (g *generator) Run(ctx context.Context) (Report, error) {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	rep.P50Micros = percentile(all, 0.50).Microseconds()
+	rep.P90Micros = percentile(all, 0.90).Microseconds()
 	rep.P95Micros = percentile(all, 0.95).Microseconds()
 	rep.P99Micros = percentile(all, 0.99).Microseconds()
+	rep.P999Micros = percentile(all, 0.999).Microseconds()
 	rep.MaxMicros = all[len(all)-1].Microseconds()
 	return rep, nil
 }
@@ -465,11 +584,13 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 // deterministic per run regardless of scheduling.
 func (g *generator) worker(ctx context.Context, id int) workerResult {
 	rng := newWorkerRNG(g.cfg.seed, id)
+	fc := g.newWorkerClient()
+	defer fc.close()
 	var res workerResult
 	for ctx.Err() == nil {
 		sc := g.pick[rng.Intn(len(g.pick))]
 		start := time.Now()
-		ok := g.do(ctx, sc, rng)
+		ok := g.doWith(ctx, fc, sc, rng)
 		if ctx.Err() != nil && !ok {
 			break // the deadline killed this request mid-flight; don't count it
 		}
@@ -509,18 +630,17 @@ func (g *generator) pair(rng *rand.Rand) (string, string) {
 	return g.hosts[i], g.hosts[j]
 }
 
-// do issues one request and reports whether it completed with a 2xx.
-func (g *generator) do(ctx context.Context, sc scenarioID, rng *rand.Rand) bool {
-	var u string
+// buildPath renders one scenario draw as a request path and query.
+func (g *generator) buildPath(sc scenarioID, rng *rand.Rand) string {
 	switch sc {
 	case scSameSet:
 		a, b := g.pair(rng)
-		u = fmt.Sprintf("%s/v1/sameset?a=%s&b=%s", g.cfg.target, url.QueryEscape(a), url.QueryEscape(b))
+		return fmt.Sprintf("/v1/sameset?a=%s&b=%s", url.QueryEscape(a), url.QueryEscape(b))
 	case scSet:
-		u = fmt.Sprintf("%s/v1/set?site=%s", g.cfg.target, url.QueryEscape(g.hosts[rng.Intn(len(g.hosts))]))
+		return fmt.Sprintf("/v1/set?site=%s", url.QueryEscape(g.hosts[rng.Intn(len(g.hosts))]))
 	case scPartition:
 		top, emb := g.pair(rng)
-		u = fmt.Sprintf("%s/v1/partition?top=%s&embedded=%s", g.cfg.target, url.QueryEscape(top), url.QueryEscape(emb))
+		return fmt.Sprintf("/v1/partition?top=%s&embedded=%s", url.QueryEscape(top), url.QueryEscape(emb))
 	case scBatch:
 		var sb strings.Builder
 		for i := 0; i < g.cfg.batch; i++ {
@@ -532,16 +652,16 @@ func (g *generator) do(ctx context.Context, sc scenarioID, rng *rand.Rand) bool 
 			sb.WriteByte(',')
 			sb.WriteString(b)
 		}
-		u = fmt.Sprintf("%s/v1/sameset?pairs=%s", g.cfg.target, url.QueryEscape(sb.String()))
+		return fmt.Sprintf("/v1/sameset?pairs=%s", url.QueryEscape(sb.String()))
 	case scAsOf:
 		a, b := g.pair(rng)
 		asOf := g.asOfs[rng.Intn(len(g.asOfs))]
-		u = fmt.Sprintf("%s/v1/sameset?a=%s&b=%s&as_of=%s",
-			g.cfg.target, url.QueryEscape(a), url.QueryEscape(b), url.QueryEscape(asOf))
+		return fmt.Sprintf("/v1/sameset?a=%s&b=%s&as_of=%s",
+			url.QueryEscape(a), url.QueryEscape(b), url.QueryEscape(asOf))
 	case scDiff:
 		from := g.hashes[rng.Intn(len(g.hashes))]
 		to := g.hashes[rng.Intn(len(g.hashes))]
-		u = fmt.Sprintf("%s/v1/diff?from=%s&to=%s", g.cfg.target, from[:12], to[:12])
+		return fmt.Sprintf("/v1/diff?from=%s&to=%s", from[:12], to[:12])
 	case scChurn:
 		// Draw an ordered (from, to) pair: the churn chain rejects a from
 		// newer than to.
@@ -549,9 +669,20 @@ func (g *generator) do(ctx context.Context, sc scenarioID, rng *rand.Rand) bool 
 		if i > j {
 			i, j = j, i
 		}
-		u = fmt.Sprintf("%s/v1/churn?from=%s&to=%s", g.cfg.target, g.hashes[i][:12], g.hashes[j][:12])
+		return fmt.Sprintf("/v1/churn?from=%s&to=%s", g.hashes[i][:12], g.hashes[j][:12])
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	return "/"
+}
+
+// doWith issues one request over fc (or net/http when fc is nil) and
+// reports whether it completed with a 2xx.
+func (g *generator) doWith(ctx context.Context, fc *fastClient, sc scenarioID, rng *rand.Rand) bool {
+	path := g.buildPath(sc, rng)
+	if fc != nil {
+		status, err := fc.get(path)
+		return err == nil && status < 300
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.cfg.target+path, nil)
 	if err != nil {
 		return false
 	}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Open-loop mode: requests are launched on a rate-driven arrival
+// schedule that does not wait for completions, so slow responses cannot
+// throttle the offered load the way a closed loop silently does
+// (coordinated omission). Latency is measured from each request's
+// *intended* send time — if the server (or a backed-up worker) delays a
+// request past its slot, the queueing delay counts against it. The
+// schedule is split across workers wrk2-style: each worker owns every
+// Nth arrival, with interval workers/rate, either fixed (staggered
+// phases, deterministic spacing) or Poisson (exponential gaps, the
+// memoryless arrivals real traffic approximates).
+
+// openResult is one open-loop worker's tally.
+type openResult struct {
+	hist     latHist
+	requests [numScenarios]uint64
+	errors   [numScenarios]uint64
+}
+
+// runOpen generates load at the offered rate for cfg.duration and
+// reports achieved throughput plus latency-from-intended-send.
+func (g *generator) runOpen(ctx context.Context, rate float64) (Report, error) {
+	if rate <= 0 {
+		return Report{}, errors.New("open-loop rate must be > 0")
+	}
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.duration)
+	defer cancel()
+	interval := time.Duration(float64(g.cfg.workers) / rate * float64(time.Second))
+	if interval <= 0 {
+		interval = 1
+	}
+	results := make([]openResult, g.cfg.workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < g.cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g.openWorker(ctx, w, interval, start, &results[w])
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Target:        g.cfg.target,
+		Workers:       g.cfg.workers,
+		Mix:           g.cfg.mix,
+		Seed:          g.cfg.seed,
+		Mode:          "open",
+		Arrival:       g.cfg.arrival,
+		OfferedRate:   rate,
+		ElapsedMillis: elapsed.Milliseconds(),
+	}
+	var hist latHist
+	var scen [numScenarios]ScenarioStats
+	for id := range scen {
+		scen[id].Scenario = scenarioNames[id]
+	}
+	for i := range results {
+		res := &results[i]
+		hist.merge(&res.hist)
+		for id := range scen {
+			scen[id].Requests += res.requests[id]
+			scen[id].Errors += res.errors[id]
+			rep.Requests += res.requests[id]
+			rep.Errors += res.errors[id]
+		}
+	}
+	for id := range scen {
+		if g.cfg.weights[id] > 0 {
+			rep.Scenarios = append(rep.Scenarios, scen[id])
+		}
+	}
+	if rep.Requests == 0 {
+		return rep, errors.New("no requests completed (is the target up?)")
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.ReqPerSec = float64(rep.Requests) / secs
+	}
+	rep.P50Micros = hist.quantile(0.50).Microseconds()
+	rep.P90Micros = hist.quantile(0.90).Microseconds()
+	rep.P95Micros = hist.quantile(0.95).Microseconds()
+	rep.P99Micros = hist.quantile(0.99).Microseconds()
+	rep.P999Micros = hist.quantile(0.999).Microseconds()
+	rep.MaxMicros = hist.max.Microseconds()
+	return rep, nil
+}
+
+// openWorker issues worker id's share of the arrival schedule. The
+// worker never skips a slot: if it falls behind, it fires the overdue
+// arrivals back-to-back and their latency includes the time spent
+// waiting for their turn.
+func (g *generator) openWorker(ctx context.Context, id int, interval time.Duration, start time.Time, res *openResult) {
+	rng := newWorkerRNG(g.cfg.seed, id)
+	fc := g.newWorkerClient()
+	defer fc.close()
+	poisson := g.cfg.arrival == "poisson"
+	// First arrival: fixed mode staggers worker phases so the aggregate
+	// stream is evenly spaced at 1/rate; Poisson draws its first gap.
+	var next time.Time
+	if poisson {
+		next = start.Add(time.Duration(rng.ExpFloat64() * float64(interval)))
+	} else {
+		next = start.Add(interval * time.Duration(id) / time.Duration(g.cfg.workers))
+	}
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if wait := time.Until(next); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				return
+			case <-timer.C:
+			}
+		}
+		sc := g.pick[rng.Intn(len(g.pick))]
+		intended := next
+		ok := g.doWith(ctx, fc, sc, rng)
+		if ctx.Err() != nil && !ok {
+			return // the deadline killed this request mid-flight; don't count it
+		}
+		res.requests[sc]++
+		res.hist.record(time.Since(intended))
+		if !ok {
+			res.errors[sc]++
+		}
+		if poisson {
+			next = next.Add(time.Duration(rng.ExpFloat64() * float64(interval)))
+		} else {
+			next = next.Add(interval)
+		}
+	}
+}
+
+// SweepReport is the latency-under-load curve from a -sweep run, plus
+// the knee: the highest offered rate the server actually sustained.
+type SweepReport struct {
+	Target        string   `json:"target"`
+	Workers       int      `json:"workers"`
+	Mix           string   `json:"mix"`
+	Seed          int64    `json:"seed"`
+	Arrival       string   `json:"arrival"`
+	Stages        []Report `json:"stages"`
+	KneeRate      float64  `json:"knee_rate"`
+	KneeReason    string   `json:"knee_reason"`
+	MaxThroughput float64  `json:"max_throughput_req_per_sec"`
+}
+
+// sustained reports whether a stage kept up with its offered load:
+// achieved within 1% of offered and no errors.
+func sustained(rep Report) bool {
+	return rep.Errors == 0 && rep.ReqPerSec >= 0.99*rep.OfferedRate
+}
+
+// runSweep steps the offered rate through cfg.sweepRates, one
+// cfg.duration stage each, and locates the knee. Stages past saturation
+// are expected to fall short (that is the point of the sweep), so
+// per-stage errors mark the stage unsustained instead of failing the
+// run.
+func (g *generator) runSweep(ctx context.Context, progress io.Writer) (SweepReport, error) {
+	swp := SweepReport{
+		Target:  g.cfg.target,
+		Workers: g.cfg.workers,
+		Mix:     g.cfg.mix,
+		Seed:    g.cfg.seed,
+		Arrival: g.cfg.arrival,
+	}
+	for _, rate := range g.cfg.sweepRates {
+		if ctx.Err() != nil {
+			break // interrupted: report the stages that finished
+		}
+		rep, err := g.runOpen(ctx, rate)
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			return swp, fmt.Errorf("sweep stage at %g req/s: %w", rate, err)
+		}
+		swp.Stages = append(swp.Stages, rep)
+		if progress != nil {
+			fmt.Fprintf(progress, "sweep: offered %8.0f req/s -> achieved %8.0f req/s, p50=%dµs p99=%dµs errors=%d\n",
+				rate, rep.ReqPerSec, rep.P50Micros, rep.P99Micros, rep.Errors)
+		}
+		if rep.ReqPerSec > swp.MaxThroughput {
+			swp.MaxThroughput = rep.ReqPerSec
+		}
+	}
+	if len(swp.Stages) == 0 {
+		return swp, errors.New("sweep completed no stages")
+	}
+	swp.KneeRate, swp.KneeReason = kneeOf(swp.Stages)
+	return swp, nil
+}
+
+// kneeOf scans up the curve for the last sustained stage. One
+// unsustained stage ends the scan, so a fluke recovery at a higher rate
+// (timeouts masking load) cannot move the knee past a failure.
+func kneeOf(stages []Report) (rate float64, reason string) {
+	for _, rep := range stages {
+		if !sustained(rep) {
+			if rep.Errors > 0 {
+				return rate, fmt.Sprintf("offered %g req/s: %d of %d requests failed", rep.OfferedRate, rep.Errors, rep.Requests)
+			}
+			return rate, fmt.Sprintf("offered %g req/s achieved only %.0f req/s", rep.OfferedRate, rep.ReqPerSec)
+		}
+		rate = rep.OfferedRate
+	}
+	return rate, "every offered rate was sustained; the knee lies beyond the sweep's top rate"
+}
+
+func (s SweepReport) write(w io.Writer) {
+	fmt.Fprintf(w, "rws-loadgen sweep: target=%s workers=%d mix=%s arrival=%s\n", s.Target, s.Workers, s.Mix, s.Arrival)
+	fmt.Fprintf(w, "  %-12s %-12s %-9s %-9s %-9s %-9s %s\n", "OFFERED", "ACHIEVED", "P50µS", "P90µS", "P99µS", "P99.9µS", "ERRORS")
+	for _, rep := range s.Stages {
+		fmt.Fprintf(w, "  %-12.0f %-12.1f %-9d %-9d %-9d %-9d %d\n",
+			rep.OfferedRate, rep.ReqPerSec, rep.P50Micros, rep.P90Micros, rep.P99Micros, rep.P999Micros, rep.Errors)
+	}
+	fmt.Fprintf(w, "  knee       %.0f req/s (%s)\n", s.KneeRate, s.KneeReason)
+	fmt.Fprintf(w, "  max rate   %.1f req/s achieved\n", s.MaxThroughput)
+}

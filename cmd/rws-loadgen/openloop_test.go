@@ -1,0 +1,376 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"rwskit/internal/dataset"
+	"rwskit/internal/serve"
+)
+
+// --- histogram ---
+
+// TestHistQuantileMatchesExact records a known sample and holds every
+// quantile to within the histogram's design error (2^-6 of the value)
+// against the exact sorted answer.
+func TestHistQuantileMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h latHist
+	var exact []time.Duration
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~ns to ~10s, the range real latencies span.
+		d := time.Duration(rng.ExpFloat64() * float64(time.Millisecond))
+		h.record(d)
+		exact = append(exact, d)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		got := h.quantile(q)
+		want := percentile(exact, q)
+		if q == 1 {
+			want = exact[len(exact)-1]
+		}
+		// The bucket holds values within 1/64 of each other; allow one
+		// rank of slack on top for the differing rank conventions.
+		tol := time.Duration(float64(want)/32) + 2*time.Microsecond
+		if got < want-tol || got > want+tol {
+			t.Errorf("quantile(%g) = %v, exact %v (tol %v)", q, got, want, tol)
+		}
+	}
+	if h.quantile(1) != h.max {
+		t.Errorf("p100 = %v, want the observed max %v", h.quantile(1), h.max)
+	}
+}
+
+// TestHistIndexBounds: every value lands in a bucket whose upper edge
+// is within 2^-6 relative error above it, and indexes are monotonic.
+func TestHistIndexBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	values := []int64{0, 1, 63, 64, 127, 128, 129, 1 << 20, 1<<62 + 12345}
+	for i := 0; i < 5000; i++ {
+		values = append(values, rng.Int63())
+	}
+	for _, v := range values {
+		i := histIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", v, i)
+		}
+		edge := histValue(i)
+		if edge < v {
+			t.Errorf("histValue(histIndex(%d)) = %d < value", v, edge)
+		}
+		if v >= 128 && float64(edge) > float64(v)*(1+1.0/32) {
+			t.Errorf("bucket edge %d overstates %d by more than the design error", edge, v)
+		}
+	}
+	prev := -1
+	for v := int64(0); v < 4096; v++ {
+		if i := histIndex(v); i < prev {
+			t.Fatalf("histIndex not monotonic at %d", v)
+		} else {
+			prev = i
+		}
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b, both latHist
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i) * time.Millisecond
+		both.record(d)
+		if i%2 == 0 {
+			a.record(d)
+		} else {
+			b.record(d)
+		}
+	}
+	a.merge(&b)
+	if a.total != both.total || a.max != both.max {
+		t.Fatalf("merge: total %d max %v, want %d %v", a.total, a.max, both.total, both.max)
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if a.quantile(q) != both.quantile(q) {
+			t.Errorf("quantile(%g) differs after merge: %v vs %v", q, a.quantile(q), both.quantile(q))
+		}
+	}
+}
+
+// --- knee ---
+
+func TestKneeOf(t *testing.T) {
+	stage := func(offered, achieved float64, errs uint64) Report {
+		return Report{OfferedRate: offered, ReqPerSec: achieved, Requests: 1000, Errors: errs}
+	}
+	rate, reason := kneeOf([]Report{stage(100, 100, 0), stage(200, 199, 0), stage(400, 310, 0)})
+	if rate != 200 || !strings.Contains(reason, "achieved only 310") {
+		t.Errorf("knee = %g (%s), want 200", rate, reason)
+	}
+	// Errors unsustain a stage even at full throughput.
+	rate, reason = kneeOf([]Report{stage(100, 100, 0), stage(200, 200, 7)})
+	if rate != 100 || !strings.Contains(reason, "7 of 1000") {
+		t.Errorf("knee = %g (%s), want 100", rate, reason)
+	}
+	// All sustained: knee is the top rate, reason says so.
+	rate, reason = kneeOf([]Report{stage(100, 100, 0), stage(200, 200, 0)})
+	if rate != 200 || !strings.Contains(reason, "beyond the sweep") {
+		t.Errorf("knee = %g (%s), want 200", rate, reason)
+	}
+	// Nothing sustained.
+	if rate, _ = kneeOf([]Report{stage(100, 40, 0)}); rate != 0 {
+		t.Errorf("knee = %g, want 0", rate)
+	}
+}
+
+// --- flags ---
+
+func TestParseFlagsOpenLoop(t *testing.T) {
+	cfg, err := parseFlags([]string{"-target", "http://x", "-rate", "5000", "-arrival", "fixed", "-fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.rate != 5000 || cfg.arrival != "fixed" || !cfg.fast {
+		t.Errorf("parseFlags = %+v", cfg)
+	}
+	cfg, err = parseFlags([]string{"-target", "http://x", "-sweep", "100, 200,400"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.sweepRates) != 3 || cfg.sweepRates[2] != 400 {
+		t.Errorf("sweepRates = %v", cfg.sweepRates)
+	}
+	for _, bad := range [][]string{
+		{"-target", "http://x", "-arrival", "uniform"},
+		{"-target", "http://x", "-rate", "-1"},
+		{"-target", "http://x", "-rate", "100", "-sweep", "200"},
+		{"-target", "http://x", "-sweep", "100,bogus"},
+		{"-target", "http://x", "-sweep", "400,200"}, // not ascending
+		{"-target", "http://x", "-sweep", "0"},
+		{"-target", "http://x", "-sweep", ","},
+	} {
+		if _, err := parseFlags(bad); err == nil {
+			t.Errorf("parseFlags(%v) should fail", bad)
+		}
+	}
+}
+
+// --- fast client ---
+
+// fastTestServer exercises every framing the client must parse: a
+// small Content-Length body, a body large enough that net/http switches
+// to chunked encoding, an error status, and a Connection: close reply.
+func fastTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/small", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true}`))
+	})
+	mux.HandleFunc("/big", func(w http.ResponseWriter, r *http.Request) {
+		big := bytes.Repeat([]byte("x"), 32<<10)
+		w.Write(big) // > the 2KB sniff buffer: net/http streams it chunked
+	})
+	mux.HandleFunc("/missing", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	})
+	mux.HandleFunc("/goaway", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Connection", "close")
+		w.Write([]byte("bye"))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestFastClient(t *testing.T) {
+	ts := fastTestServer(t)
+	addr, host, err := fastTarget(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newFastClient(addr, host, 2*time.Second)
+	defer c.close()
+	// Interleave framings on one connection: the client must leave the
+	// stream positioned at the next response every time.
+	for i := 0; i < 3; i++ {
+		for _, q := range []struct {
+			path   string
+			status int
+		}{
+			{"/small", 200}, {"/big", 200}, {"/missing", 404}, {"/small", 200},
+		} {
+			status, err := c.get(q.path)
+			if err != nil {
+				t.Fatalf("round %d %s: %v", i, q.path, err)
+			}
+			if status != q.status {
+				t.Fatalf("round %d %s: status %d, want %d", i, q.path, status, q.status)
+			}
+		}
+	}
+	// A Connection: close response drops the socket; the next get must
+	// transparently redial.
+	if status, err := c.get("/goaway"); err != nil || status != 200 {
+		t.Fatalf("/goaway: %d, %v", status, err)
+	}
+	if c.conn != nil {
+		t.Fatal("connection not dropped after Connection: close")
+	}
+	if status, err := c.get("/small"); err != nil || status != 200 {
+		t.Fatalf("redial after close: %d, %v", status, err)
+	}
+
+	// https targets need net/http.
+	if _, _, err := fastTarget("https://example.com"); err == nil {
+		t.Error("fastTarget should reject https")
+	}
+}
+
+func TestParseHex(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true}, {"a", 10, true}, {"FF", 255, true}, {"1f4", 500, true},
+		{"", 0, false}, {"g1", 0, false}, {"12345678901234567", 0, false},
+	} {
+		got, err := parseHex([]byte(tc.in))
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("parseHex(%q) = %d, %v", tc.in, got, err)
+		}
+	}
+}
+
+// --- open loop against a live server ---
+
+func liveTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	list, err := dataset.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(list))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestOpenLoopRun drives -rate against a live server: the report must
+// carry the open-loop fields, hit roughly the offered request count,
+// and keep its percentiles ordered.
+func TestOpenLoopRun(t *testing.T) {
+	ts := liveTarget(t)
+	for _, arrival := range []string{"poisson", "fixed"} {
+		var out bytes.Buffer
+		err := run(context.Background(), []string{
+			"-target", ts.URL, "-workers", "2", "-duration", "400ms",
+			"-rate", "500", "-arrival", arrival, "-json",
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: run: %v (output %q)", arrival, err, out.String())
+		}
+		var rep Report
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Mode != "open" || rep.Arrival != arrival || rep.OfferedRate != 500 {
+			t.Errorf("%s: open-loop fields missing: %+v", arrival, rep)
+		}
+		if rep.Errors != 0 {
+			t.Errorf("%s: %d errors against a healthy server", arrival, rep.Errors)
+		}
+		// 500 req/s over 400ms is ~200 requests. The schedule, not worker
+		// count, sets the pace — accept a generous band for CI jitter.
+		if rep.Requests < 100 || rep.Requests > 320 {
+			t.Errorf("%s: %d requests at 500 req/s over 400ms, want ~200", arrival, rep.Requests)
+		}
+		if rep.P50Micros > rep.P90Micros || rep.P90Micros > rep.P99Micros ||
+			rep.P99Micros > rep.P999Micros || rep.P999Micros > rep.MaxMicros {
+			t.Errorf("%s: percentiles out of order: %+v", arrival, rep)
+		}
+	}
+}
+
+// TestOpenLoopFast is the same drive through the built-in HTTP/1.1
+// client, covering the chunked paths the big batch responses take.
+func TestOpenLoopFast(t *testing.T) {
+	ts := liveTarget(t)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", ts.URL, "-workers", "2", "-duration", "300ms",
+		"-rate", "400", "-fast", "-json", "-batch", "100",
+		"-mix", "sameset=2,set=2,partition=1,batch=1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output %q)", err, out.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Errorf("fast open loop: %+v", rep)
+	}
+}
+
+// TestClosedLoopFast: -fast works in the default closed loop too.
+func TestClosedLoopFast(t *testing.T) {
+	ts := liveTarget(t)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", ts.URL, "-workers", "2", "-duration", "200ms", "-fast", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output %q)", err, out.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "closed" || rep.Requests == 0 || rep.Errors != 0 {
+		t.Errorf("fast closed loop: %+v", rep)
+	}
+}
+
+// TestSweepRun steps two offered rates and checks the sweep report
+// shape: both stages present, a knee, and a single JSON document.
+func TestSweepRun(t *testing.T) {
+	ts := liveTarget(t)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", ts.URL, "-workers", "2", "-duration", "250ms",
+		"-sweep", "200,400", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output %q)", err, out.String())
+	}
+	var swp SweepReport
+	if err := json.Unmarshal(out.Bytes(), &swp); err != nil {
+		t.Fatalf("sweep report is not one JSON document: %v\n%s", err, out.String())
+	}
+	if len(swp.Stages) != 2 || swp.Stages[0].OfferedRate != 200 || swp.Stages[1].OfferedRate != 400 {
+		t.Fatalf("stages = %+v", swp.Stages)
+	}
+	if swp.KneeReason == "" || swp.MaxThroughput <= 0 {
+		t.Errorf("sweep summary incomplete: %+v", swp)
+	}
+	// Text mode renders the curve and the knee line.
+	out.Reset()
+	err = run(context.Background(), []string{
+		"-target", ts.URL, "-workers", "2", "-duration", "150ms", "-sweep", "100,200",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OFFERED", "ACHIEVED", "knee", "max rate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("sweep text missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -13,9 +13,12 @@
 // list of N sets instead (rws-amplify's generator; -amplify-seed picks
 // the seed) — the scale-tier target for load and soak testing. -mem-budget
 // caps the estimated bytes of each snapshot's derived tables; over
-// budget the prebaked /v1/set slices are dropped first (reported in
-// /v1/metrics under snapshot_build), and a list that cannot fit even
-// degraded is rejected. -list accepts a local JSON file path or an
+// budget the snapshot degrades in tiers — the prebaked wire-format
+// response bytes go first (tier "resp-dropped", the endpoints fall back
+// to live encoding of the same values), then the prebaked /v1/set
+// slices (tier "sets-dropped"); the tier is reported in /v1/metrics
+// under snapshot_build, and a list that cannot fit even fully degraded
+// is rejected. -list accepts a local JSON file path or an
 // http(s):// URL (the upstream related_website_sets.JSON). Either way
 // the list is hot-swapped without dropping traffic: SIGHUP forces a
 // re-read, and -poll re-checks on a ticker — a stat(2) gated on
@@ -240,9 +243,9 @@ func newServer(cfg config, list *core.List, meta source.Meta) (*serve.Server, er
 		if err != nil {
 			return nil, fmt.Errorf("boot list: %w", err)
 		}
-		if info := snap.BuildInfo(); info.PrebakedSetsDropped {
-			fmt.Fprintf(os.Stderr, "rws-serve: memory budget %d forced dropping prebaked set slices (estimated %d bytes retained)\n",
-				info.MemoryBudget, info.EstimatedBytes)
+		if info := snap.BuildInfo(); info.Tier != "" && info.Tier != "full" {
+			fmt.Fprintf(os.Stderr, "rws-serve: memory budget %d degraded the snapshot to tier %q (estimated %d bytes retained)\n",
+				info.MemoryBudget, info.Tier, info.EstimatedBytes)
 		}
 	}
 	return serve.NewFromStore(st), nil

@@ -135,7 +135,7 @@ func TestServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"same_set": true`) {
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"same_set":true`) {
 		t.Errorf("status %d body %s", resp.StatusCode, body)
 	}
 }

@@ -381,3 +381,50 @@ func BenchmarkHandlerChurn(b *testing.B) {
 		}
 	}
 }
+
+// benchPrebaked measures one fast-path endpoint through the full
+// Server.ServeHTTP stack with a reusable discard writer, so the reported
+// allocs/op are the handler's own — the value the benchgate's
+// zero-alloc assertion gates.
+func benchPrebaked(b *testing.B, path string) {
+	b.Helper()
+	list, err := dataset.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(list)
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rw := newDiscardRW()
+	s.ServeHTTP(rw, req) // warm the buffer pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ServeHTTP(rw, req)
+	}
+	if rw.status != 0 && rw.status != http.StatusOK {
+		b.Fatalf("status %d", rw.status)
+	}
+}
+
+// BenchmarkHandlerSameSetPrebaked is the zero-alloc prebaked member-pair
+// path: raw-query parse, host lookups, fragment splice, pooled write.
+func BenchmarkHandlerSameSetPrebaked(b *testing.B) {
+	benchPrebaked(b, "/v1/sameset?a=bild.de&b=autobild.de")
+}
+
+// BenchmarkHandlerSetPrebaked splices the prebaked members array whole.
+func BenchmarkHandlerSetPrebaked(b *testing.B) {
+	benchPrebaked(b, "/v1/set?site=webvisor.com")
+}
+
+// BenchmarkHandlerPartitionPrebaked is the prebaked verdict path for a
+// list-member pair.
+func BenchmarkHandlerPartitionPrebaked(b *testing.B) {
+	benchPrebaked(b, "/v1/partition?top=bild.de&embedded=autobild.de")
+}
+
+// BenchmarkHandlerStatsPrebaked splices the live counters into the
+// prebaked stats body.
+func BenchmarkHandlerStatsPrebaked(b *testing.B) {
+	benchPrebaked(b, "/v1/stats")
+}

@@ -148,14 +148,14 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	granularity, ok := churnGranularity(q.Get("granularity"))
 	if !ok {
-		badRequest(w, "granularity %q: want step, month, or total", q.Get("granularity"))
+		badRequest(w, r, "granularity %q: want step, month, or total", q.Get("granularity"))
 		return
 	}
 	top := defaultChurnTop
 	if raw := q.Get("top"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 0 || n > maxChurnTop {
-			badRequest(w, "top %q: want an integer in [0, %d]", raw, maxChurnTop)
+			badRequest(w, r, "top %q: want an integer in [0, %d]", raw, maxChurnTop)
 			return
 		}
 		top = n
@@ -171,20 +171,20 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if fromSpec != "" {
 		if _, fromVer, err = s.store.Resolve(fromSpec); err != nil {
-			writeResolveError(w, fmt.Errorf("from: %w", err))
+			writeResolveError(w, r, fmt.Errorf("from: %w", err))
 			return
 		}
 	}
 	if toSpec != "" {
 		if _, toVer, err = s.store.Resolve(toSpec); err != nil {
-			writeResolveError(w, fmt.Errorf("to: %w", err))
+			writeResolveError(w, r, fmt.Errorf("to: %w", err))
 			return
 		}
 	}
 
 	chain, err := s.store.Chain(fromVer, toVer)
 	if err != nil {
-		writeResolveError(w, err)
+		writeResolveError(w, r, err)
 		return
 	}
 	chain = churnChain(chain, granularity)
@@ -202,7 +202,7 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := core.Churn(lists, adjacent)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		writeJSON(w, r, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
 
@@ -256,5 +256,5 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 			Volatility:  lc.Volatility,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }

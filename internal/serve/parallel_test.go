@@ -97,6 +97,44 @@ func equalSnapshots(t *testing.T, label string, got, want *Snapshot) {
 			}
 		}
 	}
+	equalPrebakedTables(t, label, got, want)
+}
+
+// equalPrebakedTables holds the prebaked response plane of two snapshots
+// byte-equal: member fragments, sameset tails, partition heads/tails per
+// policy and cell, and the stats prefix.
+func equalPrebakedTables(t *testing.T, label string, got, want *Snapshot) {
+	t.Helper()
+	if got.respBaked != want.respBaked {
+		t.Fatalf("%s: respBaked %v != %v", label, got.respBaked, want.respBaked)
+	}
+	eq := func(what string, g, w []byte) {
+		t.Helper()
+		if string(g) != string(w) {
+			t.Fatalf("%s: prebaked %s = %q, want %q", label, what, g, w)
+		}
+	}
+	if len(got.respMembers) != len(want.respMembers) || len(got.respSameTail) != len(want.respSameTail) {
+		t.Fatalf("%s: prebaked table sizes (%d, %d) != (%d, %d)", label,
+			len(got.respMembers), len(got.respSameTail), len(want.respMembers), len(want.respSameTail))
+	}
+	for i := range want.respMembers {
+		eq(fmt.Sprintf("members[%d]", i), got.respMembers[i], want.respMembers[i])
+		eq(fmt.Sprintf("sameTail[%d]", i), got.respSameTail[i], want.respSameTail[i])
+	}
+	for pid := 0; pid < int(numPolicies); pid++ {
+		eq(fmt.Sprintf("partHead[%d]", pid), got.respPartHead[pid], want.respPartHead[pid])
+		eq(fmt.Sprintf("partCross[%d]", pid), got.respPartCross[pid], want.respPartCross[pid])
+		eq(fmt.Sprintf("partHostSame[%d]", pid), got.respPartHostSame[pid], want.respPartHostSame[pid])
+		eq(fmt.Sprintf("partHostCross[%d]", pid), got.respPartHostCross[pid], want.respPartHostCross[pid])
+		for r1 := 0; r1 < numRoles; r1++ {
+			for r2 := 0; r2 < numRoles; r2++ {
+				eq(fmt.Sprintf("partSame[%d][%d][%d]", pid, r1, r2),
+					got.respPartSame[pid][r1][r2], want.respPartSame[pid][r1][r2])
+			}
+		}
+	}
+	eq("statsPrefix", got.respStatsPrefix, want.respStatsPrefix)
 }
 
 // TestParallelSnapshotMatchesSerial is the tentpole's equivalence
@@ -163,9 +201,11 @@ func TestNewSnapshotUsesParallelPath(t *testing.T) {
 }
 
 // TestMemoryBudgetDegradesThenFails drives the budget ladder: unlimited
-// keeps the prebaked slices; a budget between the degraded and full
-// footprint drops them (and /v1/set still answers, rebuilt on demand); a
-// budget below the degraded footprint errors.
+// keeps everything; a budget just under the full footprint drops the
+// prebaked response bytes first (live encode, same bytes); a budget
+// under that drops the prebaked member slices too (and /v1/set still
+// answers, rebuilt on demand); a budget below the fully degraded
+// footprint errors.
 func TestMemoryBudgetDegradesThenFails(t *testing.T) {
 	list, err := amplify.Generate(amplify.Config{Sets: 500, Seed: 4})
 	if err != nil {
@@ -175,21 +215,50 @@ func TestMemoryBudgetDegradesThenFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if full.BuildInfo().PrebakedSetsDropped {
-		t.Fatal("unlimited build dropped prebaked slices")
+	if info := full.BuildInfo(); info.PrebakedSetsDropped || info.PrebakedRespDropped || !full.respBaked {
+		t.Fatalf("unlimited build degraded: %+v", info)
+	}
+	if tier := full.BuildInfo().Tier; tier != "full" {
+		t.Errorf("unlimited Tier = %q, want full", tier)
 	}
 	fullBytes := full.BuildInfo().EstimatedBytes
 
-	degraded, err := BuildSnapshot(list, SnapshotOptions{MemoryBudget: fullBytes - 1})
+	// Rung 1: the prebaked response bytes go first.
+	respDropped, err := BuildSnapshot(list, SnapshotOptions{MemoryBudget: fullBytes - 1})
 	if err != nil {
 		t.Fatalf("budget just under full footprint should degrade, not fail: %v", err)
 	}
-	info := degraded.BuildInfo()
-	if !info.PrebakedSetsDropped {
-		t.Error("budget under full footprint did not drop prebaked slices")
+	rinfo := respDropped.BuildInfo()
+	if !rinfo.PrebakedRespDropped || respDropped.respBaked {
+		t.Error("budget under full footprint did not drop prebaked response bytes")
 	}
-	if info.EstimatedBytes >= fullBytes {
-		t.Errorf("degraded estimate %d not below full %d", info.EstimatedBytes, fullBytes)
+	if rinfo.PrebakedSetsDropped {
+		t.Error("budget under full footprint dropped member slices before response bytes")
+	}
+	if rinfo.Tier != "resp-dropped" {
+		t.Errorf("Tier = %q, want resp-dropped", rinfo.Tier)
+	}
+	if rinfo.EstimatedBytes >= fullBytes {
+		t.Errorf("resp-dropped estimate %d not below full %d", rinfo.EstimatedBytes, fullBytes)
+	}
+	if respDropped.members == nil {
+		t.Error("resp-dropped rung lost the member slices")
+	}
+
+	// Rung 2: the prebaked member slices go next.
+	degraded, err := BuildSnapshot(list, SnapshotOptions{MemoryBudget: rinfo.EstimatedBytes - 1})
+	if err != nil {
+		t.Fatalf("budget just under resp-dropped footprint should degrade, not fail: %v", err)
+	}
+	info := degraded.BuildInfo()
+	if !info.PrebakedSetsDropped || !info.PrebakedRespDropped {
+		t.Errorf("budget under resp-dropped footprint did not drop both tiers: %+v", info)
+	}
+	if info.Tier != "sets-dropped" {
+		t.Errorf("Tier = %q, want sets-dropped", info.Tier)
+	}
+	if info.EstimatedBytes >= rinfo.EstimatedBytes {
+		t.Errorf("degraded estimate %d not below resp-dropped %d", info.EstimatedBytes, rinfo.EstimatedBytes)
 	}
 	// The degraded snapshot still answers /v1/set identically.
 	site := list.Sets()[7].Primary
@@ -204,7 +273,7 @@ func TestMemoryBudgetDegradesThenFails(t *testing.T) {
 	}
 
 	if _, err := BuildSnapshot(list, SnapshotOptions{MemoryBudget: info.EstimatedBytes - 1}); err == nil {
-		t.Error("budget under the degraded footprint should fail")
+		t.Error("budget under the fully degraded footprint should fail")
 	}
 }
 

@@ -1,0 +1,496 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"unicode/utf8"
+
+	"rwskit/internal/browser"
+	"rwskit/internal/core"
+)
+
+// This file is the prebaked response plane: the exact compact-JSON wire
+// bytes for the enumerable answers (sameset verdicts per pair shape,
+// per-set /v1/set payloads, per-(roles, policy) partition verdicts, the
+// stats body) are computed once at snapshot build time, so the member-
+// pair hot paths reduce to assembling a handful of precomputed fragments
+// into a pooled buffer and one w.Write — zero encodes, zero per-request
+// allocations in steady state. Every fragment is produced by (or proven
+// byte-identical to) encoding/json, so the prebaked path and the live
+// writeJSON fallback emit the same bytes (TestPrebakedResponsesMatchLiveEncode).
+
+// maxRetainedBuf caps the capacity of buffers returned to the pools;
+// anything larger (a one-off huge batch) is left for the GC instead of
+// pinning memory forever.
+const maxRetainedBuf = 64 << 10
+
+// respBuf is a pooled response-assembly buffer for the prebaked paths.
+type respBuf struct{ b []byte }
+
+var respBufPool = sync.Pool{New: func() any { return &respBuf{b: make([]byte, 0, 1024)} }}
+
+func getRespBuf() *respBuf { return respBufPool.Get().(*respBuf) }
+
+func putRespBuf(rb *respBuf) {
+	if cap(rb.b) <= maxRetainedBuf {
+		respBufPool.Put(rb)
+	}
+}
+
+// jsonBufPool recycles the encode buffers behind writeJSON, the live
+// (non-prebaked) envelope.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// contentTypeJSON is the Content-Type value of every response, as a
+// preallocated header slice shared across requests so the hot path does
+// not allocate one per response. Nothing may mutate it.
+var contentTypeJSON = []string{"application/json; charset=utf-8"}
+
+// writeRawJSON writes an already-encoded JSON body. The Content-Type
+// slice is shared and the header write is a plain map assignment;
+// Content-Length is left to net/http (it infers the exact length for
+// buffered bodies), because Header().Set plus strconv.Itoa would cost
+// two allocations per response on an otherwise zero-alloc path.
+//
+//rws:envelope
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header()["Content-Type"] = contentTypeJSON
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
+	w.Write(body)
+}
+
+// prettyRequested reports whether the request opted into indented output
+// (?pretty, ?pretty=1, ?pretty=true). It scans the raw query without
+// materializing url.Values, so the compact default stays allocation-free.
+//
+//rws:hotpath
+func prettyRequested(r *http.Request) bool {
+	q := r.URL.RawQuery
+	for q != "" {
+		var seg string
+		seg, q, _ = strings.Cut(q, "&")
+		k, v, _ := strings.Cut(seg, "=")
+		if k == "pretty" {
+			return v == "" || v == "1" || v == "true"
+		}
+	}
+	return false
+}
+
+// cleanQueryValue reports whether a raw query value needs no decoding
+// ('%' escapes or '+' spaces) and so can be used verbatim.
+//
+//rws:hotpath
+//rws:allocfree
+func cleanQueryValue(v string) bool {
+	for i := 0; i < len(v); i++ {
+		if v[i] == '%' || v[i] == '+' {
+			return false
+		}
+	}
+	return true
+}
+
+// rawTwoParams parses a RawQuery of exactly k1=v1&k2=v2 (either order,
+// verbatim values, each key once). Anything else — extra keys (version=,
+// as_of=, pretty=, pairs=), escaped values, duplicates, empty values —
+// reports !ok and the caller falls back to the general handler, so the
+// fast path never changes observable behavior, it only skips work.
+//
+//rws:hotpath
+func rawTwoParams(raw, k1, k2 string) (v1, v2 string, ok bool) {
+	for raw != "" {
+		var seg string
+		seg, raw, _ = strings.Cut(raw, "&")
+		k, v, found := strings.Cut(seg, "=")
+		if !found || v == "" || !cleanQueryValue(v) {
+			return "", "", false
+		}
+		switch k {
+		case k1:
+			if v1 != "" {
+				return "", "", false
+			}
+			v1 = v
+		case k2:
+			if v2 != "" {
+				return "", "", false
+			}
+			v2 = v
+		default:
+			return "", "", false
+		}
+	}
+	return v1, v2, v1 != "" && v2 != ""
+}
+
+// rawOneParam is rawTwoParams for a single required key.
+//
+//rws:hotpath
+func rawOneParam(raw, key string) (string, bool) {
+	k, v, found := strings.Cut(raw, "=")
+	if !found || k != key || v == "" || !cleanQueryValue(v) {
+		return "", false
+	}
+	if strings.IndexByte(v, '&') >= 0 {
+		return "", false
+	}
+	return v, true
+}
+
+// rawPartitionParams parses top=&embedded=[&policy=] with verbatim
+// values. policy is optional (the default policy); a present-but-empty
+// policy= falls back like any other malformed shape.
+//
+//rws:hotpath
+func rawPartitionParams(raw string) (top, emb, policy string, ok bool) {
+	for raw != "" {
+		var seg string
+		seg, raw, _ = strings.Cut(raw, "&")
+		k, v, found := strings.Cut(seg, "=")
+		if !found || v == "" || !cleanQueryValue(v) {
+			return "", "", "", false
+		}
+		switch k {
+		case "top":
+			if top != "" {
+				return "", "", "", false
+			}
+			top = v
+		case "embedded":
+			if emb != "" {
+				return "", "", "", false
+			}
+			emb = v
+		case "policy":
+			if policy != "" {
+				return "", "", "", false
+			}
+			policy = v
+		default:
+			return "", "", "", false
+		}
+	}
+	return top, emb, policy, top != "" && emb != ""
+}
+
+// hexDigits feeds the \u00xx escapes, matching encoding/json's lowercase.
+const hexDigits = "0123456789abcdef"
+
+// jsonSafe marks the ASCII bytes encoding/json's HTML-escaping encoder
+// (the Marshal default) passes through verbatim inside a string.
+var jsonSafe = func() (t [utf8.RuneSelf]bool) {
+	for b := 0; b < utf8.RuneSelf; b++ {
+		t[b] = b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&'
+	}
+	return
+}()
+
+// appendJSONString appends the encoding/json encoding of s — including
+// the HTML escapes (<, >, & → <…) and the invalid-UTF-8 and
+// U+2028/U+2029 replacements — so prebaked fragments are byte-identical
+// to what json.Marshal would have produced. Held to Marshal by
+// TestAppendJSONStringMatchesMarshal.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// sameSetCrossTail closes a SameSetResponse for a pair that shares no
+// set: the Primary field is omitempty, so the tail is constant.
+var sameSetCrossTail = []byte(`,"same_set":false}`)
+
+// setNotFoundTail closes a SetResponse miss (role/primary/members all
+// omitempty).
+var setNotFoundTail = []byte(`,"found":false}` + "\n")
+
+// bakeResponses fills the prebaked response tables after the main build
+// pass, parallelized across the snapshot's shard count like the index
+// build itself. It returns the estimated footprint of the tables and
+// whether baking succeeded (a Marshal failure — unreachable for these
+// struct shapes — degrades to the live-encode tier instead of failing
+// the build).
+func (s *Snapshot) bakeResponses() (int64, bool) {
+	n := len(s.sets)
+	s.respMembers = make([][]byte, n)
+	s.respSameTail = make([][]byte, n)
+	var respBytes int64
+	if n > 0 {
+		workers := s.info.Shards
+		if workers > n {
+			workers = n
+		}
+		sums := make([]int64, workers)
+		fails := make([]bool, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					mb, err := json.Marshal(s.members[i])
+					if err != nil {
+						fails[w] = true
+						return
+					}
+					set := s.sets[i]
+					tail := make([]byte, 0, len(set.Primary)+32)
+					tail = append(tail, `,"same_set":true,"primary":`...)
+					tail = appendJSONString(tail, set.Primary)
+					tail = append(tail, '}')
+					s.respMembers[i] = mb
+					s.respSameTail[i] = tail
+					sums[w] += int64(len(mb)+len(tail)) + 48
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for w := range sums {
+			if fails[w] {
+				s.dropResponseTier()
+				return 0, false
+			}
+			respBytes += sums[w]
+		}
+	}
+
+	for pid := range s.policies {
+		info := &s.policies[pid]
+		head := make([]byte, 0, len(info.name)+24)
+		head = append(head, `{"policy":`...)
+		head = appendJSONString(head, info.name)
+		head = append(head, `,"top":`...)
+		s.respPartHead[pid] = head
+
+		cross := s.cross[pid]
+		s.respPartCross[pid] = partitionTail(false, info.partitionByDefault, cross.decision, cross.granted)
+		// The same-host cases (ct == ce) never reach the policy: the
+		// verdict is granted-auto, with same_set reporting whether the
+		// host is a list member (both lookups hit the same entry).
+		s.respPartHostSame[pid] = partitionTail(true, info.partitionByDefault, browser.GrantedAuto, true)
+		s.respPartHostCross[pid] = partitionTail(false, info.partitionByDefault, browser.GrantedAuto, true)
+		for r1 := 0; r1 < numRoles; r1++ {
+			for r2 := 0; r2 < numRoles; r2++ {
+				if cell := s.sameSet[pid][r1][r2]; cell.filled {
+					s.respPartSame[pid][r1][r2] = partitionTail(true, info.partitionByDefault, cell.decision, cell.granted)
+				}
+			}
+		}
+		respBytes += int64(len(head) + len(s.respPartCross[pid]) + len(s.respPartHostSame[pid]) + len(s.respPartHostCross[pid]))
+	}
+
+	// The stats body is constant per snapshot except the two live server
+	// counters; bake everything up to requests_served and splice digits in
+	// at request time. The split point is verified against the real
+	// encoder so a StatsResponse field change can never desynchronize it.
+	statsBody, err := json.Marshal(StatsResponse{
+		Sets:            s.stats.Sets,
+		Sites:           s.numSites,
+		AssociatedSites: s.stats.AssociatedSites,
+		ServiceSites:    s.stats.ServiceSites,
+		CCTLDSites:      s.stats.CCTLDSites,
+		MeanAssociated:  s.stats.MeanAssociatedPerSet,
+		SnapshotHash:    s.hash,
+	})
+	marker := []byte(`,"requests_served":0,"list_swaps":0}`)
+	if err != nil || !bytes.HasSuffix(statsBody, marker) {
+		s.dropResponseTier()
+		return 0, false
+	}
+	prefix := statsBody[:len(statsBody)-len(marker)]
+	s.respStatsPrefix = append(prefix[:len(prefix):len(prefix)], `,"requests_served":`...)
+	respBytes += int64(len(s.respStatsPrefix))
+
+	s.respBaked = true
+	return respBytes, true
+}
+
+// partitionTail renders everything of a PartitionResponse after the
+// embedded host: the verdict fields are enumerable per (policy, cell).
+func partitionTail(sameSet, partByDefault bool, d browser.Decision, granted bool) []byte {
+	tail := make([]byte, 0, 96)
+	tail = append(tail, `,"same_set":`...)
+	tail = strconv.AppendBool(tail, sameSet)
+	tail = append(tail, `,"partitioned_by_default":`...)
+	tail = strconv.AppendBool(tail, partByDefault)
+	tail = append(tail, `,"decision":`...)
+	tail = appendJSONString(tail, d.String())
+	tail = append(tail, `,"granted":`...)
+	tail = strconv.AppendBool(tail, granted)
+	return append(tail, '}')
+}
+
+// dropResponseTier releases the prebaked response tables; queries fall
+// back to the live encode, which produces the same bytes.
+func (s *Snapshot) dropResponseTier() {
+	s.respBaked = false
+	s.respMembers = nil
+	s.respSameTail = nil
+	for pid := range s.policies {
+		s.respPartHead[pid] = nil
+		s.respPartCross[pid] = nil
+		s.respPartHostSame[pid] = nil
+		s.respPartHostCross[pid] = nil
+		for r1 := 0; r1 < numRoles; r1++ {
+			for r2 := 0; r2 < numRoles; r2++ {
+				s.respPartSame[pid][r1][r2] = nil
+			}
+		}
+	}
+	s.respStatsPrefix = nil
+}
+
+// appendSameSetBody appends the SameSetResponse object for (a, b) minus
+// the trailing newline, assembled from the echoed inputs and a prebaked
+// tail. Requires respBaked.
+func (s *Snapshot) appendSameSetBody(dst []byte, a, b string) []byte {
+	dst = append(dst, `{"a":`...)
+	dst = appendJSONString(dst, a)
+	dst = append(dst, `,"b":`...)
+	dst = appendJSONString(dst, b)
+	ea, aok := s.lookup(core.CanonicalHost(a))
+	eb, bok := s.lookup(core.CanonicalHost(b))
+	if aok && bok && ea.set == eb.set {
+		return append(dst, s.respSameTail[ea.setIdx]...)
+	}
+	return append(dst, sameSetCrossTail...)
+}
+
+// appendSameSet appends the full /v1/sameset response body for (a, b).
+func (s *Snapshot) appendSameSet(dst []byte, a, b string) []byte {
+	return append(s.appendSameSetBody(dst, a, b), '\n')
+}
+
+// appendSameSetBatch appends the batch /v1/sameset response body.
+func (s *Snapshot) appendSameSetBatch(dst []byte, pairs [][2]string) []byte {
+	dst = append(dst, `{"pairs":`...)
+	dst = strconv.AppendInt(dst, int64(len(pairs)), 10)
+	dst = append(dst, `,"results":[`...)
+	for i, p := range pairs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = s.appendSameSetBody(dst, p[0], p[1])
+	}
+	return append(dst, ']', '}', '\n')
+}
+
+// appendSet appends the /v1/set response body for site, splicing the
+// prebaked members array in whole. Requires respBaked.
+func (s *Snapshot) appendSet(dst []byte, site string) []byte {
+	dst = append(dst, `{"site":`...)
+	dst = appendJSONString(dst, site)
+	e, ok := s.lookup(core.CanonicalHost(site))
+	if !ok {
+		return append(dst, setNotFoundTail...)
+	}
+	dst = append(dst, `,"found":true,"role":`...)
+	dst = appendJSONString(dst, e.role.String())
+	dst = append(dst, `,"primary":`...)
+	dst = appendJSONString(dst, e.set.Primary)
+	dst = append(dst, `,"members":`...)
+	dst = append(dst, s.respMembers[e.setIdx]...)
+	return append(dst, '}', '\n')
+}
+
+// appendPartition appends the /v1/partition response body, or reports
+// !ok when the query falls off the prebaked plane (unknown policy, or an
+// off-list pair that needs the live simulator) and the caller must take
+// the general handler. Requires respBaked.
+func (s *Snapshot) appendPartition(dst []byte, policyName, top, embedded string) ([]byte, bool) {
+	pid, err := policyFor(policyName)
+	if err != nil {
+		return dst, false
+	}
+	ct, ce := core.CanonicalHost(top), core.CanonicalHost(embedded)
+	var tail []byte
+	if ct == ce {
+		if _, ok := s.lookup(ct); ok {
+			tail = s.respPartHostSame[pid]
+		} else {
+			tail = s.respPartHostCross[pid]
+		}
+	} else {
+		te, tok := s.lookup(ct)
+		ee, eok := s.lookup(ce)
+		switch {
+		case tok && eok && te.set == ee.set:
+			tail = s.respPartSame[pid][te.role][ee.role]
+		case tok && eok:
+			tail = s.respPartCross[pid]
+		}
+	}
+	if tail == nil {
+		return dst, false
+	}
+	dst = append(dst, s.respPartHead[pid]...)
+	dst = appendJSONString(dst, top)
+	dst = append(dst, `,"embedded":`...)
+	dst = appendJSONString(dst, embedded)
+	dst = append(dst, tail...)
+	return append(dst, '\n'), true
+}
+
+// appendStats appends the /v1/stats response body around the two live
+// server counters. Requires respBaked.
+func (s *Snapshot) appendStats(dst []byte, requests, swaps uint64) []byte {
+	dst = append(dst, s.respStatsPrefix...)
+	dst = strconv.AppendUint(dst, requests, 10)
+	dst = append(dst, `,"list_swaps":`...)
+	dst = strconv.AppendUint(dst, swaps, 10)
+	return append(dst, '}', '\n')
+}

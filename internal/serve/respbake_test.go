@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rwskit/internal/amplify"
+	"rwskit/internal/dataset"
+)
+
+// marshalCompactLn renders v exactly as the live writeJSON compact path
+// does: json.Marshal plus the trailing newline.
+func marshalCompactLn(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b) + "\n"
+}
+
+// TestAppendJSONStringMatchesMarshal holds the hand-rolled string
+// encoder to encoding/json byte-for-byte: ASCII, the HTML escapes, every
+// control character, multibyte runes, invalid UTF-8, U+2028/U+2029.
+func TestAppendJSONStringMatchesMarshal(t *testing.T) {
+	cases := []string{
+		"", "example.com", "a.example", "with space", "quote\"inside",
+		"back\\slash", "tab\tnewline\nret\r", "\x00\x01\x1f\x7f",
+		"<script>&amp;</script>", "über.de", "日本語.jp", "emoji 🎉 host",
+		" line sep", "bad\xff\xfeutf8", "\xc3", "mixed<&>\xe2\x80",
+	}
+	rng := rand.New(rand.NewSource(9))
+	for n := 0; n < 500; n++ {
+		b := make([]byte, rng.Intn(24))
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		cases = append(cases, string(b))
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("Marshal(%q): %v", s, err)
+		}
+		if got := appendJSONString(nil, s); string(got) != string(want) {
+			t.Errorf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+// prebakedTestLists is the property-test corpus: the embedded real list
+// plus amplified lists, each built at several shard counts (serial
+// included), per the ISSUE's "embedded + amplified lists × shard counts".
+func prebakedTestLists(t *testing.T) map[string]*Snapshot {
+	t.Helper()
+	snaps := map[string]*Snapshot{}
+	embedded, err := dataset.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := map[string]any{}
+	_ = lists
+	for _, seed := range []int64{1, 2} {
+		list, err := amplify.Generate(amplify.Config{Sets: 200, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 3, 8} {
+			snap, err := BuildSnapshot(list, SnapshotOptions{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			snaps[fmt.Sprintf("amplified-seed%d-shards%d", seed, shards)] = snap
+		}
+	}
+	for _, shards := range []int{1, 4} {
+		snap, err := BuildSnapshot(embedded, SnapshotOptions{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[fmt.Sprintf("embedded-shards%d", shards)] = snap
+	}
+	serial, err := BuildSnapshot(embedded, SnapshotOptions{Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps["embedded-serial"] = serial
+	return snaps
+}
+
+// TestPrebakedResponsesMatchLiveEncode is the tentpole's correctness
+// property: for every endpoint with a prebaked path, the assembled bytes
+// are byte-identical to what the live compact encode of the fallback
+// structs produces — across the embedded and amplified lists, at several
+// shard counts, for every pair shape (same-set, cross-set, same-host,
+// off-list, miss) and every policy.
+func TestPrebakedResponsesMatchLiveEncode(t *testing.T) {
+	for label, snap := range prebakedTestLists(t) {
+		t.Run(label, func(t *testing.T) {
+			if !snap.respBaked {
+				t.Fatal("snapshot has no prebaked response plane")
+			}
+			sets := snap.List().Sets()
+			first := sets[0].Members()
+			mid := sets[len(sets)/2].Members()
+			pairs := [][2]string{
+				{first[0].Site, first[len(first)-1].Site},
+				{first[len(first)-1].Site, first[0].Site},
+				{first[0].Site, mid[0].Site},
+				{mid[0].Site, mid[0].Site},
+				{first[0].Site, "off-list.invalid"},
+				{"off-a.invalid", "off-b.invalid"},
+				{"HTTPS://" + first[0].Site + ":443", mid[len(mid)-1].Site + "."},
+			}
+			for _, p := range pairs {
+				want := marshalCompactLn(t, snap.SameSet(p[0], p[1]))
+				if got := string(snap.appendSameSet(nil, p[0], p[1])); got != want {
+					t.Errorf("appendSameSet(%q, %q) = %s, want %s", p[0], p[1], got, want)
+				}
+			}
+			batch := SameSetBatchResponse{Pairs: len(pairs), Results: make([]SameSetResponse, len(pairs))}
+			for i, p := range pairs {
+				batch.Results[i] = snap.SameSet(p[0], p[1])
+			}
+			if got, want := string(snap.appendSameSetBatch(nil, pairs)), marshalCompactLn(t, batch); got != want {
+				t.Errorf("appendSameSetBatch = %s, want %s", got, want)
+			}
+
+			sites := []string{first[0].Site, first[len(first)-1].Site, mid[0].Site, "nope.invalid", "WWW.Example.COM"}
+			for _, site := range sites {
+				want := marshalCompactLn(t, snap.Set(site))
+				if got := string(snap.appendSet(nil, site)); got != want {
+					t.Errorf("appendSet(%q) = %s, want %s", site, got, want)
+				}
+			}
+
+			for _, policy := range []string{"", "rws", "chrome", "strict", "brave", "prompt", "firefox", "safari", "legacy", "unpartitioned"} {
+				for _, p := range pairs {
+					got, ok := snap.appendPartition(nil, policy, p[0], p[1])
+					resp, err := snap.Partition(policy, p[0], p[1])
+					if err != nil {
+						t.Fatalf("Partition(%q, %q, %q): %v", policy, p[0], p[1], err)
+					}
+					if !ok {
+						// The prebaked plane only declines queries that need
+						// the live simulator: at least one off-list host with
+						// distinct canonical hosts.
+						continue
+					}
+					if want := marshalCompactLn(t, resp); string(got) != want {
+						t.Errorf("appendPartition(%q, %q, %q) = %s, want %s", policy, p[0], p[1], got, want)
+					}
+				}
+				if _, ok := snap.appendPartition(nil, "bogus-policy", first[0].Site, mid[0].Site); ok {
+					t.Error("appendPartition accepted an unknown policy")
+				}
+			}
+
+			for _, counters := range [][2]uint64{{0, 0}, {1, 1}, {123456789, 42}} {
+				want := marshalCompactLn(t, StatsResponse{
+					Sets:            snap.stats.Sets,
+					Sites:           snap.numSites,
+					AssociatedSites: snap.stats.AssociatedSites,
+					ServiceSites:    snap.stats.ServiceSites,
+					CCTLDSites:      snap.stats.CCTLDSites,
+					MeanAssociated:  snap.stats.MeanAssociatedPerSet,
+					SnapshotHash:    snap.hash,
+					Requests:        counters[0],
+					ListSwaps:       counters[1],
+				})
+				if got := string(snap.appendStats(nil, counters[0], counters[1])); got != want {
+					t.Errorf("appendStats(%d, %d) = %s, want %s", counters[0], counters[1], got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathMatchesSlowPathOverHTTP drives the real server twice per
+// query — once in the fast-path shape, once with a percent-encoded
+// character that forces the general handler — and requires byte-equal
+// bodies. This pins the whole request path (mux, instrument, envelope),
+// not just the fragment assembly.
+func TestFastPathMatchesSlowPathOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t)
+	fetch := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	list, err := dataset.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := list.Sets()
+	a := sets[0].Members()[0].Site
+	b := sets[0].Members()[len(sets[0].Members())-1].Site
+	c := sets[1].Members()[0].Site
+	// Percent-encoding the first byte decodes to the same host, but its
+	// presence forces the slow path (url.Values + struct + live encode).
+	slow := func(h string) string { return fmt.Sprintf("%%%02X%s", h[0], h[1:]) }
+	queries := [][2]string{
+		{"/v1/sameset?a=" + a + "&b=" + b, "/v1/sameset?a=" + slow(a) + "&b=" + slow(b)},
+		{"/v1/sameset?a=" + a + "&b=" + c, "/v1/sameset?a=" + slow(a) + "&b=" + slow(c)},
+		{"/v1/set?site=" + a, "/v1/set?site=" + slow(a)},
+		{"/v1/set?site=nope.invalid", "/v1/set?site=nope%2Einvalid"},
+		{"/v1/partition?top=" + a + "&embedded=" + b, "/v1/partition?top=" + slow(a) + "&embedded=" + slow(b)},
+		{"/v1/partition?top=" + a + "&embedded=" + c + "&policy=strict", "/v1/partition?top=" + slow(a) + "&embedded=" + slow(c) + "&policy=strict"},
+	}
+	for _, q := range queries {
+		if fast, slow := fetch(q[0]), fetch(q[1]); fast != slow {
+			t.Errorf("fast path %s = %s, slow path %s = %s", q[0], fast, q[1], slow)
+		}
+	}
+	// The pretty opt-in really is indented, and decodes to the same value.
+	pretty := fetch("/v1/sameset?a=" + a + "&b=" + b + "&pretty=1")
+	compact := fetch("/v1/sameset?a=" + a + "&b=" + b)
+	if !strings.Contains(pretty, "\n  ") {
+		t.Errorf("pretty=1 body not indented: %q", pretty)
+	}
+	var pv, cv SameSetResponse
+	if err := json.Unmarshal([]byte(pretty), &pv); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(compact), &cv); err != nil {
+		t.Fatal(err)
+	}
+	if pv != cv {
+		t.Errorf("pretty %+v != compact %+v", pv, cv)
+	}
+}
+
+// discardRW is a reusable ResponseWriter that costs nothing per request,
+// so AllocsPerRun and the gated benchmarks measure the handler's own
+// allocations rather than httptest.NewRecorder's.
+type discardRW struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func newDiscardRW() *discardRW { return &discardRW{h: make(http.Header, 4)} }
+
+func (d *discardRW) Header() http.Header { return d.h }
+
+func (d *discardRW) Write(p []byte) (int, error) {
+	d.n += len(p)
+	return len(p), nil
+}
+
+func (d *discardRW) WriteHeader(status int) { d.status = status }
+
+// TestPrebakedHandlersZeroAlloc asserts the fast paths allocate nothing
+// per request through the full Server.ServeHTTP stack (mux dispatch,
+// instrument, fragment assembly, envelope).
+func TestPrebakedHandlersZeroAlloc(t *testing.T) {
+	list, err := dataset.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(list)
+	sets := list.Sets()
+	a := sets[0].Members()[0].Site
+	b := sets[0].Members()[len(sets[0].Members())-1].Site
+	for _, path := range []string{
+		"/v1/sameset?a=" + a + "&b=" + b,
+		"/v1/set?site=" + a,
+		"/v1/partition?top=" + a + "&embedded=" + b,
+		"/v1/stats",
+	} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rw := newDiscardRW()
+		s.ServeHTTP(rw, req) // warm pools and the header map
+		if rw.status != 0 && rw.status != http.StatusOK {
+			t.Fatalf("%s: status %d", path, rw.status)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			s.ServeHTTP(rw, req)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", path, allocs)
+		}
+	}
+}

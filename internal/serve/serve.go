@@ -50,14 +50,15 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
-	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -209,11 +210,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // statusWriter records the status code a handler wrote, for the error
-// counters.
+// counters. Instances are pooled: instrument resets and reuses them so
+// the wrapper itself costs no per-request allocation.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 }
+
+var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 // WriteHeader records then forwards the status; as middleware plumbing
 // it is part of the envelope implementation.
@@ -229,7 +233,8 @@ func (w *statusWriter) WriteHeader(status int) {
 func (s *Server) instrument(id endpointID, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw := statusWriterPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status = w, http.StatusOK
 		h(sw, r)
 		m := &s.metrics[id]
 		m.requests.Add(1)
@@ -237,6 +242,8 @@ func (s *Server) instrument(id endpointID, h http.HandlerFunc) http.HandlerFunc 
 		if sw.status >= 400 {
 			m.errors.Add(1)
 		}
+		sw.ResponseWriter = nil
+		statusWriterPool.Put(sw)
 	}
 }
 
@@ -245,34 +252,43 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// writeJSON writes v as indented JSON. Encoding happens into a buffer
-// before any byte reaches the wire, so an encode failure surfaces as a
-// 500 JSON envelope instead of a truncated 200. Write errors after that
-// mean the client went away; there is nothing left to surface to it.
+// writeJSON encodes v and writes it: compact by default, indented when
+// the request opted in with ?pretty=1. The encode buffer is pooled and
+// reused across requests. Encoding happens fully before any byte
+// reaches the wire, so an encode failure surfaces as a 500 JSON
+// envelope instead of a truncated 200. Write errors after that mean the
+// client went away; there is nothing left to surface to it.
 //
 //rws:envelope
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	body, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		status = http.StatusInternalServerError
-		body, _ = json.Marshal(errorBody{Error: "encoding response: " + err.Error()})
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	if prettyRequested(r) {
+		enc.SetIndent("", "  ")
 	}
-	body = append(body, '\n')
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
-	w.WriteHeader(status)
-	w.Write(body)
+	if err := enc.Encode(v); err != nil {
+		buf.Reset()
+		status = http.StatusInternalServerError
+		body, _ := json.Marshal(errorBody{Error: "encoding response: " + err.Error()})
+		buf.Write(body)
+		buf.WriteByte('\n')
+	}
+	writeRawJSON(w, status, buf.Bytes())
+	if buf.Cap() <= maxRetainedBuf {
+		jsonBufPool.Put(buf)
+	}
 }
 
-func badRequest(w http.ResponseWriter, format string, args ...any) {
-	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
+func badRequest(w http.ResponseWriter, r *http.Request, format string, args ...any) {
+	writeJSON(w, r, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
 // requireGET rejects non-GET methods; the read path is side-effect free.
 func requireGET(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "method not allowed"})
+		writeJSON(w, r, http.StatusMethodNotAllowed, errorBody{Error: "method not allowed"})
 		return false
 	}
 	return true
@@ -281,12 +297,12 @@ func requireGET(w http.ResponseWriter, r *http.Request) bool {
 // writeResolveError maps a version-resolution failure to the JSON error
 // contract: unknown versions are 404 (the spec was well-formed, the
 // store just doesn't hold it), everything else is a 400.
-func writeResolveError(w http.ResponseWriter, err error) {
+func writeResolveError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusBadRequest
 	if errors.Is(err, ErrVersionNotFound) {
 		status = http.StatusNotFound
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeJSON(w, r, status, errorBody{Error: err.Error()})
 }
 
 // resolveSnap picks the snapshot a request is answered from: the current
@@ -295,38 +311,38 @@ func writeResolveError(w http.ResponseWriter, err error) {
 // On failure it writes the error response and returns nil. Successful
 // resolution counts one per-version hit (a lock-free atomic add on the
 // snapshot, surfaced in /v1/metrics).
-func (s *Server) resolveSnap(w http.ResponseWriter, q url.Values) *Snapshot {
-	snap := s.resolveSnapInner(w, q)
+func (s *Server) resolveSnap(w http.ResponseWriter, r *http.Request, q url.Values) *Snapshot {
+	snap := s.resolveSnapInner(w, r, q)
 	if snap != nil {
 		snap.requests.Add(1)
 	}
 	return snap
 }
 
-func (s *Server) resolveSnapInner(w http.ResponseWriter, q url.Values) *Snapshot {
+func (s *Server) resolveSnapInner(w http.ResponseWriter, r *http.Request, q url.Values) *Snapshot {
 	version, asOf := q.Get("version"), q.Get("as_of")
 	switch {
 	case version == "" && asOf == "":
 		return s.store.Current()
 	case version != "" && asOf != "":
-		badRequest(w, "use either version= or as_of=, not both")
+		badRequest(w, r, "use either version= or as_of=, not both")
 		return nil
 	case version != "":
 		snap, _, err := s.store.ByHash(version)
 		if err != nil {
-			writeResolveError(w, err)
+			writeResolveError(w, r, err)
 			return nil
 		}
 		return snap
 	default:
 		t, ok := parseAsOf(asOf)
 		if !ok {
-			badRequest(w, "as_of %q: want 2006-01, 2006-01-02, or RFC 3339", asOf)
+			badRequest(w, r, "as_of %q: want 2006-01, 2006-01-02, or RFC 3339", asOf)
 			return nil
 		}
 		snap, _, err := s.store.AsOf(t)
 		if err != nil {
-			writeResolveError(w, err)
+			writeResolveError(w, r, err)
 			return nil
 		}
 		return snap
@@ -336,14 +352,14 @@ func (s *Server) resolveSnapInner(w http.ResponseWriter, q url.Values) *Snapshot
 // handleNotFound keeps unmatched paths inside the JSON contract instead
 // of falling through to a plain-text 404.
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusNotFound, errorBody{Error: "no such endpoint: " + r.URL.Path})
+	writeJSON(w, r, http.StatusNotFound, errorBody{Error: "no such endpoint: " + r.URL.Path})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, r, http.StatusOK, map[string]any{
 		"ok":   true,
 		"sets": s.Snapshot().NumSets(),
 	})
@@ -418,37 +434,77 @@ func parsePairs(raw string) ([][2]string, error) {
 }
 
 func (s *Server) handleSameSet(w http.ResponseWriter, r *http.Request) {
+	// Fast path: a plain current-version a=/b= GET against a snapshot
+	// with prebaked response bytes is answered with zero allocations —
+	// no url.Values, no response struct, no encode. Any other shape
+	// (version pinning, pairs=, escaped values, ?pretty=1, POST) falls
+	// through to the general handler below, which answers identically.
+	if r.Method == http.MethodGet && snapRespBaked(s.store.Current()) {
+		if a, b, ok := rawTwoParams(r.URL.RawQuery, "a", "b"); ok {
+			snap := s.store.Current()
+			snap.requests.Add(1)
+			rb := getRespBuf()
+			rb.b = snap.appendSameSet(rb.b[:0], a, b)
+			writeRawJSON(w, http.StatusOK, rb.b)
+			putRespBuf(rb)
+			return
+		}
+	}
 	if !requireGET(w, r) {
 		return
 	}
 	q := r.URL.Query()
-	snap := s.resolveSnap(w, q)
+	snap := s.resolveSnap(w, r, q)
 	if snap == nil {
 		return
 	}
 	if raw := pairsParam(q, r.URL.RawQuery); raw != "" {
 		if q.Get("a") != "" || q.Get("b") != "" {
-			badRequest(w, "use either pairs= or a=/b=, not both")
+			badRequest(w, r, "use either pairs= or a=/b=, not both")
 			return
 		}
 		pairs, err := parsePairs(raw)
 		if err != nil {
-			badRequest(w, "%v", err)
+			badRequest(w, r, "%v", err)
+			return
+		}
+		if snap.respBaked && !prettyRequested(r) {
+			rb := getRespBuf()
+			rb.b = snap.appendSameSetBatch(rb.b[:0], pairs)
+			writeRawJSON(w, http.StatusOK, rb.b)
+			putRespBuf(rb)
 			return
 		}
 		resp := SameSetBatchResponse{Pairs: len(pairs), Results: make([]SameSetResponse, len(pairs))}
 		for i, p := range pairs {
 			resp.Results[i] = snap.SameSet(p[0], p[1])
 		}
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, r, http.StatusOK, resp)
 		return
 	}
 	a, b := q.Get("a"), q.Get("b")
 	if a == "" || b == "" {
-		badRequest(w, "both a and b query parameters are required")
+		badRequest(w, r, "both a and b query parameters are required")
 		return
 	}
-	writeJSON(w, http.StatusOK, snap.SameSet(a, b))
+	if snap.respBaked && !prettyRequested(r) {
+		rb := getRespBuf()
+		rb.b = snap.appendSameSet(rb.b[:0], a, b)
+		writeRawJSON(w, http.StatusOK, rb.b)
+		putRespBuf(rb)
+		return
+	}
+	writeJSON(w, r, http.StatusOK, snap.SameSet(a, b))
+}
+
+// snapRespBaked reports whether snap carries the prebaked response
+// plane; a nil snapshot (empty store — impossible through NewFromStore)
+// reports false so fast paths fall through safely.
+//
+//rws:hotpath
+//rws:allocfree
+func snapRespBaked(snap *Snapshot) bool {
+	return snap != nil && snap.respBaked
 }
 
 // SetMember is one member in a /v1/set response.
@@ -468,20 +524,40 @@ type SetResponse struct {
 }
 
 func (s *Server) handleSet(w http.ResponseWriter, r *http.Request) {
+	// Fast path: plain current-version site= GET, answered by splicing
+	// the prebaked members array into a pooled buffer.
+	if r.Method == http.MethodGet && snapRespBaked(s.store.Current()) {
+		if site, ok := rawOneParam(r.URL.RawQuery, "site"); ok {
+			snap := s.store.Current()
+			snap.requests.Add(1)
+			rb := getRespBuf()
+			rb.b = snap.appendSet(rb.b[:0], site)
+			writeRawJSON(w, http.StatusOK, rb.b)
+			putRespBuf(rb)
+			return
+		}
+	}
 	if !requireGET(w, r) {
 		return
 	}
 	q := r.URL.Query()
 	site := q.Get("site")
 	if site == "" {
-		badRequest(w, "site query parameter is required")
+		badRequest(w, r, "site query parameter is required")
 		return
 	}
-	snap := s.resolveSnap(w, q)
+	snap := s.resolveSnap(w, r, q)
 	if snap == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, snap.Set(site))
+	if snap.respBaked && !prettyRequested(r) {
+		rb := getRespBuf()
+		rb.b = snap.appendSet(rb.b[:0], site)
+		writeRawJSON(w, http.StatusOK, rb.b)
+		putRespBuf(rb)
+		return
+	}
+	writeJSON(w, r, http.StatusOK, snap.Set(site))
 }
 
 // PartitionResponse answers /v1/partition: the storage semantics a fresh
@@ -504,25 +580,43 @@ type PartitionResponse struct {
 }
 
 func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	// Fast path: plain current-version top=/embedded=[&policy=] GET for
+	// a pair on the precomputed plane. Off-list pairs (which need the
+	// live simulator) and unknown policies report !ok from
+	// appendPartition and fall through.
+	if r.Method == http.MethodGet && snapRespBaked(s.store.Current()) {
+		if top, embedded, policy, ok := rawPartitionParams(r.URL.RawQuery); ok {
+			snap := s.store.Current()
+			rb := getRespBuf()
+			if b, ok := snap.appendPartition(rb.b[:0], policy, top, embedded); ok {
+				snap.requests.Add(1)
+				rb.b = b
+				writeRawJSON(w, http.StatusOK, rb.b)
+				putRespBuf(rb)
+				return
+			}
+			putRespBuf(rb)
+		}
+	}
 	if !requireGET(w, r) {
 		return
 	}
 	q := r.URL.Query()
 	top, embedded := q.Get("top"), q.Get("embedded")
 	if top == "" || embedded == "" {
-		badRequest(w, "both top and embedded query parameters are required")
+		badRequest(w, r, "both top and embedded query parameters are required")
 		return
 	}
-	snap := s.resolveSnap(w, q)
+	snap := s.resolveSnap(w, r, q)
 	if snap == nil {
 		return
 	}
 	resp, err := snap.Partition(q.Get("policy"), top, embedded)
 	if err != nil {
-		badRequest(w, "%v", err)
+		badRequest(w, r, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 // PartitionQuery is one query in a /v1/partition/batch request. Policy
@@ -550,7 +644,7 @@ type PartitionBatchResponse struct {
 func (s *Server) handlePartitionBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "method not allowed (POST a JSON body)"})
+		writeJSON(w, r, http.StatusMethodNotAllowed, errorBody{Error: "method not allowed (POST a JSON body)"})
 		return
 	}
 	var req PartitionBatchRequest
@@ -559,25 +653,25 @@ func (s *Server) handlePartitionBatch(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+			writeJSON(w, r, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
 			return
 		}
-		badRequest(w, "decoding request body: %v", err)
+		badRequest(w, r, "decoding request body: %v", err)
 		return
 	}
 	if len(req.Queries) == 0 {
-		badRequest(w, "queries must be non-empty")
+		badRequest(w, r, "queries must be non-empty")
 		return
 	}
 	if len(req.Queries) > maxBatchPairs {
-		badRequest(w, "too many queries: %d > %d", len(req.Queries), maxBatchPairs)
+		badRequest(w, r, "too many queries: %d > %d", len(req.Queries), maxBatchPairs)
 		return
 	}
 	snap := s.Snapshot()
 	resp := PartitionBatchResponse{Queries: len(req.Queries), Results: make([]PartitionResponse, len(req.Queries))}
 	for i, pq := range req.Queries {
 		if pq.Top == "" || pq.Embedded == "" {
-			badRequest(w, "query %d: both top and embedded are required", i)
+			badRequest(w, r, "query %d: both top and embedded are required", i)
 			return
 		}
 		policy := pq.Policy
@@ -586,12 +680,12 @@ func (s *Server) handlePartitionBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		pr, err := snap.Partition(policy, pq.Top, pq.Embedded)
 		if err != nil {
-			badRequest(w, "query %d: %v", i, err)
+			badRequest(w, r, "query %d: %v", i, err)
 			return
 		}
 		resp.Results[i] = pr
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 // StatsResponse answers /v1/stats.
@@ -608,14 +702,25 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Fast path: a bare current-version GET splices the two live
+	// counters into the prebaked stats body.
+	if r.Method == http.MethodGet && r.URL.RawQuery == "" && snapRespBaked(s.store.Current()) {
+		snap := s.store.Current()
+		snap.requests.Add(1)
+		rb := getRespBuf()
+		rb.b = snap.appendStats(rb.b[:0], s.requests.Load(), s.store.Swaps())
+		writeRawJSON(w, http.StatusOK, rb.b)
+		putRespBuf(rb)
+		return
+	}
 	if !requireGET(w, r) {
 		return
 	}
-	snap := s.resolveSnap(w, r.URL.Query())
+	snap := s.resolveSnap(w, r, r.URL.Query())
 	if snap == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	writeJSON(w, r, http.StatusOK, StatsResponse{
 		Sets:            snap.stats.Sets,
 		Sites:           snap.numSites,
 		AssociatedSites: snap.stats.AssociatedSites,
@@ -730,7 +835,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Endpoints = append(resp.Endpoints, em)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 // VersionResponse describes one retained version in /v1/versions and in
@@ -777,7 +882,7 @@ func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
 	for _, vi := range infos {
 		resp.Versions = append(resp.Versions, versionResponse(vi))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 // DiffResponse answers /v1/diff: the member-level changes from one
@@ -801,17 +906,17 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	from, to := q.Get("from"), q.Get("to")
 	if from == "" || to == "" {
-		badRequest(w, "both from and to query parameters are required (a version hash prefix, an as-of time, or \"current\")")
+		badRequest(w, r, "both from and to query parameters are required (a version hash prefix, an as-of time, or \"current\")")
 		return
 	}
 	fromSnap, fromVer, err := s.store.Resolve(from)
 	if err != nil {
-		writeResolveError(w, fmt.Errorf("from: %w", err))
+		writeResolveError(w, r, fmt.Errorf("from: %w", err))
 		return
 	}
 	toSnap, toVer, err := s.store.Resolve(to)
 	if err != nil {
-		writeResolveError(w, fmt.Errorf("to: %w", err))
+		writeResolveError(w, r, fmt.Errorf("to: %w", err))
 		return
 	}
 	fromSnap.requests.Add(1)
@@ -820,7 +925,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	// pair computes DiffLists, every later one (and the swap-precomputed
 	// adjacent pairs) is a cache hit.
 	d := s.store.Diff(fromSnap, toSnap)
-	writeJSON(w, http.StatusOK, DiffResponse{
+	writeJSON(w, r, http.StatusOK, DiffResponse{
 		From:           versionResponse(VersionInfo{Version: fromVer, Sets: fromSnap.NumSets(), Sites: fromSnap.NumSites()}),
 		To:             versionResponse(VersionInfo{Version: toVer, Sets: toSnap.NumSets(), Sites: toSnap.NumSites()}),
 		Empty:          d.Empty(),

@@ -85,12 +85,14 @@ type SnapshotOptions struct {
 	// (forced to 1) when Serial is set.
 	Shards int
 	// MemoryBudget caps the estimated bytes of the snapshot's derived
-	// tables (host index, prebaked member slices, role tables). 0 means
-	// unlimited. When the estimate exceeds the budget, construction
-	// degrades before failing: the prebaked /v1/set member slices are
-	// dropped first (Set rebuilds a response's members on demand); if the
-	// remaining tables still exceed the budget, BuildSnapshot errors. The
-	// decision is recorded in BuildInfo and surfaced by /v1/metrics.
+	// tables (host index, prebaked response bytes, prebaked member
+	// slices, role tables). 0 means unlimited. When the estimate exceeds
+	// the budget, construction degrades in order before failing: the
+	// prebaked response bytes are dropped first (queries fall back to the
+	// live encode, same bytes), then the prebaked /v1/set member slices
+	// (Set rebuilds a response's members on demand); if the remaining
+	// tables still exceed the budget, BuildSnapshot errors. The decision
+	// is recorded in BuildInfo and surfaced by /v1/metrics.
 	MemoryBudget int64
 	// Serial selects the retained single-threaded reference construction
 	// path. The parallel path is proven equivalent to it by property test
@@ -116,6 +118,14 @@ type BuildInfo struct {
 	// PrebakedSetsDropped reports that the budget forced the prebaked
 	// /v1/set member slices to be dropped; Set rebuilds them per request.
 	PrebakedSetsDropped bool `json:"prebaked_sets_dropped,omitempty"`
+	// PrebakedRespDropped reports that the budget forced the prebaked
+	// response bytes to be dropped (the first degradation rung); queries
+	// fall back to the live encode, which produces the same bytes.
+	PrebakedRespDropped bool `json:"prebaked_resp_dropped,omitempty"`
+	// Tier summarizes the degradation state: "full" (everything prebaked),
+	// "resp-dropped" (live encode, prebaked member slices kept), or
+	// "sets-dropped" (member slices rebuilt on demand too).
+	Tier string `json:"tier"`
 }
 
 // Snapshot is the precomputed, immutable query plane the server answers
@@ -157,6 +167,25 @@ type Snapshot struct {
 
 	stats    core.CompositionStats
 	numSites int
+
+	// The prebaked response plane (respbake.go): exact compact-JSON wire
+	// bytes for the enumerable answers, assembled into pooled buffers by
+	// the handler fast paths. respBaked gates the whole tier — it is the
+	// first thing a memory budget drops, falling back to the live encode.
+	respBaked bool
+	// respMembers is the encoded members array per set index;
+	// respSameTail closes a same-set SameSetResponse per set index.
+	respMembers  [][]byte
+	respSameTail [][]byte
+	// respPartHead opens a PartitionResponse per policy; the tails close
+	// it per verdict shape (same-set cell, cross-set, same-host on/off
+	// list). respStatsPrefix is the stats body up to the live counters.
+	respPartHead      [numPolicies][]byte
+	respPartSame      [numPolicies][numRoles][numRoles][]byte
+	respPartCross     [numPolicies][]byte
+	respPartHostSame  [numPolicies][]byte
+	respPartHostCross [numPolicies][]byte
+	respStatsPrefix   []byte
 
 	info BuildInfo
 
@@ -230,19 +259,41 @@ func BuildSnapshot(list *core.List, opts SnapshotOptions) (*Snapshot, error) {
 		hostBytes, memberBytes = s.buildParallel(shards)
 	}
 
-	// The estimate covers the three big derived tables: the sharded host
-	// index (key bytes + entry/bucket overhead), the prebaked member
-	// slices (string bytes + struct + slice headers), and the role tables
-	// (one string header per member per table).
+	// The estimate covers the big derived tables: the sharded host index
+	// (key bytes + entry/bucket overhead), the prebaked response bytes,
+	// the prebaked member slices (string bytes + struct + slice headers),
+	// and the role tables (one string header per member per table). Under
+	// a budget the tiers drop in that order of dispensability: response
+	// bytes first (live encode produces the same bytes), member slices
+	// second (rebuilt on demand), and only then does the build fail.
 	byRoleBytes := int64(s.numSites) * 16
 	estimated := hostBytes + memberBytes + byRoleBytes
+	if opts.MemoryBudget > 0 && estimated > opts.MemoryBudget {
+		// Already over budget before the response tier: skip baking it.
+		s.info.PrebakedRespDropped = true
+	} else if respBytes, ok := s.bakeResponses(); ok {
+		estimated += respBytes
+		if opts.MemoryBudget > 0 && estimated > opts.MemoryBudget {
+			s.dropResponseTier()
+			s.info.PrebakedRespDropped = true
+			estimated -= respBytes
+		}
+	}
 	if opts.MemoryBudget > 0 && estimated > opts.MemoryBudget {
 		s.members = nil
 		s.info.PrebakedSetsDropped = true
 		estimated -= memberBytes
 		if estimated > opts.MemoryBudget {
-			return nil, fmt.Errorf("serve: snapshot needs an estimated %d bytes even after dropping prebaked set slices; memory budget is %d", estimated, opts.MemoryBudget)
+			return nil, fmt.Errorf("serve: snapshot needs an estimated %d bytes even after dropping prebaked responses and set slices; memory budget is %d", estimated, opts.MemoryBudget)
 		}
+	}
+	switch {
+	case s.info.PrebakedSetsDropped:
+		s.info.Tier = "sets-dropped"
+	case !s.respBaked:
+		s.info.Tier = "resp-dropped"
+	default:
+		s.info.Tier = "full"
 	}
 	s.info.EstimatedBytes = estimated
 	s.info.BuildNanos = time.Since(start).Nanoseconds()
