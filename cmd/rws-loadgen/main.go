@@ -17,6 +17,15 @@
 // http targets only), removing ~30µs/request of client-side overhead so
 // a single small load box can saturate the prebaked serving plane.
 //
+// -targets runs the same mix against several endpoints at once — a
+// leader plus its /v1/list followers — spreading requests round-robin
+// across the URLs (weighted by an optional =N suffix per URL) and
+// reporting per-target req/s and latency alongside the aggregate. The
+// spread is deterministic: each worker walks the weight-expanded target
+// ring from its own phase, so a seed pins the full (scenario, target)
+// sequence. Composes with -fast (one persistent connection per worker
+// per target) and with -rate/-sweep.
+//
 // Usage:
 //
 //	rws-loadgen -target http://host:port [-workers 8] [-duration 10s]
@@ -24,6 +33,8 @@
 //	            [-list file-or-url | -amplify N [-amplify-seed S]]
 //	            [-rate R | -sweep r1,r2,...] [-arrival poisson|fixed]
 //	            [-fast] [-batch 8] [-json]
+//	rws-loadgen -targets http://leader:8080=2,http://f1:8081,http://f2:8082
+//	            [same flags]
 //
 // Scenarios:
 //
@@ -107,8 +118,18 @@ var scenarioNames = [numScenarios]string{
 	scChurn:     "churn",
 }
 
+// targetSpec is one endpoint of a (possibly multi-target) run.
+type targetSpec struct {
+	url    string
+	weight int
+	// addr and host are the -fast dial address and Host header,
+	// resolved once in newGenerator.
+	addr, host string
+}
+
 type config struct {
-	target      string
+	target      string // display form: the URL, or the joined -targets list
+	targets     []targetSpec
 	workers     int
 	duration    time.Duration
 	weights     [numScenarios]int
@@ -128,7 +149,8 @@ type config struct {
 
 func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("rws-loadgen", flag.ContinueOnError)
-	target := fs.String("target", "", "base URL of the rws-serve instance (required)")
+	target := fs.String("target", "", "base URL of the rws-serve instance")
+	targets := fs.String("targets", "", "comma-separated base URLs url[=weight],... for a weighted round-robin multi-endpoint run (excludes -target)")
 	workers := fs.Int("workers", 8, "concurrent closed-loop workers")
 	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
 	mix := fs.String("mix", "sameset=4,set=3,partition=2,batch=1", "scenario weights")
@@ -150,18 +172,21 @@ func parseFlags(args []string) (config, error) {
 		return config{}, errors.New("usage: rws-loadgen -target URL [flags]")
 	}
 	cfg := config{
-		target: strings.TrimSuffix(*target, "/"), workers: *workers,
+		workers:  *workers,
 		duration: *duration, mix: *mix, seed: *seed, list: *list,
 		amplify: *amp, amplifySeed: *ampSeed,
 		batch: *batch, timeout: *timeout, jsonOut: *jsonOut,
 		rate: *rate, arrival: *arrival, fast: *fast,
 	}
-	if cfg.target == "" {
-		return config{}, errors.New("-target is required")
+	var err error
+	if cfg.targets, err = parseTargets(*target, *targets); err != nil {
+		return config{}, err
 	}
-	if _, err := url.ParseRequestURI(cfg.target); err != nil {
-		return config{}, fmt.Errorf("-target: %v", err)
+	urls := make([]string, len(cfg.targets))
+	for i, t := range cfg.targets {
+		urls[i] = t.url
 	}
+	cfg.target = strings.Join(urls, ",")
 	if cfg.workers < 1 {
 		return config{}, errors.New("-workers must be >= 1")
 	}
@@ -192,11 +217,53 @@ func parseFlags(args []string) (config, error) {
 			return config{}, err
 		}
 	}
-	var err error
 	if cfg.weights, err = parseMix(*mix); err != nil {
 		return config{}, err
 	}
 	return cfg, nil
+}
+
+// parseTargets resolves -target/-targets (exactly one must be given)
+// into the endpoint list. Each -targets entry is url[=weight]; weights
+// default to 1 and set the entry's share of the round-robin ring.
+func parseTargets(single, multi string) ([]targetSpec, error) {
+	if single != "" && multi != "" {
+		return nil, errors.New("-target and -targets are mutually exclusive")
+	}
+	if single == "" && multi == "" {
+		return nil, errors.New("-target or -targets is required")
+	}
+	if single != "" {
+		u := strings.TrimSuffix(single, "/")
+		if _, err := url.ParseRequestURI(u); err != nil {
+			return nil, fmt.Errorf("-target: %v", err)
+		}
+		return []targetSpec{{url: u, weight: 1}}, nil
+	}
+	var specs []targetSpec
+	for _, part := range strings.Split(multi, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec := targetSpec{url: part, weight: 1}
+		if u, w, ok := strings.Cut(part, "="); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(w))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("-targets: bad weight in %q (want url=positive-int)", part)
+			}
+			spec.url, spec.weight = u, n
+		}
+		spec.url = strings.TrimSuffix(strings.TrimSpace(spec.url), "/")
+		if _, err := url.ParseRequestURI(spec.url); err != nil {
+			return nil, fmt.Errorf("target %q: %v", spec.url, err)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("-targets: no URLs given")
+	}
+	return specs, nil
 }
 
 // parseSweep parses "-sweep 5000,10000,20000" into ascending offered
@@ -271,6 +338,18 @@ type ScenarioStats struct {
 	Errors   uint64 `json:"errors"`
 }
 
+// TargetStats is one endpoint's share of a multi-target report: its
+// achieved throughput and latency alongside the run-wide aggregate.
+type TargetStats struct {
+	Target    string  `json:"target"`
+	Weight    int     `json:"weight"`
+	Requests  uint64  `json:"requests"`
+	Errors    uint64  `json:"errors"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50Micros int64   `json:"p50_micros"`
+	P99Micros int64   `json:"p99_micros"`
+}
+
 // Report is the load-generation result. Mode "closed" measures
 // per-request service latency; mode "open" measures latency from each
 // request's intended send time at the offered rate.
@@ -293,6 +372,9 @@ type Report struct {
 	P999Micros    int64           `json:"p999_micros"`
 	MaxMicros     int64           `json:"max_micros"`
 	Scenarios     []ScenarioStats `json:"scenarios"`
+	// Targets breaks the run down per endpoint; present only on
+	// multi-target (-targets) runs.
+	Targets []TargetStats `json:"targets,omitempty"`
 }
 
 func run(ctx context.Context, args []string, out io.Writer) error {
@@ -370,6 +452,10 @@ func (r Report) write(w io.Writer) {
 	for _, s := range r.Scenarios {
 		fmt.Fprintf(w, "  %-9s %d requests, %d errors\n", s.Scenario, s.Requests, s.Errors)
 	}
+	for _, t := range r.Targets {
+		fmt.Fprintf(w, "  target %s (weight %d): %d requests (%.1f req/s), %d errors, p50=%dµs p99=%dµs\n",
+			t.Target, t.Weight, t.Requests, t.ReqPerSec, t.Errors, t.P50Micros, t.P99Micros)
+	}
 }
 
 // loadHosts resolves the host universe: an amplified synthetic list
@@ -393,12 +479,13 @@ type generator struct {
 	hosts  []string   // every member host, sorted (deterministic)
 	groups [][]string // per-set member hosts, for related-pair picks
 	pick   []scenarioID
-	client *http.Client
 
-	// fastAddr/fastHost are set when -fast is on: each worker dials its
-	// own persistent HTTP/1.1 connection to fastAddr.
-	fastAddr string
-	fastHost string
+	// targetPick is the weight-expanded target ring: workers walk it
+	// round-robin from their own phase, so the (scenario, target)
+	// sequence is deterministic per seed and the long-run share of each
+	// endpoint matches its weight.
+	targetPick []int
+	client     *http.Client
 
 	// hashes and asOfs are the target's retained versions, fetched once
 	// at startup when the mix includes a versioned scenario. Server
@@ -413,23 +500,26 @@ func (g *generator) wantsVersions() bool {
 	return g.cfg.weights[scAsOf] > 0 || g.cfg.weights[scDiff] > 0 || g.cfg.weights[scChurn] > 0
 }
 
-// primeVersions fetches the target's retained versions for the asof and
-// diff scenarios. A mix without them skips the request entirely.
+// primeVersions fetches the retained versions for the asof and diff
+// scenarios from the first target (on a multi-target run the endpoints
+// replicate the same store, so any one of them is authoritative). A mix
+// without versioned scenarios skips the request entirely.
 func (g *generator) primeVersions(ctx context.Context) error {
 	if !g.wantsVersions() {
 		return nil
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.cfg.target+"/v1/versions", nil)
+	base := g.cfg.targets[0].url
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/versions", nil)
 	if err != nil {
 		return err
 	}
 	resp, err := g.client.Do(req)
 	if err != nil {
-		return fmt.Errorf("fetching %s/v1/versions for the asof/diff scenarios: %w", g.cfg.target, err)
+		return fmt.Errorf("fetching %s/v1/versions for the asof/diff scenarios: %w", base, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("fetching %s/v1/versions: %s (asof/diff need a version-store rws-serve)", g.cfg.target, resp.Status)
+		return fmt.Errorf("fetching %s/v1/versions: %s (asof/diff need a version-store rws-serve)", base, resp.Status)
 	}
 	var body struct {
 		Versions []struct {
@@ -474,6 +564,12 @@ func newGenerator(cfg config, list *core.List) (*generator, error) {
 			g.pick = append(g.pick, scenarioID(id))
 		}
 	}
+	// The target ring, expanded the same way.
+	for ti, t := range cfg.targets {
+		for i := 0; i < t.weight; i++ {
+			g.targetPick = append(g.targetPick, ti)
+		}
+	}
 	// Keep-alive pooling sized to the worker count, so a closed loop
 	// reuses one warm connection per worker instead of redialing.
 	g.client = &http.Client{
@@ -486,21 +582,42 @@ func newGenerator(cfg config, list *core.List) (*generator, error) {
 		},
 	}
 	if cfg.fast {
-		var err error
-		if g.fastAddr, g.fastHost, err = fastTarget(cfg.target); err != nil {
-			return nil, err
+		for ti := range g.cfg.targets {
+			t := &g.cfg.targets[ti]
+			var err error
+			if t.addr, t.host, err = fastTarget(t.url); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return g, nil
 }
 
-// newWorkerClient returns a worker-private fast client, or nil when the
-// run uses net/http.
-func (g *generator) newWorkerClient() *fastClient {
+// newWorkerClients returns worker-private fast clients, one per target,
+// or nil when the run uses net/http.
+func (g *generator) newWorkerClients() []*fastClient {
 	if !g.cfg.fast {
 		return nil
 	}
-	return newFastClient(g.fastAddr, g.fastHost, g.cfg.timeout)
+	fcs := make([]*fastClient, len(g.cfg.targets))
+	for ti, t := range g.cfg.targets {
+		fcs[ti] = newFastClient(t.addr, t.host, g.cfg.timeout)
+	}
+	return fcs
+}
+
+func closeClients(fcs []*fastClient) {
+	for _, fc := range fcs {
+		fc.close()
+	}
+}
+
+// targetTally is one worker's per-target tally. The latency histogram
+// makes per-endpoint quantiles free to merge across workers.
+type targetTally struct {
+	requests uint64
+	errors   uint64
+	hist     latHist
 }
 
 // workerResult is one worker's tally.
@@ -508,6 +625,7 @@ type workerResult struct {
 	latencies []time.Duration
 	requests  [numScenarios]uint64
 	errors    [numScenarios]uint64
+	tgt       []targetTally // indexed like cfg.targets
 }
 
 // Run generates load for cfg.duration and aggregates the report.
@@ -554,6 +672,11 @@ func (g *generator) Run(ctx context.Context) (Report, error) {
 			rep.Scenarios = append(rep.Scenarios, scen[id])
 		}
 	}
+	perTarget := make([][]targetTally, len(results))
+	for i := range results {
+		perTarget[i] = results[i].tgt
+	}
+	rep.Targets = g.targetStats(perTarget, elapsed)
 	if rep.Requests == 0 {
 		return rep, errors.New("no requests completed (is the target up?)")
 	}
@@ -570,6 +693,36 @@ func (g *generator) Run(ctx context.Context) (Report, error) {
 	return rep, nil
 }
 
+// targetStats folds per-worker target tallies into the report's
+// per-endpoint block; single-target runs omit it.
+func (g *generator) targetStats(perWorker [][]targetTally, elapsed time.Duration) []TargetStats {
+	if len(g.cfg.targets) < 2 {
+		return nil
+	}
+	stats := make([]TargetStats, len(g.cfg.targets))
+	hists := make([]latHist, len(g.cfg.targets))
+	for ti, t := range g.cfg.targets {
+		stats[ti].Target = t.url
+		stats[ti].Weight = t.weight
+	}
+	for _, tgt := range perWorker {
+		for ti := range tgt {
+			stats[ti].Requests += tgt[ti].requests
+			stats[ti].Errors += tgt[ti].errors
+			hists[ti].merge(&tgt[ti].hist)
+		}
+	}
+	secs := elapsed.Seconds()
+	for ti := range stats {
+		if secs > 0 {
+			stats[ti].ReqPerSec = float64(stats[ti].Requests) / secs
+		}
+		stats[ti].P50Micros = hists[ti].quantile(0.50).Microseconds()
+		stats[ti].P99Micros = hists[ti].quantile(0.99).Microseconds()
+	}
+	return stats
+}
+
 // percentile reads the p-quantile from an ascending-sorted slice.
 func percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
@@ -581,23 +734,31 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 // worker issues requests back-to-back until ctx expires. Each worker
 // seeds its own PRNG from (seed, worker id), so the request sequence is
-// deterministic per run regardless of scheduling.
+// deterministic per run regardless of scheduling; the target ring is
+// walked by a counter (not the PRNG) from the worker's own phase, so
+// adding targets never perturbs the scenario draw.
 func (g *generator) worker(ctx context.Context, id int) workerResult {
 	rng := newWorkerRNG(g.cfg.seed, id)
-	fc := g.newWorkerClient()
-	defer fc.close()
-	var res workerResult
-	for ctx.Err() == nil {
+	fcs := g.newWorkerClients()
+	defer closeClients(fcs)
+	res := workerResult{tgt: make([]targetTally, len(g.cfg.targets))}
+	for n := 0; ctx.Err() == nil; n++ {
 		sc := g.pick[rng.Intn(len(g.pick))]
+		ti := g.targetPick[(id+n)%len(g.targetPick)]
 		start := time.Now()
-		ok := g.doWith(ctx, fc, sc, rng)
+		ok := g.doWith(ctx, fcs, ti, sc, rng)
 		if ctx.Err() != nil && !ok {
 			break // the deadline killed this request mid-flight; don't count it
 		}
+		d := time.Since(start)
 		res.requests[sc]++
-		res.latencies = append(res.latencies, time.Since(start))
+		res.latencies = append(res.latencies, d)
+		t := &res.tgt[ti]
+		t.requests++
+		t.hist.record(d)
 		if !ok {
 			res.errors[sc]++
+			t.errors++
 		}
 	}
 	return res
@@ -674,15 +835,15 @@ func (g *generator) buildPath(sc scenarioID, rng *rand.Rand) string {
 	return "/"
 }
 
-// doWith issues one request over fc (or net/http when fc is nil) and
-// reports whether it completed with a 2xx.
-func (g *generator) doWith(ctx context.Context, fc *fastClient, sc scenarioID, rng *rand.Rand) bool {
+// doWith issues one request against target ti over its fast client (or
+// net/http when fcs is nil) and reports whether it completed with a 2xx.
+func (g *generator) doWith(ctx context.Context, fcs []*fastClient, ti int, sc scenarioID, rng *rand.Rand) bool {
 	path := g.buildPath(sc, rng)
-	if fc != nil {
-		status, err := fc.get(path)
+	if fcs != nil {
+		status, err := fcs[ti].get(path)
 		return err == nil && status < 300
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.cfg.target+path, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.cfg.targets[ti].url+path, nil)
 	if err != nil {
 		return false
 	}

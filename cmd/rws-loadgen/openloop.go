@@ -25,6 +25,7 @@ type openResult struct {
 	hist     latHist
 	requests [numScenarios]uint64
 	errors   [numScenarios]uint64
+	tgt      []targetTally // indexed like cfg.targets
 }
 
 // runOpen generates load at the offered rate for cfg.duration and
@@ -82,6 +83,11 @@ func (g *generator) runOpen(ctx context.Context, rate float64) (Report, error) {
 			rep.Scenarios = append(rep.Scenarios, scen[id])
 		}
 	}
+	perTarget := make([][]targetTally, len(results))
+	for i := range results {
+		perTarget[i] = results[i].tgt
+	}
+	rep.Targets = g.targetStats(perTarget, elapsed)
 	if rep.Requests == 0 {
 		return rep, errors.New("no requests completed (is the target up?)")
 	}
@@ -103,8 +109,9 @@ func (g *generator) runOpen(ctx context.Context, rate float64) (Report, error) {
 // waiting for their turn.
 func (g *generator) openWorker(ctx context.Context, id int, interval time.Duration, start time.Time, res *openResult) {
 	rng := newWorkerRNG(g.cfg.seed, id)
-	fc := g.newWorkerClient()
-	defer fc.close()
+	fcs := g.newWorkerClients()
+	defer closeClients(fcs)
+	res.tgt = make([]targetTally, len(g.cfg.targets))
 	poisson := g.cfg.arrival == "poisson"
 	// First arrival: fixed mode staggers worker phases so the aggregate
 	// stream is evenly spaced at 1/rate; Poisson draws its first gap.
@@ -116,7 +123,7 @@ func (g *generator) openWorker(ctx context.Context, id int, interval time.Durati
 	}
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
-	for {
+	for n := 0; ; n++ {
 		if ctx.Err() != nil {
 			return
 		}
@@ -129,15 +136,21 @@ func (g *generator) openWorker(ctx context.Context, id int, interval time.Durati
 			}
 		}
 		sc := g.pick[rng.Intn(len(g.pick))]
+		ti := g.targetPick[(id+n)%len(g.targetPick)]
 		intended := next
-		ok := g.doWith(ctx, fc, sc, rng)
+		ok := g.doWith(ctx, fcs, ti, sc, rng)
 		if ctx.Err() != nil && !ok {
 			return // the deadline killed this request mid-flight; don't count it
 		}
+		d := time.Since(intended)
 		res.requests[sc]++
-		res.hist.record(time.Since(intended))
+		res.hist.record(d)
+		t := &res.tgt[ti]
+		t.requests++
+		t.hist.record(d)
 		if !ok {
 			res.errors[sc]++
+			t.errors++
 		}
 		if poisson {
 			next = next.Add(time.Duration(rng.ExpFloat64() * float64(interval)))

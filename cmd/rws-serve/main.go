@@ -6,7 +6,7 @@
 //
 //	rws-serve [-addr :8080] [-list file-or-url] [-poll interval]
 //	          [-timeline] [-retain N] [-amplify N [-amplify-seed S]]
-//	          [-mem-budget BYTES]
+//	          [-mem-budget BYTES] [-strict-params]
 //
 // Without -list, the embedded reconstruction of the 26 March 2024
 // snapshot is served. -amplify N boots from a deterministic synthetic
@@ -27,6 +27,16 @@
 // swap gated on the list content hash and logged with a diff summary.
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 //
+// Every node exports its current list at GET /v1/list with strong cache
+// validators, so a serve node can be the origin for other serve nodes:
+// point a follower's -list at a leader's /v1/list URL
+// (`rws-serve -list http://leader:8080/v1/list -poll 1s`) and it tracks
+// the leader through the same conditional-GET loop used for any remote
+// list — an edge tier with zero new protocols. A follower detects the
+// leader's replication headers and advertises its state (upstream,
+// synced version hash, swap-propagation lag_ms, consecutive-304 streak)
+// under "replication" in /v1/metrics.
+//
 // Superseded lists stay queryable: the server retains the last -retain
 // versions (plus the whole timeline under -timeline) and answers
 // version=/as_of= parameters, /v1/versions, and /v1/diff against them.
@@ -43,6 +53,7 @@
 //	GET  /v1/partition?top=SITE&embedded=SITE[&policy=rws|strict|prompt|legacy]
 //	POST /v1/partition/batch
 //	GET  /v1/stats
+//	GET  /v1/list
 //	GET  /v1/metrics
 //	GET  /v1/versions
 //	GET  /v1/diff?from=SPEC&to=SPEC
@@ -96,6 +107,15 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	if err != nil {
 		return err
 	}
+	srv.SetStrictParams(cfg.strictParams)
+	// A -list pointing at another rws-serve's /v1/list makes this node a
+	// follower: the boot fetch carries the leader's replication headers,
+	// so record the initial sync and advertise the state in /v1/metrics.
+	if meta.Follows() {
+		srv.FollowUpstream(cfg.list)
+		srv.RecordReplicationSwap(meta)
+		fmt.Fprintf(os.Stderr, "rws-serve: following leader %s (version %.12s)\n", cfg.list, meta.UpstreamVersion)
+	}
 
 	// cancel releases the watcher and signal goroutines on every exit
 	// path, including a listener failure where ctx was never cancelled.
@@ -107,6 +127,9 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		w := source.NewWatcher(src, cfg.poll, list, func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "rws-serve: "+format+"\n", a...)
 		})
+		// Poll outcomes feed the replication counters (304 streak, poll
+		// errors); cheap no-op bookkeeping when not following.
+		w.OnPoll = srv.RecordReplicationPoll
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)
 		wg.Add(1)
@@ -265,14 +288,15 @@ func newHTTPServer(handler http.Handler) *http.Server {
 }
 
 type config struct {
-	addr        string
-	list        string
-	poll        time.Duration
-	timeline    bool
-	retain      int
-	amplify     int
-	amplifySeed int64
-	memBudget   int64
+	addr         string
+	list         string
+	poll         time.Duration
+	timeline     bool
+	retain       int
+	amplify      int
+	amplifySeed  int64
+	memBudget    int64
+	strictParams bool
 }
 
 func parseFlags(args []string) (config, error) {
@@ -285,6 +309,7 @@ func parseFlags(args []string) (config, error) {
 	amp := fs.Int("amplify", 0, "boot from a synthetic amplified list of N sets (scale testing; excludes -list/-timeline)")
 	ampSeed := fs.Int64("amplify-seed", 1, "seed for -amplify (same seed reproduces the same list)")
 	mb := fs.Int64("mem-budget", 0, "snapshot memory budget in bytes, 0 = unlimited (degrades before failing; see /v1/metrics)")
+	sp := fs.Bool("strict-params", false, "reject unknown query parameters with a bad_request envelope on every endpoint (new endpoints always enforce)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -309,5 +334,5 @@ func parseFlags(args []string) (config, error) {
 	if *mb < 0 {
 		return config{}, fmt.Errorf("-mem-budget must be >= 0")
 	}
-	return config{addr: *a, list: *l, poll: *p, timeline: *tl, retain: *r, amplify: *amp, amplifySeed: *ampSeed, memBudget: *mb}, nil
+	return config{addr: *a, list: *l, poll: *p, timeline: *tl, retain: *r, amplify: *amp, amplifySeed: *ampSeed, memBudget: *mb, strictParams: *sp}, nil
 }

@@ -428,3 +428,48 @@ func BenchmarkHandlerPartitionPrebaked(b *testing.B) {
 func BenchmarkHandlerStatsPrebaked(b *testing.B) {
 	benchPrebaked(b, "/v1/stats")
 }
+
+// BenchmarkHandlerList is the replication export's full-body path: what
+// the leader pays when a follower's validator misses (or on its first
+// poll). The body is prebaked; the cost is resolution plus one copy.
+func BenchmarkHandlerList(b *testing.B) {
+	list, err := dataset.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(list)
+	req := httptest.NewRequest(http.MethodGet, "/v1/list", nil)
+	rw := newDiscardRW()
+	s.ServeHTTP(rw, req)
+	if rw.status != 0 && rw.status != http.StatusOK {
+		b.Fatalf("status %d", rw.status)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ServeHTTP(rw, req)
+	}
+}
+
+// BenchmarkHandlerListNotModified is the steady state of an edge tier:
+// every follower poll against an idle leader lands here — validator
+// compare, 304, no body.
+func BenchmarkHandlerListNotModified(b *testing.B) {
+	list, err := dataset.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(list)
+	req := httptest.NewRequest(http.MethodGet, "/v1/list", nil)
+	req.Header.Set("If-None-Match", `"`+list.Hash()+`"`)
+	rw := newDiscardRW()
+	s.ServeHTTP(rw, req)
+	if rw.status != http.StatusNotModified {
+		b.Fatalf("status %d, want 304", rw.status)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ServeHTTP(rw, req)
+	}
+}

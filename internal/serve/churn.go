@@ -146,6 +146,9 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
+	if !s.checkParams(w, r, q, paramsChurn, false) {
+		return
+	}
 	granularity, ok := churnGranularity(q.Get("granularity"))
 	if !ok {
 		badRequest(w, r, "granularity %q: want step, month, or total", q.Get("granularity"))

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// This file is the v1 API contract layer: the machine-readable error
+// envelope every non-2xx response carries, and the conditional-GET
+// (ETag / If-None-Match / If-Modified-Since) helpers the cache-validator
+// plane is built from. Handlers never spell a status+code pair by hand;
+// they go through the helper table below, so the envelope cannot drift
+// per endpoint.
+
+// The machine-readable error codes. Clients branch on these, never on
+// the human-readable error text (which is free to change).
+const (
+	// codeBadRequest: the request shape is wrong — missing or conflicting
+	// parameters, malformed values, an unknown query key under strict
+	// params, an undecodable body.
+	codeBadRequest = "bad_request"
+	// codeNotFound: no such endpoint.
+	codeNotFound = "not_found"
+	// codeVersionNotFound: a well-formed version=/as_of=/diff spec that
+	// the store does not retain.
+	codeVersionNotFound = "version_not_found"
+	// codeBatchTooLarge: a batch carried more than maxBatchPairs entries.
+	codeBatchTooLarge = "batch_too_large"
+	// codeBodyTooLarge: the request body exceeded maxBatchBody.
+	codeBodyTooLarge = "body_too_large"
+	// codeMethodNotAllowed: wrong HTTP method for the endpoint.
+	codeMethodNotAllowed = "method_not_allowed"
+	// codeInternal: the server failed to encode its own response.
+	codeInternal = "internal"
+)
+
+// writeError writes the JSON error envelope: a human-readable message
+// plus the machine-readable code.
+//
+//rws:envelope
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	writeJSON(w, r, status, errorBody{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// writeNotModified answers a conditional request whose validator still
+// matches: 304, no body, headers already set by the caller.
+//
+//rws:envelope
+func writeNotModified(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNotModified)
+}
+
+// etagMatches reports whether any entry of an If-None-Match header slice
+// matches the snapshot's strong validator. Each header value may be a
+// comma-separated list; weak-prefixed (`W/"..."`) entries compare by the
+// quoted part (If-None-Match uses weak comparison per RFC 9110 §13.1.2),
+// and `*` matches any current representation. Runs on the prebaked
+// request path, so it scans without allocating (strings.Cut, TrimSpace,
+// and TrimPrefix all return subslices).
+//
+//rws:hotpath
+func etagMatches(values []string, etag string) bool {
+	for i := 0; i < len(values); i++ {
+		v := values[i]
+		// Fast case first: a follower or cache echoes our ETag verbatim.
+		if v == etag || v == "*" {
+			return true
+		}
+		for v != "" {
+			var item string
+			item, v, _ = strings.Cut(v, ",")
+			item = strings.TrimSpace(item)
+			item = strings.TrimPrefix(item, "W/")
+			if item == etag || item == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// notModified evaluates a request's conditional headers against the
+// snapshot's validators: If-None-Match wins when present (RFC 9110
+// §13.2.2 evaluation order), otherwise If-Modified-Since compares
+// against the version's as-of time at second granularity (HTTP dates
+// carry no sub-second precision).
+func notModified(r *http.Request, etag string, asOf time.Time) bool {
+	if inm, ok := r.Header["If-None-Match"]; ok {
+		return etagMatches(inm, etag)
+	}
+	// A zero asOf means the caller had no version time in hand (the
+	// prebaked fast paths); date comparison against it would 304
+	// unconditionally, so only the ETag validator applies there.
+	if ims := r.Header.Get("If-Modified-Since"); ims != "" && !asOf.IsZero() {
+		if t, err := http.ParseTime(ims); err == nil {
+			return !asOf.Truncate(time.Second).After(t)
+		}
+	}
+	return false
+}
+
+// conditionalDone installs the snapshot's strong validator on the
+// response and answers a still-matching conditional request with 304;
+// it reports true when the 304 was written and the handler is done.
+// Called after request validation (a malformed request must stay 400,
+// per RFC 9110 §13.2.2 preconditions apply only to requests that would
+// otherwise succeed) and before the body write, so the prebaked paths
+// skip assembly entirely on a revalidation hit.
+func conditionalDone(w http.ResponseWriter, r *http.Request, snap *Snapshot, asOf time.Time) bool {
+	w.Header()["Etag"] = snap.etagHeader
+	if notModified(r, snap.etag, asOf) {
+		writeNotModified(w)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// handleList is the replication export: GET /v1/list serves the
+// snapshot's canonical list JSON — the exact bytes core.ParseJSON
+// round-trips — with the cache validators that make a serve node an
+// origin for other serve nodes. A follower started as
+// `rws-serve -list http://leader/v1/list -poll 1s` tracks this endpoint
+// through the stock source.HTTPSource conditional-GET loop: the strong
+// ETag is the list content hash, so an unchanged leader answers 304 from
+// etagMatches without touching the body, and the X-RWS-* headers carry
+// the version provenance a follower needs to detect it is following and
+// to measure swap-propagation lag.
+//
+// Always strict-params: this endpoint is new in the v1 contract, so
+// unknown keys were never silently accepted and need no legacy mode.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	snap, ver, ok := s.resolveQuery(w, r, r.URL.Query(), paramsVersioned, true)
+	if !ok {
+		return
+	}
+	h := w.Header()
+	h["Etag"] = snap.etagHeader
+	// no-cache (not no-store): caches may hold the body but must
+	// revalidate — exactly the 304 loop followers run. A poll interval is
+	// the freshness contract here, not a TTL.
+	h.Set("Cache-Control", "public, no-cache")
+	h.Set("Last-Modified", ver.AsOf.UTC().Format(http.TimeFormat))
+	h.Set("X-RWS-Version", snap.hash)
+	h.Set("X-RWS-As-Of", ver.AsOf.UTC().Format(time.RFC3339Nano))
+	h.Set("X-RWS-Swapped-At", ver.ObservedAt.UTC().Format(time.RFC3339Nano))
+	if notModified(r, snap.etag, ver.AsOf) {
+		writeNotModified(w)
+		return
+	}
+	if snap.respList != nil && !prettyRequested(r) {
+		writeRawJSON(w, http.StatusOK, snap.respList)
+		return
+	}
+	// Budget-degraded tiers (and ?pretty=1) fall back to the live encode;
+	// *core.List marshals to the same canonical bytes respList was baked
+	// from.
+	writeJSON(w, r, http.StatusOK, snap.list)
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+
+	"rwskit/internal/core"
+)
+
+// This file is the one param grammar: every endpoint resolves its
+// version=/as_of=/pretty= parameters through resolveQuery against a
+// declared allowlist of supported keys, so the grammar cannot drift per
+// handler and — under strict params — a typoed key (verison=, asof=)
+// gets a bad_request envelope naming the supported keys instead of
+// being silently ignored.
+
+// The per-endpoint supported query keys, sorted (the order they are
+// reported to clients in).
+var (
+	paramsSameSet   = []string{"a", "as_of", "b", "pairs", "pretty", "version"}
+	paramsSet       = []string{"as_of", "pretty", "site", "version"}
+	paramsPartition = []string{"as_of", "embedded", "policy", "pretty", "top", "version"}
+	paramsVersioned = []string{"as_of", "pretty", "version"} // stats, list
+	paramsDiff      = []string{"from", "pretty", "to"}
+	paramsChurn     = []string{"from", "granularity", "pretty", "to", "top"}
+	paramsPretty    = []string{"pretty"} // healthz, metrics, versions
+)
+
+// checkParams rejects query keys outside supported with a bad_request
+// envelope naming both the offenders and the allowlist. Enforcement is
+// on when the endpoint demands it (strict: the new endpoints) or when
+// the server-wide -strict-params mode is; otherwise unknown keys keep
+// their historical ignore-silently behavior.
+func (s *Server) checkParams(w http.ResponseWriter, r *http.Request, q url.Values, supported []string, strict bool) bool {
+	if !strict && !s.strictParams.Load() {
+		return true
+	}
+	var unknown []string
+	for k := range q {
+		known := false
+		for _, sk := range supported {
+			if k == sk {
+				known = true
+				break
+			}
+		}
+		if !known {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) == 0 {
+		return true
+	}
+	sort.Strings(unknown)
+	writeError(w, r, http.StatusBadRequest, codeBadRequest,
+		"unknown query parameter(s): %s (supported: %s)",
+		strings.Join(unknown, ", "), strings.Join(supported, ", "))
+	return false
+}
+
+// resolveQuery is the shared request-scope resolver: it validates the
+// query against the endpoint's allowlist, then picks the snapshot (and
+// its version descriptor) the request is answered from — the current
+// version when neither version= nor as_of= is present, otherwise the
+// named or as-of-resolved retained version. On failure it writes the
+// error envelope and reports false. Successful resolution counts one
+// per-version hit (a lock-free atomic add surfaced in /v1/metrics).
+func (s *Server) resolveQuery(w http.ResponseWriter, r *http.Request, q url.Values, supported []string, strict bool) (*Snapshot, core.Version, bool) {
+	if !s.checkParams(w, r, q, supported, strict) {
+		return nil, core.Version{}, false
+	}
+	version, asOf := q.Get("version"), q.Get("as_of")
+	var (
+		snap *Snapshot
+		ver  core.Version
+		err  error
+	)
+	switch {
+	case version != "" && asOf != "":
+		badRequest(w, r, "use either version= or as_of=, not both")
+		return nil, core.Version{}, false
+	case version != "":
+		snap, ver, err = s.store.ByHash(version)
+	case asOf != "":
+		t, ok := parseAsOf(asOf)
+		if !ok {
+			badRequest(w, r, "as_of %q: want 2006-01, 2006-01-02, or RFC 3339", asOf)
+			return nil, core.Version{}, false
+		}
+		snap, ver, err = s.store.AsOf(t)
+	default:
+		snap, ver, err = s.store.ByHash("")
+	}
+	if err != nil {
+		writeResolveError(w, r, err)
+		return nil, core.Version{}, false
+	}
+	snap.requests.Add(1)
+	return snap, ver, true
+}

@@ -355,6 +355,18 @@ func (s *Snapshot) bakeResponses() (int64, bool) {
 	s.respStatsPrefix = append(prefix[:len(prefix):len(prefix)], `,"requests_served":`...)
 	respBytes += int64(len(s.respStatsPrefix))
 
+	// The /v1/list export body: the canonical compact list JSON a
+	// follower's HTTPSource parses back with core.ParseJSON. Baked with
+	// the rest of the response tier — a budget-constrained node can still
+	// lead, it just pays a live encode per (rare) full fetch.
+	listBody, err := s.list.MarshalJSON()
+	if err != nil {
+		s.dropResponseTier()
+		return 0, false
+	}
+	s.respList = append(listBody, '\n')
+	respBytes += int64(len(s.respList))
+
 	s.respBaked = true
 	return respBytes, true
 }
@@ -392,6 +404,7 @@ func (s *Snapshot) dropResponseTier() {
 		}
 	}
 	s.respStatsPrefix = nil
+	s.respList = nil
 }
 
 // appendSameSetBody appends the SameSetResponse object for (a, b) minus

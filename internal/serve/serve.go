@@ -27,6 +27,7 @@
 //	                                                storage-access verdict
 //	POST /v1/partition/batch                        batch verdicts (JSON body)
 //	GET  /v1/stats                                  list composition + server counters
+//	GET  /v1/list                                   canonical list JSON export (replication origin)
 //	GET  /v1/metrics                                per-endpoint request/latency/error counters
 //	GET  /v1/versions                               the retained list versions
 //	GET  /v1/diff?from=SPEC&to=SPEC                 member-level diff between two versions
@@ -78,6 +79,7 @@ const (
 	epPartition
 	epPartitionBatch
 	epStats
+	epList
 	epMetrics
 	epVersions
 	epDiff
@@ -93,6 +95,7 @@ var endpointNames = [numEndpoints]string{
 	epPartition:      "/v1/partition",
 	epPartitionBatch: "/v1/partition/batch",
 	epStats:          "/v1/stats",
+	epList:           "/v1/list",
 	epMetrics:        "/v1/metrics",
 	epVersions:       "/v1/versions",
 	epDiff:           "/v1/diff",
@@ -122,7 +125,21 @@ type Server struct {
 	requests atomic.Uint64
 	metrics  [numEndpoints]endpointCounters
 	mux      *http.ServeMux
+
+	// strictParams rejects unknown query keys on every endpoint (the
+	// -strict-params mode); the new endpoints (/v1/list) enforce the
+	// allowlist regardless. Atomic so it can be toggled under traffic.
+	strictParams atomic.Bool
+
+	// repl tracks replication state when this node follows a leader's
+	// /v1/list export; nil fields in /v1/metrics otherwise.
+	repl replState
 }
+
+// SetStrictParams toggles server-wide strict query-parameter checking:
+// when on, a query key outside an endpoint's documented set is a
+// bad_request envelope instead of being silently ignored.
+func (s *Server) SetStrictParams(on bool) { s.strictParams.Store(on) }
 
 // New returns a server answering queries against list, precomputing the
 // query plane once up front. The backing store retains DefaultRetain
@@ -149,6 +166,7 @@ func NewFromStore(st *Store) *Server {
 	mux.HandleFunc("/v1/partition", s.instrument(epPartition, s.handlePartition))
 	mux.HandleFunc("/v1/partition/batch", s.instrument(epPartitionBatch, s.handlePartitionBatch))
 	mux.HandleFunc("/v1/stats", s.instrument(epStats, s.handleStats))
+	mux.HandleFunc("/v1/list", s.instrument(epList, s.handleList))
 	mux.HandleFunc("/v1/metrics", s.instrument(epMetrics, s.handleMetrics))
 	mux.HandleFunc("/v1/versions", s.instrument(epVersions, s.handleVersions))
 	mux.HandleFunc("/v1/diff", s.instrument(epDiff, s.handleDiff))
@@ -198,6 +216,9 @@ func (s *Server) SwapDeliver(logw io.Writer) func(source.Swap) {
 			ver.AsOf = ver.ObservedAt
 		}
 		s.store.Add(sw.List, ver)
+		if sw.Meta.Follows() {
+			s.RecordReplicationSwap(sw.Meta)
+		}
 		fmt.Fprintf(logw, "serve: swapped list from %s (%d sets, hash %.12s): %s\n",
 			sw.Meta.Location, sw.List.NumSets(), sw.Meta.Hash, sw.Diff.Summary())
 	}
@@ -247,9 +268,12 @@ func (s *Server) instrument(id endpointID, h http.HandlerFunc) http.HandlerFunc 
 	}
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope: a human-readable message plus
+// the machine-readable code clients branch on (the constants in
+// envelope.go).
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
 // writeJSON encodes v and writes it: compact by default, indented when
@@ -270,7 +294,7 @@ func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	if err := enc.Encode(v); err != nil {
 		buf.Reset()
 		status = http.StatusInternalServerError
-		body, _ := json.Marshal(errorBody{Error: "encoding response: " + err.Error()})
+		body, _ := json.Marshal(errorBody{Error: "encoding response: " + err.Error(), Code: codeInternal})
 		buf.Write(body)
 		buf.WriteByte('\n')
 	}
@@ -281,82 +305,42 @@ func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 }
 
 func badRequest(w http.ResponseWriter, r *http.Request, format string, args ...any) {
-	writeJSON(w, r, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
+	writeError(w, r, http.StatusBadRequest, codeBadRequest, format, args...)
 }
 
 // requireGET rejects non-GET methods; the read path is side-effect free.
 func requireGET(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
-		writeJSON(w, r, http.StatusMethodNotAllowed, errorBody{Error: "method not allowed"})
+		writeError(w, r, http.StatusMethodNotAllowed, codeMethodNotAllowed, "method not allowed")
 		return false
 	}
 	return true
 }
 
 // writeResolveError maps a version-resolution failure to the JSON error
-// contract: unknown versions are 404 (the spec was well-formed, the
-// store just doesn't hold it), everything else is a 400.
+// contract: unknown versions are 404 version_not_found (the spec was
+// well-formed, the store just doesn't hold it), everything else is a 400
+// bad_request.
 func writeResolveError(w http.ResponseWriter, r *http.Request, err error) {
-	status := http.StatusBadRequest
 	if errors.Is(err, ErrVersionNotFound) {
-		status = http.StatusNotFound
+		writeError(w, r, http.StatusNotFound, codeVersionNotFound, "%v", err)
+		return
 	}
-	writeJSON(w, r, status, errorBody{Error: err.Error()})
-}
-
-// resolveSnap picks the snapshot a request is answered from: the current
-// version when neither version= nor as_of= is present (the lock-free
-// fast path), otherwise the named or as-of-resolved retained version.
-// On failure it writes the error response and returns nil. Successful
-// resolution counts one per-version hit (a lock-free atomic add on the
-// snapshot, surfaced in /v1/metrics).
-func (s *Server) resolveSnap(w http.ResponseWriter, r *http.Request, q url.Values) *Snapshot {
-	snap := s.resolveSnapInner(w, r, q)
-	if snap != nil {
-		snap.requests.Add(1)
-	}
-	return snap
-}
-
-func (s *Server) resolveSnapInner(w http.ResponseWriter, r *http.Request, q url.Values) *Snapshot {
-	version, asOf := q.Get("version"), q.Get("as_of")
-	switch {
-	case version == "" && asOf == "":
-		return s.store.Current()
-	case version != "" && asOf != "":
-		badRequest(w, r, "use either version= or as_of=, not both")
-		return nil
-	case version != "":
-		snap, _, err := s.store.ByHash(version)
-		if err != nil {
-			writeResolveError(w, r, err)
-			return nil
-		}
-		return snap
-	default:
-		t, ok := parseAsOf(asOf)
-		if !ok {
-			badRequest(w, r, "as_of %q: want 2006-01, 2006-01-02, or RFC 3339", asOf)
-			return nil
-		}
-		snap, _, err := s.store.AsOf(t)
-		if err != nil {
-			writeResolveError(w, r, err)
-			return nil
-		}
-		return snap
-	}
+	writeError(w, r, http.StatusBadRequest, codeBadRequest, "%v", err)
 }
 
 // handleNotFound keeps unmatched paths inside the JSON contract instead
 // of falling through to a plain-text 404.
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, r, http.StatusNotFound, errorBody{Error: "no such endpoint: " + r.URL.Path})
+	writeError(w, r, http.StatusNotFound, codeNotFound, "no such endpoint: %s", r.URL.Path)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
+		return
+	}
+	if s.strictParams.Load() && !s.checkParams(w, r, r.URL.Query(), paramsPretty, true) {
 		return
 	}
 	writeJSON(w, r, http.StatusOK, map[string]any{
@@ -402,6 +386,11 @@ func pairsParam(q url.Values, rawQuery string) string {
 	return ""
 }
 
+// errTooManyPairs marks a batch that exceeded maxBatchPairs, so the
+// handler can map it to the batch_too_large error code while the message
+// text stays exactly what parsePairs wrote.
+var errTooManyPairs = errors.New("too many pairs")
+
 // parsePairs parses the pairs parameter: semicolon-separated a,b pairs.
 // Harmless sloppiness is tolerated — empty segments (a trailing or
 // doubled ';') are skipped and each side is space-trimmed — while a
@@ -418,7 +407,7 @@ func parsePairs(raw string) ([][2]string, error) {
 		// The cap counts real pairs, not raw segments: exactly
 		// maxBatchPairs pairs plus a tolerated trailing ';' must parse.
 		if len(out) == maxBatchPairs {
-			return nil, fmt.Errorf("too many pairs: more than %d", maxBatchPairs)
+			return nil, fmt.Errorf("%w: more than %d", errTooManyPairs, maxBatchPairs)
 		}
 		a, b, ok := strings.Cut(item, ",")
 		a, b = strings.TrimSpace(a), strings.TrimSpace(b)
@@ -443,6 +432,9 @@ func (s *Server) handleSameSet(w http.ResponseWriter, r *http.Request) {
 		if a, b, ok := rawTwoParams(r.URL.RawQuery, "a", "b"); ok {
 			snap := s.store.Current()
 			snap.requests.Add(1)
+			if conditionalDone(w, r, snap, time.Time{}) {
+				return
+			}
 			rb := getRespBuf()
 			rb.b = snap.appendSameSet(rb.b[:0], a, b)
 			writeRawJSON(w, http.StatusOK, rb.b)
@@ -454,8 +446,8 @@ func (s *Server) handleSameSet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	snap := s.resolveSnap(w, r, q)
-	if snap == nil {
+	snap, ver, ok := s.resolveQuery(w, r, q, paramsSameSet, false)
+	if !ok {
 		return
 	}
 	if raw := pairsParam(q, r.URL.RawQuery); raw != "" {
@@ -465,7 +457,14 @@ func (s *Server) handleSameSet(w http.ResponseWriter, r *http.Request) {
 		}
 		pairs, err := parsePairs(raw)
 		if err != nil {
-			badRequest(w, r, "%v", err)
+			code := codeBadRequest
+			if errors.Is(err, errTooManyPairs) {
+				code = codeBatchTooLarge
+			}
+			writeError(w, r, http.StatusBadRequest, code, "%v", err)
+			return
+		}
+		if conditionalDone(w, r, snap, ver.AsOf) {
 			return
 		}
 		if snap.respBaked && !prettyRequested(r) {
@@ -485,6 +484,9 @@ func (s *Server) handleSameSet(w http.ResponseWriter, r *http.Request) {
 	a, b := q.Get("a"), q.Get("b")
 	if a == "" || b == "" {
 		badRequest(w, r, "both a and b query parameters are required")
+		return
+	}
+	if conditionalDone(w, r, snap, ver.AsOf) {
 		return
 	}
 	if snap.respBaked && !prettyRequested(r) {
@@ -530,6 +532,9 @@ func (s *Server) handleSet(w http.ResponseWriter, r *http.Request) {
 		if site, ok := rawOneParam(r.URL.RawQuery, "site"); ok {
 			snap := s.store.Current()
 			snap.requests.Add(1)
+			if conditionalDone(w, r, snap, time.Time{}) {
+				return
+			}
 			rb := getRespBuf()
 			rb.b = snap.appendSet(rb.b[:0], site)
 			writeRawJSON(w, http.StatusOK, rb.b)
@@ -546,8 +551,11 @@ func (s *Server) handleSet(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, r, "site query parameter is required")
 		return
 	}
-	snap := s.resolveSnap(w, r, q)
-	if snap == nil {
+	snap, ver, ok := s.resolveQuery(w, r, q, paramsSet, false)
+	if !ok {
+		return
+	}
+	if conditionalDone(w, r, snap, ver.AsOf) {
 		return
 	}
 	if snap.respBaked && !prettyRequested(r) {
@@ -590,6 +598,10 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 			rb := getRespBuf()
 			if b, ok := snap.appendPartition(rb.b[:0], policy, top, embedded); ok {
 				snap.requests.Add(1)
+				if conditionalDone(w, r, snap, time.Time{}) {
+					putRespBuf(rb)
+					return
+				}
 				rb.b = b
 				writeRawJSON(w, http.StatusOK, rb.b)
 				putRespBuf(rb)
@@ -607,13 +619,16 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, r, "both top and embedded query parameters are required")
 		return
 	}
-	snap := s.resolveSnap(w, r, q)
-	if snap == nil {
+	snap, ver, ok := s.resolveQuery(w, r, q, paramsPartition, false)
+	if !ok {
 		return
 	}
 	resp, err := snap.Partition(q.Get("policy"), top, embedded)
 	if err != nil {
 		badRequest(w, r, "%v", err)
+		return
+	}
+	if conditionalDone(w, r, snap, ver.AsOf) {
 		return
 	}
 	writeJSON(w, r, http.StatusOK, resp)
@@ -644,7 +659,7 @@ type PartitionBatchResponse struct {
 func (s *Server) handlePartitionBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
-		writeJSON(w, r, http.StatusMethodNotAllowed, errorBody{Error: "method not allowed (POST a JSON body)"})
+		writeError(w, r, http.StatusMethodNotAllowed, codeMethodNotAllowed, "method not allowed (POST a JSON body)")
 		return
 	}
 	var req PartitionBatchRequest
@@ -653,7 +668,7 @@ func (s *Server) handlePartitionBatch(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			writeJSON(w, r, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+			writeError(w, r, http.StatusRequestEntityTooLarge, codeBodyTooLarge, "%v", err)
 			return
 		}
 		badRequest(w, r, "decoding request body: %v", err)
@@ -664,7 +679,7 @@ func (s *Server) handlePartitionBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Queries) > maxBatchPairs {
-		badRequest(w, r, "too many queries: %d > %d", len(req.Queries), maxBatchPairs)
+		writeError(w, r, http.StatusBadRequest, codeBatchTooLarge, "too many queries: %d > %d", len(req.Queries), maxBatchPairs)
 		return
 	}
 	snap := s.Snapshot()
@@ -707,6 +722,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodGet && r.URL.RawQuery == "" && snapRespBaked(s.store.Current()) {
 		snap := s.store.Current()
 		snap.requests.Add(1)
+		// The stats ETag covers the snapshot-derived fields; the live
+		// counters ride along and are not part of the validator (a cache
+		// revalidating an unchanged snapshot keeps its counter values).
+		if conditionalDone(w, r, snap, time.Time{}) {
+			return
+		}
 		rb := getRespBuf()
 		rb.b = snap.appendStats(rb.b[:0], s.requests.Load(), s.store.Swaps())
 		writeRawJSON(w, http.StatusOK, rb.b)
@@ -716,8 +737,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
 		return
 	}
-	snap := s.resolveSnap(w, r, r.URL.Query())
-	if snap == nil {
+	snap, ver, ok := s.resolveQuery(w, r, r.URL.Query(), paramsVersioned, false)
+	if !ok {
+		return
+	}
+	if conditionalDone(w, r, snap, ver.AsOf) {
 		return
 	}
 	writeJSON(w, r, http.StatusOK, StatsResponse{
@@ -786,10 +810,17 @@ type MetricsResponse struct {
 	DiffCache        DiffCacheMetrics  `json:"diff_cache"`
 	VersionHits      []VersionHits     `json:"version_hits"`
 	Endpoints        []EndpointMetrics `json:"endpoints"`
+	// Replication is the follower state: which leader /v1/list this node
+	// tracks, the last-synced version hash, and the swap-propagation lag.
+	// Absent on nodes that do not follow an upstream.
+	Replication *ReplicationMetrics `json:"replication,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
+		return
+	}
+	if s.strictParams.Load() && !s.checkParams(w, r, r.URL.Query(), paramsPretty, true) {
 		return
 	}
 	dc := s.store.diffs.metrics()
@@ -812,6 +843,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		},
 		VersionHits: make([]VersionHits, 0, len(infos)),
 		Endpoints:   make([]EndpointMetrics, 0, numEndpoints),
+		Replication: s.Replication(),
 	}
 	for _, vi := range infos {
 		resp.VersionHits = append(resp.VersionHits, VersionHits{
@@ -873,6 +905,9 @@ func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
 		return
 	}
+	if s.strictParams.Load() && !s.checkParams(w, r, r.URL.Query(), paramsPretty, true) {
+		return
+	}
 	infos := s.store.Versions()
 	resp := VersionsResponse{
 		Retained: len(infos),
@@ -904,6 +939,9 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
+	if !s.checkParams(w, r, q, paramsDiff, false) {
+		return
+	}
 	from, to := q.Get("from"), q.Get("to")
 	if from == "" || to == "" {
 		badRequest(w, r, "both from and to query parameters are required (a version hash prefix, an as-of time, or \"current\")")

@@ -151,6 +151,16 @@ type Snapshot struct {
 	list *core.List
 	hash string
 
+	// etag is the strong HTTP validator derived from the content hash
+	// (`"<hash>"`), and etagHeader is the same value pre-wrapped as a
+	// one-element header slice so the hot path installs it with a single
+	// map assignment (w.Header()["Etag"] = snap.etagHeader) — no
+	// per-request slice allocation. Both are set for every tier: cache
+	// validators survive even when a memory budget drops the prebaked
+	// response bytes.
+	etag       string
+	etagHeader []string
+
 	// requests counts the queries resolved to this snapshot under any
 	// version spelling (current, version=, as_of=, diff/churn endpoints).
 	// Metrics-only; incremented lock-free on the request path.
@@ -186,6 +196,10 @@ type Snapshot struct {
 	respPartHostSame  [numPolicies][]byte
 	respPartHostCross [numPolicies][]byte
 	respStatsPrefix   []byte
+	// respList is the canonical compact list JSON (/v1/list's body, the
+	// replication export followers poll), baked once so the leader serves
+	// its own list without re-marshalling per fetch.
+	respList []byte
 
 	info BuildInfo
 
@@ -226,9 +240,11 @@ func BuildSnapshot(list *core.List, opts SnapshotOptions) (*Snapshot, error) {
 	if shards < 1 {
 		shards = 1
 	}
+	hash := list.Hash()
 	s := &Snapshot{
 		list:       list,
-		hash:       list.Hash(),
+		hash:       hash,
+		etag:       `"` + hash + `"`,
 		sets:       list.Sets(),
 		hostShards: make([]map[string]hostEntry, shards),
 		members:    make([][]SetMember, list.NumSets()),
@@ -240,6 +256,7 @@ func BuildSnapshot(list *core.List, opts SnapshotOptions) (*Snapshot, error) {
 			MemoryBudget: opts.MemoryBudget,
 		},
 	}
+	s.etagHeader = []string{s.etag}
 	s.policies = [numPolicies]policyInfo{
 		policyRWS:    {live: browser.RWSPolicy{List: list}},
 		policyStrict: {live: browser.StrictPolicy{}},

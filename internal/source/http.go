@@ -219,13 +219,26 @@ func (h *HTTPSource) fetchOnce(ctx context.Context) (*core.List, Meta, error) {
 		return nil, Meta{}, ErrNotModified
 	}
 	h.hash = hash
-	return list, Meta{
+	meta := Meta{
 		Location:     h.url,
 		Hash:         hash,
 		FetchedAt:    h.now(),
 		ETag:         h.etag,
 		LastModified: h.lastModified,
-	}, nil
+	}
+	// An rws-serve leader stamps replication headers on its /v1/list
+	// export; capturing them here is what lets the consumer detect it is
+	// a follower (Meta.Follows) and measure swap-propagation lag.
+	if v := resp.Header.Get("X-RWS-Version"); v != "" {
+		meta.UpstreamVersion = v
+		if t, err := time.Parse(time.RFC3339Nano, resp.Header.Get("X-RWS-As-Of")); err == nil {
+			meta.UpstreamAsOf = t
+		}
+		if t, err := time.Parse(time.RFC3339Nano, resp.Header.Get("X-RWS-Swapped-At")); err == nil {
+			meta.UpstreamSwappedAt = t
+		}
+	}
+	return list, meta, nil
 }
 
 // parseRetryAfter parses a Retry-After header value: delta-seconds or an

@@ -445,3 +445,53 @@ func TestParseRetryAfter(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPSourceReplicationHeaders: a leader /v1/list export stamps
+// X-RWS-* provenance headers; the source captures them into Meta so the
+// consumer can detect it is a follower and measure propagation lag, and
+// Version() adopts the leader's logical as-of time so version chains
+// align across the tier.
+func TestHTTPSourceReplicationHeaders(t *testing.T) {
+	ctx := context.Background()
+	asOf := time.Date(2024, 3, 26, 0, 0, 0, 123456789, time.UTC)
+	swapped := asOf.Add(90 * time.Millisecond)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h := w.Header()
+		h.Set("ETag", `"v1"`)
+		h.Set("X-RWS-Version", "feedface1234")
+		h.Set("X-RWS-As-Of", asOf.Format(time.RFC3339Nano))
+		h.Set("X-RWS-Swapped-At", swapped.Format(time.RFC3339Nano))
+		fmt.Fprint(w, oneSetJSON)
+	}))
+	defer ts.Close()
+
+	_, meta, err := fastHTTP(ts.URL).Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Follows() {
+		t.Fatal("Meta.Follows() = false with replication headers present")
+	}
+	if meta.UpstreamVersion != "feedface1234" {
+		t.Errorf("UpstreamVersion = %q", meta.UpstreamVersion)
+	}
+	if !meta.UpstreamAsOf.Equal(asOf) || !meta.UpstreamSwappedAt.Equal(swapped) {
+		t.Errorf("upstream times = %s / %s, want %s / %s",
+			meta.UpstreamAsOf, meta.UpstreamSwappedAt, asOf, swapped)
+	}
+	if v := meta.Version(); !v.AsOf.Equal(asOf) {
+		t.Errorf("Version().AsOf = %s, want the leader's as-of %s", v.AsOf, asOf)
+	}
+
+	// A plain upstream (no replication headers) is not followed.
+	plain := &listServer{body: oneSetJSON, etag: `"v1"`}
+	pts := httptest.NewServer(plain)
+	defer pts.Close()
+	_, meta, err = fastHTTP(pts.URL).Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Follows() {
+		t.Errorf("plain upstream reported Follows: %+v", meta)
+	}
+}

@@ -53,16 +53,35 @@ type Meta struct {
 	// (zero for HTTP sources).
 	ModTime time.Time
 	Size    int64
+
+	// UpstreamVersion, UpstreamAsOf, and UpstreamSwappedAt are the
+	// replication headers (X-RWS-Version, X-RWS-As-Of, X-RWS-Swapped-At)
+	// an rws-serve leader attaches to its /v1/list export. They are
+	// empty/zero for any other origin; when present, this revision was
+	// fetched from another serve node and the consumer is a follower
+	// (see Follows).
+	UpstreamVersion   string
+	UpstreamAsOf      time.Time
+	UpstreamSwappedAt time.Time
 }
+
+// Follows reports whether the revision came from another rws-serve
+// node's /v1/list export — the follower-detection signal: only a serve
+// leader stamps X-RWS-Version on its responses.
+func (m Meta) Follows() bool { return m.UpstreamVersion != "" }
 
 // Version derives the core.Version descriptor a version store files this
 // revision under: the content hash, the source location, and the best
-// available logical (as-of) time — the file mtime, the parsed HTTP
+// available logical (as-of) time — the leader-advertised as-of (a
+// follower inherits the leader's logical clock, so the version chain
+// stays aligned across the tier), the file mtime, the parsed HTTP
 // Last-Modified, or the fetch time when the source offers nothing
 // better.
 func (m Meta) Version() core.Version {
 	asOf := m.FetchedAt
 	switch {
+	case !m.UpstreamAsOf.IsZero():
+		asOf = m.UpstreamAsOf
 	case !m.ModTime.IsZero():
 		asOf = m.ModTime
 	case m.LastModified != "":

@@ -32,6 +32,14 @@ type Watcher struct {
 	logf     func(format string, args ...any)
 	kick     chan struct{}
 	cur      *core.List // guarded by Run: confined to the polling goroutine
+
+	// OnPoll, if non-nil, observes the outcome of every completed poll:
+	// nil for a delivered swap, ErrNotModified for an unchanged source,
+	// anything else for a failed fetch. It runs on the Run goroutine
+	// after delivery, so a consumer tracking replication state (poll
+	// counts, 304 streaks, last error) sees polls in order. Set it
+	// before calling Run.
+	OnPoll func(err error)
 }
 
 // NewWatcher returns a Watcher polling src every interval (0 disables
@@ -109,5 +117,8 @@ func (w *Watcher) poll(ctx context.Context, deliver func(Swap), forced bool) {
 		// upstream must be logged, not silently dropped.
 	default:
 		w.logf("source: %s: keeping current list: %v", w.src.Location(), err)
+	}
+	if w.OnPoll != nil && ctx.Err() == nil {
+		w.OnPoll(err)
 	}
 }

@@ -6,6 +6,7 @@ package source_test
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -388,5 +389,75 @@ func TestWatcherRunExitsOnCancelMidFetch(t *testing.T) {
 				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWatcherOnPoll: the OnPoll hook observes every completed poll in
+// order — nil for a delivered swap, ErrNotModified for an unchanged
+// source, the fetch error for a failure — which is what a follower's
+// replication metrics hang off.
+func TestWatcherOnPoll(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "list.json")
+	if err := os.WriteFile(path, []byte(oneSetJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := source.NewFileSource(path)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mu sync.Mutex
+	var swaps, notModified, failures int
+	w := source.NewWatcher(src, 2*time.Millisecond, nil, nil)
+	w.OnPoll = func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err == nil:
+			swaps++
+		case errors.Is(err, source.ErrNotModified):
+			notModified++
+		default:
+			failures++
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx, func(source.Swap) {})
+	}()
+
+	counts := func() (int, int, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		return swaps, notModified, failures
+	}
+	wait := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatal("timed out waiting for " + what)
+	}
+
+	// First poll delivers (initial was nil), then the unchanged file turns
+	// every tick into a not-modified.
+	wait(func() bool { s, nm, _ := counts(); return s >= 1 && nm >= 3 },
+		"a delivered swap followed by not-modified polls")
+
+	// A vanished file turns polls into failures.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	wait(func() bool { _, _, f := counts(); return f >= 2 }, "poll failures after removal")
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
 	}
 }

@@ -247,7 +247,8 @@ func NewIndicatingRWSBrowser(list *List) (*Browser, *IndicatingPolicy) {
 }
 
 // Server answers RWS queries over HTTP (sameset incl. batch pairs, set,
-// partition incl. POST batch, stats, metrics) against a hot-swappable
+// partition incl. POST batch, stats, metrics, and the /v1/list
+// replication export other Servers can follow) against a hot-swappable
 // precomputed snapshot. See rwskit/internal/serve for the endpoint
 // contract and cmd/rws-serve for the standalone binary.
 type Server = serve.Server
@@ -325,6 +326,16 @@ func AmplifyList(cfg AmplifyConfig) (*List, error) { return amplify.Generate(cfg
 // must already hold a current version. Use it to preload history (e.g.
 // the monthly study-window snapshots) before taking traffic.
 func NewServerFromStore(st *ServerStore) *Server { return serve.NewFromStore(st) }
+
+// ServerReplicationMetrics is the replication block a follower Server
+// advertises in /v1/metrics: the upstream /v1/list URL it tracks, the
+// last-synced version hash, swap-propagation lag, and the
+// consecutive-304 idle streak. Server.Replication returns it (nil on
+// non-followers); wire Server.RecordReplicationPoll to
+// SourceWatcher.OnPoll and call Server.RecordReplicationSwap on each
+// delivered swap to keep it current. See the README's "Replication &
+// edge tiering" section for the full follower topology.
+type ServerReplicationMetrics = serve.ReplicationMetrics
 
 // ListSource produces list revisions with change detection: Fetch returns
 // ErrListNotModified when the list is unchanged since the previous
